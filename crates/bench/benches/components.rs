@@ -1,0 +1,70 @@
+//! Criterion microbenchmarks of the component models: predictors and
+//! caches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bmp_branch::build_predictor;
+use bmp_cache::MemoryHierarchy;
+use bmp_uarch::{HierarchyConfig, PredictorConfig};
+
+fn predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictors");
+    const N: u64 = 10_000;
+    group.throughput(Throughput::Elements(N));
+    let configs = [
+        PredictorConfig::Bimodal { entries: 4096 },
+        PredictorConfig::GShare {
+            entries: 4096,
+            history_bits: 12,
+        },
+        PredictorConfig::Local {
+            history_entries: 1024,
+            history_bits: 10,
+            pattern_entries: 1024,
+        },
+        PredictorConfig::Tournament {
+            entries: 4096,
+            history_bits: 12,
+        },
+    ];
+    for cfg in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(cfg.name()), &cfg, |b, cfg| {
+            let mut p = build_predictor(cfg);
+            b.iter(|| {
+                let mut wrong = 0u32;
+                for i in 0..N {
+                    let pc = (i % 97) * 4;
+                    let taken = i % 3 != 0;
+                    if p.predict(pc, taken) != taken {
+                        wrong += 1;
+                    }
+                    p.update(pc, taken);
+                }
+                wrong
+            });
+        });
+    }
+    group.finish();
+}
+
+fn hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_hierarchy");
+    const N: u64 = 10_000;
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("data_access_stream", |b| {
+        let mut mem = MemoryHierarchy::new(&HierarchyConfig::default());
+        b.iter(|| {
+            let mut total = 0u64;
+            for i in 0..N {
+                // A mix of hits (small stride) and misses (large jumps).
+                let addr = if i % 8 == 0 { i * 8192 } else { (i % 512) * 64 };
+                total += u64::from(mem.data_access(addr).latency);
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, predictors, hierarchy);
+criterion_main!(benches);

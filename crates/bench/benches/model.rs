@@ -1,0 +1,137 @@
+//! Criterion benchmarks of the analytical model — the ablation for
+//! design decision D1 (DESIGN.md): the interval model must be much
+//! cheaper than cycle-level simulation while predicting the same
+//! penalties (accuracy is quantified by experiment E-F10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bmp_core::{cpi, FunctionalOutcome, PenaltyModel};
+use bmp_sim::Simulator;
+use bmp_uarch::presets;
+use bmp_workloads::spec;
+
+const OPS: usize = 50_000;
+
+/// D1 ablation: analytical model vs cycle-level simulation on the same
+/// trace. Compare the two groups' times to read off the speedup.
+fn model_vs_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("d1_model_vs_sim");
+    let cfg = presets::baseline_4wide();
+    let trace = spec::by_name("gcc")
+        .expect("known profile")
+        .generate(OPS, 1);
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_function("penalty_model", |b| {
+        let model = PenaltyModel::new(cfg.clone());
+        b.iter(|| model.analyze(&trace));
+    });
+    group.bench_function("cycle_level_sim", |b| {
+        let sim = Simulator::new(cfg.clone());
+        b.iter(|| sim.run(&trace));
+    });
+    group.finish();
+}
+
+fn model_stages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_stages");
+    let cfg = presets::baseline_4wide();
+    let trace = spec::by_name("twolf")
+        .expect("known profile")
+        .generate(OPS, 1);
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_function("functional_pass", |b| {
+        b.iter(|| FunctionalOutcome::compute(&trace, &cfg));
+    });
+    group.bench_function("cpi_stack", |b| {
+        b.iter(|| cpi::predict(&trace, &cfg));
+    });
+    group.bench_function("scheduled_cycles", |b| {
+        b.iter(|| cpi::predict_cycles_scheduled(&trace, &cfg));
+    });
+    group.finish();
+}
+
+/// D1a ablation: the two model granularities. The local per-interval
+/// schedule powers the knock-out decomposition; the whole-trace schedule
+/// ("interval simulation") adds cross-interval state.
+fn d1a_local_vs_global(c: &mut Criterion) {
+    use bmp_core::drain::{schedule_interval, schedule_trace, MachineModel, WindowParams};
+    use bmp_core::{segment, FunctionalOutcome, IntervalEventKind};
+
+    let cfg = presets::baseline_4wide();
+    let trace = spec::by_name("twolf")
+        .expect("known profile")
+        .generate(OPS, 1);
+    let outcome = FunctionalOutcome::compute(&trace, &cfg);
+    let intervals = segment(trace.len(), &outcome.events);
+
+    let mut group = c.benchmark_group("d1a_schedule_granularity");
+    group.throughput(Throughput::Elements(OPS as u64));
+    group.bench_function("local_per_interval", |b| {
+        let params = WindowParams::from(&cfg);
+        b.iter(|| {
+            let mut total = 0u64;
+            for iv in &intervals {
+                if iv.kind != Some(IntervalEventKind::BranchMispredict) {
+                    continue;
+                }
+                let ops = &trace.ops()[iv.start..=iv.end];
+                let s = schedule_interval(
+                    ops,
+                    params,
+                    &cfg.latencies,
+                    |i| outcome.load_latency[iv.start + i],
+                    false,
+                );
+                total += s.resolution(ops.len() - 1);
+            }
+            total
+        });
+    });
+    group.bench_function("whole_trace", |b| {
+        let model = MachineModel::from(&cfg);
+        let events: Vec<_> = outcome
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                IntervalEventKind::BranchMispredict => {
+                    Some(bmp_core::drain::FrontendEvent::Mispredict { pos: e.pos })
+                }
+                _ => None,
+            })
+            .collect();
+        b.iter(|| {
+            schedule_trace(
+                trace.ops(),
+                model,
+                &cfg.latencies,
+                |i| outcome.load_latency[i],
+                &events,
+                false,
+            )
+            .total_cycles()
+        });
+    });
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_generation");
+    for name in ["gzip", "mcf"] {
+        let profile = spec::by_name(name).expect("known profile");
+        group.throughput(Throughput::Elements(OPS as u64));
+        group.bench_with_input(BenchmarkId::new("generate", name), &profile, |b, p| {
+            b.iter(|| p.generate(OPS, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    model_vs_simulation,
+    model_stages,
+    d1a_local_vs_global,
+    workload_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the cycle-level simulator's throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bmp_sim::Simulator;
+use bmp_uarch::presets;
+use bmp_workloads::spec;
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    let cfg = presets::baseline_4wide();
+    const OPS: usize = 50_000;
+    for name in ["gzip", "gcc", "mcf"] {
+        let trace = spec::by_name(name).expect("known profile").generate(OPS, 1);
+        group.throughput(Throughput::Elements(OPS as u64));
+        group.bench_with_input(BenchmarkId::new("run", name), &trace, |b, t| {
+            let sim = Simulator::new(cfg.clone());
+            b.iter(|| sim.run(t));
+        });
+    }
+    group.finish();
+}
+
+fn sim_width_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_width");
+    let trace = spec::by_name("gzip")
+        .expect("known profile")
+        .generate(20_000, 1);
+    for width in [2u32, 4, 8] {
+        let cfg = presets::baseline_4wide()
+            .to_builder()
+            .width(width)
+            .build()
+            .expect("valid width");
+        group.bench_with_input(BenchmarkId::from_parameter(width), &cfg, |b, cfg| {
+            let sim = Simulator::new(cfg.clone());
+            b.iter(|| sim.run(&trace));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput, sim_width_scaling);
+criterion_main!(benches);

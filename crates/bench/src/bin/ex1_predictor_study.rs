@@ -1,0 +1,6 @@
+//! Regenerates extension experiment "ex1_predictor_study" — see DESIGN.md.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::ex1_predictor_study(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates extension experiment "ex4_prefetch_study" — see DESIGN.md.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::ex4_prefetch_study(scale));
+}

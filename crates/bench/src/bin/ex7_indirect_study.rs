@@ -1,0 +1,6 @@
+//! Regenerates extension experiment "ex7_indirect_study" — see DESIGN.md.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::ex7_indirect_study(scale));
+}

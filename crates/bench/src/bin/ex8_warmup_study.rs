@@ -1,0 +1,6 @@
+//! Regenerates extension experiment "ex8_warmup_study" — see DESIGN.md.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::ex8_warmup_study(scale));
+}

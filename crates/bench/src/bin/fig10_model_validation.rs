@@ -1,0 +1,6 @@
+//! Regenerates "E-F10: model vs simulator validation" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig10_model_validation(scale));
+}

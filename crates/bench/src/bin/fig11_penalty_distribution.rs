@@ -1,0 +1,7 @@
+//! Regenerates "E-F11: distribution of branch resolution times" — see
+//! DESIGN.md.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig11_penalty_distribution(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates "E-F1: dispatch-rate transient around a misprediction" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig1_interval_profile(scale));
+}

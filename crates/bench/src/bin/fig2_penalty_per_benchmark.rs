@@ -1,0 +1,6 @@
+//! Regenerates "E-F2: penalty per benchmark vs frontend length" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig2_penalty_per_benchmark(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates "E-F3: resolution vs instructions since last miss event" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig3_penalty_vs_interval(scale));
+}

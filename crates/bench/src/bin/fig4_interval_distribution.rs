@@ -1,0 +1,6 @@
+//! Regenerates "E-F4: interval length distribution" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig4_interval_distribution(scale));
+}

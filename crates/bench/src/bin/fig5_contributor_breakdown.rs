@@ -1,0 +1,6 @@
+//! Regenerates "E-F5: five-contributor penalty decomposition" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig5_contributor_breakdown(scale));
+}

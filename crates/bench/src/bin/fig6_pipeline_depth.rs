@@ -1,0 +1,6 @@
+//! Regenerates "E-F6: penalty vs frontend depth" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig6_pipeline_depth(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates "E-F7: resolution vs FU latency scaling" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig7_fu_latency(scale));
+}

@@ -1,0 +1,6 @@
+//! Regenerates "E-F8: resolution vs dependence chain length" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig8_ilp(scale));
+}

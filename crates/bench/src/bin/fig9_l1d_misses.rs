@@ -1,0 +1,6 @@
+//! Regenerates "E-F9: resolution vs L1D size" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::fig9_l1d_misses(scale));
+}

@@ -1,0 +1,13 @@
+//! Regenerates every table and figure of the reconstructed evaluation
+//! (DESIGN.md, E-T1 … E-F10) and writes the CSVs under `results/`.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    eprintln!(
+        "running all experiments at {} ops per workload (BMP_OPS to change)",
+        scale.ops
+    );
+    for table in bmp_bench::experiments::all(scale) {
+        bmp_bench::run_and_save(&table);
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates "E-T2: benchmark characteristics" — see DESIGN.md experiment index.
+
+fn main() {
+    let scale = bmp_bench::Scale::from_env();
+    bmp_bench::run_and_save(&bmp_bench::experiments::table2_benchmarks(scale));
+}

@@ -1,0 +1,93 @@
+//! Bridging the simulator's measured events into the interval-analysis
+//! vocabulary.
+//!
+//! `bmp-sim` and `bmp-core` are deliberately independent (the model never
+//! needs the simulator); their event types are isomorphic, and this module
+//! holds the mapping plus the measured-side interval bookkeeping used by
+//! the comparison experiments.
+
+use bmp_core::{segment, Interval, IntervalEvent, IntervalEventKind};
+use bmp_sim::{MissEvent, MissEventKind, SimResult};
+
+/// Maps one simulator event kind into the model's vocabulary.
+pub fn kind_of(kind: MissEventKind) -> IntervalEventKind {
+    match kind {
+        MissEventKind::BranchMispredict => IntervalEventKind::BranchMispredict,
+        MissEventKind::ICacheMiss => IntervalEventKind::ICacheMiss,
+        MissEventKind::ICacheLongMiss => IntervalEventKind::ICacheLongMiss,
+        MissEventKind::LongDCacheMiss => IntervalEventKind::LongDCacheMiss,
+    }
+}
+
+/// Converts a simulator event log (sorted by trace order after the sort
+/// here — the simulator emits D-miss events in issue order) into model
+/// events.
+pub fn events_of(events: &[MissEvent]) -> Vec<IntervalEvent> {
+    let mut out: Vec<IntervalEvent> = events
+        .iter()
+        .map(|e| IntervalEvent {
+            pos: e.trace_idx,
+            kind: kind_of(e.kind),
+        })
+        .collect();
+    out.sort_by_key(|e| e.pos);
+    out
+}
+
+/// Segments the *measured* run into intervals.
+pub fn measured_intervals(result: &SimResult, n_ops: usize) -> Vec<Interval> {
+    segment(n_ops, &events_of(&result.events))
+}
+
+/// For each measured misprediction, the length of the interval it
+/// terminates (instructions since the previous miss event, the branch
+/// included), aligned with `result.mispredicts`.
+pub fn measured_interval_lengths(result: &SimResult, n_ops: usize) -> Vec<usize> {
+    let intervals = measured_intervals(result, n_ops);
+    // Map branch position -> interval length.
+    let mut by_end = std::collections::HashMap::new();
+    for iv in &intervals {
+        by_end.insert(iv.end, iv.len());
+    }
+    result
+        .mispredicts
+        .iter()
+        .map(|m| by_end.get(&m.branch_idx).copied().unwrap_or(1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_one_to_one() {
+        let kinds = [
+            MissEventKind::BranchMispredict,
+            MissEventKind::ICacheMiss,
+            MissEventKind::ICacheLongMiss,
+            MissEventKind::LongDCacheMiss,
+        ];
+        let mapped: std::collections::HashSet<_> = kinds.iter().map(|&k| kind_of(k)).collect();
+        assert_eq!(mapped.len(), kinds.len());
+    }
+
+    #[test]
+    fn events_are_sorted() {
+        let raw = [
+            MissEvent {
+                trace_idx: 30,
+                cycle: 5,
+                kind: MissEventKind::LongDCacheMiss,
+            },
+            MissEvent {
+                trace_idx: 10,
+                cycle: 9,
+                kind: MissEventKind::BranchMispredict,
+            },
+        ];
+        let out = events_of(&raw);
+        assert_eq!(out[0].pos, 10);
+        assert_eq!(out[1].pos, 30);
+    }
+}

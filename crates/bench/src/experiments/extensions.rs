@@ -1,0 +1,615 @@
+//! Extension experiments E-X1 … E-X4: beyond the paper's evaluation, the
+//! studies its framework invites.
+
+use bmp_core::{closed_form, PenaltyModel};
+use bmp_sim::Simulator;
+use bmp_uarch::{presets, PredictorConfig, PrefetchConfig};
+use bmp_workloads::spec;
+
+use crate::table::{f2, f3};
+use crate::{Scale, Table};
+
+/// E-X1: the misprediction penalty under different predictors. Better
+/// predictors reduce the *number* of penalties, but the paper's point is
+/// that the per-event penalty is a property of the program and the
+/// window, not of the predictor — so the mean penalty should stay in the
+/// same band while MPKI and IPC move a lot.
+pub fn ex1_predictor_study(scale: Scale) -> Table {
+    let predictors: [(&str, PredictorConfig); 6] = [
+        ("bimodal", PredictorConfig::Bimodal { entries: 4096 }),
+        (
+            "gshare",
+            PredictorConfig::GShare {
+                entries: 4096,
+                history_bits: 12,
+            },
+        ),
+        (
+            "local",
+            PredictorConfig::Local {
+                history_entries: 1024,
+                history_bits: 10,
+                pattern_entries: 1024,
+            },
+        ),
+        (
+            "tournament",
+            PredictorConfig::Tournament {
+                entries: 4096,
+                history_bits: 12,
+            },
+        ),
+        (
+            "perceptron",
+            PredictorConfig::Perceptron {
+                entries: 512,
+                history_bits: 24,
+            },
+        ),
+        ("perfect", PredictorConfig::Perfect),
+    ];
+    let mut t = Table::new(
+        "ex1_predictor_study",
+        "Extension E-X1: penalty and performance per branch predictor",
+        &[
+            "benchmark",
+            "predictor",
+            "br-miss-rate",
+            "br-MPKI",
+            "mean-penalty",
+            "IPC",
+        ],
+    );
+    for name in ["twolf", "gzip"] {
+        let trace = spec::by_name(name)
+            .expect("known profile")
+            .generate(scale.ops, scale.seed);
+        for (pname, pcfg) in predictors {
+            let cfg = presets::baseline_4wide()
+                .to_builder()
+                .predictor(pcfg)
+                .build()
+                .expect("valid predictor");
+            let res = Simulator::new(cfg).run(&trace);
+            t.push_row(vec![
+                name.to_owned(),
+                pname.to_owned(),
+                f3(res.branch_stats.miss_rate()),
+                f2(res.branch_stats.mpki(res.instructions)),
+                f2(res.mean_penalty().unwrap_or(0.0)),
+                f3(res.ipc()),
+            ]);
+        }
+    }
+    t
+}
+
+/// E-X2: penalty versus issue-window size. The resolution saturates near
+/// the window drain bound, so growing the window *raises* the
+/// misprediction penalty even as it raises IPC — the tension the paper's
+/// framework exposes.
+pub fn ex2_window_sweep(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "ex2_window_sweep",
+        "Extension E-X2: penalty vs. issue-window size",
+        &[
+            "benchmark",
+            "window",
+            "rob",
+            "measured-resolution",
+            "model-resolution",
+            "IPC",
+        ],
+    );
+    for name in ["twolf", "gzip"] {
+        let trace = spec::by_name(name)
+            .expect("known profile")
+            .generate(scale.ops, scale.seed);
+        for window in [16u32, 32, 64, 128, 256] {
+            let rob = window * 2;
+            let cfg = presets::baseline_4wide()
+                .to_builder()
+                .window_size(window)
+                .rob_size(rob)
+                .build()
+                .expect("valid window");
+            let res = Simulator::new(cfg.clone()).run(&trace);
+            let analysis = PenaltyModel::new(cfg).analyze(&trace);
+            t.push_row(vec![
+                name.to_owned(),
+                window.to_string(),
+                rob.to_string(),
+                f2(res.mean_resolution().unwrap_or(0.0)),
+                f2(analysis.mean_resolution().unwrap_or(0.0)),
+                f3(res.ipc()),
+            ]);
+        }
+    }
+    t
+}
+
+/// E-X3: three fidelity levels of the same framework — the closed-form
+/// (statistics-only) estimate, the trace-scheduling model, and the
+/// cycle-level simulator.
+///
+/// The closed form computes a window-*drain* estimate from aggregate
+/// statistics: an upper bound on the branch-chain (local) resolution but
+/// blind to cross-event shadows, so it sits between the scheduled model's
+/// local resolution and the simulator's effective one. The error column
+/// is against the local resolution.
+pub fn ex3_closed_form(scale: Scale) -> Table {
+    let cfg = presets::baseline_4wide();
+    let sim = Simulator::new(cfg.clone());
+    let model = PenaltyModel::new(cfg.clone());
+    let mut t = Table::new(
+        "ex3_closed_form",
+        "Extension E-X3: closed-form vs. scheduled model vs. simulation (mean resolution)",
+        &[
+            "benchmark",
+            "sim-effective",
+            "model-effective",
+            "model-local",
+            "closed-form",
+            "closed-form-err-vs-local",
+        ],
+    );
+    for profile in spec::all_profiles() {
+        let trace = profile.generate(scale.ops, scale.seed);
+        let res = sim.run(&trace);
+        let analysis = model.analyze(&trace);
+        let cf = closed_form::estimate(&trace, &cfg);
+        let local = if analysis.breakdowns.is_empty() {
+            0.0
+        } else {
+            analysis
+                .breakdowns
+                .iter()
+                .map(|b| b.local_resolution as f64)
+                .sum::<f64>()
+                / analysis.breakdowns.len() as f64
+        };
+        let err = if local > 0.0 {
+            (cf.mean_resolution - local).abs() / local
+        } else {
+            0.0
+        };
+        t.push_row(vec![
+            profile.name.clone(),
+            f2(res.mean_resolution().unwrap_or(0.0)),
+            f2(analysis.mean_resolution().unwrap_or(0.0)),
+            f2(local),
+            f2(cf.mean_resolution),
+            f3(err),
+        ]);
+    }
+    t
+}
+
+/// E-X4: hardware prefetching attacks contributors (v) and the I-miss
+/// events: streaming benchmarks gain, pointer-chasing ones do not.
+pub fn ex4_prefetch_study(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "ex4_prefetch_study",
+        "Extension E-X4: stride + next-line prefetching on vs. off",
+        &[
+            "benchmark",
+            "prefetch",
+            "l1d-miss-rate",
+            "long-D-MPKI",
+            "mean-penalty",
+            "IPC",
+            "prefetches",
+        ],
+    );
+    for name in ["bzip2", "gzip", "mcf", "gcc"] {
+        let trace = spec::by_name(name)
+            .expect("known profile")
+            .generate(scale.ops, scale.seed);
+        for (label, pf) in [
+            ("off", PrefetchConfig::off()),
+            ("on", PrefetchConfig::aggressive()),
+        ] {
+            let base = presets::baseline_4wide();
+            let caches = base.caches.with_prefetch(pf).expect("valid prefetch");
+            let cfg = base
+                .to_builder()
+                .caches(caches)
+                .build()
+                .expect("valid machine");
+            let res = Simulator::new(cfg).run(&trace);
+            let n = res.instructions;
+            t.push_row(vec![
+                name.to_owned(),
+                label.to_owned(),
+                f3(res.hierarchy.l1d.miss_rate()),
+                f2(res.hierarchy.long_dmisses as f64 * 1000.0 / n as f64),
+                f2(res.mean_penalty().unwrap_or(0.0)),
+                f3(res.ipc()),
+                (res.hierarchy.dprefetches + res.hierarchy.iprefetches).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// E-X5: ROB occupancy and where the dispatch slots go — the machine-state
+/// view behind contributor (ii). High mean occupancy means mispredicted
+/// branches dispatch into full windows (long drains); the slot columns
+/// name the bottleneck.
+pub fn ex5_occupancy_study(scale: Scale) -> Table {
+    let cfg = presets::baseline_4wide();
+    let sim = Simulator::new(cfg);
+    let mut t = Table::new(
+        "ex5_occupancy_study",
+        "Extension E-X5: ROB occupancy and dispatch-slot attribution",
+        &[
+            "benchmark",
+            "mean-occupancy",
+            "rob-full-frac",
+            "slots-used",
+            "slots-frontend",
+            "slots-rob",
+            "slots-window",
+            "mean-resolution",
+        ],
+    );
+    for profile in spec::all_profiles() {
+        let trace = profile.generate(scale.ops, scale.seed);
+        let res = sim.run(&trace);
+        let total = res.slots.total().max(1) as f64;
+        t.push_row(vec![
+            profile.name.clone(),
+            f2(res.mean_rob_occupancy()),
+            f3(res.rob_full_fraction()),
+            f3(res.slots.used as f64 / total),
+            f3(res.slots.frontend_starved as f64 / total),
+            f3(res.slots.rob_full as f64 / total),
+            f3(res.slots.window_full as f64 / total),
+            f2(res.mean_resolution().unwrap_or(0.0)),
+        ]);
+    }
+    t
+}
+
+/// E-X6: cache replacement policies. LRU exploits the workloads' temporal
+/// reuse; FIFO and random give some of it up, and the damage shows as
+/// higher miss rates and lower IPC.
+pub fn ex6_replacement_study(scale: Scale) -> Table {
+    use bmp_uarch::{CacheGeometry, HierarchyConfig, ReplacementKind};
+    let mut t = Table::new(
+        "ex6_replacement_study",
+        "Extension E-X6: L1D/L2 replacement policy",
+        &["benchmark", "policy", "l1d-miss-rate", "long-D-MPKI", "IPC"],
+    );
+    for name in ["gzip", "parser", "mcf"] {
+        let trace = spec::by_name(name)
+            .expect("known profile")
+            .generate(scale.ops, scale.seed);
+        for policy in [
+            ReplacementKind::Lru,
+            ReplacementKind::Fifo,
+            ReplacementKind::Random,
+        ] {
+            let base = presets::baseline_4wide();
+            let l1d = CacheGeometry::new(32 * 1024, 64, 4, 2)
+                .expect("valid L1D")
+                .with_replacement(policy);
+            let l2 = CacheGeometry::new(1024 * 1024, 64, 8, 12)
+                .expect("valid L2")
+                .with_replacement(policy);
+            let caches = HierarchyConfig::new(base.caches.l1i(), l1d, Some(l2), 200)
+                .expect("valid hierarchy");
+            let cfg = base
+                .to_builder()
+                .caches(caches)
+                .build()
+                .expect("valid machine");
+            let res = Simulator::new(cfg).run(&trace);
+            t.push_row(vec![
+                name.to_owned(),
+                policy.to_string(),
+                f3(res.hierarchy.l1d.miss_rate()),
+                f2(res.hierarchy.long_dmisses as f64 * 1000.0 / res.instructions as f64),
+                f3(res.ipc()),
+            ]);
+        }
+    }
+    t
+}
+
+/// E-X7: indirect-branch target prediction. Indirect mispredictions are
+/// classified by branch kind from the trace; the gtarget predictor
+/// (history-hashed target cache) recovers the cyclic dispatch sequences a
+/// last-target BTB cannot.
+pub fn ex7_indirect_study(scale: Scale) -> Table {
+    use bmp_trace::BranchKind;
+    use bmp_uarch::IndirectPredictorConfig;
+    let mut t = Table::new(
+        "ex7_indirect_study",
+        "Extension E-X7: indirect-target prediction (BTB last-target vs gtarget)",
+        &[
+            "benchmark",
+            "target-predictor",
+            "indirect-miss-rate",
+            "indirect-misses",
+            "cond-misses",
+            "IPC",
+        ],
+    );
+    for name in ["perlbmk", "gap", "eon", "gcc"] {
+        let trace = spec::by_name(name)
+            .expect("known profile")
+            .generate(scale.ops, scale.seed);
+        let indirect_total = trace
+            .iter()
+            .filter(|o| {
+                o.branch_info()
+                    .is_some_and(|b| b.kind == BranchKind::IndirectJump)
+            })
+            .count();
+        for (label, icfg) in [
+            ("btb", IndirectPredictorConfig::BtbLastTarget),
+            (
+                "gtarget",
+                IndirectPredictorConfig::GTarget {
+                    entries: 1024,
+                    history_bits: 10,
+                },
+            ),
+        ] {
+            let cfg = presets::baseline_4wide()
+                .to_builder()
+                .indirect_predictor(icfg)
+                .build()
+                .expect("valid machine");
+            let res = Simulator::new(cfg).run(&trace);
+            let mut indirect_misses = 0usize;
+            let mut cond_misses = 0usize;
+            for m in &res.mispredicts {
+                match trace
+                    .get(m.branch_idx)
+                    .and_then(|o| o.branch_info())
+                    .map(|b| b.kind)
+                {
+                    Some(BranchKind::IndirectJump) => indirect_misses += 1,
+                    Some(BranchKind::Conditional) => cond_misses += 1,
+                    _ => {}
+                }
+            }
+            t.push_row(vec![
+                name.to_owned(),
+                label.to_owned(),
+                f3(indirect_misses as f64 / indirect_total.max(1) as f64),
+                indirect_misses.to_string(),
+                cond_misses.to_string(),
+                f3(res.ipc()),
+            ]);
+        }
+    }
+    t
+}
+
+/// E-X8: measurement methodology — cold start vs. 20% warmup. Compulsory
+/// misses inflate every cold-start rate at laptop-scale trace lengths;
+/// warmup (statistics reset after the first fifth, machine state kept)
+/// recovers the steady state the paper's SimPoint-sampled runs measured.
+pub fn ex8_warmup_study(scale: Scale) -> Table {
+    use bmp_sim::SimOptions;
+    let mut t = Table::new(
+        "ex8_warmup_study",
+        "Extension E-X8: cold start vs. 20% warmup",
+        &[
+            "benchmark",
+            "mode",
+            "IPC",
+            "long-D-MPKI",
+            "L1I-MPKI",
+            "mean-penalty",
+        ],
+    );
+    let base = presets::baseline_4wide();
+    for name in ["gzip", "gcc", "mcf", "crafty"] {
+        let trace = spec::by_name(name)
+            .expect("known profile")
+            .generate(scale.ops, scale.seed);
+        for (mode, opts) in [
+            ("cold", SimOptions::default()),
+            ("warm", SimOptions::with_warmup(scale.ops as u64 / 5)),
+        ] {
+            let res = Simulator::with_options(base.clone(), opts).run(&trace);
+            let n = res.instructions.max(1);
+            t.push_row(vec![
+                name.to_owned(),
+                mode.to_owned(),
+                f3(res.ipc()),
+                f2(res.hierarchy.long_dmisses as f64 * 1000.0 / n as f64),
+                f2(res.hierarchy.l1i.mpki(n)),
+                f2(res.mean_penalty().unwrap_or(0.0)),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            ops: 10_000,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn ex1_perfect_wins_and_penalties_stay_banded() {
+        let t = ex1_predictor_study(tiny());
+        let twolf: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "twolf").collect();
+        let ipc = |p: &str| -> f64 {
+            twolf.iter().find(|r| r[1] == p).unwrap()[5]
+                .parse()
+                .unwrap()
+        };
+        assert!(ipc("perfect") > ipc("bimodal"), "oracle must win");
+        // Real predictors' mean penalties stay within a 3x band.
+        let pens: Vec<f64> = twolf
+            .iter()
+            .filter(|r| r[1] != "perfect")
+            .map(|r| r[4].parse().unwrap())
+            .collect();
+        let (lo, hi) = pens
+            .iter()
+            .fold((f64::MAX, 0.0f64), |(l, h), &p| (l.min(p), h.max(p)));
+        assert!(hi / lo < 3.0, "penalty band too wide: {pens:?}");
+    }
+
+    #[test]
+    fn ex2_bigger_windows_raise_resolution() {
+        let t = ex2_window_sweep(tiny());
+        let res: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "twolf")
+            .map(|r| r[3].parse().unwrap())
+            .collect();
+        assert!(
+            res.last().unwrap() > res.first().unwrap(),
+            "256-entry window must drain longer than 16: {res:?}"
+        );
+    }
+
+    #[test]
+    fn ex3_closed_form_brackets_sensibly() {
+        let t = ex3_closed_form(Scale {
+            ops: 30_000,
+            seed: 5,
+        });
+        // The closed form computes a window-drain-flavoured estimate: it
+        // should sit between the branch-chain bound (the local scheduled
+        // resolution) and a generous multiple of the simulator's
+        // effective resolution, on every benchmark.
+        for row in &t.rows {
+            let sim: f64 = row[1].parse().unwrap();
+            let local: f64 = row[3].parse().unwrap();
+            let cf: f64 = row[4].parse().unwrap();
+            assert!(
+                cf >= local * 0.5 && cf <= sim * 1.5,
+                "{}: closed form {cf} outside [0.5*local {local}, 1.5*sim {sim}]",
+                row[0]
+            );
+        }
+    }
+
+    #[test]
+    fn ex4_prefetch_helps_streaming_benchmarks() {
+        let t = ex4_prefetch_study(Scale {
+            ops: 30_000,
+            seed: 5,
+        });
+        let get = |bench: &str, pf: &str, col: usize| -> f64 {
+            t.rows.iter().find(|r| r[0] == bench && r[1] == pf).unwrap()[col]
+                .parse()
+                .unwrap()
+        };
+        // bzip2 streams: miss rate must drop and IPC rise with prefetch.
+        assert!(get("bzip2", "on", 2) < get("bzip2", "off", 2));
+        assert!(get("bzip2", "on", 5) > get("bzip2", "off", 5));
+        // Prefetches actually issued.
+        assert!(get("bzip2", "on", 6) > 100.0);
+        assert_eq!(get("bzip2", "off", 6), 0.0);
+    }
+
+    #[test]
+    fn ex5_occupancy_reconciles() {
+        let t = ex5_occupancy_study(tiny());
+        assert_eq!(t.rows.len(), 12);
+        for row in &t.rows {
+            let slots: f64 = row[3..7].iter().map(|c| c.parse::<f64>().unwrap()).sum();
+            assert!(
+                (slots - 1.0).abs() < 0.01,
+                "{}: slots sum to {slots}",
+                row[0]
+            );
+            let occ: f64 = row[1].parse().unwrap();
+            assert!((0.0..=128.0).contains(&occ));
+        }
+        // mcf keeps the fullest ROB.
+        let occ = |b: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == b).unwrap()[1]
+                .parse()
+                .unwrap()
+        };
+        assert!(occ("mcf") > occ("crafty"), "mcf must be ROB-bound");
+    }
+
+    #[test]
+    fn ex6_lru_beats_random_on_reuse_heavy_workloads() {
+        let t = ex6_replacement_study(Scale {
+            ops: 30_000,
+            seed: 5,
+        });
+        let rate = |b: &str, p: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == b && r[1] == p).unwrap()[2]
+                .parse()
+                .unwrap()
+        };
+        // LRU should not lose to random on the reuse-heavy profiles.
+        for b in ["gzip", "parser"] {
+            assert!(
+                rate(b, "lru") <= rate(b, "random") + 0.01,
+                "{b}: lru {} vs random {}",
+                rate(b, "lru"),
+                rate(b, "random")
+            );
+        }
+    }
+
+    #[test]
+    fn ex7_gtarget_beats_btb_on_indirect_heavy_profiles() {
+        let t = ex7_indirect_study(Scale {
+            ops: 40_000,
+            seed: 5,
+        });
+        let miss = |b: &str, p: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == b && r[1] == p).unwrap()[2]
+                .parse()
+                .unwrap()
+        };
+        // On the interpreter-like profile, the history-hashed target
+        // cache must clearly beat the last-target BTB (cyclic sites).
+        assert!(
+            miss("perlbmk", "gtarget") < miss("perlbmk", "btb") * 0.8,
+            "gtarget {} vs btb {}",
+            miss("perlbmk", "gtarget"),
+            miss("perlbmk", "btb")
+        );
+        // Conditional misses are untouched by the target predictor.
+        let cond = |b: &str, p: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == b && r[1] == p).unwrap()[4]
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(cond("perlbmk", "btb"), cond("perlbmk", "gtarget"));
+    }
+
+    #[test]
+    fn ex8_warmup_raises_ipc_and_cuts_compulsory_misses() {
+        let t = ex8_warmup_study(Scale {
+            ops: 40_000,
+            seed: 5,
+        });
+        let get = |b: &str, m: &str, col: usize| -> f64 {
+            t.rows.iter().find(|r| r[0] == b && r[1] == m).unwrap()[col]
+                .parse()
+                .unwrap()
+        };
+        for b in ["gzip", "crafty"] {
+            assert!(
+                get(b, "warm", 3) < get(b, "cold", 3),
+                "{b}: warm long-D-MPKI must drop"
+            );
+            assert!(get(b, "warm", 2) > get(b, "cold", 2) * 0.9, "{b}: IPC sane");
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The experiment implementations, one function per table/figure of the
+//! reconstructed evaluation and its extensions (DESIGN.md, E-T1 … E-F11,
+//! E-X1 … E-X8).
+
+mod characterize;
+mod extensions;
+mod sensitivity;
+mod tables;
+mod validation;
+
+pub use characterize::{
+    fig11_penalty_distribution, fig1_interval_profile, fig2_penalty_per_benchmark,
+    fig3_penalty_vs_interval, fig4_interval_distribution, fig5_contributor_breakdown,
+};
+pub use extensions::{
+    ex1_predictor_study, ex2_window_sweep, ex3_closed_form, ex4_prefetch_study,
+    ex5_occupancy_study, ex6_replacement_study, ex7_indirect_study, ex8_warmup_study,
+};
+pub use sensitivity::{fig6_pipeline_depth, fig7_fu_latency, fig8_ilp, fig9_l1d_misses};
+pub use tables::{table1_config, table2_benchmarks};
+pub use validation::fig10_model_validation;
+
+use crate::Scale;
+use crate::Table;
+
+/// Runs every experiment in order, returning the tables.
+pub fn all(scale: Scale) -> Vec<Table> {
+    vec![
+        table1_config(),
+        table2_benchmarks(scale),
+        fig1_interval_profile(scale),
+        fig2_penalty_per_benchmark(scale),
+        fig3_penalty_vs_interval(scale),
+        fig4_interval_distribution(scale),
+        fig5_contributor_breakdown(scale),
+        fig6_pipeline_depth(scale),
+        fig7_fu_latency(scale),
+        fig8_ilp(scale),
+        fig9_l1d_misses(scale),
+        fig10_model_validation(scale),
+        fig11_penalty_distribution(scale),
+        ex1_predictor_study(scale),
+        ex2_window_sweep(scale),
+        ex3_closed_form(scale),
+        ex4_prefetch_study(scale),
+        ex5_occupancy_study(scale),
+        ex6_replacement_study(scale),
+        ex7_indirect_study(scale),
+        ex8_warmup_study(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_runs_at_tiny_scale() {
+        let tables = all(Scale {
+            ops: 5_000,
+            seed: 3,
+        });
+        assert_eq!(tables.len(), 21);
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "table {} is empty", t.id);
+            assert!(!t.headers.is_empty());
+        }
+    }
+}

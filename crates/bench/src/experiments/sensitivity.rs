@@ -1,0 +1,247 @@
+//! The sensitivity sweeps E-F6 … E-F9, one per penalty contributor.
+
+use bmp_core::PenaltyModel;
+use bmp_sim::Simulator;
+use bmp_uarch::{presets, LatencyTable, PredictorConfig};
+use bmp_workloads::{micro, spec};
+
+use crate::table::{f2, f3};
+use crate::{Scale, Table};
+
+/// E-F6: penalty versus frontend pipeline depth (contributor i). The
+/// penalty tracks `resolution + depth`: a line of slope one whose offset
+/// is the (depth-independent) resolution — the paper's argument that the
+/// penalty is *not* just the pipeline length.
+pub fn fig6_pipeline_depth(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig6_pipeline_depth",
+        "Figure 6 (E-F6): penalty vs. frontend pipeline depth",
+        &[
+            "benchmark",
+            "frontend-depth",
+            "measured-penalty",
+            "measured-resolution",
+            "model-penalty",
+            "IPC",
+        ],
+    );
+    for name in ["twolf", "gcc"] {
+        let trace = spec::by_name(name)
+            .expect("known profile")
+            .generate(scale.ops, scale.seed);
+        for depth in [1u32, 5, 10, 20, 30, 40] {
+            let cfg = presets::deep_frontend(depth).expect("valid depth");
+            let res = Simulator::new(cfg.clone()).run(&trace);
+            let analysis = PenaltyModel::new(cfg).analyze(&trace);
+            t.push_row(vec![
+                name.to_owned(),
+                depth.to_string(),
+                f2(res.mean_penalty().unwrap_or(0.0)),
+                f2(res.mean_resolution().unwrap_or(0.0)),
+                f2(analysis.mean_penalty().unwrap_or(0.0)),
+                f3(res.ipc()),
+            ]);
+        }
+    }
+    t
+}
+
+/// E-F7: penalty versus functional-unit latency scaling (contributor iv).
+pub fn fig7_fu_latency(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig7_fu_latency",
+        "Figure 7 (E-F7): resolution time vs. functional-unit latency scaling",
+        &[
+            "workload",
+            "latency-scale",
+            "measured-resolution",
+            "model-resolution",
+            "model-fu-share(iv)",
+        ],
+    );
+    // A mispredicting mul-chain kernel plus a real profile.
+    let branchy = micro::branch_resolution_kernel(scale.ops, 8, 1.0, scale.seed);
+    let twolf = spec::by_name("twolf")
+        .expect("known profile")
+        .generate(scale.ops, scale.seed);
+    for (label, trace, predictor) in [
+        ("chain-kernel", &branchy, PredictorConfig::AlwaysNotTaken),
+        ("twolf", &twolf, PredictorConfig::default()),
+    ] {
+        for factor in [1.0, 1.5, 2.0, 3.0] {
+            let cfg = presets::baseline_4wide()
+                .to_builder()
+                .latencies(LatencyTable::default().scaled(factor))
+                .predictor(predictor)
+                .build()
+                .expect("valid config");
+            let res = Simulator::new(cfg.clone()).run(trace);
+            let analysis = PenaltyModel::new(cfg).analyze(trace);
+            let fu_share = analysis
+                .mean_contributions()
+                .map(|(_, _, fu, _)| fu)
+                .unwrap_or(0.0);
+            t.push_row(vec![
+                label.to_owned(),
+                f2(factor),
+                f2(res.mean_resolution().unwrap_or(0.0)),
+                f2(analysis.mean_resolution().unwrap_or(0.0)),
+                f2(fu_share),
+            ]);
+        }
+    }
+    t
+}
+
+/// E-F8: resolution time versus the dependence-chain length ahead of the
+/// branch (contributor iii — inherent ILP), on the controlled
+/// microbenchmark.
+pub fn fig8_ilp(scale: Scale) -> Table {
+    let cfg = presets::baseline_4wide()
+        .to_builder()
+        .predictor(PredictorConfig::AlwaysNotTaken)
+        .build()
+        .expect("valid config");
+    let sim = Simulator::new(cfg.clone());
+    let model = PenaltyModel::new(cfg);
+    let mut t = Table::new(
+        "fig8_ilp",
+        "Figure 8 (E-F8): resolution time vs. dependence-chain length before the branch",
+        &[
+            "chain-length",
+            "measured-resolution",
+            "model-resolution",
+            "model-ilp-share(iii)",
+        ],
+    );
+    for chain in [1u32, 2, 4, 8, 16, 32] {
+        let trace = micro::branch_resolution_kernel(scale.ops, chain, 1.0, scale.seed);
+        let res = sim.run(&trace);
+        let analysis = model.analyze(&trace);
+        let ilp_share = analysis
+            .mean_contributions()
+            .map(|(_, ilp, _, _)| ilp)
+            .unwrap_or(0.0);
+        t.push_row(vec![
+            chain.to_string(),
+            f2(res.mean_resolution().unwrap_or(0.0)),
+            f2(analysis.mean_resolution().unwrap_or(0.0)),
+            f2(ilp_share),
+        ]);
+    }
+    t
+}
+
+/// E-F9: penalty versus L1 D-cache size (contributor v — short misses).
+/// The workload's hot set is 24 KiB, so small L1s turn its loads into
+/// short misses that stretch the chains feeding branches.
+pub fn fig9_l1d_misses(scale: Scale) -> Table {
+    let mut profile = spec::by_name("parser").expect("known profile");
+    profile.memory.hot_bytes = 24 * 1024;
+    profile.memory.hot_frac = 0.93;
+    profile.memory.warm_frac = 0.06;
+    let trace = profile.generate(scale.ops, scale.seed);
+    let mut t = Table::new(
+        "fig9_l1d_misses",
+        "Figure 9 (E-F9): resolution time vs. L1 D-cache size (24 KiB hot set)",
+        &[
+            "l1d-size-KiB",
+            "l1d-miss-rate",
+            "measured-resolution",
+            "model-resolution",
+            "model-short-dmiss-share(v)",
+        ],
+    );
+    for kib in [4u64, 8, 16, 32, 64] {
+        let cfg = presets::l1d_sized(kib * 1024).expect("valid L1D size");
+        let res = Simulator::new(cfg.clone()).run(&trace);
+        let analysis = PenaltyModel::new(cfg).analyze(&trace);
+        let dmiss_share = analysis
+            .mean_contributions()
+            .map(|(_, _, _, v)| v)
+            .unwrap_or(0.0);
+        t.push_row(vec![
+            kib.to_string(),
+            f3(res.hierarchy.l1d.miss_rate()),
+            f2(res.mean_resolution().unwrap_or(0.0)),
+            f2(analysis.mean_resolution().unwrap_or(0.0)),
+            f2(dmiss_share),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Scale {
+        Scale {
+            ops: 10_000,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn fig6_penalty_grows_with_depth() {
+        let t = fig6_pipeline_depth(tiny());
+        let twolf: Vec<(u32, f64)> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "twolf")
+            .map(|r| (r[1].parse().unwrap(), r[2].parse().unwrap()))
+            .collect();
+        assert_eq!(twolf.len(), 6);
+        for pair in twolf.windows(2) {
+            assert!(
+                pair[1].1 > pair[0].1,
+                "penalty must grow with depth: {twolf:?}"
+            );
+        }
+        // Slope roughly 1: penalty(40) - penalty(1) ~ 39.
+        let delta = twolf.last().unwrap().1 - twolf.first().unwrap().1;
+        assert!(
+            (25.0..=60.0).contains(&delta),
+            "depth sweep delta {delta} should be near 39"
+        );
+    }
+
+    #[test]
+    fn fig7_resolution_grows_with_latency() {
+        let t = fig7_fu_latency(tiny());
+        let kernel: Vec<f64> = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "chain-kernel")
+            .map(|r| r[2].parse().unwrap())
+            .collect();
+        assert!(kernel.last().unwrap() > kernel.first().unwrap());
+    }
+
+    #[test]
+    fn fig8_resolution_tracks_chain_length() {
+        let t = fig8_ilp(tiny());
+        let measured: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        for pair in measured.windows(2) {
+            assert!(
+                pair[1] >= pair[0] - 0.5,
+                "resolution should not shrink with chains: {measured:?}"
+            );
+        }
+        assert!(measured.last().unwrap() > &20.0, "32-chains are slow");
+    }
+
+    #[test]
+    fn fig9_small_l1_hurts() {
+        let t = fig9_l1d_misses(tiny());
+        let first: f64 = t.rows.first().unwrap()[2].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[2].parse().unwrap();
+        assert!(
+            first > last,
+            "4 KiB L1 must give a larger resolution than 64 KiB: {first} vs {last}"
+        );
+        let mr_first: f64 = t.rows.first().unwrap()[1].parse().unwrap();
+        let mr_last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
+        assert!(mr_first > mr_last, "miss rate must fall with size");
+    }
+}

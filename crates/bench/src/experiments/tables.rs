@@ -1,0 +1,129 @@
+//! E-T1 (machine configuration) and E-T2 (benchmark characteristics).
+
+use bmp_sim::{SimOptions, Simulator};
+use bmp_uarch::{presets, FU_KINDS};
+use bmp_workloads::spec;
+
+use crate::table::{f2, f3};
+use crate::{Scale, Table};
+
+/// E-T1: the baseline machine configuration, as the paper's Table 1
+/// lists its processor parameters.
+pub fn table1_config() -> Table {
+    let cfg = presets::baseline_4wide();
+    let mut t = Table::new(
+        "table1_config",
+        "Table 1 (E-T1): baseline processor configuration",
+        &["parameter", "value"],
+    );
+    let mut row = |k: &str, v: String| t.push_row(vec![k.to_owned(), v]);
+    row("fetch / dispatch / issue / commit width", {
+        format!(
+            "{} / {} / {} / {}",
+            cfg.fetch_width, cfg.dispatch_width, cfg.issue_width, cfg.commit_width
+        )
+    });
+    row(
+        "frontend pipeline depth",
+        format!("{} cycles", cfg.frontend_depth),
+    );
+    row(
+        "issue window / ROB",
+        format!("{} / {}", cfg.window_size, cfg.rob_size),
+    );
+    let fus = FU_KINDS
+        .iter()
+        .map(|&k| format!("{}x {}", cfg.fus.count(k), k))
+        .collect::<Vec<_>>()
+        .join(", ");
+    row("functional units", fus);
+    row("branch predictor", cfg.predictor.to_string());
+    row(
+        "BTB / RAS",
+        format!("{} entries / {} deep", cfg.btb_entries, cfg.ras_entries),
+    );
+    let c = |g: bmp_uarch::CacheGeometry| {
+        format!(
+            "{} KiB, {}-way, {} B lines, {} cycles",
+            g.size_bytes() / 1024,
+            g.ways(),
+            g.line_bytes(),
+            g.hit_latency()
+        )
+    };
+    row("L1 I-cache", c(cfg.caches.l1i()));
+    row("L1 D-cache", c(cfg.caches.l1d()));
+    if let Some(l2) = cfg.caches.l2() {
+        row("unified L2", c(l2));
+    }
+    row(
+        "memory latency",
+        format!("{} cycles", cfg.caches.mem_latency()),
+    );
+    t
+}
+
+/// E-T2: per-benchmark characteristics of the twelve SPECint2000-like
+/// workloads on the baseline machine. The first 20% of each trace warms
+/// the caches and predictors (statistics reset at the boundary), so the
+/// rates below are steady-state rather than compulsory-miss-dominated.
+pub fn table2_benchmarks(scale: Scale) -> Table {
+    let cfg = presets::baseline_4wide();
+    let mut t = Table::new(
+        "table2_benchmarks",
+        "Table 2 (E-T2): benchmark characteristics on the baseline machine (20% warmup)",
+        &[
+            "benchmark",
+            "IPC",
+            "br-miss-rate",
+            "br-MPKI",
+            "L1I-MPKI",
+            "L1D-MPKI",
+            "L2-MPKI",
+            "long-D-MPKI",
+        ],
+    );
+    let sim = Simulator::with_options(cfg, SimOptions::with_warmup(scale.ops as u64 / 5));
+    for profile in spec::all_profiles() {
+        let trace = profile.generate(scale.ops, scale.seed);
+        let res = sim.run(&trace);
+        let n = res.instructions;
+        t.push_row(vec![
+            profile.name.clone(),
+            f3(res.ipc()),
+            f3(res.branch_stats.miss_rate()),
+            f2(res.branch_stats.mpki(n)),
+            f2(res.hierarchy.l1i.mpki(n)),
+            f2(res.hierarchy.l1d.mpki(n)),
+            f2(res.hierarchy.l2.mpki(n)),
+            f2(res.hierarchy.long_dmisses as f64 * 1000.0 / n as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_core_parameters() {
+        let t = table1_config();
+        assert!(t.rows.iter().any(|r| r[0].contains("frontend")));
+        assert!(t.rows.iter().any(|r| r[0].contains("predictor")));
+        assert!(t.rows.len() >= 9);
+    }
+
+    #[test]
+    fn table2_covers_all_benchmarks() {
+        let t = table2_benchmarks(Scale {
+            ops: 5_000,
+            seed: 1,
+        });
+        assert_eq!(t.rows.len(), 12);
+        for row in &t.rows {
+            let ipc: f64 = row[1].parse().unwrap();
+            assert!(ipc > 0.0 && ipc <= 4.0, "IPC {ipc} out of range");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Experiment harness for the `mispredict` workspace.
+//!
+//! Every table and figure of the reconstructed evaluation (see
+//! `DESIGN.md`, experiment index E-T1 … E-F11 and E-X1 … E-X8) is implemented as a
+//! function in [`experiments`] returning a [`Table`]; the binaries under
+//! `src/bin/` are thin wrappers that run one experiment each, print the
+//! table and write it to `results/<name>.csv`. `run_all` regenerates
+//! everything.
+//!
+//! Experiments scale with the `BMP_OPS` environment variable (dynamic
+//! instructions per workload; default 200 000) and `BMP_SEED` (default
+//! 42), so CI can run cheap versions and full runs stay reproducible.
+
+pub mod convert;
+pub mod experiments;
+pub mod scale;
+pub mod table;
+
+pub use scale::Scale;
+pub use table::Table;
+
+/// Runs one experiment end-to-end: compute, print, persist.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be written.
+pub fn run_and_save(table: &Table) {
+    println!("{}", table.to_markdown());
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results directory");
+    let path = dir.join(format!("{}.csv", table.id));
+    std::fs::write(&path, table.to_csv()).expect("write results CSV");
+    println!("[saved {}]", path.display());
+}

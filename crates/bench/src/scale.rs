@@ -1,0 +1,59 @@
+//! Experiment scaling knobs.
+
+/// Workload size and seed shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Dynamic instructions per workload run.
+    pub ops: usize,
+    /// Workload synthesis seed.
+    pub seed: u64,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            ops: 200_000,
+            seed: 42,
+        }
+    }
+}
+
+impl Scale {
+    /// Reads the scale from the environment: `BMP_OPS` (instructions,
+    /// default 200 000) and `BMP_SEED` (default 42). Unparsable values
+    /// fall back to the defaults.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        let ops = std::env::var("BMP_OPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(d.ops);
+        let seed = std::env::var("BMP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(d.seed);
+        Self { ops, seed }
+    }
+
+    /// A small scale for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            ops: 20_000,
+            seed: 7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let s = Scale::default();
+        assert_eq!(s.ops, 200_000);
+        assert_eq!(s.seed, 42);
+        assert!(Scale::tiny().ops < s.ops);
+    }
+}

@@ -1,0 +1,145 @@
+//! Result tables: the common output format of every experiment.
+
+/// A titled table of results, printable as markdown and serializable as
+/// CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Stable identifier (`table1_config`, `fig3_penalty_vs_interval` …);
+    /// also the CSV file stem.
+    pub id: String,
+    /// Human-readable title, including the experiment id from DESIGN.md.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers in table {}",
+            self.id
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders as a GitHub-flavored markdown table with the title above.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = format!("\n## {}\n\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:<w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders as CSV (headers first; cells containing commas or quotes
+    /// are quoted).
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimals (the harness-wide convention).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv_roundtrip() {
+        let mut t = Table::new("t", "Test (E-T0)", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x,y".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("## Test (E-T0)"));
+        assert!(md.contains("| 1 |"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,\"x,y\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", "T", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn quotes_are_escaped() {
+        let mut t = Table::new("t", "T", &["a"]);
+        t.push_row(vec!["say \"hi\"".into()]);
+        assert_eq!(t.to_csv(), "a\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f2(1.2345), "1.23");
+        assert_eq!(f3(1.2345), "1.234");
+    }
+}

@@ -1,0 +1,127 @@
+//! Branch target buffer.
+
+use serde::{Deserialize, Serialize};
+
+/// A direct-mapped branch target buffer.
+///
+/// Maps a branch PC to its last-seen target. A BTB miss on a
+/// predicted-taken branch means the frontend cannot redirect and the fetch
+/// group ends, so the BTB contributes to frontend bandwidth in the
+/// simulator.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_branch::Btb;
+///
+/// let mut btb = Btb::new(256);
+/// assert_eq!(btb.lookup(0x4000), None);
+/// btb.update(0x4000, 0x4800);
+/// assert_eq!(btb.lookup(0x4000), Some(0x4800));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Btb {
+    entries: Vec<Option<(u64, u64)>>, // (tag = pc, target)
+    size: u32,
+    lookups: u64,
+    hits: u64,
+}
+
+impl Btb {
+    /// Creates a BTB with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero or not a power of two.
+    pub fn new(entries: u32) -> Self {
+        assert!(entries.is_power_of_two() && entries > 0);
+        Self {
+            entries: vec![None; entries as usize],
+            size: entries,
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & u64::from(self.size - 1)) as usize
+    }
+
+    /// Looks up the predicted target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.lookups += 1;
+        let idx = self.index(pc);
+        match self.entries[idx] {
+            Some((tag, target)) if tag == pc => {
+                self.hits += 1;
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Installs or refreshes the target for the branch at `pc`.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = self.index(pc);
+        self.entries[idx] = Some((pc, target));
+    }
+
+    /// Total lookups performed.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Fraction of lookups that hit (0 when no lookups yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(64);
+        assert_eq!(btb.lookup(0x100), None);
+        btb.update(0x100, 0x200);
+        assert_eq!(btb.lookup(0x100), Some(0x200));
+        assert!((btb.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conflicting_pcs_evict() {
+        let mut btb = Btb::new(4);
+        btb.update(0x0, 0x10);
+        // 0x40 >> 2 = 0x10, & 3 = 0 — same slot as 0x0.
+        btb.update(0x40, 0x50);
+        assert_eq!(btb.lookup(0x0), None, "evicted by aliasing update");
+        assert_eq!(btb.lookup(0x40), Some(0x50));
+    }
+
+    #[test]
+    fn tag_check_prevents_false_hits() {
+        let mut btb = Btb::new(4);
+        btb.update(0x0, 0x10);
+        assert_eq!(btb.lookup(0x40), None, "alias with different tag misses");
+    }
+
+    #[test]
+    fn updates_refresh_target() {
+        let mut btb = Btb::new(64);
+        btb.update(0x100, 0x200);
+        btb.update(0x100, 0x300);
+        assert_eq!(btb.lookup(0x100), Some(0x300));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_non_power_of_two() {
+        let _ = Btb::new(100);
+    }
+}

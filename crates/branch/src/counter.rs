@@ -1,0 +1,145 @@
+//! Saturating up/down counters, the basic state element of direction
+//! predictors.
+
+use serde::{Deserialize, Serialize};
+
+/// An `n`-bit saturating counter.
+///
+/// Counts in `0..2^n`; values in the upper half predict *taken*. The
+/// classic 2-bit counter initializes to `1` (weakly not-taken).
+///
+/// # Examples
+///
+/// ```
+/// use bmp_branch::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::two_bit();
+/// assert!(!c.predicts_taken());
+/// c.train(true);
+/// c.train(true);
+/// assert!(c.predicts_taken());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter with `bits` bits starting at `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 7, or if `initial` exceeds the
+    /// counter range.
+    pub fn new(bits: u8, initial: u8) -> Self {
+        assert!((1..=7).contains(&bits), "counter width must be 1..=7 bits");
+        let max = (1u8 << bits) - 1;
+        assert!(initial <= max, "initial value out of range");
+        Self {
+            value: initial,
+            max,
+        }
+    }
+
+    /// The conventional 2-bit counter, initialized weakly not-taken.
+    pub fn two_bit() -> Self {
+        Self::new(2, 1)
+    }
+
+    /// Current raw value.
+    #[inline]
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Returns `true` if the counter currently predicts taken.
+    #[inline]
+    pub fn predicts_taken(&self) -> bool {
+        u16::from(self.value) * 2 > u16::from(self.max)
+    }
+
+    /// Trains the counter toward the observed outcome.
+    #[inline]
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            if self.value < self.max {
+                self.value += 1;
+            }
+        } else if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+}
+
+impl Default for SaturatingCounter {
+    fn default() -> Self {
+        Self::two_bit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_hysteresis() {
+        let mut c = SaturatingCounter::two_bit();
+        // weakly not-taken -> strongly not-taken
+        c.train(false);
+        assert_eq!(c.value(), 0);
+        // needs two taken to flip the prediction
+        c.train(true);
+        assert!(!c.predicts_taken());
+        c.train(true);
+        assert!(c.predicts_taken());
+        // one not-taken does not flip back from strong
+        c.train(true);
+        c.train(false);
+        assert!(c.predicts_taken());
+    }
+
+    #[test]
+    fn saturates_at_bounds() {
+        let mut c = SaturatingCounter::two_bit();
+        for _ in 0..10 {
+            c.train(true);
+        }
+        assert_eq!(c.value(), 3);
+        for _ in 0..10 {
+            c.train(false);
+        }
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn one_bit_counter_flips_immediately() {
+        let mut c = SaturatingCounter::new(1, 0);
+        assert!(!c.predicts_taken());
+        c.train(true);
+        assert!(c.predicts_taken());
+        c.train(false);
+        assert!(!c.predicts_taken());
+    }
+
+    #[test]
+    fn midpoint_predicts_not_taken_for_even_ranges() {
+        // 3-bit counter: values 0..=7; 4 and above predict taken.
+        let c = SaturatingCounter::new(3, 4);
+        assert!(c.predicts_taken());
+        let c = SaturatingCounter::new(3, 3);
+        assert!(!c.predicts_taken());
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn rejects_zero_bits() {
+        let _ = SaturatingCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial value")]
+    fn rejects_out_of_range_initial() {
+        let _ = SaturatingCounter::new(2, 4);
+    }
+}

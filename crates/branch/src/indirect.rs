@@ -1,0 +1,187 @@
+//! Indirect-branch target prediction.
+
+use bmp_uarch::IndirectPredictorConfig;
+
+/// A history-hashed indirect-target cache ("gtarget", an ITTAGE
+/// ancestor): tagged entries indexed by the branch PC xor a register of
+/// recent indirect-target history.
+///
+/// Where a BTB can only repeat the *last* target of a site, the history
+/// index gives each target-context its own entry, so deterministic target
+/// sequences (state machines, interpreter dispatch following bytecode
+/// patterns) become predictable.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_branch::GTarget;
+///
+/// let mut p = GTarget::new(256, 8);
+/// // A two-target cycle A, B, A, B … — hopeless for a BTB, learned here.
+/// let mut wrong = 0;
+/// for i in 0..200u64 {
+///     let actual = if i % 2 == 0 { 0xA000 } else { 0xB000 };
+///     if p.predict(0x40) != Some(actual) && i > 20 {
+///         wrong += 1;
+///     }
+///     p.update(0x40, actual);
+/// }
+/// assert!(wrong < 5, "cycle should be learned, {wrong} wrong");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GTarget {
+    entries: Vec<Option<(u64, u64)>>, // (tag = pc, target)
+    size: u32,
+    history: u64,
+    history_mask: u64,
+}
+
+impl GTarget {
+    /// Creates a gtarget predictor with `entries` slots and
+    /// `history_bits` of hashed target history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `history_bits` is 0
+    /// or greater than 16.
+    pub fn new(entries: u32, history_bits: u32) -> Self {
+        assert!(entries.is_power_of_two() && entries > 0);
+        assert!((1..=16).contains(&history_bits));
+        Self {
+            entries: vec![None; entries as usize],
+            size: entries,
+            history: 0,
+            history_mask: (1u64 << history_bits) - 1,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & u64::from(self.size - 1)) as usize
+    }
+
+    /// Predicted target for the indirect branch at `pc`, or `None` when
+    /// the indexed entry belongs to another branch (or is cold).
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        match self.entries[self.index(pc)] {
+            Some((tag, target)) if tag == pc => Some(target),
+            _ => None,
+        }
+    }
+
+    /// Trains on the resolved target and rolls the history.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let idx = self.index(pc);
+        self.entries[idx] = Some((pc, target));
+        // Fold target bits (low and high) into the history so targets
+        // differing only in upper bits still produce distinct contexts.
+        self.history = ((self.history << 3) ^ (target >> 2) ^ (target >> 12)) & self.history_mask;
+    }
+}
+
+/// An indirect-target predictor assembled from configuration: either the
+/// plain BTB-last-target policy (in which case this struct is inert and
+/// the caller consults its BTB) or a [`GTarget`] overriding it.
+#[derive(Debug, Clone)]
+pub enum IndirectPredictor {
+    /// Fall back entirely to the BTB.
+    BtbOnly,
+    /// History-hashed target cache; the BTB remains the fallback for
+    /// cold/tag-missing entries.
+    GTarget(GTarget),
+}
+
+impl IndirectPredictor {
+    /// Builds the predictor described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn build(cfg: &IndirectPredictorConfig) -> Self {
+        cfg.validate()
+            .expect("indirect predictor config must be valid");
+        match *cfg {
+            IndirectPredictorConfig::BtbLastTarget => IndirectPredictor::BtbOnly,
+            IndirectPredictorConfig::GTarget {
+                entries,
+                history_bits,
+            } => IndirectPredictor::GTarget(GTarget::new(entries, history_bits)),
+        }
+    }
+
+    /// Predicted target for the indirect branch at `pc`, given the BTB's
+    /// prediction as fallback.
+    pub fn predict(&self, pc: u64, btb_target: Option<u64>) -> Option<u64> {
+        match self {
+            IndirectPredictor::BtbOnly => btb_target,
+            IndirectPredictor::GTarget(g) => g.predict(pc).or(btb_target),
+        }
+    }
+
+    /// Trains on the resolved target.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        if let IndirectPredictor::GTarget(g) = self {
+            g.update(pc, target);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_three_target_cycle() {
+        let targets = [0x100u64, 0x200, 0x300];
+        let mut g = GTarget::new(512, 9);
+        let mut wrong = 0;
+        for i in 0..600 {
+            let actual = targets[i % 3];
+            if i > 50 && g.predict(0x80) != Some(actual) {
+                wrong += 1;
+            }
+            g.update(0x80, actual);
+        }
+        assert!(wrong < 10, "3-cycle should be learned, {wrong} wrong");
+    }
+
+    #[test]
+    fn btb_only_passes_through() {
+        let p = IndirectPredictor::build(&IndirectPredictorConfig::BtbLastTarget);
+        assert_eq!(p.predict(0x40, Some(7)), Some(7));
+        assert_eq!(p.predict(0x40, None), None);
+    }
+
+    #[test]
+    fn gtarget_falls_back_to_btb_when_cold() {
+        let p = IndirectPredictor::build(&IndirectPredictorConfig::GTarget {
+            entries: 64,
+            history_bits: 4,
+        });
+        assert_eq!(p.predict(0x40, Some(9)), Some(9), "cold entry uses BTB");
+    }
+
+    #[test]
+    fn constant_target_is_trivially_learned() {
+        let mut g = GTarget::new(64, 4);
+        for _ in 0..20 {
+            g.update(0x10, 0x999);
+        }
+        assert_eq!(g.predict(0x10), Some(0x999));
+    }
+
+    #[test]
+    fn tag_mismatch_returns_none() {
+        let mut g = GTarget::new(4, 2);
+        g.update(0x10, 0x999);
+        // A different pc that may alias must not produce a false hit.
+        for pc in [0x20u64, 0x30, 0x50] {
+            assert!(g.predict(pc).is_none());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_geometry() {
+        let _ = GTarget::new(100, 4);
+    }
+}

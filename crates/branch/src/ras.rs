@@ -1,0 +1,115 @@
+//! Return-address stack.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-depth circular return-address stack.
+///
+/// Calls push their return address; returns pop the predicted target. On
+/// overflow the oldest entry is overwritten (the classic hardware
+/// behavior), and popping an empty stack returns `None`.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_branch::ReturnAddressStack;
+///
+/// let mut ras = ReturnAddressStack::new(4);
+/// ras.push(0x1004);
+/// ras.push(0x2004);
+/// assert_eq!(ras.pop(), Some(0x2004));
+/// assert_eq!(ras.pop(), Some(0x1004));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReturnAddressStack {
+    slots: Vec<u64>,
+    top: usize,
+    live: usize,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack with `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn new(depth: u32) -> Self {
+        assert!(depth > 0, "RAS depth must be at least 1");
+        Self {
+            slots: vec![0; depth as usize],
+            top: 0,
+            live: 0,
+        }
+    }
+
+    /// Pushes a return address, overwriting the oldest entry when full.
+    pub fn push(&mut self, return_addr: u64) {
+        self.slots[self.top] = return_addr;
+        self.top = (self.top + 1) % self.slots.len();
+        self.live = (self.live + 1).min(self.slots.len());
+    }
+
+    /// Pops the most recent return address, or `None` when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.live == 0 {
+            return None;
+        }
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.live -= 1;
+        Some(self.slots[self.top])
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = ReturnAddressStack::new(8);
+        for a in [1u64, 2, 3] {
+            ras.push(a);
+        }
+        assert_eq!(ras.len(), 3);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert!(ras.is_empty());
+    }
+
+    #[test]
+    fn overflow_overwrites_oldest() {
+        let mut ras = ReturnAddressStack::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let mut ras = ReturnAddressStack::new(4);
+        assert_eq!(ras.pop(), None);
+        ras.push(7);
+        assert_eq!(ras.pop(), Some(7));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn rejects_zero_depth() {
+        let _ = ReturnAddressStack::new(0);
+    }
+}

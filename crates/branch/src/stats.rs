@@ -1,0 +1,115 @@
+//! Branch-prediction statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy accounting for a direction predictor run.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_branch::BranchStats;
+///
+/// let mut s = BranchStats::default();
+/// s.record(true, true);
+/// s.record(true, false);
+/// assert_eq!(s.mispredictions(), 1);
+/// assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchStats {
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction with its actual outcome.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        self.predictions += 1;
+        if predicted != actual {
+            self.mispredictions += 1;
+        }
+    }
+
+    /// Total conditional branches predicted.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total mispredictions.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Misprediction rate over predicted branches (0 when nothing
+    /// predicted yet).
+    pub fn miss_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+
+    /// Mispredictions per kilo-instruction, given the total dynamic
+    /// instruction count of the run.
+    pub fn mpki(&self, total_instructions: u64) -> f64 {
+        if total_instructions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 * 1000.0 / total_instructions as f64
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &BranchStats) {
+        self.predictions += other.predictions;
+        self.mispredictions += other.mispredictions;
+    }
+
+    /// Zeroes the counters (the warmup idiom).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_rates() {
+        let mut s = BranchStats::new();
+        for (p, a) in [(true, true), (false, true), (true, true), (false, false)] {
+            s.record(p, a);
+        }
+        assert_eq!(s.predictions(), 4);
+        assert_eq!(s.mispredictions(), 1);
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert!((s.mpki(1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = BranchStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.mpki(0), 0.0);
+        assert_eq!(s.mpki(100), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BranchStats::new();
+        a.record(true, false);
+        let mut b = BranchStats::new();
+        b.record(true, true);
+        b.record(false, false);
+        a.merge(&b);
+        assert_eq!(a.predictions(), 3);
+        assert_eq!(a.mispredictions(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests over every direction predictor: total robustness on
+//! arbitrary branch streams, plus the semantic guarantees each predictor
+//! kind makes.
+
+use bmp_branch::{build_predictor, BranchStats};
+use bmp_uarch::PredictorConfig;
+use proptest::prelude::*;
+
+fn all_configs() -> Vec<PredictorConfig> {
+    vec![
+        PredictorConfig::AlwaysTaken,
+        PredictorConfig::AlwaysNotTaken,
+        PredictorConfig::Bimodal { entries: 64 },
+        PredictorConfig::GShare {
+            entries: 64,
+            history_bits: 6,
+        },
+        PredictorConfig::Local {
+            history_entries: 32,
+            history_bits: 5,
+            pattern_entries: 32,
+        },
+        PredictorConfig::Tournament {
+            entries: 64,
+            history_bits: 6,
+        },
+        PredictorConfig::Perceptron {
+            entries: 32,
+            history_bits: 12,
+        },
+        PredictorConfig::Perfect,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No predictor panics or corrupts its statistics on arbitrary
+    /// (pc, outcome) streams.
+    #[test]
+    fn predictors_are_total(
+        stream in prop::collection::vec((0u64..1 << 34, any::<bool>()), 0..500),
+    ) {
+        for cfg in all_configs() {
+            let mut p = build_predictor(&cfg);
+            let mut stats = BranchStats::new();
+            for &(pc, taken) in &stream {
+                let pred = p.predict(pc, taken);
+                stats.record(pred, taken);
+                p.update(pc, taken);
+            }
+            prop_assert_eq!(stats.predictions(), stream.len() as u64);
+            prop_assert!(stats.mispredictions() <= stats.predictions());
+        }
+    }
+
+    /// The oracle is perfect on any stream; static predictors are exactly
+    /// as wrong as the outcome distribution says.
+    #[test]
+    fn oracle_and_static_semantics(
+        stream in prop::collection::vec((0u64..1 << 20, any::<bool>()), 1..300),
+    ) {
+        let mut oracle = build_predictor(&PredictorConfig::Perfect);
+        let mut taken_pred = build_predictor(&PredictorConfig::AlwaysTaken);
+        let mut o_wrong = 0u64;
+        let mut t_wrong = 0u64;
+        let mut not_taken_count = 0u64;
+        for &(pc, taken) in &stream {
+            if oracle.predict(pc, taken) != taken {
+                o_wrong += 1;
+            }
+            if taken_pred.predict(pc, taken) != taken {
+                t_wrong += 1;
+            }
+            oracle.update(pc, taken);
+            taken_pred.update(pc, taken);
+            not_taken_count += u64::from(!taken);
+        }
+        prop_assert_eq!(o_wrong, 0);
+        prop_assert_eq!(t_wrong, not_taken_count);
+    }
+
+    /// Every trainable predictor converges on a constant-outcome branch:
+    /// after warmup, it stops mispredicting it.
+    #[test]
+    fn constant_branches_are_learned(pc in 0u64..1 << 30, taken in any::<bool>()) {
+        for cfg in all_configs() {
+            if matches!(
+                cfg,
+                PredictorConfig::AlwaysTaken | PredictorConfig::AlwaysNotTaken
+            ) {
+                continue; // statics cannot learn
+            }
+            let mut p = build_predictor(&cfg);
+            for _ in 0..64 {
+                p.predict(pc, taken);
+                p.update(pc, taken);
+            }
+            let mut wrong = 0;
+            for _ in 0..32 {
+                if p.predict(pc, taken) != taken {
+                    wrong += 1;
+                }
+                p.update(pc, taken);
+            }
+            prop_assert_eq!(
+                wrong,
+                0,
+                "{} failed to learn a constant branch",
+                cfg.name()
+            );
+        }
+    }
+
+    /// Determinism: two instances fed the same stream agree exactly.
+    #[test]
+    fn predictors_are_deterministic(
+        stream in prop::collection::vec((0u64..1 << 16, any::<bool>()), 0..200),
+    ) {
+        for cfg in all_configs() {
+            let mut a = build_predictor(&cfg);
+            let mut b = build_predictor(&cfg);
+            for &(pc, taken) in &stream {
+                prop_assert_eq!(a.predict(pc, taken), b.predict(pc, taken));
+                a.update(pc, taken);
+                b.update(pc, taken);
+            }
+        }
+    }
+}

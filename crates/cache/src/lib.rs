@@ -1,0 +1,40 @@
+//! Cache and memory-hierarchy models for the `mispredict` workspace.
+//!
+//! The interval model cares about three classes of memory behaviour:
+//!
+//! * **L1 hits** — part of steady-state execution;
+//! * **short misses** (L1 miss, L2 hit) — contributor (v) of the branch
+//!   misprediction penalty: they inflate the critical path to the branch
+//!   without being miss events themselves;
+//! * **long misses** (to memory) — interval-terminating miss events in
+//!   their own right.
+//!
+//! [`MemoryHierarchy`] resolves every access into one of these classes and
+//! a latency; [`SetAssocCache`] is the underlying single-level model.
+//!
+//! # Examples
+//!
+//! ```
+//! use bmp_cache::{DataOutcome, MemoryHierarchy};
+//! use bmp_uarch::HierarchyConfig;
+//!
+//! let mut mem = MemoryHierarchy::new(&HierarchyConfig::default());
+//! let first = mem.data_access(0x1_0000);
+//! assert_eq!(first.outcome, DataOutcome::LongMiss);
+//! let second = mem.data_access(0x1_0000);
+//! assert_eq!(second.outcome, DataOutcome::L1Hit);
+//! assert!(second.latency < first.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hierarchy;
+mod prefetch;
+mod stats;
+
+pub use cache::SetAssocCache;
+pub use hierarchy::{DataAccess, DataOutcome, FetchAccess, MemoryHierarchy};
+pub use prefetch::StridePrefetcher;
+pub use stats::{CacheStats, HierarchyStats};

@@ -1,0 +1,108 @@
+//! Cache statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Access/miss accounting for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    accesses: u64,
+    misses: u64,
+}
+
+impl CacheStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one access and whether it hit.
+    pub fn record(&mut self, hit: bool) {
+        self.accesses += 1;
+        if !hit {
+            self.misses += 1;
+        }
+    }
+
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+
+    /// Miss rate (0 when no accesses yet).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per kilo-instruction for a run of `total_instructions`.
+    pub fn mpki(&self, total_instructions: u64) -> f64 {
+        if total_instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / total_instructions as f64
+        }
+    }
+
+    /// Zeroes the counters (cache contents are unaffected).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// A point-in-time snapshot of every level of a
+/// [`MemoryHierarchy`](crate::MemoryHierarchy).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyStats {
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics (zero when no L2 is configured).
+    pub l2: CacheStats,
+    /// Number of data accesses classed as short misses (L1D miss, L2 hit).
+    pub short_dmisses: u64,
+    /// Number of data accesses classed as long misses (to memory).
+    pub long_dmisses: u64,
+    /// Data-side prefetch fills issued by the stride prefetcher.
+    pub dprefetches: u64,
+    /// Instruction-side next-line prefetch fills issued.
+    pub iprefetches: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_mpki() {
+        let mut s = CacheStats::new();
+        s.record(true);
+        s.record(false);
+        s.record(true);
+        s.record(false);
+        assert_eq!(s.hits(), 2);
+        assert!((s.miss_rate() - 0.5).abs() < 1e-12);
+        assert!((s.mpki(2000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.mpki(100), 0.0);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+}

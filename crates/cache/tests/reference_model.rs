@@ -1,0 +1,108 @@
+//! Property test: `SetAssocCache` against an executable reference model.
+//!
+//! The reference is a per-set LRU list built on plain `Vec`s — obviously
+//! correct, hopelessly slow — checked against the production cache on
+//! random access streams.
+
+use bmp_cache::SetAssocCache;
+use bmp_uarch::CacheGeometry;
+use proptest::prelude::*;
+
+/// The obviously-correct model: per set, a most-recent-first list of
+/// resident block numbers.
+struct RefCache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    line_shift: u32,
+    set_count: u64,
+}
+
+impl RefCache {
+    fn new(geom: CacheGeometry) -> Self {
+        Self {
+            sets: vec![Vec::new(); geom.sets() as usize],
+            ways: geom.ways() as usize,
+            line_shift: geom.line_bytes().trailing_zeros(),
+            set_count: geom.sets(),
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> bool {
+        let block = addr >> self.line_shift;
+        let set = (block % self.set_count) as usize;
+        let list = &mut self.sets[set];
+        if let Some(pos) = list.iter().position(|&b| b == block) {
+            list.remove(pos);
+            list.insert(0, block);
+            true
+        } else {
+            list.insert(0, block);
+            list.truncate(self.ways);
+            false
+        }
+    }
+}
+
+fn arb_geometry() -> impl Strategy<Value = CacheGeometry> {
+    (
+        prop::sample::select(vec![512u64, 1024, 4096, 16384]),
+        prop::sample::select(vec![16u32, 32, 64]),
+        prop::sample::select(vec![1u32, 2, 4, 8]),
+    )
+        .prop_filter_map("valid geometry", |(size, line, ways)| {
+            CacheGeometry::new(size, line, ways, 1).ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every access's hit/miss outcome matches the reference LRU model,
+    /// for arbitrary geometries and access streams.
+    #[test]
+    fn matches_reference_lru(
+        geom in arb_geometry(),
+        // Addresses drawn from a small space so sets conflict heavily.
+        addrs in prop::collection::vec(0u64..32_768, 1..400),
+    ) {
+        let mut real = SetAssocCache::new(geom);
+        let mut reference = RefCache::new(geom);
+        for (i, &a) in addrs.iter().enumerate() {
+            let r = real.access(a);
+            let e = reference.access(a);
+            prop_assert_eq!(r, e, "divergence at access {} (addr {:#x})", i, a);
+        }
+    }
+
+    /// `probe` never lies: it agrees with what a subsequent access sees,
+    /// and never changes state.
+    #[test]
+    fn probe_is_consistent_and_pure(
+        geom in arb_geometry(),
+        addrs in prop::collection::vec(0u64..32_768, 1..200),
+    ) {
+        let mut c = SetAssocCache::new(geom);
+        for &a in &addrs {
+            let p1 = c.probe(a);
+            let p2 = c.probe(a);
+            prop_assert_eq!(p1, p2, "probe must be idempotent");
+            let hit = c.access(a);
+            prop_assert_eq!(p1, hit, "probe must predict the access outcome");
+        }
+    }
+
+    /// Statistics always reconcile: hits + misses == accesses.
+    #[test]
+    fn stats_reconcile(
+        geom in arb_geometry(),
+        addrs in prop::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        let mut c = SetAssocCache::new(geom);
+        for &a in &addrs {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert_eq!(s.hits() + s.misses(), s.accesses());
+    }
+}

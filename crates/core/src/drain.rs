@@ -1,0 +1,713 @@
+//! The analytical window model: dispatch-rate-limited, window-capped
+//! data-flow scheduling.
+//!
+//! Interval analysis models the drain behaviour of the issue window
+//! without simulating cycle-by-cycle. An interval's instructions enter the
+//! window at the dispatch rate `D` (the steady-state throughput of a
+//! balanced design), subject to the window-capacity constraint — op `i`
+//! cannot enter before op `i - W` has issued — and then execute in data-
+//! flow order with their class latencies. From the resulting schedule the
+//! *branch resolution time* (window-entry to execution) is read off
+//! directly.
+//!
+//! This captures the paper's mechanisms in one model:
+//!
+//! * long intervals fill the window, so instructions accumulate a queueing
+//!   lag behind dispatch that saturates near `W / D` (Little's law) — the
+//!   interval-length/burstiness contributor (ii);
+//! * the lag itself is created by the program's dependence structure —
+//!   the inherent-ILP contributor (iii);
+//! * latencies scale every chain — contributor (iv);
+//! * short D-cache misses locally stretch chains — contributor (v).
+
+use bmp_trace::MicroOp;
+use bmp_uarch::{LatencyTable, MachineConfig, OpClass};
+
+/// Scheduling parameters extracted from a machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowParams {
+    /// Dispatch width `D`.
+    pub dispatch_width: u32,
+    /// Window capacity `W`.
+    pub window_size: u32,
+}
+
+impl From<&MachineConfig> for WindowParams {
+    fn from(cfg: &MachineConfig) -> Self {
+        Self {
+            dispatch_width: cfg.dispatch_width,
+            window_size: cfg.window_size,
+        }
+    }
+}
+
+/// The schedule of one interval under the window model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalSchedule {
+    /// Cycle each op enters the window.
+    pub enter: Vec<u64>,
+    /// Cycle each op issues (starts executing).
+    pub issue: Vec<u64>,
+    /// Cycle each op's result becomes available.
+    pub done: Vec<u64>,
+}
+
+impl IntervalSchedule {
+    /// The resolution time of op `i`: window entry to result, the drain
+    /// component of a misprediction's penalty when `i` is the mispredicted
+    /// branch.
+    pub fn resolution(&self, i: usize) -> u64 {
+        self.done[i] - self.enter[i]
+    }
+
+    /// The interval's total drain time: the last completion.
+    pub fn drain_time(&self) -> u64 {
+        self.done.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Schedules `ops` (one interval, oldest first) under the window model.
+///
+/// `load_latency(i)` supplies the latency of the load at interval-relative
+/// position `i` (from the functional cache pass); non-loads use `lat`.
+/// Dependences whose distance reaches before the interval are treated as
+/// ready at cycle 0 — the previous interval has drained past them.
+///
+/// Set `ignore_deps` to schedule the same ops without dependence
+/// constraints (the ILP knock-out of the penalty decomposition).
+///
+/// # Examples
+///
+/// ```
+/// use bmp_core::drain::{schedule_interval, WindowParams};
+/// use bmp_trace::MicroOp;
+/// use bmp_uarch::{LatencyTable, OpClass};
+///
+/// let ops: Vec<_> = (0..8)
+///     .map(|i| MicroOp::alu(i * 4, OpClass::IntAlu, [if i > 0 { Some(1) } else { None }, None]))
+///     .collect();
+/// let params = WindowParams { dispatch_width: 4, window_size: 32 };
+/// let s = schedule_interval(&ops, params, &LatencyTable::unit(), |_| None, false);
+/// // A serial chain: op 0 enters at 0 and issues at 1 (dispatch-to-issue
+/// // takes a cycle), so op 7 completes at cycle 9 having entered at 1.
+/// assert_eq!(s.done[7], 9);
+/// assert_eq!(s.resolution(7), 8);
+/// ```
+pub fn schedule_interval<F>(
+    ops: &[MicroOp],
+    params: WindowParams,
+    lat: &LatencyTable,
+    mut load_latency: F,
+    ignore_deps: bool,
+) -> IntervalSchedule
+where
+    F: FnMut(usize) -> Option<u32>,
+{
+    let d = u64::from(params.dispatch_width.max(1));
+    let w = params.window_size as usize;
+    let n = ops.len();
+    let mut enter = Vec::with_capacity(n);
+    let mut issue = Vec::with_capacity(n);
+    let mut done = Vec::with_capacity(n);
+    for (i, op) in ops.iter().enumerate() {
+        // Dispatch-rate entry: D ops per cycle, starting at cycle 0.
+        let mut e = i as u64 / d;
+        // Window cap: op i waits for op i-W to have issued.
+        if i >= w {
+            e = e.max(issue[i - w]);
+        }
+        // Data-flow constraint. Issue is at least one cycle after entry
+        // (dispatch-to-issue latency, matching the simulator's timing).
+        let mut start = e + 1;
+        if !ignore_deps {
+            for dist in op.src_distances() {
+                let dist = dist as usize;
+                if dist <= i {
+                    start = start.max(done[i - dist]);
+                }
+            }
+        }
+        let latency = match op.class() {
+            OpClass::Load => {
+                u64::from(load_latency(i).unwrap_or_else(|| lat.latency(OpClass::Load)))
+            }
+            c => u64::from(lat.latency(c)),
+        }
+        .max(1);
+        enter.push(e);
+        issue.push(start);
+        done.push(start + latency);
+    }
+    IntervalSchedule { enter, issue, done }
+}
+
+/// Full machine parameters for the whole-trace schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineModel {
+    /// Dispatch width `D`.
+    pub dispatch_width: u32,
+    /// Issue width.
+    pub issue_width: u32,
+    /// Issue-window capacity `W`.
+    pub window_size: u32,
+    /// Reorder-buffer capacity.
+    pub rob_size: u32,
+    /// Frontend pipeline depth `c_fe`.
+    pub frontend_depth: u32,
+    /// Functional-unit counts in `FU_KINDS` order.
+    pub fu_counts: [u8; 5],
+}
+
+impl From<&MachineConfig> for MachineModel {
+    fn from(cfg: &MachineConfig) -> Self {
+        let fu_counts = std::array::from_fn(|i| cfg.fus.count(bmp_uarch::FU_KINDS[i]));
+        Self {
+            dispatch_width: cfg.dispatch_width,
+            issue_width: cfg.issue_width,
+            window_size: cfg.window_size,
+            rob_size: cfg.rob_size,
+            frontend_depth: cfg.frontend_depth,
+            fu_counts,
+        }
+    }
+}
+
+/// A frontend disruption injected into the whole-trace schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontendEvent {
+    /// The op at `pos` is a mispredicted branch: ops after it enter the
+    /// window no earlier than `done(pos) + frontend_depth`.
+    Mispredict {
+        /// Trace index of the branch.
+        pos: usize,
+    },
+    /// Fetch of the op at `pos` stalled `extra` cycles (I-cache miss).
+    FetchStall {
+        /// Trace index of the stalled op.
+        pos: usize,
+        /// Extra delivery cycles.
+        extra: u32,
+    },
+}
+
+impl FrontendEvent {
+    fn pos(&self) -> usize {
+        match *self {
+            FrontendEvent::Mispredict { pos } | FrontendEvent::FetchStall { pos, .. } => pos,
+        }
+    }
+}
+
+/// The whole-trace schedule — "interval simulation": every interval-
+/// analysis mechanism applied across the full instruction stream, so
+/// cross-interval state (a window still full from before a miss event,
+/// chains reaching across events) is captured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSchedule {
+    /// Cycle each op enters the window.
+    pub enter: Vec<u64>,
+    /// Cycle each op issues.
+    pub issue: Vec<u64>,
+    /// Cycle each op's result is available.
+    pub done: Vec<u64>,
+}
+
+impl TraceSchedule {
+    /// Resolution time of op `i` (window entry to result).
+    pub fn resolution(&self, i: usize) -> u64 {
+        self.done[i] - self.enter[i]
+    }
+
+    /// Predicted total execution time: the last completion.
+    pub fn total_cycles(&self) -> u64 {
+        self.done.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Per-cycle issue-slot ledger: total issue width plus per-FU-kind
+/// capacity.
+struct SlotLedger {
+    total: Vec<u8>,
+    kinds: Vec<[u8; 5]>,
+    issue_width: u8,
+    fu_counts: [u8; 5],
+}
+
+impl SlotLedger {
+    fn new(issue_width: u32, fu_counts: [u8; 5]) -> Self {
+        Self {
+            total: Vec::new(),
+            kinds: Vec::new(),
+            issue_width: issue_width.min(255) as u8,
+            fu_counts,
+        }
+    }
+
+    /// First cycle `>= start` where an issue slot is free and a unit of
+    /// `kind` is free for `occupancy` consecutive cycles; books both.
+    /// Pipelined classes use occupancy 1; non-pipelined divides hold
+    /// their unit for the full latency, exactly as the simulator does.
+    fn allocate(&mut self, start: u64, kind: usize, occupancy: u64) -> u64 {
+        let occ = occupancy.max(1) as usize;
+        let mut t = start as usize;
+        'search: loop {
+            let need = t + occ;
+            if need >= self.total.len() {
+                self.total.resize(need + 64, 0);
+                self.kinds.resize(need + 64, [0; 5]);
+            }
+            if self.total[t] >= self.issue_width {
+                t += 1;
+                continue;
+            }
+            let mut conflict = None;
+            for c in t..t + occ {
+                if self.kinds[c][kind] >= self.fu_counts[kind] {
+                    conflict = Some(c);
+                    break;
+                }
+            }
+            if let Some(c) = conflict {
+                t = c + 1;
+                continue 'search;
+            }
+            self.total[t] += 1;
+            for c in t..t + occ {
+                self.kinds[c][kind] += 1;
+            }
+            return t as u64;
+        }
+    }
+}
+
+/// Schedules the whole trace under the interval model.
+///
+/// Mechanisms applied, in the spirit of the paper's framework:
+///
+/// * **dispatch-rate entry** — `D` ops per cycle;
+/// * **frontend events** — mispredictions restart entry at
+///   `done(branch) + c_fe`; I-cache misses add their delivery stall;
+/// * **window and ROB caps** — op `i` waits for op `i − W` to issue and
+///   op `i − R` to complete (the long-miss ROB-fill mechanism);
+/// * **issue bandwidth** — at most `issue_width` ops per cycle, with
+///   per-FU-kind capacity, allocated oldest-first;
+/// * **data-flow dependences** with class latencies, loads resolved by
+///   `load_latency` (pass the functional pass's per-load latencies).
+///
+/// `events` must be sorted by position.
+///
+/// # Panics
+///
+/// Panics if `events` is not sorted by position.
+pub fn schedule_trace<F>(
+    ops: &[MicroOp],
+    model: MachineModel,
+    lat: &LatencyTable,
+    mut load_latency: F,
+    events: &[FrontendEvent],
+    ignore_deps: bool,
+) -> TraceSchedule
+where
+    F: FnMut(usize) -> Option<u32>,
+{
+    assert!(
+        events.windows(2).all(|w| w[0].pos() <= w[1].pos()),
+        "frontend events must be sorted by position"
+    );
+    let d = u64::from(model.dispatch_width.max(1));
+    let w = model.window_size as usize;
+    let r = model.rob_size as usize;
+    let fe = u64::from(model.frontend_depth);
+    let n = ops.len();
+    let mut enter = Vec::with_capacity(n);
+    let mut issue = Vec::with_capacity(n);
+    let mut done = Vec::with_capacity(n);
+    let mut slots = SlotLedger::new(model.issue_width, model.fu_counts);
+
+    // Entry cursor: `cursor` is the cycle the next op would enter;
+    // `count` how many already entered that cycle.
+    let mut cursor = 0u64;
+    let mut count = 0u64;
+    let mut next_event = 0usize;
+    // Barrier waiting for a mispredicted branch to resolve: set when the
+    // branch is scheduled, consumed before the next op enters.
+    let mut pending_barrier: Option<u64> = None;
+
+    for (i, op) in ops.iter().enumerate() {
+        // Frontend events at this op.
+        let mut mispredict_here = false;
+        while next_event < events.len() && events[next_event].pos() == i {
+            match events[next_event] {
+                FrontendEvent::FetchStall { extra, .. } => {
+                    cursor += u64::from(extra);
+                    count = 0;
+                }
+                FrontendEvent::Mispredict { .. } => mispredict_here = true,
+            }
+            next_event += 1;
+        }
+        if let Some(b) = pending_barrier.take() {
+            if b > cursor {
+                cursor = b;
+                count = 0;
+            }
+        }
+        // Window / ROB capacity.
+        let mut floor = cursor;
+        if i >= w {
+            floor = floor.max(issue[i - w]);
+        }
+        if i >= r {
+            floor = floor.max(done[i - r]);
+        }
+        if floor > cursor {
+            cursor = floor;
+            count = 0;
+        }
+        let e = cursor;
+        count += 1;
+        if count >= d {
+            cursor += 1;
+            count = 0;
+        }
+
+        // Data-flow start: at least one cycle after entry (dispatch-to-
+        // issue latency, matching the simulator's timing).
+        let mut start = e + 1;
+        if !ignore_deps {
+            for dist in op.src_distances() {
+                let dist = dist as usize;
+                if dist <= i {
+                    start = start.max(done[i - dist]);
+                }
+            }
+        }
+        // Issue-slot allocation; divides occupy their unit for the full
+        // latency (non-pipelined), everything else for one cycle.
+        let kind = op.class().fu_kind().index();
+        let latency = match op.class() {
+            OpClass::Load => {
+                u64::from(load_latency(i).unwrap_or_else(|| lat.latency(OpClass::Load)))
+            }
+            c => u64::from(lat.latency(c)),
+        }
+        .max(1);
+        let occupancy = match op.class() {
+            OpClass::IntDiv | OpClass::FpDiv => latency,
+            _ => 1,
+        };
+        let s = slots.allocate(start, kind, occupancy);
+        enter.push(e);
+        issue.push(s);
+        done.push(s + latency);
+
+        // A misprediction at this op gates the next op's entry.
+        if mispredict_here {
+            pending_barrier = Some(done[i] + fe);
+        }
+    }
+    TraceSchedule { enter, issue, done }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(d: u32, w: u32) -> WindowParams {
+        WindowParams {
+            dispatch_width: d,
+            window_size: w,
+        }
+    }
+
+    fn chain(n: usize) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::alu(
+                    i as u64 * 4,
+                    OpClass::IntAlu,
+                    [if i > 0 { Some(1) } else { None }, None],
+                )
+            })
+            .collect()
+    }
+
+    fn independent(n: usize) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| MicroOp::alu(i as u64 * 4, OpClass::IntAlu, [None, None]))
+            .collect()
+    }
+
+    #[test]
+    fn independent_ops_track_dispatch_rate() {
+        let ops = independent(16);
+        let s = schedule_interval(&ops, params(4, 64), &LatencyTable::unit(), |_| None, false);
+        for i in 0..16 {
+            assert_eq!(s.enter[i], i as u64 / 4);
+            assert_eq!(
+                s.resolution(i),
+                2,
+                "dispatch-to-issue plus execution when ILP is unbounded"
+            );
+        }
+        assert_eq!(s.drain_time(), 5);
+    }
+
+    #[test]
+    fn serial_chain_lag_grows_until_window_cap() {
+        // ILP 1 against dispatch 4: the lag grows ~3 cycles per 4 ops
+        // until the window constraint throttles entry.
+        let ops = chain(256);
+        let w = 32;
+        let s = schedule_interval(&ops, params(4, w), &LatencyTable::unit(), |_| None, false);
+        // Late in the interval the resolution saturates near W (the op
+        // waits for the full window ahead of it to drain at 1/cycle).
+        let late = s.resolution(255);
+        assert!(
+            (w as u64 - 4..=w as u64 + 5).contains(&late),
+            "saturated resolution {late} should be near the window size {w}"
+        );
+        // Early ops have small resolution (ramp-up).
+        assert!(s.resolution(4) < 8);
+        // Monotone-ish growth from early to late.
+        assert!(s.resolution(200) > s.resolution(10));
+    }
+
+    #[test]
+    fn resolution_scales_with_latency() {
+        let ops = chain(64);
+        let unit = schedule_interval(&ops, params(4, 64), &LatencyTable::unit(), |_| None, false);
+        let mut lat3 = [1u32; 9];
+        lat3[bmp_uarch::OpClass::IntAlu.index()] = 3;
+        let table = LatencyTable::new(lat3).unwrap();
+        let slow = schedule_interval(&ops, params(4, 64), &table, |_| None, false);
+        assert!(
+            slow.resolution(63) > unit.resolution(63) * 2,
+            "3x latency should ~3x the chain drain: {} vs {}",
+            slow.resolution(63),
+            unit.resolution(63)
+        );
+    }
+
+    #[test]
+    fn load_latencies_are_injected() {
+        // op1 is a load feeding op2.
+        let ops = vec![
+            MicroOp::alu(0, OpClass::IntAlu, [None, None]),
+            MicroOp::load(4, 0x100, [Some(1), None]),
+            MicroOp::alu(8, OpClass::IntAlu, [Some(1), None]),
+        ];
+        let fast = schedule_interval(
+            &ops,
+            params(4, 64),
+            &LatencyTable::unit(),
+            |_| Some(2),
+            false,
+        );
+        let slow = schedule_interval(
+            &ops,
+            params(4, 64),
+            &LatencyTable::unit(),
+            |_| Some(14),
+            false,
+        );
+        assert_eq!(slow.done[2] - fast.done[2], 12, "short-miss inflation");
+    }
+
+    #[test]
+    fn ignore_deps_knocks_out_chains() {
+        let ops = chain(64);
+        let s = schedule_interval(&ops, params(4, 64), &LatencyTable::unit(), |_| None, true);
+        for i in 0..64 {
+            assert_eq!(s.resolution(i), 2);
+        }
+    }
+
+    #[test]
+    fn out_of_interval_dependences_are_ready() {
+        // distance 5 at position 0 reaches before the interval.
+        let ops = vec![MicroOp::alu(0, OpClass::IntAlu, [Some(5), None])];
+        let s = schedule_interval(&ops, params(4, 64), &LatencyTable::unit(), |_| None, false);
+        assert_eq!(s.done[0], 2, "enter 0, issue 1, done 2");
+    }
+
+    #[test]
+    fn empty_interval_is_fine() {
+        let s = schedule_interval(&[], params(4, 64), &LatencyTable::unit(), |_| None, false);
+        assert_eq!(s.drain_time(), 0);
+    }
+
+    #[test]
+    fn window_params_from_config() {
+        let cfg = bmp_uarch::presets::baseline_4wide();
+        let p = WindowParams::from(&cfg);
+        assert_eq!(p.dispatch_width, 4);
+        assert_eq!(p.window_size, 64);
+    }
+
+    fn model4() -> MachineModel {
+        MachineModel::from(&bmp_uarch::presets::baseline_4wide())
+    }
+
+    #[test]
+    fn trace_schedule_ideal_code_runs_at_width() {
+        // 4 independent streams of int ALU ops (4 units, width 4).
+        let ops: Vec<MicroOp> = (0..4000)
+            .map(|i| {
+                MicroOp::alu(
+                    i as u64 * 4,
+                    OpClass::IntAlu,
+                    [if i >= 4 { Some(4) } else { None }, None],
+                )
+            })
+            .collect();
+        let s = schedule_trace(
+            &ops,
+            model4(),
+            &LatencyTable::default(),
+            |_| None,
+            &[],
+            false,
+        );
+        let cycles = s.total_cycles();
+        assert!(
+            (1000..=1020).contains(&cycles),
+            "4000 ops at width 4 should take ~1000 cycles, got {cycles}"
+        );
+    }
+
+    #[test]
+    fn issue_width_caps_ready_bursts() {
+        // All ops independent and ready at once — the issue ledger must
+        // spread them at 4/cycle even though dependences allow 1 cycle.
+        let ops = independent(64);
+        let s = schedule_trace(&ops, model4(), &LatencyTable::unit(), |_| None, &[], false);
+        // op 63 enters at cycle 15 and issues the cycle after.
+        assert_eq!(s.issue[63], 16);
+        // Force them ready early by ignoring entry pacing is not
+        // possible; instead check no cycle got more than 4 issues.
+        let mut per_cycle = std::collections::HashMap::new();
+        for &t in &s.issue {
+            *per_cycle.entry(t).or_insert(0u32) += 1;
+        }
+        assert!(per_cycle.values().all(|&c| c <= 4));
+    }
+
+    #[test]
+    fn fu_capacity_binds_below_issue_width() {
+        // Only 1 int mul/div unit: a burst of multiplies issues 1/cycle.
+        let ops: Vec<MicroOp> = (0..16)
+            .map(|i| MicroOp::alu(i as u64 * 4, OpClass::IntMul, [None, None]))
+            .collect();
+        let s = schedule_trace(&ops, model4(), &LatencyTable::unit(), |_| None, &[], false);
+        let mut per_cycle = std::collections::HashMap::new();
+        for &t in &s.issue {
+            *per_cycle.entry(t).or_insert(0u32) += 1;
+        }
+        assert!(
+            per_cycle.values().all(|&c| c <= 1),
+            "one mul unit allows one multiply per cycle"
+        );
+    }
+
+    #[test]
+    fn mispredict_barrier_delays_following_ops() {
+        let ops = independent(32);
+        let events = [FrontendEvent::Mispredict { pos: 7 }];
+        let s = schedule_trace(
+            &ops,
+            model4(),
+            &LatencyTable::unit(),
+            |_| None,
+            &events,
+            false,
+        );
+        // done(7) = enter(7)+2 = 3; barrier = 3 + 5 = 8.
+        assert_eq!(s.enter[8], s.done[7] + 5);
+        // Ops before the barrier are unaffected.
+        assert_eq!(s.enter[7], 1);
+    }
+
+    #[test]
+    fn fetch_stall_shifts_entry() {
+        let ops = independent(16);
+        let events = [FrontendEvent::FetchStall { pos: 4, extra: 10 }];
+        let s = schedule_trace(
+            &ops,
+            model4(),
+            &LatencyTable::unit(),
+            |_| None,
+            &events,
+            false,
+        );
+        assert_eq!(s.enter[3], 0);
+        assert_eq!(s.enter[4], 11, "1 cycle of pacing + 10 stall");
+    }
+
+    #[test]
+    fn rob_cap_blocks_behind_long_miss() {
+        // A long-miss load followed by >R independent ops: entry of op
+        // load+R waits for the load's completion.
+        let mut ops = vec![MicroOp::load(0, 0x100, [None, None])];
+        ops.extend(independent(200));
+        let s = schedule_trace(
+            &ops,
+            model4(),
+            &LatencyTable::unit(),
+            |i| if i == 0 { Some(200) } else { None },
+            &[],
+            false,
+        );
+        let r = 128;
+        assert!(
+            s.enter[r] >= 200,
+            "op R after the load must wait for ROB space: entered {}",
+            s.enter[r]
+        );
+        assert!(s.enter[r - 1] < 200, "ops within ROB reach proceed");
+    }
+
+    #[test]
+    fn coincident_stall_and_mispredict_apply_both() {
+        let ops = independent(16);
+        let events = [
+            FrontendEvent::FetchStall { pos: 3, extra: 5 },
+            FrontendEvent::Mispredict { pos: 3 },
+        ];
+        let s = schedule_trace(
+            &ops,
+            model4(),
+            &LatencyTable::unit(),
+            |_| None,
+            &events,
+            false,
+        );
+        // Stall delays op 3 itself; the mispredict barrier gates op 4.
+        assert!(s.enter[3] >= 5);
+        assert_eq!(s.enter[4], s.done[3] + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_events_panic() {
+        let ops = independent(4);
+        let events = [
+            FrontendEvent::Mispredict { pos: 3 },
+            FrontendEvent::Mispredict { pos: 1 },
+        ];
+        let _ = schedule_trace(
+            &ops,
+            model4(),
+            &LatencyTable::unit(),
+            |_| None,
+            &events,
+            false,
+        );
+    }
+
+    #[test]
+    fn empty_trace_schedule() {
+        let s = schedule_trace(&[], model4(), &LatencyTable::unit(), |_| None, &[], false);
+        assert_eq!(s.total_cycles(), 0);
+    }
+}

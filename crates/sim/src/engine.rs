@@ -1,0 +1,1029 @@
+//! The cycle loop.
+//!
+//! Per-cycle stage order is commit → issue → dispatch → fetch, which gives
+//! the conventional timing: an instruction dispatched in cycle `c` can
+//! issue at `c + 1` at the earliest, a producer issued at `c` with latency
+//! `L` wakes its consumers for issue at `c + L`, and a mispredicted branch
+//! issued at `c` (1-cycle branch execution) redirects fetch at `c + 1`.
+
+use bmp_branch::{
+    build_predictor, BranchStats, Btb, DirectionPredictor, IndirectPredictor, ReturnAddressStack,
+};
+use bmp_cache::{DataOutcome, MemoryHierarchy};
+use bmp_trace::{BranchKind, MicroOp, Trace};
+use bmp_uarch::{FuKind, MachineConfig, OpClass, FU_KINDS};
+use std::collections::VecDeque;
+
+use crate::options::SimOptions;
+use crate::result::{
+    ClassIssueStats, FetchAccounting, MispredictRecord, MissEvent, MissEventKind, SimResult,
+    SlotAccounting,
+};
+
+/// Sentinel for "not yet executed".
+const NOT_DONE: u64 = u64::MAX;
+
+/// A configured simulator, ready to run traces.
+///
+/// The simulator itself is immutable; each [`run`](Simulator::run) builds
+/// fresh machine state, so one `Simulator` can be reused across traces and
+/// the runs are independent.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: MachineConfig,
+    options: SimOptions,
+}
+
+impl Simulator {
+    /// Creates a simulator for the given machine with default options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(config: MachineConfig) -> Self {
+        Self::with_options(config, SimOptions::default())
+    }
+
+    /// Creates a simulator with explicit options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn with_options(config: MachineConfig, options: SimOptions) -> Self {
+        config
+            .validate()
+            .expect("machine configuration must be valid");
+        Self { config, options }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Simulates the trace to completion and returns the measurements.
+    pub fn run(&self, trace: &Trace) -> SimResult {
+        Engine::new(&self.config, self.options, trace).run()
+    }
+}
+
+struct RobSlot {
+    idx: usize,
+    issued: bool,
+    dispatch_cycle: u64,
+}
+
+/// Per-misprediction bookkeeping while the branch is in flight.
+struct PendingMiss {
+    branch_idx: usize,
+    fetch_cycle: u64,
+    dispatch_cycle: u64,
+    window_occupancy: u32,
+    dispatched: bool,
+}
+
+struct Engine<'a> {
+    cfg: &'a MachineConfig,
+    opts: SimOptions,
+    ops: &'a [MicroOp],
+
+    cycle: u64,
+    committed: u64,
+
+    // Completion time per trace index (NOT_DONE until executed).
+    done: Vec<u64>,
+
+    // Frontend.
+    fetch_idx: usize,
+    fetch_stall_until: u64,
+    blocked_on: Option<usize>,
+    current_fetch_line: u64,
+    frontend_q: VecDeque<(usize, u64)>,
+    frontend_cap: usize,
+
+    // Backend.
+    rob: VecDeque<RobSlot>,
+    unissued: u32,
+    fu_busy: [Vec<u64>; 5],
+
+    // Helpers.
+    predictor: Box<dyn DirectionPredictor>,
+    btb: Btb,
+    indirect: IndirectPredictor,
+    ras: ReturnAddressStack,
+    mem: MemoryHierarchy,
+
+    // Measurements.
+    branch_stats: BranchStats,
+    events: Vec<MissEvent>,
+    mispredicts: Vec<MispredictRecord>,
+    pending: Option<PendingMiss>,
+    timeline: Option<Vec<u8>>,
+    line_mask: u64,
+    slots: SlotAccounting,
+    fetch_acct: FetchAccounting,
+    rob_occupancy: Vec<u64>,
+    class_issue: [ClassIssueStats; 9],
+    /// Set once the warmup boundary has been crossed (or immediately when
+    /// no warmup is configured).
+    warmed: bool,
+    stats_start_cycle: u64,
+    stats_start_committed: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a MachineConfig, opts: SimOptions, trace: &'a Trace) -> Self {
+        let fu_busy = std::array::from_fn(|i| vec![0u64; usize::from(cfg.fus.count(FU_KINDS[i]))]);
+        Self {
+            cfg,
+            opts,
+            ops: trace.ops(),
+            cycle: 0,
+            committed: 0,
+            done: vec![NOT_DONE; trace.len()],
+            fetch_idx: 0,
+            fetch_stall_until: 0,
+            blocked_on: None,
+            current_fetch_line: u64::MAX,
+            frontend_q: VecDeque::new(),
+            frontend_cap: (cfg.frontend_depth as usize * cfg.dispatch_width as usize)
+                .max(cfg.fetch_width as usize),
+            rob: VecDeque::with_capacity(cfg.rob_size as usize),
+            unissued: 0,
+            fu_busy,
+            predictor: build_predictor(&cfg.predictor),
+            btb: Btb::new(cfg.btb_entries),
+            indirect: IndirectPredictor::build(&cfg.indirect_predictor),
+            ras: ReturnAddressStack::new(cfg.ras_entries),
+            mem: MemoryHierarchy::new(&cfg.caches),
+            branch_stats: BranchStats::new(),
+            events: Vec::new(),
+            mispredicts: Vec::new(),
+            pending: None,
+            timeline: opts.record_dispatch_timeline.then(Vec::new),
+            line_mask: !u64::from(cfg.caches.l1i().line_bytes() - 1),
+            slots: SlotAccounting::default(),
+            fetch_acct: FetchAccounting::default(),
+            rob_occupancy: vec![0; cfg.rob_size as usize + 1],
+            class_issue: [ClassIssueStats::default(); 9],
+            warmed: opts.warmup_ops == 0,
+            stats_start_cycle: 0,
+            stats_start_committed: 0,
+        }
+    }
+
+    fn run(mut self) -> SimResult {
+        let n = self.ops.len() as u64;
+        while self.committed < n && self.cycle < self.opts.max_cycles {
+            self.commit();
+            if !self.warmed && self.committed >= self.opts.warmup_ops {
+                self.reset_statistics();
+            }
+            self.issue();
+            let dispatched = self.dispatch();
+            self.fetch();
+            self.rob_occupancy[self.rob.len()] += 1;
+            if let Some(t) = &mut self.timeline {
+                t.push(dispatched);
+            }
+            self.cycle += 1;
+        }
+        SimResult {
+            cycles: self.cycle - self.stats_start_cycle,
+            instructions: self.committed - self.stats_start_committed,
+            branch_stats: self.branch_stats,
+            hierarchy: self.mem.stats(),
+            events: self.events,
+            mispredicts: self.mispredicts,
+            dispatch_timeline: self.timeline,
+            frontend_depth: self.cfg.frontend_depth,
+            slots: self.slots,
+            fetch: self.fetch_acct,
+            rob_occupancy: self.rob_occupancy,
+            class_issue: self.class_issue,
+        }
+    }
+
+    /// Crosses the warmup boundary: zero every statistic while keeping
+    /// all machine state (caches, predictor, BTB, RAS, ROB contents).
+    fn reset_statistics(&mut self) {
+        self.warmed = true;
+        self.stats_start_cycle = self.cycle;
+        self.stats_start_committed = self.committed;
+        self.branch_stats.reset();
+        self.mem.reset_stats();
+        self.events.clear();
+        self.mispredicts.clear();
+        self.slots = SlotAccounting::default();
+        self.fetch_acct = FetchAccounting::default();
+        self.rob_occupancy.iter_mut().for_each(|c| *c = 0);
+        self.class_issue = [ClassIssueStats::default(); 9];
+        if let Some(t) = &mut self.timeline {
+            t.clear();
+        }
+    }
+
+    fn commit(&mut self) {
+        let mut budget = self.cfg.commit_width;
+        while budget > 0 {
+            match self.rob.front() {
+                Some(slot) if self.done[slot.idx] <= self.cycle => {
+                    self.rob.pop_front();
+                    self.committed += 1;
+                    budget -= 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn sources_ready(&self, idx: usize) -> bool {
+        for d in self.ops[idx].src_distances() {
+            let d = d as usize;
+            if d <= idx && self.done[idx - d] > self.cycle {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Finds a free unit of `kind` and occupies it for `occupancy`
+    /// cycles. Returns `false` when every unit is busy this cycle.
+    fn take_fu(&mut self, kind: FuKind, occupancy: u64) -> bool {
+        let units = &mut self.fu_busy[kind.index()];
+        for busy_until in units.iter_mut() {
+            if *busy_until <= self.cycle {
+                *busy_until = self.cycle + occupancy;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn issue(&mut self) {
+        let mut budget = self.cfg.issue_width;
+        // Oldest-first select over the un-issued window.
+        for slot_pos in 0..self.rob.len() {
+            if budget == 0 {
+                break;
+            }
+            let (idx, issued, dispatch_cycle) = {
+                let s = &self.rob[slot_pos];
+                (s.idx, s.issued, s.dispatch_cycle)
+            };
+            if issued || !self.sources_ready(idx) {
+                continue;
+            }
+            let class = self.ops[idx].class();
+            let kind = class.fu_kind();
+            // Divides hold their unit for the full latency; everything
+            // else is pipelined (one issue per unit per cycle).
+            let base_lat = u64::from(self.cfg.latencies.latency(class));
+            let occupancy = match class {
+                OpClass::IntDiv | OpClass::FpDiv => base_lat,
+                _ => 1,
+            };
+            if !self.take_fu(kind, occupancy) {
+                continue;
+            }
+            let latency = match class {
+                OpClass::Load => {
+                    let addr = self.ops[idx].mem_addr().expect("loads carry addresses");
+                    let access = self.mem.data_access_at(self.ops[idx].pc(), addr);
+                    if access.outcome == DataOutcome::LongMiss {
+                        self.events.push(MissEvent {
+                            trace_idx: idx,
+                            cycle: self.cycle,
+                            kind: MissEventKind::LongDCacheMiss,
+                        });
+                    }
+                    u64::from(access.latency)
+                }
+                OpClass::Store => {
+                    // Stores retire through a write buffer: the cache sees
+                    // the access (write-allocate) but the pipeline is not
+                    // held up by the miss.
+                    let addr = self.ops[idx].mem_addr().expect("stores carry addresses");
+                    let _ = self.mem.data_access_at(self.ops[idx].pc(), addr);
+                    base_lat
+                }
+                _ => base_lat,
+            };
+            self.done[idx] = self.cycle + latency;
+            self.rob[slot_pos].issued = true;
+            self.unissued -= 1;
+            budget -= 1;
+            let cs = &mut self.class_issue[class.index()];
+            cs.issued += 1;
+            cs.wait_cycles += self.cycle - dispatch_cycle;
+            // A mispredicted branch redirects fetch when it resolves.
+            if self.blocked_on == Some(idx) {
+                self.blocked_on = None;
+                self.fetch_stall_until = self.fetch_stall_until.max(self.done[idx]);
+                let pending = self
+                    .pending
+                    .take()
+                    .expect("pending record for blocked branch");
+                debug_assert!(pending.dispatched);
+                self.mispredicts.push(MispredictRecord {
+                    branch_idx: idx,
+                    fetch_cycle: pending.fetch_cycle,
+                    dispatch_cycle: pending.dispatch_cycle,
+                    resolve_cycle: self.done[idx],
+                    window_occupancy: pending.window_occupancy,
+                });
+            }
+        }
+    }
+
+    fn dispatch(&mut self) -> u8 {
+        let mut dispatched = 0u8;
+        while u32::from(dispatched) < self.cfg.dispatch_width {
+            if self.rob.len() >= self.cfg.rob_size as usize {
+                self.slots.rob_full += u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
+                break;
+            }
+            if self.unissued >= self.cfg.window_size {
+                self.slots.window_full +=
+                    u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
+                break;
+            }
+            let front = self.frontend_q.front().copied();
+            let Some((idx, ready)) = front else {
+                self.slots.frontend_starved +=
+                    u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
+                break;
+            };
+            if ready > self.cycle {
+                self.slots.frontend_starved +=
+                    u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
+                break;
+            }
+            self.frontend_q.pop_front();
+            self.rob.push_back(RobSlot {
+                idx,
+                issued: false,
+                dispatch_cycle: self.cycle,
+            });
+            self.unissued += 1;
+            dispatched += 1;
+            self.slots.used += 1;
+            if let Some(p) = &mut self.pending {
+                if p.branch_idx == idx {
+                    p.dispatched = true;
+                    p.dispatch_cycle = self.cycle;
+                    p.window_occupancy = self.rob.len() as u32;
+                }
+            }
+        }
+        dispatched
+    }
+
+    fn fetch(&mut self) {
+        if self.blocked_on.is_some() {
+            self.fetch_acct.redirect_wait += 1;
+            return;
+        }
+        if self.cycle < self.fetch_stall_until {
+            self.fetch_acct.stall += 1;
+            return;
+        }
+        let mut budget = self.cfg.effective_fetch_width();
+        while budget > 0
+            && self.fetch_idx < self.ops.len()
+            && self.frontend_q.len() < self.frontend_cap
+        {
+            let idx = self.fetch_idx;
+            let op = &self.ops[idx];
+            let line = op.pc() & self.line_mask;
+            if line != self.current_fetch_line {
+                let access = self.mem.fetch_access(op.pc());
+                self.current_fetch_line = line;
+                if access.l1i_miss {
+                    let extra = u64::from(access.latency - self.cfg.caches.l1i().hit_latency());
+                    self.fetch_stall_until = self.cycle + 1 + extra;
+                    self.events.push(MissEvent {
+                        trace_idx: idx,
+                        cycle: self.cycle,
+                        kind: if access.long_miss {
+                            MissEventKind::ICacheLongMiss
+                        } else {
+                            MissEventKind::ICacheMiss
+                        },
+                    });
+                    // The line arrives after the stall; the op is fetched
+                    // on a later cycle.
+                    return;
+                }
+            }
+            // The op is fetched this cycle.
+            self.frontend_q
+                .push_back((idx, self.cycle + u64::from(self.cfg.frontend_depth)));
+            self.fetch_idx += 1;
+            budget -= 1;
+            if let Some(info) = op.branch_info() {
+                let mispredicted = self.handle_branch(idx, op.pc(), info);
+                if mispredicted {
+                    self.blocked_on = Some(idx);
+                    self.pending = Some(PendingMiss {
+                        branch_idx: idx,
+                        fetch_cycle: self.cycle,
+                        dispatch_cycle: 0,
+                        window_occupancy: 0,
+                        dispatched: false,
+                    });
+                    self.events.push(MissEvent {
+                        trace_idx: idx,
+                        cycle: self.cycle,
+                        kind: MissEventKind::BranchMispredict,
+                    });
+                    return;
+                }
+                if info.taken {
+                    // Redirect through the BTB/RAS: the fetch group ends.
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs the frontend's prediction machinery for a fetched branch.
+    /// Returns `true` when the branch is mispredicted (direction or
+    /// return target).
+    fn handle_branch(&mut self, _idx: usize, pc: u64, info: bmp_trace::BranchInfo) -> bool {
+        match info.kind {
+            BranchKind::Conditional => {
+                let pred = self.predictor.predict(pc, info.taken);
+                self.branch_stats.record(pred, info.taken);
+                self.predictor.update(pc, info.taken);
+                if pred != info.taken {
+                    return true;
+                }
+                if info.taken {
+                    self.btb_redirect(pc, info.target);
+                }
+                false
+            }
+            BranchKind::Jump => {
+                self.btb_redirect(pc, info.target);
+                false
+            }
+            BranchKind::Call => {
+                self.ras.push(pc.wrapping_add(4));
+                self.btb_redirect(pc, info.target);
+                false
+            }
+            BranchKind::Return => {
+                match self.ras.pop() {
+                    Some(t) if t == info.target => false,
+                    // Empty or stale RAS: the frontend follows a wrong
+                    // target, which is a full misprediction.
+                    _ => true,
+                }
+            }
+            BranchKind::IndirectJump => {
+                // The frontend follows the indirect-target predictor
+                // (BTB last-target by default, gtarget when configured);
+                // anything but the actual target is a full misprediction.
+                let btb_target = self.btb.lookup(pc);
+                let predicted = self.indirect.predict(pc, btb_target);
+                self.indirect.update(pc, info.target);
+                self.btb.update(pc, info.target);
+                !matches!(predicted, Some(t) if t == info.target)
+            }
+        }
+    }
+
+    /// Models the BTB on a taken control transfer: a miss costs one fetch
+    /// bubble while decode computes the target; the entry is installed
+    /// either way.
+    fn btb_redirect(&mut self, pc: u64, target: u64) {
+        if self.btb.lookup(pc).is_none() {
+            self.fetch_stall_until = self.cycle + 2;
+        }
+        self.btb.update(pc, target);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_trace::TraceBuilder;
+    use bmp_uarch::{presets, PredictorConfig};
+    use bmp_workloads::micro;
+
+    fn perfect_tiny() -> MachineConfig {
+        presets::test_tiny()
+            .to_builder()
+            .predictor(PredictorConfig::Perfect)
+            .build()
+            .unwrap()
+    }
+
+    /// A loop of independent single-cycle ALU ops with a perfect
+    /// predictor should sustain nearly the dispatch width.
+    #[test]
+    fn steady_state_reaches_dispatch_width() {
+        // Long enough to amortize the cold-start I-cache misses.
+        let trace = micro::chain_kernel(100_000, 16, 63, OpClass::IntAlu);
+        let cfg = presets::baseline_4wide()
+            .to_builder()
+            .predictor(PredictorConfig::Perfect)
+            .build()
+            .unwrap();
+        let res = Simulator::new(cfg).run(&trace);
+        assert_eq!(res.instructions, 100_000);
+        assert!(
+            res.ipc() > 3.7,
+            "balanced machine should sustain ~4 IPC, got {}",
+            res.ipc()
+        );
+    }
+
+    /// A serial chain runs at IPC 1 regardless of width.
+    #[test]
+    fn serial_chain_is_ipc_one() {
+        let trace = micro::chain_kernel(10_000, 1, 64, OpClass::IntAlu);
+        let res = Simulator::new(perfect_tiny()).run(&trace);
+        let ipc = res.ipc();
+        assert!(
+            (0.85..=1.05).contains(&ipc),
+            "serial chain IPC should be ~1, got {ipc}"
+        );
+    }
+
+    /// Chain of 3-cycle multiplies: IPC ~ 1/3.
+    #[test]
+    fn latency_scales_chain_throughput() {
+        let trace = micro::latency_kernel(6_000, OpClass::IntMul);
+        let res = Simulator::new(perfect_tiny()).run(&trace);
+        let ipc = res.ipc();
+        assert!(
+            (0.28..=0.37).contains(&ipc),
+            "3-cycle chain IPC should be ~0.33, got {ipc}"
+        );
+    }
+
+    /// Completion must be exact: every op commits exactly once.
+    #[test]
+    fn commits_every_instruction() {
+        for n in [1usize, 7, 100, 3_333] {
+            let trace = micro::chain_kernel(n, 2, 16, OpClass::IntAlu);
+            let res = Simulator::new(perfect_tiny()).run(&trace);
+            assert_eq!(res.instructions, n as u64);
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let res = Simulator::new(perfect_tiny()).run(&Trace::new());
+        assert_eq!(res.instructions, 0);
+        assert_eq!(res.cycles, 0);
+    }
+
+    /// With an always-wrong setup (always-not-taken on always-taken
+    /// branches), every conditional mispredicts and each misprediction
+    /// produces a record whose resolution >= 1.
+    #[test]
+    fn mispredictions_are_recorded() {
+        let trace = micro::branch_resolution_kernel(4_000, 8, 1.0, 3);
+        let cfg = perfect_tiny()
+            .to_builder()
+            .predictor(PredictorConfig::AlwaysNotTaken)
+            .build()
+            .unwrap();
+        let res = Simulator::new(cfg).run(&trace);
+        let conds = trace.conditional_branch_indices().len();
+        assert_eq!(res.branch_stats.mispredictions() as usize, conds);
+        assert_eq!(res.mispredicts.len(), conds);
+        for m in &res.mispredicts {
+            assert!(m.resolve_cycle > m.dispatch_cycle);
+            assert!(m.dispatch_cycle >= m.fetch_cycle);
+            assert!(m.window_occupancy >= 1);
+        }
+    }
+
+    /// The defining property from the paper: the resolution time of a
+    /// branch at the end of a serial chain grows with the chain length.
+    #[test]
+    fn resolution_grows_with_chain_length() {
+        let cfg = presets::baseline_4wide()
+            .to_builder()
+            .predictor(PredictorConfig::AlwaysNotTaken)
+            .build()
+            .unwrap();
+        let mut last = 0.0;
+        for chain in [2u32, 8, 24] {
+            let trace = micro::branch_resolution_kernel(20_000, chain, 1.0, 5);
+            let res = Simulator::new(cfg.clone()).run(&trace);
+            let mean = res.mean_resolution().expect("has mispredictions");
+            assert!(
+                mean > last,
+                "resolution must grow with chain length: chain {chain} gave {mean} (prev {last})"
+            );
+            last = mean;
+        }
+        // And it is far beyond the frontend depth for the longest chain.
+        assert!(last > 10.0, "24-op chain resolution {last} too small");
+    }
+
+    /// Misprediction penalty: running the same trace with a perfect
+    /// predictor must be faster, and the cycle difference per
+    /// misprediction should approximate resolution + frontend depth.
+    #[test]
+    fn penalty_accounting_matches_two_run_difference() {
+        let trace = micro::branch_resolution_kernel(30_000, 8, 0.5, 7);
+        let base = presets::baseline_4wide();
+        let bad = Simulator::new(
+            base.to_builder()
+                .predictor(PredictorConfig::AlwaysNotTaken)
+                .build()
+                .unwrap(),
+        )
+        .run(&trace);
+        let good = Simulator::new(
+            base.to_builder()
+                .predictor(PredictorConfig::Perfect)
+                .build()
+                .unwrap(),
+        )
+        .run(&trace);
+        assert!(bad.cycles > good.cycles);
+        let per_miss = (bad.cycles - good.cycles) as f64 / bad.mispredicts.len() as f64;
+        let accounted = bad.mean_penalty().unwrap();
+        let ratio = per_miss / accounted;
+        assert!(
+            (0.7..=1.3).contains(&ratio),
+            "two-run penalty {per_miss} vs accounted {accounted}"
+        );
+    }
+
+    /// Long D-cache misses must appear as events and crater IPC.
+    #[test]
+    fn long_dmisses_are_events() {
+        // Working set far beyond the tiny L2 (8 KiB): misses everywhere.
+        let trace = micro::memory_kernel(5_000, 8 * 1024 * 1024, 4, false, 9);
+        let res = Simulator::new(perfect_tiny()).run(&trace);
+        let long = res
+            .events
+            .iter()
+            .filter(|e| e.kind == MissEventKind::LongDCacheMiss)
+            .count();
+        assert!(long > 500, "expected many long misses, got {long}");
+        assert!(res.ipc() < 1.0);
+    }
+
+    /// A cache-resident working set produces no long-miss events after
+    /// warmup.
+    #[test]
+    fn resident_working_set_is_quiet() {
+        let trace = micro::memory_kernel(20_000, 512, 4, false, 9);
+        let res = Simulator::new(perfect_tiny()).run(&trace);
+        let long = res
+            .events
+            .iter()
+            .filter(|e| e.kind == MissEventKind::LongDCacheMiss)
+            .count();
+        assert!(long <= 8, "resident set should only cold-miss, got {long}");
+    }
+
+    /// I-cache miss events fire when the code footprint exceeds L1I.
+    #[test]
+    fn icache_events_for_big_footprints() {
+        // Straight-line-ish code via the workload generator.
+        let mut profile = bmp_workloads::WorkloadProfile::default();
+        profile.branches.code_footprint = 64 * 1024; // >> 1 KiB tiny L1I
+        let trace = profile.generate(20_000, 3);
+        let res = Simulator::new(perfect_tiny()).run(&trace);
+        let imiss = res
+            .events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    MissEventKind::ICacheMiss | MissEventKind::ICacheLongMiss
+                )
+            })
+            .count();
+        assert!(imiss > 50, "expected I-cache events, got {imiss}");
+    }
+
+    /// The dispatch timeline, when recorded, covers every cycle and sums
+    /// to the instruction count.
+    #[test]
+    fn timeline_accounts_for_all_dispatches() {
+        let trace = micro::chain_kernel(5_000, 4, 32, OpClass::IntAlu);
+        let sim = Simulator::with_options(perfect_tiny(), SimOptions::with_timeline());
+        let res = sim.run(&trace);
+        let t = res.dispatch_timeline.as_ref().unwrap();
+        assert_eq!(t.len() as u64, res.cycles);
+        let total: u64 = t.iter().map(|&d| u64::from(d)).sum();
+        assert_eq!(total, res.instructions);
+    }
+
+    /// Deep frontends slow down mispredicting workloads but leave
+    /// non-branching code almost unaffected.
+    #[test]
+    fn frontend_depth_hurts_only_mispredicting_code() {
+        let branchy = micro::branch_resolution_kernel(20_000, 4, 0.5, 1);
+        let straight = micro::chain_kernel(20_000, 8, 64, OpClass::IntAlu);
+        let mk = |depth: u32, pred: PredictorConfig| {
+            presets::baseline_4wide()
+                .to_builder()
+                .frontend_depth(depth)
+                .predictor(pred)
+                .build()
+                .unwrap()
+        };
+        let shallow = Simulator::new(mk(5, PredictorConfig::AlwaysNotTaken)).run(&branchy);
+        let deep = Simulator::new(mk(20, PredictorConfig::AlwaysNotTaken)).run(&branchy);
+        assert!(
+            deep.cycles as f64 > shallow.cycles as f64 * 1.3,
+            "deep frontend must hurt branchy code: {} vs {}",
+            deep.cycles,
+            shallow.cycles
+        );
+        let s2 = Simulator::new(mk(5, PredictorConfig::Perfect)).run(&straight);
+        let d2 = Simulator::new(mk(20, PredictorConfig::Perfect)).run(&straight);
+        let ratio = d2.cycles as f64 / s2.cycles as f64;
+        assert!(
+            ratio < 1.05,
+            "straight-line code should not care about frontend depth, ratio {ratio}"
+        );
+    }
+
+    /// Window occupancy in misprediction records never exceeds the ROB.
+    #[test]
+    fn occupancy_bounded_by_rob() {
+        let trace = micro::branch_resolution_kernel(10_000, 4, 0.5, 2);
+        let cfg = presets::test_tiny()
+            .to_builder()
+            .predictor(PredictorConfig::AlwaysNotTaken)
+            .build()
+            .unwrap();
+        let res = Simulator::new(cfg.clone()).run(&trace);
+        for m in &res.mispredicts {
+            assert!(m.window_occupancy <= cfg.rob_size);
+        }
+    }
+
+    /// Stores must not block the pipeline the way loads do.
+    #[test]
+    fn store_misses_do_not_stall() {
+        let mut b = TraceBuilder::new();
+        for i in 0..4000u64 {
+            // Alternate stores to a huge region with independent ALU ops.
+            if i % 2 == 0 {
+                b.push(MicroOp::store(0x1000, 0x6000_0000 + i * 4096, [None, None]))
+                    .unwrap();
+            } else {
+                b.push(MicroOp::alu(0x1004, OpClass::IntAlu, [None, None]))
+                    .unwrap();
+            }
+            // (pc consistency does not matter with a perfect predictor
+            // and no branches; the fetch unit just streams.)
+        }
+        let trace = b.finish();
+        let res = Simulator::new(presets::baseline_4wide()).run(&trace);
+        assert!(
+            res.ipc() > 1.5,
+            "store misses must be absorbed by the write buffer, ipc {}",
+            res.ipc()
+        );
+    }
+
+    /// Slot accounting is conservative: used slots equal dispatched
+    /// instructions, and every offered slot is attributed somewhere.
+    #[test]
+    fn slot_accounting_is_conservative() {
+        let trace = micro::chain_kernel(10_000, 4, 32, OpClass::IntAlu);
+        let res = Simulator::new(perfect_tiny()).run(&trace);
+        assert_eq!(res.slots.used, res.instructions);
+        assert_eq!(
+            res.slots.total(),
+            res.cycles * 2, // tiny machine is 2-wide
+            "every dispatch slot must be attributed"
+        );
+    }
+
+    /// Memory-bound code loses its slots to a full ROB; branchy code
+    /// loses them to frontend starvation.
+    #[test]
+    fn slot_accounting_attributes_the_right_bottleneck() {
+        let membound = micro::memory_kernel(10_000, 64 * 1024 * 1024, 2, false, 3);
+        let res = Simulator::new(presets::baseline_4wide()).run(&membound);
+        assert!(
+            res.slots.rob_full > res.slots.frontend_starved,
+            "long misses should fill the ROB: {:?}",
+            res.slots
+        );
+
+        let branchy = micro::branch_resolution_kernel(10_000, 2, 0.5, 3);
+        let cfg = presets::baseline_4wide()
+            .to_builder()
+            .predictor(PredictorConfig::AlwaysNotTaken)
+            .build()
+            .unwrap();
+        let res2 = Simulator::new(cfg).run(&branchy);
+        assert!(
+            res2.slots.frontend_starved > res2.slots.rob_full,
+            "mispredictions should starve the frontend: {:?}",
+            res2.slots
+        );
+    }
+
+    /// A serial dependence chain backs up the issue window.
+    #[test]
+    fn slot_accounting_sees_window_pressure() {
+        let chain = micro::chain_kernel(10_000, 1, 64, OpClass::IntAlu);
+        let res = Simulator::new(perfect_tiny()).run(&chain);
+        assert!(
+            res.slots.window_full > res.slots.used / 4,
+            "a serial chain should back up the window: {:?}",
+            res.slots
+        );
+    }
+
+    /// ROB occupancy: the histogram covers every cycle, and memory-bound
+    /// code keeps the ROB nearly full while ideal code keeps it shallow.
+    #[test]
+    fn rob_occupancy_histogram_is_complete_and_meaningful() {
+        let ideal = micro::chain_kernel(20_000, 16, 63, OpClass::IntAlu);
+        let cfg = presets::baseline_4wide()
+            .to_builder()
+            .predictor(PredictorConfig::Perfect)
+            .build()
+            .unwrap();
+        let res = Simulator::new(cfg.clone()).run(&ideal);
+        let total: u64 = res.rob_occupancy.iter().sum();
+        assert_eq!(total, res.cycles, "one sample per cycle");
+        assert_eq!(res.rob_occupancy.len() as u32, cfg.rob_size + 1);
+
+        let membound = micro::memory_kernel(20_000, 64 * 1024 * 1024, 2, false, 3);
+        let res2 = Simulator::new(cfg).run(&membound);
+        assert!(
+            res2.rob_full_fraction() > 0.3,
+            "long misses should keep the ROB full: {}",
+            res2.rob_full_fraction()
+        );
+        assert!(
+            res2.mean_rob_occupancy() > res.mean_rob_occupancy(),
+            "memory-bound occupancy {} should exceed ideal {}",
+            res2.mean_rob_occupancy(),
+            res.mean_rob_occupancy()
+        );
+    }
+
+    /// Fetch accounting separates redirect waits from cache stalls.
+    #[test]
+    fn fetch_accounting_attributes_blockage() {
+        let branchy = micro::branch_resolution_kernel(10_000, 8, 0.5, 3);
+        let cfg = presets::baseline_4wide()
+            .to_builder()
+            .predictor(PredictorConfig::AlwaysNotTaken)
+            .build()
+            .unwrap();
+        let res = Simulator::new(cfg).run(&branchy);
+        assert!(
+            res.fetch.redirect_wait > res.fetch.stall,
+            "mispredictions dominate this kernel: {:?}",
+            res.fetch
+        );
+
+        let mut profile = bmp_workloads::WorkloadProfile::default();
+        profile.branches.code_footprint = 512 * 1024;
+        profile.branches.easy_frac = 0.95;
+        profile.branches.pattern_frac = 0.05;
+        let icache_bound = profile.generate(20_000, 5);
+        let perfect = presets::baseline_4wide()
+            .to_builder()
+            .predictor(PredictorConfig::Perfect)
+            .build()
+            .unwrap();
+        let res2 = Simulator::new(perfect).run(&icache_bound);
+        assert!(
+            res2.fetch.stall > res2.fetch.redirect_wait,
+            "I-cache misses dominate here: {:?}",
+            res2.fetch
+        );
+    }
+
+    /// Per-class issue stats reconcile with commit counts and reflect
+    /// latency structure: a load-heavy kernel's loads wait longer than
+    /// its ALU padding.
+    #[test]
+    fn class_issue_stats_reconcile() {
+        let trace = micro::memory_kernel(10_000, 256 * 1024, 4, true, 3);
+        let res = Simulator::new(presets::baseline_4wide()).run(&trace);
+        let issued: u64 = res.class_issue.iter().map(|c| c.issued).sum();
+        assert_eq!(issued, res.instructions, "every committed op issued once");
+        let load = res.class_issue[OpClass::Load.index()];
+        let alu = res.class_issue[OpClass::IntAlu.index()];
+        assert!(load.issued > 1000 && alu.issued > 1000);
+        assert!(
+            load.mean_wait() > alu.mean_wait(),
+            "chained loads must wait longer than free ALU ops: {} vs {}",
+            load.mean_wait(),
+            alu.mean_wait()
+        );
+    }
+
+    /// Warmup removes compulsory-miss pollution: a cache-resident
+    /// workload shows near-zero long misses after warmup, and the
+    /// accounting (instructions, slot totals, occupancy samples) stays
+    /// exact over the measured region.
+    #[test]
+    fn warmup_removes_compulsory_misses() {
+        let trace = micro::memory_kernel(40_000, 16 * 1024, 4, false, 9);
+        let cold = Simulator::new(presets::baseline_4wide()).run(&trace);
+        let warm =
+            Simulator::with_options(presets::baseline_4wide(), SimOptions::with_warmup(10_000))
+                .run(&trace);
+        // The boundary lands on a commit-group edge, so up to
+        // commit_width-1 extra ops may fall on the warmup side.
+        assert!((29_990..=30_000).contains(&warm.instructions));
+        assert!(
+            warm.hierarchy.long_dmisses * 5 < cold.hierarchy.long_dmisses.max(1),
+            "warmup should shed compulsory misses: {} vs {}",
+            warm.hierarchy.long_dmisses,
+            cold.hierarchy.long_dmisses
+        );
+        // Accounting invariants hold over the measured region, modulo
+        // the instructions in flight when the boundary was crossed.
+        let in_flight = u64::from(presets::baseline_4wide().rob_size);
+        assert!(warm.slots.used <= warm.instructions);
+        assert!(warm.instructions - warm.slots.used <= in_flight);
+        let occ: u64 = warm.rob_occupancy.iter().sum();
+        assert_eq!(occ, warm.cycles);
+        let issued: u64 = warm.class_issue.iter().map(|c| c.issued).sum();
+        assert!(warm.instructions - issued <= in_flight);
+    }
+
+    /// Zero warmup behaves exactly like the default.
+    #[test]
+    fn zero_warmup_is_identity() {
+        let trace = micro::chain_kernel(5_000, 2, 32, OpClass::IntAlu);
+        let a = Simulator::new(presets::test_tiny()).run(&trace);
+        let b =
+            Simulator::with_options(presets::test_tiny(), SimOptions::with_warmup(0)).run(&trace);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn max_cycles_guard_stops_runs() {
+        let trace = micro::chain_kernel(100_000, 1, 64, OpClass::IntAlu);
+        let opts = SimOptions {
+            max_cycles: 100,
+            ..SimOptions::default()
+        };
+        let res = Simulator::with_options(perfect_tiny(), opts).run(&trace);
+        assert_eq!(res.cycles, 100);
+        assert!(res.instructions < 100_000);
+    }
+
+    /// The RAS predicts matched call/return pairs; unmatched returns
+    /// mispredict.
+    #[test]
+    fn returns_predicted_via_ras() {
+        let mut b = TraceBuilder::new();
+        // call (0x100 -> 0x200), body, return (0x208 -> 0x104), repeated.
+        for _ in 0..500 {
+            b.push(MicroOp::branch(
+                0x100,
+                BranchKind::Call,
+                true,
+                0x200,
+                [None, None],
+            ))
+            .unwrap();
+            b.push(MicroOp::alu(0x200, OpClass::IntAlu, [None, None]))
+                .unwrap();
+            b.push(MicroOp::alu(0x204, OpClass::IntAlu, [None, None]))
+                .unwrap();
+            b.push(MicroOp::branch(
+                0x208,
+                BranchKind::Return,
+                true,
+                0x104,
+                [None, None],
+            ))
+            .unwrap();
+            b.push(MicroOp::branch(
+                0x104,
+                BranchKind::Jump,
+                true,
+                0x100,
+                [None, None],
+            ))
+            .unwrap();
+        }
+        let trace = b.finish();
+        let res = Simulator::new(presets::baseline_4wide()).run(&trace);
+        assert!(
+            res.mispredicts.is_empty(),
+            "balanced call/return should be RAS-predicted, got {} misses",
+            res.mispredicts.len()
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulation options orthogonal to the machine configuration.
+
+/// Knobs controlling what the simulator records, independent of the
+/// machine being modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOptions {
+    /// Record the per-cycle dispatch count (used by the interval-profile
+    /// experiment E-F1). Costs one byte per simulated cycle.
+    pub record_dispatch_timeline: bool,
+    /// Hard cap on simulated cycles, as a runaway guard for tests and
+    /// sweeps. The run stops (marking completion) when reached.
+    pub max_cycles: u64,
+    /// Instructions to run before statistics start counting. Machine
+    /// state (caches, predictors, BTB) carries over; every counter,
+    /// event log and penalty record resets at the boundary — the
+    /// standard warmup idiom that keeps compulsory misses from
+    /// dominating short runs.
+    pub warmup_ops: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            record_dispatch_timeline: false,
+            max_cycles: u64::MAX,
+            warmup_ops: 0,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options with the dispatch timeline enabled.
+    pub fn with_timeline() -> Self {
+        Self {
+            record_dispatch_timeline: true,
+            ..Self::default()
+        }
+    }
+
+    /// Options with a warmup of `ops` instructions.
+    pub fn with_warmup(ops: u64) -> Self {
+        Self {
+            warmup_ops: ops,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = SimOptions::default();
+        assert!(!o.record_dispatch_timeline);
+        assert_eq!(o.max_cycles, u64::MAX);
+        assert!(SimOptions::with_timeline().record_dispatch_timeline);
+        assert_eq!(SimOptions::with_warmup(100).warmup_ops, 100);
+        assert_eq!(o.warmup_ops, 0);
+    }
+}

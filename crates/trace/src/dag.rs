@@ -1,0 +1,304 @@
+//! Dependence-graph utilities: data-flow scheduling, critical paths, and
+//! the `I_W(k)` window-ILP characterization.
+//!
+//! These are the analytical primitives beneath interval analysis. An
+//! instruction stream induces a DAG via register dependences; the *critical
+//! path* through a window bounds how fast the window can drain, and the
+//! per-window ILP curve `I_W(k)` (average instructions per cycle achievable
+//! with a window of `k` instructions and unbounded resources) is the
+//! program-inherent-ILP input to the penalty model — contributor (iii).
+//!
+//! Latencies are supplied by a caller-provided closure so that the interval
+//! model can inject cache-dependent load latencies (contributor (v))
+//! without this crate knowing anything about caches.
+
+use crate::op::MicroOp;
+
+/// Computes data-flow completion times for a slice of ops.
+///
+/// Op `i` starts executing at
+/// `max(enter(i), max over sources completion(src))` and completes
+/// `latency_of(i, op)` cycles later. Sources whose dependence distance
+/// reaches before the slice are treated as ready at cycle 0 (they belong to
+/// an earlier, already-drained part of the stream).
+///
+/// `enter(i)` models when op `i` becomes visible to the scheduler; passing
+/// `|_| 0` yields the pure data-flow (infinite-machine) schedule, while the
+/// interval model passes the dispatch-width-limited window-entry time.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_trace::{dag, MicroOp};
+/// use bmp_uarch::OpClass;
+///
+/// // A 3-op chain with unit latencies completes at cycles 1, 2, 3.
+/// let ops: Vec<_> = (0..3)
+///     .map(|i| MicroOp::alu(i * 4, OpClass::IntAlu, [if i > 0 { Some(1) } else { None }, None]))
+///     .collect();
+/// let done = dag::completion_times(&ops, |_, _| 1, |_| 0);
+/// assert_eq!(done, vec![1, 2, 3]);
+/// ```
+pub fn completion_times<L, E>(ops: &[MicroOp], mut latency_of: L, mut enter: E) -> Vec<u64>
+where
+    L: FnMut(usize, &MicroOp) -> u64,
+    E: FnMut(usize) -> u64,
+{
+    let mut done = Vec::with_capacity(ops.len());
+    for (i, op) in ops.iter().enumerate() {
+        let mut start = enter(i);
+        for d in op.src_distances() {
+            let d = d as usize;
+            if d <= i {
+                let src_done = done[i - d];
+                start = start.max(src_done);
+            }
+            // else: producer precedes the slice; ready at 0.
+        }
+        let lat = latency_of(i, op).max(1);
+        done.push(start + lat);
+    }
+    done
+}
+
+/// Length of the critical path through `ops` (the completion time of the
+/// data-flow schedule), with latencies from `latency_of`.
+///
+/// Returns 0 for an empty slice.
+pub fn critical_path<L>(ops: &[MicroOp], latency_of: L) -> u64
+where
+    L: FnMut(usize, &MicroOp) -> u64,
+{
+    completion_times(ops, latency_of, |_| 0)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
+}
+
+/// The `I_W(k)` window-ILP characterization: the average IPC achievable
+/// over disjoint consecutive windows of `k` instructions, assuming
+/// unbounded issue resources within each window.
+///
+/// For each window the achievable IPC is `k / critical_path(window)`; the
+/// returned value is the harmonic-consistent aggregate
+/// `total instructions / total critical-path cycles`, which is the rate a
+/// machine repeatedly draining such windows would sustain.
+///
+/// Returns `None` when the trace is shorter than one window or `k == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_trace::{dag, MicroOp};
+/// use bmp_uarch::OpClass;
+///
+/// // Fully independent ops: I_W(k) == k (one window drains in 1 cycle).
+/// let ops: Vec<_> = (0..64)
+///     .map(|i| MicroOp::alu(i * 4, OpClass::IntAlu, [None, None]))
+///     .collect();
+/// let ilp = dag::window_ilp(&ops, 16, |_, _| 1).unwrap();
+/// assert!((ilp - 16.0).abs() < 1e-9);
+/// ```
+pub fn window_ilp<L>(ops: &[MicroOp], k: usize, mut latency_of: L) -> Option<f64>
+where
+    L: FnMut(usize, &MicroOp) -> u64,
+{
+    if k == 0 || ops.len() < k {
+        return None;
+    }
+    let mut insts = 0u64;
+    let mut cycles = 0u64;
+    let mut start = 0;
+    while start + k <= ops.len() {
+        let window = &ops[start..start + k];
+        let cp = critical_path(window, |i, op| latency_of(start + i, op));
+        insts += k as u64;
+        cycles += cp.max(1);
+        start += k;
+    }
+    Some(insts as f64 / cycles as f64)
+}
+
+/// The full ILP curve: `I_W(k)` for each `k` in `ks`, skipping sizes the
+/// trace cannot fill.
+pub fn ilp_curve<L>(ops: &[MicroOp], ks: &[usize], mut latency_of: L) -> Vec<(usize, f64)>
+where
+    L: FnMut(usize, &MicroOp) -> u64,
+{
+    ks.iter()
+        .filter_map(|&k| window_ilp(ops, k, &mut latency_of).map(|ilp| (k, ilp)))
+        .collect()
+}
+
+/// Length (in ops) of the dependence chain ending at `ops[target]`,
+/// following, at each step, the source with the latest completion time.
+///
+/// This identifies *which* chain limits a mispredicted branch's resolution
+/// — useful for attributing the penalty to program structure.
+pub fn limiting_chain<L>(ops: &[MicroOp], target: usize, mut latency_of: L) -> Vec<usize>
+where
+    L: FnMut(usize, &MicroOp) -> u64,
+{
+    assert!(target < ops.len(), "target out of range");
+    let done = completion_times(&ops[..=target], &mut latency_of, |_| 0);
+    let mut chain = vec![target];
+    let mut cur = target;
+    loop {
+        let op = &ops[cur];
+        let mut best: Option<usize> = None;
+        for d in op.src_distances() {
+            let d = d as usize;
+            if d <= cur {
+                let src = cur - d;
+                if best.is_none_or(|b| done[src] > done[b]) {
+                    best = Some(src);
+                }
+            }
+        }
+        match best {
+            Some(src) => {
+                chain.push(src);
+                cur = src;
+            }
+            None => break,
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_uarch::OpClass;
+
+    fn chain(n: usize) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                MicroOp::alu(
+                    i as u64 * 4,
+                    OpClass::IntAlu,
+                    [if i > 0 { Some(1) } else { None }, None],
+                )
+            })
+            .collect()
+    }
+
+    fn independent(n: usize) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| MicroOp::alu(i as u64 * 4, OpClass::IntAlu, [None, None]))
+            .collect()
+    }
+
+    #[test]
+    fn chain_critical_path_is_length_times_latency() {
+        let ops = chain(10);
+        assert_eq!(critical_path(&ops, |_, _| 1), 10);
+        assert_eq!(critical_path(&ops, |_, _| 3), 30);
+    }
+
+    #[test]
+    fn independent_critical_path_is_one_latency() {
+        let ops = independent(10);
+        assert_eq!(critical_path(&ops, |_, _| 1), 1);
+        assert_eq!(critical_path(&ops, |_, _| 5), 5);
+    }
+
+    #[test]
+    fn empty_slice_has_zero_critical_path() {
+        assert_eq!(critical_path(&[], |_, _| 1), 0);
+    }
+
+    #[test]
+    fn out_of_slice_sources_are_ready() {
+        // Op 0 depends on distance 5, which precedes the slice.
+        let ops = vec![MicroOp::alu(0, OpClass::IntAlu, [Some(5), None])];
+        // Builder would reject it, but slices of longer traces see this.
+        assert_eq!(critical_path(&ops, |_, _| 2), 2);
+    }
+
+    #[test]
+    fn enter_delays_are_respected() {
+        let ops = independent(4);
+        let done = completion_times(&ops, |_, _| 1, |i| i as u64);
+        assert_eq!(done, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn latency_floor_is_one() {
+        let ops = independent(2);
+        let done = completion_times(&ops, |_, _| 0, |_| 0);
+        assert_eq!(done, vec![1, 1]);
+    }
+
+    #[test]
+    fn window_ilp_of_chain_is_near_one() {
+        let ops = chain(64);
+        let ilp = window_ilp(&ops, 16, |_, _| 1).unwrap();
+        assert!((ilp - 1.0).abs() < 1e-9, "chain ILP should be 1, got {ilp}");
+    }
+
+    #[test]
+    fn window_ilp_respects_latencies() {
+        let ops = chain(64);
+        let ilp = window_ilp(&ops, 16, |_, _| 2).unwrap();
+        assert!((ilp - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_ilp_none_when_trace_too_short() {
+        let ops = chain(4);
+        assert!(window_ilp(&ops, 8, |_, _| 1).is_none());
+        assert!(window_ilp(&ops, 0, |_, _| 1).is_none());
+    }
+
+    #[test]
+    fn ilp_curve_is_monotone_for_mixed_code() {
+        // Interleave chains so bigger windows expose more parallelism.
+        let mut ops = Vec::new();
+        for i in 0..256usize {
+            // Two interleaved chains: even ops depend on i-2, odd on i-2.
+            let src = if i >= 2 { Some(2) } else { None };
+            ops.push(MicroOp::alu(i as u64 * 4, OpClass::IntAlu, [src, None]));
+        }
+        let curve = ilp_curve(&ops, &[2, 4, 8, 16], |_, _| 1);
+        assert_eq!(curve.len(), 4);
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1 - 1e-9,
+                "ILP curve should be non-decreasing: {curve:?}"
+            );
+        }
+        // Two independent chains => ILP approaches 2.
+        assert!(curve.last().unwrap().1 <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn limiting_chain_follows_the_slow_source() {
+        // op2 depends on op0 (slow) and op1 (fast).
+        let ops = vec![
+            MicroOp::alu(0, OpClass::FpDiv, [None, None]),
+            MicroOp::alu(4, OpClass::IntAlu, [None, None]),
+            MicroOp::alu(8, OpClass::IntAlu, [Some(2), Some(1)]),
+        ];
+        let chain = limiting_chain(
+            &ops,
+            2,
+            |_, op| {
+                if op.class() == OpClass::FpDiv {
+                    24
+                } else {
+                    1
+                }
+            },
+        );
+        assert_eq!(chain, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn limiting_chain_rejects_bad_target() {
+        let ops = independent(1);
+        let _ = limiting_chain(&ops, 5, |_, _| 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! The trace container and its builder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::MicroOp;
+use crate::stats::TraceStats;
+
+/// Error produced while assembling a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// An op at `index` named a dependence distance reaching before the
+    /// start of the trace.
+    DanglingDependence {
+        /// Position of the offending op.
+        index: usize,
+        /// The out-of-range distance.
+        distance: u32,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::DanglingDependence { index, distance } => write!(
+                f,
+                "op {index} has dependence distance {distance} reaching before the trace start"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A correct-path dynamic instruction stream.
+///
+/// Traces are immutable once built; assemble them with [`TraceBuilder`]
+/// (which validates dependence distances) or collect from an iterator of
+/// already-consistent ops via [`Trace::from_ops_unchecked`].
+///
+/// # Examples
+///
+/// ```
+/// use bmp_trace::{MicroOp, TraceBuilder};
+/// use bmp_uarch::OpClass;
+///
+/// let mut b = TraceBuilder::new();
+/// for i in 0..10u64 {
+///     let src = if i > 0 { Some(1) } else { None };
+///     b.push(MicroOp::alu(i * 4, OpClass::IntAlu, [src, None]))?;
+/// }
+/// let t = b.finish();
+/// assert_eq!(t.len(), 10);
+/// assert_eq!(t.stats().total(), 10);
+/// # Ok::<(), bmp_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    ops: Vec<MicroOp>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps a vector of ops without validating dependence distances.
+    ///
+    /// The first few ops of a generated trace may legitimately carry
+    /// distances pointing "before" the trace when the trace is a window
+    /// into a longer stream; consumers treat such sources as ready.
+    pub fn from_ops_unchecked(ops: Vec<MicroOp>) -> Self {
+        Self { ops }
+    }
+
+    /// Number of dynamic instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if the trace holds no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The op at `index`, if in range.
+    #[inline]
+    pub fn get(&self, index: usize) -> Option<&MicroOp> {
+        self.ops.get(index)
+    }
+
+    /// All ops as a slice.
+    #[inline]
+    pub fn ops(&self) -> &[MicroOp] {
+        &self.ops
+    }
+
+    /// Iterator over the ops.
+    pub fn iter(&self) -> std::slice::Iter<'_, MicroOp> {
+        self.ops.iter()
+    }
+
+    /// Computes summary statistics over the whole trace.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::from_ops(&self.ops)
+    }
+
+    /// Positions of all conditional branches.
+    pub fn conditional_branch_indices(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.is_conditional_branch())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a MicroOp;
+    type IntoIter = std::slice::Iter<'a, MicroOp>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter()
+    }
+}
+
+impl FromIterator<MicroOp> for Trace {
+    /// Collects ops without validation; see [`Trace::from_ops_unchecked`].
+    fn from_iter<T: IntoIterator<Item = MicroOp>>(iter: T) -> Self {
+        Self {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Incremental, validating constructor for [`Trace`].
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuilder {
+    ops: Vec<MicroOp>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `n` ops.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends an op, validating that its dependence distances stay within
+    /// the trace built so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::DanglingDependence`] if a distance reaches
+    /// before op 0.
+    pub fn push(&mut self, op: MicroOp) -> Result<(), TraceError> {
+        let index = self.ops.len();
+        for d in op.src_distances() {
+            if d as usize > index {
+                return Err(TraceError::DanglingDependence { index, distance: d });
+            }
+        }
+        self.ops.push(op);
+        Ok(())
+    }
+
+    /// Number of ops pushed so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if nothing has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Finishes the trace.
+    pub fn finish(self) -> Trace {
+        Trace { ops: self.ops }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BranchKind;
+    use bmp_uarch::OpClass;
+
+    fn alu(srcs: [Option<u32>; 2]) -> MicroOp {
+        MicroOp::alu(0, OpClass::IntAlu, srcs)
+    }
+
+    #[test]
+    fn builder_accepts_valid_dependences() {
+        let mut b = TraceBuilder::new();
+        b.push(alu([None, None])).unwrap();
+        b.push(alu([Some(1), None])).unwrap();
+        b.push(alu([Some(2), Some(1)])).unwrap();
+        assert_eq!(b.finish().len(), 3);
+    }
+
+    #[test]
+    fn builder_rejects_dangling_dependence() {
+        let mut b = TraceBuilder::new();
+        b.push(alu([None, None])).unwrap();
+        let err = b.push(alu([Some(2), None])).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::DanglingDependence {
+                index: 1,
+                distance: 2
+            }
+        );
+    }
+
+    #[test]
+    fn first_op_cannot_depend() {
+        let mut b = TraceBuilder::new();
+        assert!(b.push(alu([Some(1), None])).is_err());
+    }
+
+    #[test]
+    fn conditional_branch_indices_found() {
+        let mut b = TraceBuilder::new();
+        b.push(alu([None, None])).unwrap();
+        b.push(MicroOp::branch(
+            4,
+            BranchKind::Conditional,
+            true,
+            0,
+            [None, None],
+        ))
+        .unwrap();
+        b.push(MicroOp::branch(8, BranchKind::Jump, true, 0, [None, None]))
+            .unwrap();
+        b.push(MicroOp::branch(
+            12,
+            BranchKind::Conditional,
+            false,
+            0,
+            [None, None],
+        ))
+        .unwrap();
+        let t = b.finish();
+        assert_eq!(t.conditional_branch_indices(), vec![1, 3]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Trace = (0..5)
+            .map(|i| alu([if i > 0 { Some(1) } else { None }, None]))
+            .collect();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 5);
+        assert_eq!((&t).into_iter().count(), 5);
+    }
+
+    #[test]
+    fn get_in_and_out_of_range() {
+        let t: Trace = std::iter::once(alu([None, None])).collect();
+        assert!(t.get(0).is_some());
+        assert!(t.get(1).is_none());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TraceError::DanglingDependence {
+            index: 3,
+            distance: 9,
+        };
+        assert!(e.to_string().contains("op 3"));
+    }
+}

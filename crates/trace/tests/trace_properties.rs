@@ -1,0 +1,116 @@
+//! Property tests on traces: serialization roundtrips and
+//! dependence-graph invariants, over arbitrary op streams.
+
+use bmp_trace::{dag, io, BranchKind, MicroOp, Trace};
+use bmp_uarch::OpClass;
+use proptest::prelude::*;
+
+fn arb_op(max_dist: u32) -> impl Strategy<Value = MicroOp> {
+    let srcs = (0u32..=max_dist, 0u32..=max_dist)
+        .prop_map(|(a, b)| [(a != 0).then_some(a), (b != 0).then_some(b)]);
+    (0u64..1 << 40, srcs, 0u8..12).prop_flat_map(|(pc, srcs, kind)| match kind {
+        0..=4 => {
+            let class = [
+                OpClass::IntAlu,
+                OpClass::IntMul,
+                OpClass::FpAdd,
+                OpClass::FpMul,
+                OpClass::IntDiv,
+            ][kind as usize];
+            Just(MicroOp::alu(pc, class, srcs)).boxed()
+        }
+        5 | 6 => (0u64..1 << 40)
+            .prop_map(move |addr| {
+                if kind == 5 {
+                    MicroOp::load(pc, addr, srcs)
+                } else {
+                    MicroOp::store(pc, addr, srcs)
+                }
+            })
+            .boxed(),
+        _ => ((0u64..1 << 40), any::<bool>(), 0u8..4)
+            .prop_map(move |(target, taken, bk)| {
+                let bkind = [
+                    BranchKind::Conditional,
+                    BranchKind::Jump,
+                    BranchKind::Call,
+                    BranchKind::Return,
+                ][bk as usize];
+                MicroOp::branch(pc, bkind, taken, target, srcs)
+            })
+            .boxed(),
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(arb_op(64), 0..300).prop_map(Trace::from_ops_unchecked)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary serialization roundtrips every representable trace.
+    #[test]
+    fn io_roundtrip(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        io::write_trace(&trace, &mut buf).expect("write to vec");
+        let back = io::read_trace(buf.as_slice()).expect("read back");
+        prop_assert_eq!(trace, back);
+    }
+
+    /// Truncating a serialized trace anywhere inside the payload is
+    /// detected, never a panic or a silent wrong answer.
+    #[test]
+    fn io_truncation_is_detected(trace in arb_trace(), cut in 0usize..64) {
+        prop_assume!(!trace.is_empty());
+        let mut buf = Vec::new();
+        io::write_trace(&trace, &mut buf).expect("write to vec");
+        let cut = cut % buf.len().max(1);
+        // Keep at least nothing; always strictly shorter than full.
+        let truncated = &buf[..buf.len() - 1 - cut.min(buf.len() - 1)];
+        prop_assert!(io::read_trace(truncated).is_err());
+    }
+
+    /// Data-flow completion times respect dependences: a consumer never
+    /// completes before its producer.
+    #[test]
+    fn completion_respects_dependences(trace in arb_trace()) {
+        let done = dag::completion_times(trace.ops(), |_, _| 2, |_| 0);
+        for (i, op) in trace.iter().enumerate() {
+            for d in op.src_distances() {
+                let d = d as usize;
+                if d <= i {
+                    prop_assert!(
+                        done[i] >= done[i - d] + 2,
+                        "op {i} finished before its producer plus latency"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The critical path is monotone in latency and bounded by
+    /// ops × max-latency.
+    #[test]
+    fn critical_path_bounds(trace in arb_trace()) {
+        let cp1 = dag::critical_path(trace.ops(), |_, _| 1);
+        let cp3 = dag::critical_path(trace.ops(), |_, _| 3);
+        prop_assert!(cp3 >= cp1);
+        prop_assert!(cp1 as usize <= trace.len().max(1));
+        prop_assert!(cp3 as usize <= 3 * trace.len().max(1));
+        if !trace.is_empty() {
+            prop_assert!(cp1 >= 1);
+        }
+    }
+
+    /// Trace statistics reconcile with direct counting.
+    #[test]
+    fn stats_reconcile(trace in arb_trace()) {
+        let s = trace.stats();
+        prop_assert_eq!(s.total() as usize, trace.len());
+        let loads = trace.iter().filter(|o| o.class() == OpClass::Load).count();
+        prop_assert_eq!(s.count(OpClass::Load) as usize, loads);
+        let conds = trace.conditional_branch_indices().len();
+        prop_assert_eq!(s.conditional_branches() as usize, conds);
+    }
+}

@@ -1,0 +1,357 @@
+//! Cache geometry and memory-hierarchy configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+use crate::prefetch_cfg::PrefetchConfig;
+
+/// Replacement policy selector for a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum ReplacementKind {
+    /// Least-recently-used (the baseline policy).
+    #[default]
+    Lru,
+    /// First-in-first-out.
+    Fifo,
+    /// Pseudo-random replacement (deterministic xorshift inside the model).
+    Random,
+}
+
+impl std::fmt::Display for ReplacementKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ReplacementKind::Lru => "lru",
+            ReplacementKind::Fifo => "fifo",
+            ReplacementKind::Random => "random",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Geometry and timing of a single cache level.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_uarch::CacheGeometry;
+///
+/// let l1 = CacheGeometry::new(32 * 1024, 64, 4, 2).unwrap();
+/// assert_eq!(l1.sets(), 128);
+/// assert_eq!(l1.lines(), 512);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    line_bytes: u32,
+    ways: u32,
+    hit_latency: u32,
+    replacement: ReplacementKind,
+}
+
+impl CacheGeometry {
+    /// Creates a cache geometry.
+    ///
+    /// `size_bytes` is the total capacity, `line_bytes` the block size,
+    /// `ways` the associativity, and `hit_latency` the access latency in
+    /// cycles on a hit. Replacement defaults to LRU; see
+    /// [`CacheGeometry::with_replacement`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any parameter is zero, if `size_bytes`
+    /// or `line_bytes` is not a power of two, or if the geometry does not
+    /// yield a whole power-of-two number of sets.
+    pub fn new(
+        size_bytes: u64,
+        line_bytes: u32,
+        ways: u32,
+        hit_latency: u32,
+    ) -> Result<Self, ConfigError> {
+        if size_bytes == 0 || line_bytes == 0 || ways == 0 || hit_latency == 0 {
+            return Err(ConfigError::ZeroResource("cache parameter"));
+        }
+        if !size_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo("cache size", size_bytes));
+        }
+        if !line_bytes.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo(
+                "cache line size",
+                u64::from(line_bytes),
+            ));
+        }
+        let lines = size_bytes / u64::from(line_bytes);
+        if lines == 0 || !lines.is_multiple_of(u64::from(ways)) {
+            return Err(ConfigError::Geometry {
+                size_bytes,
+                line_bytes,
+                ways,
+            });
+        }
+        let sets = lines / u64::from(ways);
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::Geometry {
+                size_bytes,
+                line_bytes,
+                ways,
+            });
+        }
+        Ok(Self {
+            size_bytes,
+            line_bytes,
+            ways,
+            hit_latency,
+            replacement: ReplacementKind::Lru,
+        })
+    }
+
+    /// Returns a copy using the given replacement policy.
+    pub fn with_replacement(mut self, replacement: ReplacementKind) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Block (line) size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Associativity (ways per set).
+    #[inline]
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Hit latency in cycles.
+    #[inline]
+    pub fn hit_latency(&self) -> u32 {
+        self.hit_latency
+    }
+
+    /// Replacement policy.
+    #[inline]
+    pub fn replacement(&self) -> ReplacementKind {
+        self.replacement
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_bytes) / u64::from(self.ways)
+    }
+
+    /// Total number of lines.
+    #[inline]
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / u64::from(self.line_bytes)
+    }
+}
+
+/// Configuration of the full memory hierarchy: split L1 caches, an optional
+/// unified L2, and the main-memory latency.
+///
+/// The hierarchy distinguishes *short* misses (L1 miss that hits in L2 —
+/// contributor (v) in the paper) from *long* misses (L2 miss to memory,
+/// which the interval model treats as a miss event of its own).
+///
+/// # Examples
+///
+/// ```
+/// use bmp_uarch::HierarchyConfig;
+///
+/// let h = HierarchyConfig::default();
+/// assert!(h.mem_latency() > h.l2().unwrap().hit_latency());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    l1i: CacheGeometry,
+    l1d: CacheGeometry,
+    l2: Option<CacheGeometry>,
+    mem_latency: u32,
+    prefetch: PrefetchConfig,
+}
+
+impl HierarchyConfig {
+    /// Creates a hierarchy from explicit levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::LatencyOrdering`] if latencies are not
+    /// strictly increasing outward (L1 < L2 < memory), or
+    /// [`ConfigError::ZeroResource`] if `mem_latency` is zero.
+    pub fn new(
+        l1i: CacheGeometry,
+        l1d: CacheGeometry,
+        l2: Option<CacheGeometry>,
+        mem_latency: u32,
+    ) -> Result<Self, ConfigError> {
+        if mem_latency == 0 {
+            return Err(ConfigError::ZeroResource("memory latency"));
+        }
+        let min_l1 = l1i.hit_latency().min(l1d.hit_latency());
+        if let Some(l2c) = l2 {
+            if l2c.hit_latency() <= l1i.hit_latency().max(l1d.hit_latency()) {
+                return Err(ConfigError::LatencyOrdering);
+            }
+            if mem_latency <= l2c.hit_latency() {
+                return Err(ConfigError::LatencyOrdering);
+            }
+        } else if mem_latency <= min_l1 {
+            return Err(ConfigError::LatencyOrdering);
+        }
+        Ok(Self {
+            l1i,
+            l1d,
+            l2,
+            mem_latency,
+            prefetch: PrefetchConfig::off(),
+        })
+    }
+
+    /// Returns a copy with the given prefetcher configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if `prefetch` is invalid.
+    pub fn with_prefetch(mut self, prefetch: PrefetchConfig) -> Result<Self, ConfigError> {
+        prefetch.validate()?;
+        self.prefetch = prefetch;
+        Ok(self)
+    }
+
+    /// The prefetcher configuration.
+    #[inline]
+    pub fn prefetch(&self) -> PrefetchConfig {
+        self.prefetch
+    }
+
+    /// L1 instruction-cache geometry.
+    #[inline]
+    pub fn l1i(&self) -> CacheGeometry {
+        self.l1i
+    }
+
+    /// L1 data-cache geometry.
+    #[inline]
+    pub fn l1d(&self) -> CacheGeometry {
+        self.l1d
+    }
+
+    /// Unified L2 geometry, if configured.
+    #[inline]
+    pub fn l2(&self) -> Option<CacheGeometry> {
+        self.l2
+    }
+
+    /// Main-memory access latency in cycles.
+    #[inline]
+    pub fn mem_latency(&self) -> u32 {
+        self.mem_latency
+    }
+
+    /// Latency of a *short* data miss: L1D miss that hits in the L2 (or in
+    /// memory when no L2 is configured).
+    pub fn short_dmiss_latency(&self) -> u32 {
+        self.l2.map_or(self.mem_latency, |l2| l2.hit_latency())
+    }
+
+    /// Latency of a *long* data miss: all the way to memory.
+    pub fn long_dmiss_latency(&self) -> u32 {
+        self.mem_latency
+    }
+}
+
+impl Default for HierarchyConfig {
+    /// The baseline hierarchy: 32 KiB 4-way L1I and L1D with 64-byte lines
+    /// and 2-cycle hits, a 1 MiB 8-way L2 with a 12-cycle hit latency, and
+    /// a 200-cycle memory.
+    fn default() -> Self {
+        let l1 = CacheGeometry::new(32 * 1024, 64, 4, 2).expect("valid baseline L1");
+        let l2 = CacheGeometry::new(1024 * 1024, 64, 8, 12).expect("valid baseline L2");
+        Self::new(l1, l1, Some(l2), 200).expect("valid baseline hierarchy")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_basic() {
+        let g = CacheGeometry::new(64 * 1024, 64, 8, 3).unwrap();
+        assert_eq!(g.sets(), 128);
+        assert_eq!(g.lines(), 1024);
+        assert_eq!(g.ways(), 8);
+    }
+
+    #[test]
+    fn geometry_rejects_non_power_of_two_size() {
+        assert!(matches!(
+            CacheGeometry::new(48 * 1024, 64, 4, 2),
+            Err(ConfigError::NotPowerOfTwo("cache size", _))
+        ));
+    }
+
+    #[test]
+    fn geometry_rejects_non_power_of_two_line() {
+        assert!(CacheGeometry::new(32 * 1024, 48, 4, 2).is_err());
+    }
+
+    #[test]
+    fn geometry_rejects_zero() {
+        assert!(CacheGeometry::new(0, 64, 4, 2).is_err());
+        assert!(CacheGeometry::new(32 * 1024, 64, 0, 2).is_err());
+        assert!(CacheGeometry::new(32 * 1024, 64, 4, 0).is_err());
+    }
+
+    #[test]
+    fn geometry_rejects_non_power_of_two_sets() {
+        // 32 KiB / 64 B = 512 lines; 3 ways does not divide evenly.
+        assert!(CacheGeometry::new(32 * 1024, 64, 3, 2).is_err());
+    }
+
+    #[test]
+    fn fully_associative_is_allowed() {
+        let g = CacheGeometry::new(4096, 64, 64, 2).unwrap();
+        assert_eq!(g.sets(), 1);
+    }
+
+    #[test]
+    fn hierarchy_latency_ordering_enforced() {
+        let l1 = CacheGeometry::new(32 * 1024, 64, 4, 2).unwrap();
+        let slow_l2 = CacheGeometry::new(1024 * 1024, 64, 8, 2).unwrap();
+        assert!(matches!(
+            HierarchyConfig::new(l1, l1, Some(slow_l2), 200),
+            Err(ConfigError::LatencyOrdering)
+        ));
+        let l2 = CacheGeometry::new(1024 * 1024, 64, 8, 12).unwrap();
+        assert!(HierarchyConfig::new(l1, l1, Some(l2), 12).is_err());
+        assert!(HierarchyConfig::new(l1, l1, Some(l2), 200).is_ok());
+    }
+
+    #[test]
+    fn short_vs_long_miss_latency() {
+        let h = HierarchyConfig::default();
+        assert_eq!(h.short_dmiss_latency(), 12);
+        assert_eq!(h.long_dmiss_latency(), 200);
+        let l1 = CacheGeometry::new(32 * 1024, 64, 4, 2).unwrap();
+        let no_l2 = HierarchyConfig::new(l1, l1, None, 100).unwrap();
+        assert_eq!(no_l2.short_dmiss_latency(), 100);
+    }
+
+    #[test]
+    fn replacement_default_and_override() {
+        let g = CacheGeometry::new(1024, 64, 2, 1).unwrap();
+        assert_eq!(g.replacement(), ReplacementKind::Lru);
+        assert_eq!(
+            g.with_replacement(ReplacementKind::Fifo).replacement(),
+            ReplacementKind::Fifo
+        );
+    }
+}

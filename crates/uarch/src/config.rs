@@ -1,0 +1,424 @@
+//! The top-level machine configuration and its builder.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache_cfg::HierarchyConfig;
+use crate::error::ConfigError;
+use crate::fu::{FuPool, LatencyTable};
+use crate::predictor_cfg::{IndirectPredictorConfig, PredictorConfig};
+
+/// Maximum supported pipeline width; keeps per-cycle scratch arrays small.
+const MAX_WIDTH: u32 = 64;
+
+/// Complete description of a superscalar out-of-order machine.
+///
+/// A `MachineConfig` fully determines both the cycle-level simulator in
+/// `bmp-sim` and the analytical interval model in `bmp-core`, so the two can
+/// be compared apples-to-apples (experiment E-F10).
+///
+/// Construct one with [`MachineConfigBuilder`] (or start from a preset in
+/// [`presets`](crate::presets) and adjust via
+/// [`MachineConfig::to_builder`]). Fields are public-read via accessors on
+/// the struct itself: the struct is a validated value, so the fields are
+/// exposed directly as `pub` but can only be produced through validation.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_uarch::{MachineConfig, MachineConfigBuilder};
+///
+/// let cfg = MachineConfigBuilder::new()
+///     .dispatch_width(4)
+///     .frontend_depth(5)
+///     .window_size(64)
+///     .rob_size(128)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.effective_fetch_width(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Instructions fetched per cycle (up to the first taken branch).
+    pub fetch_width: u32,
+    /// Instructions dispatched into the window per cycle. This is the `D`
+    /// of the interval model: the steady-state throughput of a balanced
+    /// design.
+    pub dispatch_width: u32,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Frontend pipeline depth in cycles: the delay between fetching an
+    /// instruction and its earliest dispatch — contributor (i), the refill
+    /// component `c_fe` of the misprediction penalty.
+    pub frontend_depth: u32,
+    /// Issue-window (scheduler) capacity in instructions.
+    pub window_size: u32,
+    /// Reorder-buffer capacity in instructions.
+    pub rob_size: u32,
+    /// Functional-unit pool.
+    pub fus: FuPool,
+    /// Per-class execution latencies — contributor (iv).
+    pub latencies: LatencyTable,
+    /// Memory hierarchy configuration — contributors (v) and the long-miss
+    /// events.
+    pub caches: HierarchyConfig,
+    /// Branch direction predictor.
+    pub predictor: PredictorConfig,
+    /// Indirect-branch target predictor.
+    pub indirect_predictor: IndirectPredictorConfig,
+    /// Branch target buffer entries (power of two).
+    pub btb_entries: u32,
+    /// Return-address-stack depth.
+    pub ras_entries: u32,
+}
+
+impl MachineConfig {
+    /// The fetch width actually achievable per cycle, which is bounded by
+    /// the dispatch width in a balanced design.
+    pub fn effective_fetch_width(&self) -> u32 {
+        self.fetch_width.min(self.dispatch_width)
+    }
+
+    /// Returns a builder pre-populated with this configuration, for making
+    /// derived variants (parameter sweeps).
+    pub fn to_builder(&self) -> MachineConfigBuilder {
+        MachineConfigBuilder { cfg: self.clone() }
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`] for the individual conditions.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (name, v) in [
+            ("fetch width", self.fetch_width),
+            ("dispatch width", self.dispatch_width),
+            ("issue width", self.issue_width),
+            ("commit width", self.commit_width),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroResource(name));
+            }
+            if v > MAX_WIDTH {
+                return Err(ConfigError::WidthTooLarge(name, v));
+            }
+        }
+        if self.frontend_depth == 0 {
+            return Err(ConfigError::ZeroResource("frontend depth"));
+        }
+        if self.window_size == 0 {
+            return Err(ConfigError::ZeroResource("window size"));
+        }
+        if self.rob_size == 0 {
+            return Err(ConfigError::ZeroResource("rob size"));
+        }
+        if self.window_size > self.rob_size {
+            return Err(ConfigError::WindowExceedsRob {
+                window: self.window_size,
+                rob: self.rob_size,
+            });
+        }
+        if self.btb_entries == 0 {
+            return Err(ConfigError::ZeroResource("btb entries"));
+        }
+        if !self.btb_entries.is_power_of_two() {
+            return Err(ConfigError::NotPowerOfTwo(
+                "btb entries",
+                u64::from(self.btb_entries),
+            ));
+        }
+        if self.ras_entries == 0 {
+            return Err(ConfigError::ZeroResource("ras entries"));
+        }
+        self.predictor.validate()?;
+        self.indirect_predictor.validate()?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for MachineConfig {
+    /// One-line machine summary for logs and reports.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}-wide ooo, {}-deep frontend, window {}/{} rob, {} predictor,              l1 {}K/{}K, l2 {}, mem {}c",
+            self.dispatch_width,
+            self.frontend_depth,
+            self.window_size,
+            self.rob_size,
+            self.predictor,
+            self.caches.l1i().size_bytes() / 1024,
+            self.caches.l1d().size_bytes() / 1024,
+            self.caches
+                .l2()
+                .map(|l2| format!("{}K", l2.size_bytes() / 1024))
+                .unwrap_or_else(|| "none".to_owned()),
+            self.caches.mem_latency(),
+        )
+    }
+}
+
+impl Default for MachineConfig {
+    /// The baseline 4-wide machine; identical to
+    /// [`presets::baseline_4wide`](crate::presets::baseline_4wide).
+    fn default() -> Self {
+        crate::presets::baseline_4wide()
+    }
+}
+
+/// Builder for [`MachineConfig`].
+///
+/// Starts from the baseline 4-wide machine; every setter overrides one
+/// field, and [`build`](MachineConfigBuilder::build) validates the result.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_uarch::MachineConfigBuilder;
+///
+/// let cfg = MachineConfigBuilder::new().frontend_depth(12).build()?;
+/// assert_eq!(cfg.frontend_depth, 12);
+/// # Ok::<(), bmp_uarch::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl Default for MachineConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MachineConfigBuilder {
+    /// Creates a builder seeded with the baseline 4-wide machine.
+    pub fn new() -> Self {
+        Self {
+            cfg: crate::presets::baseline_4wide(),
+        }
+    }
+
+    /// Sets the fetch width.
+    pub fn fetch_width(&mut self, v: u32) -> &mut Self {
+        self.cfg.fetch_width = v;
+        self
+    }
+
+    /// Sets the dispatch width (the interval model's `D`).
+    pub fn dispatch_width(&mut self, v: u32) -> &mut Self {
+        self.cfg.dispatch_width = v;
+        self
+    }
+
+    /// Sets the issue width.
+    pub fn issue_width(&mut self, v: u32) -> &mut Self {
+        self.cfg.issue_width = v;
+        self
+    }
+
+    /// Sets the commit width.
+    pub fn commit_width(&mut self, v: u32) -> &mut Self {
+        self.cfg.commit_width = v;
+        self
+    }
+
+    /// Sets all four widths at once (a "W-wide machine").
+    pub fn width(&mut self, v: u32) -> &mut Self {
+        self.cfg.fetch_width = v;
+        self.cfg.dispatch_width = v;
+        self.cfg.issue_width = v;
+        self.cfg.commit_width = v;
+        self
+    }
+
+    /// Sets the frontend pipeline depth (contributor i).
+    pub fn frontend_depth(&mut self, v: u32) -> &mut Self {
+        self.cfg.frontend_depth = v;
+        self
+    }
+
+    /// Sets the issue-window size.
+    pub fn window_size(&mut self, v: u32) -> &mut Self {
+        self.cfg.window_size = v;
+        self
+    }
+
+    /// Sets the reorder-buffer size.
+    pub fn rob_size(&mut self, v: u32) -> &mut Self {
+        self.cfg.rob_size = v;
+        self
+    }
+
+    /// Sets the functional-unit pool.
+    pub fn fus(&mut self, v: FuPool) -> &mut Self {
+        self.cfg.fus = v;
+        self
+    }
+
+    /// Sets the latency table (contributor iv).
+    pub fn latencies(&mut self, v: LatencyTable) -> &mut Self {
+        self.cfg.latencies = v;
+        self
+    }
+
+    /// Sets the cache hierarchy (contributor v / long-miss events).
+    pub fn caches(&mut self, v: HierarchyConfig) -> &mut Self {
+        self.cfg.caches = v;
+        self
+    }
+
+    /// Sets the branch predictor.
+    pub fn predictor(&mut self, v: PredictorConfig) -> &mut Self {
+        self.cfg.predictor = v;
+        self
+    }
+
+    /// Sets the indirect-target predictor.
+    pub fn indirect_predictor(&mut self, v: IndirectPredictorConfig) -> &mut Self {
+        self.cfg.indirect_predictor = v;
+        self
+    }
+
+    /// Sets the BTB size.
+    pub fn btb_entries(&mut self, v: u32) -> &mut Self {
+        self.cfg.btb_entries = v;
+        self
+    }
+
+    /// Sets the return-address-stack depth.
+    pub fn ras_entries(&mut self, v: u32) -> &mut Self {
+        self.cfg.ras_entries = v;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found; see
+    /// [`MachineConfig::validate`].
+    pub fn build(&self) -> Result<MachineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_valid() {
+        assert!(MachineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let cfg = MachineConfigBuilder::new()
+            .width(8)
+            .frontend_depth(10)
+            .window_size(128)
+            .rob_size(256)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.fetch_width, 8);
+        assert_eq!(cfg.dispatch_width, 8);
+        assert_eq!(cfg.issue_width, 8);
+        assert_eq!(cfg.commit_width, 8);
+        assert_eq!(cfg.frontend_depth, 10);
+    }
+
+    #[test]
+    fn rejects_window_larger_than_rob() {
+        let err = MachineConfigBuilder::new()
+            .window_size(256)
+            .rob_size(128)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ConfigError::WindowExceedsRob { .. }));
+    }
+
+    #[test]
+    fn rejects_zero_widths() {
+        assert!(MachineConfigBuilder::new().fetch_width(0).build().is_err());
+        assert!(MachineConfigBuilder::new()
+            .dispatch_width(0)
+            .build()
+            .is_err());
+        assert!(MachineConfigBuilder::new().issue_width(0).build().is_err());
+        assert!(MachineConfigBuilder::new().commit_width(0).build().is_err());
+    }
+
+    #[test]
+    fn rejects_huge_width() {
+        assert!(matches!(
+            MachineConfigBuilder::new().fetch_width(65).build(),
+            Err(ConfigError::WidthTooLarge("fetch width", 65))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_frontend_depth() {
+        assert!(MachineConfigBuilder::new()
+            .frontend_depth(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_bad_btb() {
+        assert!(MachineConfigBuilder::new().btb_entries(0).build().is_err());
+        assert!(MachineConfigBuilder::new()
+            .btb_entries(1000)
+            .build()
+            .is_err());
+        assert!(MachineConfigBuilder::new()
+            .btb_entries(1024)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_predictor() {
+        use crate::predictor_cfg::PredictorConfig;
+        let bad = PredictorConfig::GShare {
+            entries: 16,
+            history_bits: 10,
+        };
+        assert!(MachineConfigBuilder::new().predictor(bad).build().is_err());
+    }
+
+    #[test]
+    fn effective_fetch_width_bounded_by_dispatch() {
+        let cfg = MachineConfigBuilder::new()
+            .fetch_width(8)
+            .dispatch_width(4)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.effective_fetch_width(), 4);
+    }
+
+    #[test]
+    fn to_builder_preserves_fields() {
+        let cfg = MachineConfig::default();
+        let again = cfg.to_builder().build().unwrap();
+        assert_eq!(cfg, again);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let cfg = MachineConfig::default();
+        assert!(format!("{cfg:?}").contains("dispatch_width"));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = MachineConfig::default().to_string();
+        assert!(s.contains("4-wide"));
+        assert!(s.contains("tournament"));
+        assert!(s.contains("l2 1024K"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Configuration validation errors.
+
+/// Error produced when a machine configuration is structurally invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A resource count or latency that must be at least 1 was zero.
+    ZeroResource(&'static str),
+    /// A parameter that must be a power of two was not.
+    NotPowerOfTwo(&'static str, u64),
+    /// Cache size / line size / associativity do not form a valid geometry.
+    Geometry {
+        /// Requested total size in bytes.
+        size_bytes: u64,
+        /// Requested line size in bytes.
+        line_bytes: u32,
+        /// Requested associativity.
+        ways: u32,
+    },
+    /// Hierarchy latencies are not strictly increasing outward.
+    LatencyOrdering,
+    /// A predictor history length is zero, too long, or exceeds the
+    /// indexable table.
+    HistoryLength(u32),
+    /// The issue window is larger than the reorder buffer.
+    WindowExceedsRob {
+        /// Configured window size.
+        window: u32,
+        /// Configured ROB size.
+        rob: u32,
+    },
+    /// A pipeline width exceeds the supported maximum.
+    WidthTooLarge(&'static str, u32),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroResource(what) => write!(f, "{what} must be at least 1"),
+            ConfigError::NotPowerOfTwo(what, v) => {
+                write!(f, "{what} must be a power of two, got {v}")
+            }
+            ConfigError::Geometry {
+                size_bytes,
+                line_bytes,
+                ways,
+            } => write!(
+                f,
+                "invalid cache geometry: {size_bytes} B / {line_bytes} B lines / {ways} ways \
+                 does not yield a power-of-two set count"
+            ),
+            ConfigError::LatencyOrdering => {
+                f.write_str("hierarchy latencies must strictly increase outward (L1 < L2 < memory)")
+            }
+            ConfigError::HistoryLength(bits) => {
+                write!(f, "invalid predictor history length of {bits} bits")
+            }
+            ConfigError::WindowExceedsRob { window, rob } => {
+                write!(f, "issue window ({window}) exceeds reorder buffer ({rob})")
+            }
+            ConfigError::WidthTooLarge(what, v) => {
+                write!(f, "{what} of {v} exceeds the supported maximum of 64")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty_and_lowercase() {
+        let errors = [
+            ConfigError::ZeroResource("x"),
+            ConfigError::NotPowerOfTwo("y", 3),
+            ConfigError::Geometry {
+                size_bytes: 100,
+                line_bytes: 64,
+                ways: 3,
+            },
+            ConfigError::LatencyOrdering,
+            ConfigError::HistoryLength(0),
+            ConfigError::WindowExceedsRob {
+                window: 64,
+                rob: 32,
+            },
+            ConfigError::WidthTooLarge("fetch width", 100),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_error(ConfigError::LatencyOrdering);
+    }
+}

@@ -1,0 +1,396 @@
+//! Operation classes, functional-unit pools and execution latencies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// The dynamic-instruction classes distinguished by the machine model.
+///
+/// Every dynamic instruction in a trace belongs to exactly one class; the
+/// class selects the functional unit it issues to and its execution latency
+/// (for memory operations the latency additionally depends on the cache
+/// hierarchy).
+///
+/// # Examples
+///
+/// ```
+/// use bmp_uarch::OpClass;
+///
+/// assert!(OpClass::Load.is_memory());
+/// assert!(!OpClass::IntAlu.is_memory());
+/// assert!(OpClass::Branch.is_branch());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation (add, logic, shifts, compares).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide (non-pipelined).
+    IntDiv,
+    /// Floating-point add/subtract/convert.
+    FpAdd,
+    /// Floating-point multiply.
+    FpMul,
+    /// Floating-point divide/sqrt (non-pipelined).
+    FpDiv,
+    /// Memory load. Latency is resolved by the cache hierarchy.
+    Load,
+    /// Memory store. Retires from the window once its address is ready.
+    Store,
+    /// Control-transfer instruction (conditional branch, jump, call, return).
+    Branch,
+}
+
+/// All operation classes, in a fixed canonical order.
+///
+/// Useful for building per-class tables and histograms.
+pub const OP_CLASSES: [OpClass; 9] = [
+    OpClass::IntAlu,
+    OpClass::IntMul,
+    OpClass::IntDiv,
+    OpClass::FpAdd,
+    OpClass::FpMul,
+    OpClass::FpDiv,
+    OpClass::Load,
+    OpClass::Store,
+    OpClass::Branch,
+];
+
+impl OpClass {
+    /// Dense index of this class into [`OP_CLASSES`]-ordered tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::IntDiv => 2,
+            OpClass::FpAdd => 3,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 5,
+            OpClass::Load => 6,
+            OpClass::Store => 7,
+            OpClass::Branch => 8,
+        }
+    }
+
+    /// Returns `true` for loads and stores.
+    #[inline]
+    pub fn is_memory(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Returns `true` for control-transfer instructions.
+    #[inline]
+    pub fn is_branch(self) -> bool {
+        matches!(self, OpClass::Branch)
+    }
+
+    /// The functional-unit kind this class issues to.
+    #[inline]
+    pub fn fu_kind(self) -> FuKind {
+        match self {
+            OpClass::IntAlu | OpClass::Branch => FuKind::IntAlu,
+            OpClass::IntMul | OpClass::IntDiv => FuKind::IntMulDiv,
+            OpClass::FpAdd => FuKind::FpAlu,
+            OpClass::FpMul | OpClass::FpDiv => FuKind::FpMulDiv,
+            OpClass::Load | OpClass::Store => FuKind::MemPort,
+        }
+    }
+}
+
+impl std::fmt::Display for OpClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OpClass::IntAlu => "int-alu",
+            OpClass::IntMul => "int-mul",
+            OpClass::IntDiv => "int-div",
+            OpClass::FpAdd => "fp-add",
+            OpClass::FpMul => "fp-mul",
+            OpClass::FpDiv => "fp-div",
+            OpClass::Load => "load",
+            OpClass::Store => "store",
+            OpClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Functional-unit kinds, the issue-port resources of the machine.
+///
+/// Several [`OpClass`]es may share one kind (for example branches execute on
+/// the integer ALUs), mirroring SimpleScalar-era resource pools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Integer ALUs (also execute branches).
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMulDiv,
+    /// Floating-point adder.
+    FpAlu,
+    /// Floating-point multiply/divide unit.
+    FpMulDiv,
+    /// Cache ports for loads and stores.
+    MemPort,
+}
+
+/// All functional-unit kinds in canonical order.
+pub const FU_KINDS: [FuKind; 5] = [
+    FuKind::IntAlu,
+    FuKind::IntMulDiv,
+    FuKind::FpAlu,
+    FuKind::FpMulDiv,
+    FuKind::MemPort,
+];
+
+impl FuKind {
+    /// Dense index of this kind into [`FU_KINDS`]-ordered tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::IntAlu => 0,
+            FuKind::IntMulDiv => 1,
+            FuKind::FpAlu => 2,
+            FuKind::FpMulDiv => 3,
+            FuKind::MemPort => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for FuKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FuKind::IntAlu => "int-alu",
+            FuKind::IntMulDiv => "int-mul/div",
+            FuKind::FpAlu => "fp-alu",
+            FuKind::FpMulDiv => "fp-mul/div",
+            FuKind::MemPort => "mem-port",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Number of functional units of each kind.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_uarch::{FuKind, FuPool};
+///
+/// let pool = FuPool::default();
+/// assert!(pool.count(FuKind::IntAlu) >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FuPool {
+    counts: [u8; 5],
+}
+
+impl FuPool {
+    /// Creates a pool with explicit per-kind counts (in [`FU_KINDS`] order:
+    /// int-alu, int-mul/div, fp-alu, fp-mul/div, mem-port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroResource`] if any count is zero — every
+    /// kind must have at least one unit or some instructions could never
+    /// execute.
+    pub fn new(counts: [u8; 5]) -> Result<Self, ConfigError> {
+        if counts.contains(&0) {
+            return Err(ConfigError::ZeroResource("functional unit count"));
+        }
+        Ok(Self { counts })
+    }
+
+    /// Number of units of `kind`.
+    #[inline]
+    pub fn count(&self, kind: FuKind) -> u8 {
+        self.counts[kind.index()]
+    }
+
+    /// Total number of units across all kinds.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().map(|&c| u32::from(c)).sum()
+    }
+}
+
+impl Default for FuPool {
+    /// The baseline pool: 4 int ALUs, 1 int mul/div, 2 fp adders,
+    /// 1 fp mul/div, 2 memory ports.
+    fn default() -> Self {
+        Self {
+            counts: [4, 1, 2, 1, 2],
+        }
+    }
+}
+
+/// Execution latency (cycles) per operation class.
+///
+/// Load/store entries give the *execution-stage* latency excluding cache
+/// access; the cache hierarchy adds hit/miss latency on top. All latencies
+/// are at least 1.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_uarch::{LatencyTable, OpClass};
+///
+/// let lat = LatencyTable::default();
+/// assert_eq!(lat.latency(OpClass::IntAlu), 1);
+/// assert!(lat.latency(OpClass::IntDiv) > lat.latency(OpClass::IntMul));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LatencyTable {
+    cycles: [u32; 9],
+}
+
+impl LatencyTable {
+    /// Creates a table with explicit latencies in [`OP_CLASSES`] order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::ZeroResource`] if any latency is zero.
+    pub fn new(cycles: [u32; 9]) -> Result<Self, ConfigError> {
+        if cycles.contains(&0) {
+            return Err(ConfigError::ZeroResource("operation latency"));
+        }
+        Ok(Self { cycles })
+    }
+
+    /// A table with every class at 1 cycle.
+    ///
+    /// Used by the interval model's knock-out decomposition to neutralize
+    /// the functional-unit-latency contributor.
+    pub fn unit() -> Self {
+        Self { cycles: [1; 9] }
+    }
+
+    /// Latency of `class` in cycles.
+    #[inline]
+    pub fn latency(&self, class: OpClass) -> u32 {
+        self.cycles[class.index()]
+    }
+
+    /// Returns a copy with every non-memory latency multiplied by `factor`
+    /// (saturating), keeping the minimum of 1.
+    ///
+    /// Used by the functional-unit-latency sensitivity sweep (E-F7).
+    pub fn scaled(&self, factor: f64) -> Self {
+        let mut cycles = self.cycles;
+        for (i, c) in cycles.iter_mut().enumerate() {
+            let class = OP_CLASSES[i];
+            if !class.is_memory() {
+                *c = ((f64::from(*c) * factor).round() as u32).max(1);
+            }
+        }
+        Self { cycles }
+    }
+
+    /// The longest latency in the table.
+    pub fn max_latency(&self) -> u32 {
+        *self.cycles.iter().max().expect("table is non-empty")
+    }
+}
+
+impl Default for LatencyTable {
+    /// Baseline latencies typical of the paper's era: 1-cycle int ALU and
+    /// branches, 3-cycle int multiply, 20-cycle int divide, 2-cycle FP add,
+    /// 4-cycle FP multiply, 24-cycle FP divide, 1-cycle AGU for memory ops.
+    fn default() -> Self {
+        Self {
+            cycles: [1, 3, 20, 2, 4, 24, 1, 1, 1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_index_roundtrip() {
+        for (i, class) in OP_CLASSES.iter().enumerate() {
+            assert_eq!(class.index(), i);
+        }
+    }
+
+    #[test]
+    fn fu_kind_index_roundtrip() {
+        for (i, kind) in FU_KINDS.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn memory_classes() {
+        assert!(OpClass::Load.is_memory());
+        assert!(OpClass::Store.is_memory());
+        for c in OP_CLASSES {
+            if !matches!(c, OpClass::Load | OpClass::Store) {
+                assert!(!c.is_memory(), "{c} should not be memory");
+            }
+        }
+    }
+
+    #[test]
+    fn branch_executes_on_int_alu() {
+        assert_eq!(OpClass::Branch.fu_kind(), FuKind::IntAlu);
+    }
+
+    #[test]
+    fn every_class_has_a_fu_kind() {
+        for c in OP_CLASSES {
+            // Must not panic, and the kind must be in the canonical list.
+            assert!(FU_KINDS.contains(&c.fu_kind()));
+        }
+    }
+
+    #[test]
+    fn fu_pool_rejects_zero() {
+        assert!(FuPool::new([0, 1, 1, 1, 1]).is_err());
+        assert!(FuPool::new([1, 1, 1, 1, 1]).is_ok());
+    }
+
+    #[test]
+    fn fu_pool_default_total() {
+        let pool = FuPool::default();
+        assert_eq!(pool.total(), 4 + 1 + 2 + 1 + 2);
+    }
+
+    #[test]
+    fn latency_table_rejects_zero() {
+        assert!(LatencyTable::new([1, 1, 1, 1, 0, 1, 1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn unit_table_is_all_ones() {
+        let t = LatencyTable::unit();
+        for c in OP_CLASSES {
+            assert_eq!(t.latency(c), 1);
+        }
+    }
+
+    #[test]
+    fn scaling_keeps_memory_and_minimum() {
+        let t = LatencyTable::default().scaled(2.0);
+        assert_eq!(t.latency(OpClass::Load), 1, "memory AGU latency unscaled");
+        assert_eq!(t.latency(OpClass::IntMul), 6);
+        assert_eq!(t.latency(OpClass::IntAlu), 2);
+        let down = LatencyTable::unit().scaled(0.01);
+        assert_eq!(down.latency(OpClass::IntAlu), 1, "clamps at 1");
+    }
+
+    #[test]
+    fn max_latency_default() {
+        assert_eq!(LatencyTable::default().max_latency(), 24);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for c in OP_CLASSES {
+            assert!(!c.to_string().is_empty());
+        }
+        for k in FU_KINDS {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

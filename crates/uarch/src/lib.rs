@@ -1,0 +1,44 @@
+//! Machine-configuration layer for the `mispredict` workspace.
+//!
+//! This crate is the bottom of the dependency stack: it defines the *plain
+//! data* that describes a superscalar out-of-order machine — pipeline
+//! widths, frontend depth, window/ROB sizes, functional-unit pools and
+//! latencies, cache geometry, and branch-predictor configuration. The
+//! simulator (`bmp-sim`), the analytical interval model (`bmp-core`) and
+//! the experiment harness all consume the same [`MachineConfig`], so a single
+//! configuration value fully determines an experiment's machine.
+//!
+//! The baseline machine ([`presets::baseline_4wide`]) follows the 4-wide
+//! out-of-order configuration used throughout Eyerman, Smith & Eeckhout,
+//! *"Characterizing the branch misprediction penalty"* (ISPASS 2006).
+//!
+//! # Examples
+//!
+//! ```
+//! use bmp_uarch::{presets, MachineConfig};
+//!
+//! let baseline: MachineConfig = presets::baseline_4wide();
+//! assert_eq!(baseline.dispatch_width, 4);
+//!
+//! // Derive a deep-pipeline variant for a frontend-depth sweep.
+//! let deep = baseline.to_builder().frontend_depth(20).build().unwrap();
+//! assert_eq!(deep.frontend_depth, 20);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache_cfg;
+mod config;
+mod error;
+mod fu;
+mod predictor_cfg;
+mod prefetch_cfg;
+pub mod presets;
+
+pub use cache_cfg::{CacheGeometry, HierarchyConfig, ReplacementKind};
+pub use config::{MachineConfig, MachineConfigBuilder};
+pub use error::ConfigError;
+pub use fu::{FuKind, FuPool, LatencyTable, OpClass, FU_KINDS, OP_CLASSES};
+pub use predictor_cfg::{IndirectPredictorConfig, PredictorConfig};
+pub use prefetch_cfg::PrefetchConfig;

@@ -1,0 +1,370 @@
+//! Branch-predictor configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// Selects and parameterizes the branch direction predictor.
+///
+/// The concrete predictor implementations live in the `bmp-branch` crate;
+/// this is the plain-data description carried inside a
+/// [`MachineConfig`](crate::MachineConfig).
+///
+/// # Examples
+///
+/// ```
+/// use bmp_uarch::PredictorConfig;
+///
+/// let cfg = PredictorConfig::GShare { entries: 4096, history_bits: 12 };
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorConfig {
+    /// Statically predict every branch taken.
+    AlwaysTaken,
+    /// Statically predict every branch not-taken.
+    AlwaysNotTaken,
+    /// Bimodal table of 2-bit saturating counters indexed by PC.
+    Bimodal {
+        /// Number of counters (power of two).
+        entries: u32,
+    },
+    /// Global-history gshare predictor.
+    GShare {
+        /// Number of counters (power of two).
+        entries: u32,
+        /// Global history length in bits (1..=24, and `2^history_bits`
+        /// must not exceed `entries`).
+        history_bits: u32,
+    },
+    /// Local two-level predictor (per-branch history tables).
+    Local {
+        /// Number of per-branch history registers (power of two).
+        history_entries: u32,
+        /// Local history length in bits (1..=16).
+        history_bits: u32,
+        /// Number of pattern-table counters (power of two).
+        pattern_entries: u32,
+    },
+    /// Tournament predictor: bimodal + gshare with a choice table.
+    Tournament {
+        /// Counters in each component and in the chooser (power of two).
+        entries: u32,
+        /// Global history length for the gshare component.
+        history_bits: u32,
+    },
+    /// Perceptron predictor (Jiménez & Lin, HPCA 2001): one weight vector
+    /// per PC hash over the global history.
+    Perceptron {
+        /// Number of perceptrons (power of two).
+        entries: u32,
+        /// Global history length in bits (1..=48).
+        history_bits: u32,
+    },
+    /// Oracle predictor: never mispredicts. Used to isolate other miss
+    /// events in knock-out experiments.
+    Perfect,
+}
+
+impl PredictorConfig {
+    /// Checks the structural validity of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if a table size is zero or not a power of
+    /// two, or if a history length is zero or implausibly large.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn pow2(name: &'static str, v: u32) -> Result<(), ConfigError> {
+            if v == 0 {
+                return Err(ConfigError::ZeroResource(name));
+            }
+            if !v.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo(name, u64::from(v)));
+            }
+            Ok(())
+        }
+        match *self {
+            PredictorConfig::AlwaysTaken
+            | PredictorConfig::AlwaysNotTaken
+            | PredictorConfig::Perfect => Ok(()),
+            PredictorConfig::Bimodal { entries } => pow2("bimodal entries", entries),
+            PredictorConfig::GShare {
+                entries,
+                history_bits,
+            } => {
+                pow2("gshare entries", entries)?;
+                if history_bits == 0 || history_bits > 24 {
+                    return Err(ConfigError::HistoryLength(history_bits));
+                }
+                if 1u64 << history_bits > u64::from(entries) {
+                    return Err(ConfigError::HistoryLength(history_bits));
+                }
+                Ok(())
+            }
+            PredictorConfig::Local {
+                history_entries,
+                history_bits,
+                pattern_entries,
+            } => {
+                pow2("local history entries", history_entries)?;
+                pow2("local pattern entries", pattern_entries)?;
+                if history_bits == 0 || history_bits > 16 {
+                    return Err(ConfigError::HistoryLength(history_bits));
+                }
+                if 1u64 << history_bits > u64::from(pattern_entries) {
+                    return Err(ConfigError::HistoryLength(history_bits));
+                }
+                Ok(())
+            }
+            PredictorConfig::Tournament {
+                entries,
+                history_bits,
+            } => {
+                pow2("tournament entries", entries)?;
+                if history_bits == 0 || history_bits > 24 {
+                    return Err(ConfigError::HistoryLength(history_bits));
+                }
+                if 1u64 << history_bits > u64::from(entries) {
+                    return Err(ConfigError::HistoryLength(history_bits));
+                }
+                Ok(())
+            }
+            PredictorConfig::Perceptron {
+                entries,
+                history_bits,
+            } => {
+                pow2("perceptron entries", entries)?;
+                if history_bits == 0 || history_bits > 48 {
+                    return Err(ConfigError::HistoryLength(history_bits));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// A short human-readable name, used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictorConfig::AlwaysTaken => "always-taken",
+            PredictorConfig::AlwaysNotTaken => "always-not-taken",
+            PredictorConfig::Bimodal { .. } => "bimodal",
+            PredictorConfig::GShare { .. } => "gshare",
+            PredictorConfig::Local { .. } => "local",
+            PredictorConfig::Tournament { .. } => "tournament",
+            PredictorConfig::Perceptron { .. } => "perceptron",
+            PredictorConfig::Perfect => "perfect",
+        }
+    }
+}
+
+impl Default for PredictorConfig {
+    /// The baseline predictor: a 4K-entry tournament (bimodal + gshare
+    /// with a chooser), the Alpha-21264-style hybrid of the paper's era.
+    fn default() -> Self {
+        PredictorConfig::Tournament {
+            entries: 4096,
+            history_bits: 12,
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            PredictorConfig::Bimodal { entries } => write!(f, "bimodal({entries})"),
+            PredictorConfig::GShare {
+                entries,
+                history_bits,
+            } => write!(f, "gshare({entries},h{history_bits})"),
+            PredictorConfig::Local {
+                history_entries,
+                history_bits,
+                pattern_entries,
+            } => write!(
+                f,
+                "local({history_entries},h{history_bits},{pattern_entries})"
+            ),
+            PredictorConfig::Tournament {
+                entries,
+                history_bits,
+            } => write!(f, "tournament({entries},h{history_bits})"),
+            PredictorConfig::Perceptron {
+                entries,
+                history_bits,
+            } => write!(f, "perceptron({entries},h{history_bits})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(PredictorConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn static_predictors_always_valid() {
+        assert!(PredictorConfig::AlwaysTaken.validate().is_ok());
+        assert!(PredictorConfig::AlwaysNotTaken.validate().is_ok());
+        assert!(PredictorConfig::Perfect.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_entries() {
+        assert!(PredictorConfig::Bimodal { entries: 1000 }
+            .validate()
+            .is_err());
+        assert!(PredictorConfig::Bimodal { entries: 1024 }
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_history_longer_than_index_space() {
+        let bad = PredictorConfig::GShare {
+            entries: 1024,
+            history_bits: 12,
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::HistoryLength(12))
+        ));
+        let good = PredictorConfig::GShare {
+            entries: 4096,
+            history_bits: 12,
+        };
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_history() {
+        let bad = PredictorConfig::GShare {
+            entries: 4096,
+            history_bits: 0,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn local_validation() {
+        let good = PredictorConfig::Local {
+            history_entries: 1024,
+            history_bits: 10,
+            pattern_entries: 1024,
+        };
+        assert!(good.validate().is_ok());
+        let bad = PredictorConfig::Local {
+            history_entries: 1024,
+            history_bits: 12,
+            pattern_entries: 1024,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PredictorConfig::Perfect.to_string(), "perfect");
+        assert!(PredictorConfig::default()
+            .to_string()
+            .starts_with("tournament"));
+    }
+}
+
+/// Selects the indirect-branch *target* predictor.
+///
+/// Direct branches get their targets from the BTB either way; this only
+/// affects [`BranchKind::IndirectJump`]-style transfers whose target
+/// varies at run time.
+///
+/// [`BranchKind::IndirectJump`]: https://docs.rs/bmp-trace
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum IndirectPredictorConfig {
+    /// Predict the BTB's last-seen target (the classic baseline).
+    #[default]
+    BtbLastTarget,
+    /// A history-hashed target cache ("gtarget", an ITTAGE ancestor):
+    /// indexed by PC xor a target-history register, with tags. Learns
+    /// cyclic and context-dependent target sequences the BTB cannot.
+    GTarget {
+        /// Table entries (power of two).
+        entries: u32,
+        /// Target-history length in hashed bits (1..=16).
+        history_bits: u32,
+    },
+}
+
+impl IndirectPredictorConfig {
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on a non-power-of-two table or a history
+    /// length of 0 or more than 16 bits.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match *self {
+            IndirectPredictorConfig::BtbLastTarget => Ok(()),
+            IndirectPredictorConfig::GTarget {
+                entries,
+                history_bits,
+            } => {
+                if entries == 0 {
+                    return Err(ConfigError::ZeroResource("gtarget entries"));
+                }
+                if !entries.is_power_of_two() {
+                    return Err(ConfigError::NotPowerOfTwo(
+                        "gtarget entries",
+                        u64::from(entries),
+                    ));
+                }
+                if history_bits == 0 || history_bits > 16 {
+                    return Err(ConfigError::HistoryLength(history_bits));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndirectPredictorConfig::BtbLastTarget => "btb-last-target",
+            IndirectPredictorConfig::GTarget { .. } => "gtarget",
+        }
+    }
+}
+
+#[cfg(test)]
+mod indirect_tests {
+    use super::*;
+
+    #[test]
+    fn default_and_validation() {
+        assert_eq!(
+            IndirectPredictorConfig::default(),
+            IndirectPredictorConfig::BtbLastTarget
+        );
+        assert!(IndirectPredictorConfig::BtbLastTarget.validate().is_ok());
+        assert!(IndirectPredictorConfig::GTarget {
+            entries: 512,
+            history_bits: 8
+        }
+        .validate()
+        .is_ok());
+        assert!(IndirectPredictorConfig::GTarget {
+            entries: 500,
+            history_bits: 8
+        }
+        .validate()
+        .is_err());
+        assert!(IndirectPredictorConfig::GTarget {
+            entries: 512,
+            history_bits: 0
+        }
+        .validate()
+        .is_err());
+    }
+}

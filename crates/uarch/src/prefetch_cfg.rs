@@ -1,0 +1,119 @@
+//! Hardware-prefetcher configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ConfigError;
+
+/// Configuration of the (optional) hardware prefetchers.
+///
+/// Prefetching attacks contributor (v) of the misprediction penalty —
+/// short D-cache misses that stretch the chains feeding a branch — and
+/// the I-cache miss events; experiment E-X4 quantifies both.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_uarch::PrefetchConfig;
+///
+/// let p = PrefetchConfig::aggressive();
+/// assert!(p.l1d_stride && p.l1i_next_line);
+/// assert!(p.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PrefetchConfig {
+    /// Next-line instruction prefetch: an L1I miss also fills the
+    /// following line.
+    pub l1i_next_line: bool,
+    /// PC-indexed stride prefetcher (reference prediction table) on the
+    /// data side.
+    pub l1d_stride: bool,
+    /// Entries in the stride table (power of two).
+    pub stride_table_entries: u32,
+    /// Prefetch degree: lines fetched ahead once a stride is confident.
+    pub degree: u32,
+}
+
+impl PrefetchConfig {
+    /// Both prefetchers off (the baseline, matching the paper's era).
+    pub fn off() -> Self {
+        Self {
+            l1i_next_line: false,
+            l1d_stride: false,
+            stride_table_entries: 64,
+            degree: 2,
+        }
+    }
+
+    /// Next-line I-prefetch plus a 64-entry, degree-2 stride prefetcher.
+    pub fn aggressive() -> Self {
+        Self {
+            l1i_next_line: true,
+            l1d_stride: true,
+            stride_table_entries: 64,
+            degree: 2,
+        }
+    }
+
+    /// Checks structural validity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the stride table is not a power of
+    /// two or the degree is zero while the stride prefetcher is enabled.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.l1d_stride {
+            if self.stride_table_entries == 0 {
+                return Err(ConfigError::ZeroResource("stride table entries"));
+            }
+            if !self.stride_table_entries.is_power_of_two() {
+                return Err(ConfigError::NotPowerOfTwo(
+                    "stride table entries",
+                    u64::from(self.stride_table_entries),
+                ));
+            }
+            if self.degree == 0 {
+                return Err(ConfigError::ZeroResource("prefetch degree"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PrefetchConfig {
+    /// Prefetching off.
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_valid() {
+        assert!(PrefetchConfig::off().validate().is_ok());
+        assert!(PrefetchConfig::aggressive().validate().is_ok());
+        assert_eq!(PrefetchConfig::default(), PrefetchConfig::off());
+    }
+
+    #[test]
+    fn rejects_bad_stride_table() {
+        let mut p = PrefetchConfig::aggressive();
+        p.stride_table_entries = 100;
+        assert!(p.validate().is_err());
+        p.stride_table_entries = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_degree_when_enabled() {
+        let mut p = PrefetchConfig::aggressive();
+        p.degree = 0;
+        assert!(p.validate().is_err());
+        // Irrelevant when the stride prefetcher is off.
+        let mut off = PrefetchConfig::off();
+        off.degree = 0;
+        assert!(off.validate().is_ok());
+    }
+}

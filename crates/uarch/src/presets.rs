@@ -1,0 +1,204 @@
+//! Ready-made machine configurations.
+//!
+//! [`baseline_4wide`] reproduces the class of machine evaluated in the
+//! paper: a 4-wide out-of-order superscalar with a 5-stage frontend, a
+//! 64-entry issue window backed by a 128-entry ROB, a gshare predictor, and
+//! a two-level cache hierarchy. The other presets are the sweep variants
+//! used by the sensitivity experiments (E-F6 .. E-F9).
+
+use crate::cache_cfg::{CacheGeometry, HierarchyConfig};
+use crate::config::{MachineConfig, MachineConfigBuilder};
+use crate::fu::{FuPool, LatencyTable};
+use crate::predictor_cfg::{IndirectPredictorConfig, PredictorConfig};
+
+/// The baseline 4-wide out-of-order machine (experiment table E-T1).
+///
+/// # Examples
+///
+/// ```
+/// let cfg = bmp_uarch::presets::baseline_4wide();
+/// assert_eq!(cfg.dispatch_width, 4);
+/// assert_eq!(cfg.frontend_depth, 5);
+/// assert!(cfg.validate().is_ok());
+/// ```
+pub fn baseline_4wide() -> MachineConfig {
+    let cfg = MachineConfig {
+        fetch_width: 4,
+        dispatch_width: 4,
+        issue_width: 4,
+        commit_width: 4,
+        frontend_depth: 5,
+        window_size: 64,
+        rob_size: 128,
+        fus: FuPool::default(),
+        latencies: LatencyTable::default(),
+        caches: HierarchyConfig::default(),
+        predictor: PredictorConfig::default(),
+        indirect_predictor: IndirectPredictorConfig::default(),
+        btb_entries: 2048,
+        ras_entries: 16,
+    };
+    debug_assert!(cfg.validate().is_ok());
+    cfg
+}
+
+/// A wider, more aggressive 8-wide machine for contrast experiments.
+///
+/// # Panics
+///
+/// Never panics; the preset is statically valid.
+pub fn wide_8way() -> MachineConfig {
+    baseline_4wide()
+        .to_builder()
+        .width(8)
+        .window_size(128)
+        .rob_size(256)
+        .build()
+        .expect("preset is valid")
+}
+
+/// The baseline machine with the frontend deepened to `depth` stages
+/// (the E-F6 pipeline-depth sweep).
+///
+/// # Errors
+///
+/// Returns an error if `depth` is zero.
+pub fn deep_frontend(depth: u32) -> Result<MachineConfig, crate::ConfigError> {
+    baseline_4wide().to_builder().frontend_depth(depth).build()
+}
+
+/// The baseline machine with all non-memory functional-unit latencies
+/// scaled by `factor` (the E-F7 latency sweep).
+pub fn scaled_latencies(factor: f64) -> MachineConfig {
+    let lat = LatencyTable::default().scaled(factor);
+    baseline_4wide()
+        .to_builder()
+        .latencies(lat)
+        .build()
+        .expect("scaling preserves validity")
+}
+
+/// The baseline machine with an L1 data cache of `size_bytes`
+/// (the E-F9 short-miss sweep). Line size, associativity and latencies are
+/// kept at baseline values.
+///
+/// # Errors
+///
+/// Returns an error if `size_bytes` does not form a valid geometry with
+/// 64-byte lines and 4 ways.
+pub fn l1d_sized(size_bytes: u64) -> Result<MachineConfig, crate::ConfigError> {
+    let base = HierarchyConfig::default();
+    let l1d = CacheGeometry::new(size_bytes, 64, 4, 2)?;
+    let caches = HierarchyConfig::new(base.l1i(), l1d, base.l2(), base.mem_latency())?;
+    baseline_4wide().to_builder().caches(caches).build()
+}
+
+/// The baseline machine with a perfect branch predictor; isolates the other
+/// miss events in knock-out runs.
+pub fn perfect_branches() -> MachineConfig {
+    baseline_4wide()
+        .to_builder()
+        .predictor(PredictorConfig::Perfect)
+        .build()
+        .expect("preset is valid")
+}
+
+/// An Alpha-21264-flavored configuration: 4-wide, short frontend, the
+/// tournament predictor the real chip pioneered.
+pub fn alpha21264_like() -> MachineConfig {
+    baseline_4wide()
+        .to_builder()
+        .frontend_depth(7)
+        .window_size(64)
+        .rob_size(80)
+        .predictor(PredictorConfig::Tournament {
+            entries: 4096,
+            history_bits: 12,
+        })
+        .build()
+        .expect("preset is valid")
+}
+
+/// A Pentium-4-flavored deep-pipeline configuration: a 20-plus-stage
+/// frontend chasing clock frequency — the design point whose
+/// misprediction penalty this paper's framework explains.
+pub fn pentium4_like() -> MachineConfig {
+    baseline_4wide()
+        .to_builder()
+        .width(3)
+        .frontend_depth(20)
+        .window_size(64)
+        .rob_size(128)
+        .build()
+        .expect("preset is valid")
+}
+
+/// A small machine for fast unit tests: 2-wide, shallow, tiny caches.
+pub fn test_tiny() -> MachineConfig {
+    let l1 = CacheGeometry::new(1024, 64, 2, 1).expect("valid tiny L1");
+    let l2 = CacheGeometry::new(8192, 64, 4, 6).expect("valid tiny L2");
+    let caches = HierarchyConfig::new(l1, l1, Some(l2), 50).expect("valid tiny hierarchy");
+    MachineConfigBuilder::new()
+        .width(2)
+        .frontend_depth(3)
+        .window_size(16)
+        .rob_size(32)
+        .caches(caches)
+        .btb_entries(64)
+        .build()
+        .expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_valid() {
+        assert!(baseline_4wide().validate().is_ok());
+        assert!(wide_8way().validate().is_ok());
+        assert!(perfect_branches().validate().is_ok());
+        assert!(test_tiny().validate().is_ok());
+        assert!(scaled_latencies(2.0).validate().is_ok());
+        assert!(alpha21264_like().validate().is_ok());
+        assert!(pentium4_like().validate().is_ok());
+    }
+
+    #[test]
+    fn era_presets_have_their_signatures() {
+        assert_eq!(alpha21264_like().frontend_depth, 7);
+        assert_eq!(pentium4_like().frontend_depth, 20);
+        assert!(pentium4_like().frontend_depth > alpha21264_like().frontend_depth);
+    }
+
+    #[test]
+    fn deep_frontend_sweep() {
+        for depth in [1, 5, 10, 20, 40] {
+            let cfg = deep_frontend(depth).unwrap();
+            assert_eq!(cfg.frontend_depth, depth);
+        }
+        assert!(deep_frontend(0).is_err());
+    }
+
+    #[test]
+    fn l1d_sweep() {
+        for size in [4096, 8192, 16384, 32768, 65536] {
+            let cfg = l1d_sized(size).unwrap();
+            assert_eq!(cfg.caches.l1d().size_bytes(), size);
+            // L1I untouched.
+            assert_eq!(cfg.caches.l1i().size_bytes(), 32 * 1024);
+        }
+    }
+
+    #[test]
+    fn perfect_branches_uses_oracle() {
+        assert_eq!(perfect_branches().predictor, PredictorConfig::Perfect);
+    }
+
+    #[test]
+    fn wide_preset_scales_buffers() {
+        let cfg = wide_8way();
+        assert_eq!(cfg.dispatch_width, 8);
+        assert!(cfg.window_size >= baseline_4wide().window_size);
+    }
+}

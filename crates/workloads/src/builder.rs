@@ -1,0 +1,216 @@
+//! Ergonomic construction of [`WorkloadProfile`]s.
+//!
+//! The profile struct nests three sub-models; the builder flattens the
+//! common knobs into one chain and validates at the end, so custom
+//! workloads read as a sentence:
+//!
+//! ```
+//! use bmp_workloads::ProfileBuilder;
+//!
+//! let p = ProfileBuilder::new("my-kernel")
+//!     .loads(0.30)
+//!     .block_size(6.0)
+//!     .hard_branches(0.25)
+//!     .dependence_distance(2.5)
+//!     .working_set(16 * 1024, 128 * 1024)
+//!     .pointer_chase(0.2)
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(p.name, "my-kernel");
+//! assert!(p.validate().is_ok());
+//! ```
+
+use crate::profile::{ProfileError, WorkloadProfile};
+
+/// Builder for [`WorkloadProfile`]; see the [module docs](self).
+///
+/// Starts from [`WorkloadProfile::default`] — every setter overrides one
+/// aspect, and [`build`](ProfileBuilder::build) validates.
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    profile: WorkloadProfile,
+}
+
+impl ProfileBuilder {
+    /// Creates a builder for a profile named `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            profile: WorkloadProfile {
+                name: name.to_owned(),
+                ..WorkloadProfile::default()
+            },
+        }
+    }
+
+    /// Starts from an existing profile (e.g. a [`spec`](crate::spec)
+    /// benchmark) for derived variants.
+    pub fn from_profile(profile: WorkloadProfile) -> Self {
+        Self { profile }
+    }
+
+    /// Fraction of body instructions that are loads.
+    pub fn loads(mut self, frac: f64) -> Self {
+        self.profile.load_frac = frac;
+        self
+    }
+
+    /// Fraction of body instructions that are stores.
+    pub fn stores(mut self, frac: f64) -> Self {
+        self.profile.store_frac = frac;
+        self
+    }
+
+    /// Total floating-point fraction, split 50/40/10 across add,
+    /// multiply and divide as in the SPEC-like profiles.
+    pub fn floating_point(mut self, frac: f64) -> Self {
+        self.profile.fp_add_frac = frac * 0.5;
+        self.profile.fp_mul_frac = frac * 0.4;
+        self.profile.fp_div_frac = frac * 0.1;
+        self
+    }
+
+    /// Mean register dependence distance (inherent ILP, contributor iii).
+    pub fn dependence_distance(mut self, mean: f64) -> Self {
+        self.profile.deps.mean_distance = mean;
+        self
+    }
+
+    /// Mean dynamic basic-block size (branch density).
+    pub fn block_size(mut self, mean: f64) -> Self {
+        self.profile.branches.avg_block_size = mean;
+        self
+    }
+
+    /// Static code footprint in bytes (I-cache pressure).
+    pub fn code_footprint(mut self, bytes: u64) -> Self {
+        self.profile.branches.code_footprint = bytes;
+        self
+    }
+
+    /// Fraction of branch sites that are *hard* (weakly biased); the
+    /// remainder is split between easy and pattern sites in the default
+    /// 3:1 ratio.
+    pub fn hard_branches(mut self, frac: f64) -> Self {
+        let rest = (1.0 - frac).max(0.0);
+        self.profile.branches.easy_frac = rest * 0.75;
+        self.profile.branches.pattern_frac = rest * 0.25;
+        self
+    }
+
+    /// Fraction of blocks ending in indirect dispatch.
+    pub fn indirect(mut self, frac: f64) -> Self {
+        self.profile.branches.indirect_frac = frac;
+        self
+    }
+
+    /// Hot (L1-resident) and warm (L2-resident) working-set sizes in
+    /// bytes, with the default 0.85/0.12 access split.
+    pub fn working_set(mut self, hot_bytes: u64, warm_bytes: u64) -> Self {
+        self.profile.memory.hot_bytes = hot_bytes;
+        self.profile.memory.warm_bytes = warm_bytes;
+        self
+    }
+
+    /// Probability split of data accesses across hot/warm (the rest goes
+    /// cold — long misses).
+    pub fn access_split(mut self, hot_frac: f64, warm_frac: f64) -> Self {
+        self.profile.memory.hot_frac = hot_frac;
+        self.profile.memory.warm_frac = warm_frac;
+        self
+    }
+
+    /// Fraction of loads whose address depends on the previous load.
+    pub fn pointer_chase(mut self, frac: f64) -> Self {
+        self.profile.memory.pointer_chase_frac = frac;
+        self
+    }
+
+    /// Fraction of data accesses that stream sequentially (stride
+    /// prefetcher fodder).
+    pub fn streams(mut self, frac: f64) -> Self {
+        self.profile.memory.stream_frac = frac;
+        self
+    }
+
+    /// Validates and returns the profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProfileError`] found.
+    pub fn build(self) -> Result<WorkloadProfile, ProfileError> {
+        self.profile.validate()?;
+        Ok(self.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build() {
+        let p = ProfileBuilder::new("x").build().unwrap();
+        assert_eq!(p.name, "x");
+    }
+
+    #[test]
+    fn setters_land_in_the_right_places() {
+        let p = ProfileBuilder::new("y")
+            .loads(0.3)
+            .stores(0.05)
+            .floating_point(0.2)
+            .dependence_distance(3.0)
+            .block_size(5.0)
+            .code_footprint(128 * 1024)
+            .hard_branches(0.4)
+            .indirect(0.01)
+            .working_set(8 * 1024, 64 * 1024)
+            .access_split(0.9, 0.08)
+            .pointer_chase(0.15)
+            .streams(0.1)
+            .build()
+            .unwrap();
+        assert_eq!(p.load_frac, 0.3);
+        assert!((p.fp_add_frac - 0.1).abs() < 1e-12);
+        assert_eq!(p.deps.mean_distance, 3.0);
+        assert_eq!(p.branches.code_footprint, 128 * 1024);
+        assert!((p.branches.easy_frac - 0.45).abs() < 1e-12);
+        assert!((p.branches.pattern_frac - 0.15).abs() < 1e-12);
+        assert_eq!(p.memory.hot_bytes, 8 * 1024);
+        assert_eq!(p.memory.pointer_chase_frac, 0.15);
+    }
+
+    #[test]
+    fn invalid_combinations_error() {
+        assert!(ProfileBuilder::new("bad")
+            .loads(0.9)
+            .stores(0.9)
+            .build()
+            .is_err());
+        assert!(ProfileBuilder::new("bad")
+            .access_split(0.9, 0.9)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn derived_variants_start_from_base() {
+        let base = crate::spec::by_name("gzip").expect("known");
+        let hot = base.memory.hot_bytes;
+        let variant = ProfileBuilder::from_profile(base)
+            .hard_branches(0.5)
+            .build()
+            .unwrap();
+        assert_eq!(variant.memory.hot_bytes, hot, "memory untouched");
+        assert!((variant.branches.easy_frac - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn built_profiles_generate() {
+        let p = ProfileBuilder::new("gen")
+            .hard_branches(0.3)
+            .build()
+            .unwrap();
+        assert_eq!(p.generate(2_000, 1).len(), 2_000);
+    }
+}

@@ -1,0 +1,45 @@
+//! Workload synthesis for the `mispredict` workspace.
+//!
+//! The paper evaluates on SPEC CPU2000 integer binaries, which are not
+//! available here. Interval analysis, however, consumes only the
+//! *statistical structure* of the dynamic instruction stream — the
+//! instruction mix, the register dependence-distance profile, branch
+//! predictability, and cache working-set behaviour. This crate synthesizes
+//! dynamic traces with precisely those properties controlled:
+//!
+//! * [`WorkloadProfile`] — the knobs: body instruction mix, dependence
+//!   model, control-flow structure (basic-block sizes, code footprint,
+//!   branch-bias population) and memory working sets;
+//! * [`spec`] — twelve SPECint2000-named profiles with parameters chosen
+//!   to land in the qualitative regime of each benchmark (bursty vs. not,
+//!   predictable vs. not, cache-friendly vs. not);
+//! * [`micro`] — controlled microbenchmarks that pin a single contributor
+//!   (dependence-chain length, ILP, pointer chasing, branch bias) for the
+//!   sensitivity experiments E-F7/E-F8.
+//!
+//! Generation is fully deterministic given a seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use bmp_workloads::spec;
+//!
+//! let profile = spec::by_name("gcc").unwrap();
+//! let trace = profile.generate(10_000, 42);
+//! assert_eq!(trace.len(), 10_000);
+//! // Determinism: same seed, same trace.
+//! assert_eq!(trace, profile.generate(10_000, 42));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod generator;
+pub mod micro;
+pub mod phases;
+mod profile;
+pub mod spec;
+
+pub use builder::ProfileBuilder;
+pub use profile::{BranchModel, DependenceModel, MemoryModel, ProfileError, WorkloadProfile};

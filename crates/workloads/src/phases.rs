@@ -1,0 +1,166 @@
+//! Phased workloads: programs whose statistical behaviour changes over
+//! time.
+//!
+//! Real programs run in phases — an input-parsing phase looks nothing
+//! like the solver that follows it. For interval analysis this matters
+//! because miss-event *density* changes at phase boundaries, which moves
+//! the interval-length distribution (contributor ii) mid-run.
+//!
+//! [`phased`] concatenates per-phase synthetic traces over the same code
+//! region (the phases of one program share a binary), inserting a gluing
+//! jump at each seam so the whole trace still satisfies the control-flow
+//! invariant `ops[i+1].pc() == ops[i].next_pc()`.
+
+use bmp_trace::{BranchKind, MicroOp, Trace};
+
+use crate::profile::WorkloadProfile;
+
+/// One phase: a behaviour profile and how many instructions it runs.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// The behaviour during this phase.
+    pub profile: WorkloadProfile,
+    /// Dynamic instructions in this phase (must be at least 2).
+    pub ops: usize,
+}
+
+/// Generates a phased trace: each phase synthesized from its profile,
+/// glued with explicit jumps so control flow stays consistent across
+/// seams.
+///
+/// The total length is the sum of phase lengths plus one gluing jump per
+/// seam.
+///
+/// # Panics
+///
+/// Panics if `phases` is empty, any phase has fewer than 2 ops, or any
+/// profile fails validation.
+///
+/// # Examples
+///
+/// ```
+/// use bmp_workloads::{phases, spec};
+///
+/// let trace = phases::phased(
+///     &[
+///         phases::Phase { profile: spec::by_name("gzip").unwrap(), ops: 5_000 },
+///         phases::Phase { profile: spec::by_name("mcf").unwrap(), ops: 5_000 },
+///     ],
+///     42,
+/// );
+/// assert_eq!(trace.len(), 10_001); // 2 phases + 1 gluing jump
+/// ```
+pub fn phased(phases: &[Phase], seed: u64) -> Trace {
+    assert!(!phases.is_empty(), "need at least one phase");
+    let mut ops: Vec<MicroOp> = Vec::new();
+    for (i, phase) in phases.iter().enumerate() {
+        assert!(phase.ops >= 2, "phase {i} must run at least 2 instructions");
+        let segment = phase
+            .profile
+            .generate(phase.ops, seed.wrapping_add(i as u64));
+        if let (Some(last), Some(first)) = (ops.last().copied(), segment.get(0)) {
+            // Glue: an unconditional jump from where the previous phase
+            // stopped to where this one starts.
+            ops.push(MicroOp::branch(
+                last.next_pc(),
+                BranchKind::Jump,
+                true,
+                first.pc(),
+                [None, None],
+            ));
+        }
+        ops.extend(segment.iter().copied());
+    }
+    Trace::from_ops_unchecked(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec;
+
+    fn two_phase(ops: usize) -> Trace {
+        phased(
+            &[
+                Phase {
+                    profile: spec::by_name("crafty").expect("known"),
+                    ops,
+                },
+                Phase {
+                    profile: spec::by_name("twolf").expect("known"),
+                    ops,
+                },
+            ],
+            7,
+        )
+    }
+
+    #[test]
+    fn lengths_add_up_with_glue() {
+        let t = two_phase(4_000);
+        assert_eq!(t.len(), 8_001);
+    }
+
+    #[test]
+    fn control_flow_invariant_holds_across_seams() {
+        let t = two_phase(4_000);
+        for pair in t.ops().windows(2) {
+            assert_eq!(
+                pair[0].next_pc(),
+                pair[1].pc(),
+                "seam broke control flow after {:?}",
+                pair[0]
+            );
+        }
+    }
+
+    #[test]
+    fn phase_behaviour_actually_changes() {
+        // crafty-like first half is much more predictable than the
+        // twolf-like second half.
+        let t = two_phase(20_000);
+        let half = t.len() / 2;
+        let hardness = |ops: &[bmp_trace::MicroOp]| {
+            use std::collections::HashMap;
+            let mut per_site: HashMap<u64, (u64, u64)> = HashMap::new();
+            for op in ops {
+                if op.is_conditional_branch() {
+                    let e = per_site.entry(op.pc()).or_default();
+                    if op.branch_info().expect("branch").taken {
+                        e.0 += 1;
+                    } else {
+                        e.1 += 1;
+                    }
+                }
+            }
+            let total: u64 = per_site.values().map(|(a, b)| a + b).sum();
+            let minority: u64 = per_site.values().map(|(a, b)| (*a).min(*b)).sum();
+            minority as f64 / total.max(1) as f64
+        };
+        let first = hardness(&t.ops()[..half]);
+        let second = hardness(&t.ops()[half..]);
+        assert!(
+            second > first * 1.5,
+            "twolf phase must be harder: {first} vs {second}"
+        );
+    }
+
+    #[test]
+    fn single_phase_equals_plain_generation() {
+        let profile = spec::by_name("gzip").expect("known");
+        let t = phased(
+            &[Phase {
+                profile: profile.clone(),
+                ops: 3_000,
+            }],
+            9,
+        );
+        assert_eq!(t, profile.generate(3_000, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn rejects_empty() {
+        let _ = phased(&[], 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! The workload profile: every statistical knob of a synthetic benchmark.
+
+use bmp_trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Error produced when a profile's parameters are inconsistent.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ProfileError {
+    /// A fraction was outside `[0, 1]`.
+    FractionOutOfRange(&'static str, f64),
+    /// The body instruction-mix fractions sum to more than 1.
+    MixOverflows(f64),
+    /// A size or mean that must be positive was not.
+    NonPositive(&'static str, f64),
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::FractionOutOfRange(name, v) => {
+                write!(f, "{name} must be within [0, 1], got {v}")
+            }
+            ProfileError::MixOverflows(sum) => {
+                write!(f, "body instruction mix sums to {sum}, exceeding 1")
+            }
+            ProfileError::NonPositive(name, v) => {
+                write!(f, "{name} must be positive, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Register dependence structure of the synthetic body instructions —
+/// controls contributor (iii), the program's inherent ILP.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DependenceModel {
+    /// Mean register dependence distance; distances are drawn from a
+    /// truncated geometric distribution with this mean. Small values mean
+    /// long chains and low ILP.
+    pub mean_distance: f64,
+    /// Largest distance drawn (the truncation point).
+    pub max_distance: u32,
+    /// Probability an op has no register source at all.
+    pub no_src_frac: f64,
+    /// Probability an op has a second register source.
+    pub two_src_frac: f64,
+}
+
+impl Default for DependenceModel {
+    fn default() -> Self {
+        Self {
+            mean_distance: 4.0,
+            max_distance: 64,
+            no_src_frac: 0.15,
+            two_src_frac: 0.35,
+        }
+    }
+}
+
+/// Control-flow structure: code footprint, basic-block sizes and the
+/// predictability of the conditional-branch population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchModel {
+    /// Mean dynamic basic-block size (instructions per block, including
+    /// the terminating branch). Geometrically distributed with this mean.
+    pub avg_block_size: f64,
+    /// Static code footprint in bytes; drives I-cache behaviour.
+    pub code_footprint: u64,
+    /// Fraction of conditional-branch *sites* that are strongly biased
+    /// (easy for any predictor).
+    pub easy_frac: f64,
+    /// Fraction of sites following a short deterministic loop pattern
+    /// (easy for history-based predictors, hard for bimodal).
+    pub pattern_frac: f64,
+    /// Remaining sites draw a taken-bias uniformly from
+    /// `[0.5 - hard_spread, 0.5 + hard_spread]` — the hard population.
+    pub hard_spread: f64,
+    /// Fraction of taken control transfers that are calls (matched by
+    /// returns).
+    pub call_frac: f64,
+    /// Fraction of blocks ending in an *indirect* jump (switch dispatch,
+    /// virtual call): its target varies at run time, so the BTB
+    /// mispredicts whenever the target changes.
+    pub indirect_frac: f64,
+    /// Probability a conditional branch's taken edge loops backward to a
+    /// nearby block (locality) rather than jumping far.
+    pub loop_back_frac: f64,
+}
+
+impl Default for BranchModel {
+    fn default() -> Self {
+        Self {
+            avg_block_size: 8.0,
+            code_footprint: 64 * 1024,
+            easy_frac: 0.6,
+            pattern_frac: 0.2,
+            hard_spread: 0.3,
+            call_frac: 0.04,
+            indirect_frac: 0.005,
+            loop_back_frac: 0.7,
+        }
+    }
+}
+
+/// Data-memory behaviour: working sets and pointer chasing — controls
+/// contributor (v) (short misses) and the long-miss event rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Size of the hot region (intended to fit in L1D).
+    pub hot_bytes: u64,
+    /// Size of the warm region (intended to fit in L2).
+    pub warm_bytes: u64,
+    /// Size of the cold region (larger than L2).
+    pub cold_bytes: u64,
+    /// Probability a data access targets the hot region.
+    pub hot_frac: f64,
+    /// Probability a data access targets the warm region (the remainder
+    /// goes to the cold region).
+    pub warm_frac: f64,
+    /// Fraction of loads whose *address* depends on the previous load
+    /// (pointer chasing — serializes the memory chain).
+    pub pointer_chase_frac: f64,
+    /// Probability a warm- or cold-region access reuses a recently
+    /// touched line instead of a fresh random one — the temporal locality
+    /// that keeps compulsory misses from dominating laptop-scale traces.
+    pub region_reuse: f64,
+    /// Fraction of data accesses that walk *sequentially* through the
+    /// warm region (streaming, as in compression or copying) — the access
+    /// pattern stride prefetchers exploit.
+    pub stream_frac: f64,
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        Self {
+            hot_bytes: 16 * 1024,
+            warm_bytes: 256 * 1024,
+            cold_bytes: 64 * 1024 * 1024,
+            hot_frac: 0.85,
+            warm_frac: 0.12,
+            pointer_chase_frac: 0.05,
+            region_reuse: 0.75,
+            stream_frac: 0.10,
+        }
+    }
+}
+
+/// A complete synthetic-benchmark description.
+///
+/// Body instruction-mix fractions cover the non-branch instructions of
+/// each basic block; whatever is left after loads, stores and the long-
+/// latency classes becomes single-cycle integer ALU work. Branch density
+/// is controlled by [`BranchModel::avg_block_size`].
+///
+/// # Examples
+///
+/// ```
+/// use bmp_workloads::WorkloadProfile;
+///
+/// let p = WorkloadProfile::default();
+/// assert!(p.validate().is_ok());
+/// let t = p.generate(5_000, 7);
+/// assert_eq!(t.len(), 5_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Display name (benchmark name for the SPEC-like profiles).
+    pub name: String,
+    /// Fraction of body ops that are loads.
+    pub load_frac: f64,
+    /// Fraction of body ops that are stores.
+    pub store_frac: f64,
+    /// Fraction of body ops that are integer multiplies.
+    pub int_mul_frac: f64,
+    /// Fraction of body ops that are integer divides.
+    pub int_div_frac: f64,
+    /// Fraction of body ops that are FP adds.
+    pub fp_add_frac: f64,
+    /// Fraction of body ops that are FP multiplies.
+    pub fp_mul_frac: f64,
+    /// Fraction of body ops that are FP divides.
+    pub fp_div_frac: f64,
+    /// Register dependence structure.
+    pub deps: DependenceModel,
+    /// Control-flow structure.
+    pub branches: BranchModel,
+    /// Data-memory behaviour.
+    pub memory: MemoryModel,
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> Self {
+        Self {
+            name: "default".to_owned(),
+            load_frac: 0.25,
+            store_frac: 0.12,
+            int_mul_frac: 0.01,
+            int_div_frac: 0.001,
+            fp_add_frac: 0.0,
+            fp_mul_frac: 0.0,
+            fp_div_frac: 0.0,
+            deps: DependenceModel::default(),
+            branches: BranchModel::default(),
+            memory: MemoryModel::default(),
+        }
+    }
+}
+
+impl WorkloadProfile {
+    /// Checks that all fractions are within range and consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found; see [`ProfileError`].
+    pub fn validate(&self) -> Result<(), ProfileError> {
+        let fracs = [
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("int_mul_frac", self.int_mul_frac),
+            ("int_div_frac", self.int_div_frac),
+            ("fp_add_frac", self.fp_add_frac),
+            ("fp_mul_frac", self.fp_mul_frac),
+            ("fp_div_frac", self.fp_div_frac),
+            ("no_src_frac", self.deps.no_src_frac),
+            ("two_src_frac", self.deps.two_src_frac),
+            ("easy_frac", self.branches.easy_frac),
+            ("pattern_frac", self.branches.pattern_frac),
+            ("call_frac", self.branches.call_frac),
+            ("indirect_frac", self.branches.indirect_frac),
+            ("loop_back_frac", self.branches.loop_back_frac),
+            ("hot_frac", self.memory.hot_frac),
+            ("warm_frac", self.memory.warm_frac),
+            ("pointer_chase_frac", self.memory.pointer_chase_frac),
+            ("region_reuse", self.memory.region_reuse),
+            ("stream_frac", self.memory.stream_frac),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ProfileError::FractionOutOfRange(name, v));
+            }
+        }
+        let mix = self.load_frac
+            + self.store_frac
+            + self.int_mul_frac
+            + self.int_div_frac
+            + self.fp_add_frac
+            + self.fp_mul_frac
+            + self.fp_div_frac;
+        if mix > 1.0 {
+            return Err(ProfileError::MixOverflows(mix));
+        }
+        if self.branches.easy_frac + self.branches.pattern_frac > 1.0 {
+            return Err(ProfileError::FractionOutOfRange(
+                "easy_frac + pattern_frac",
+                self.branches.easy_frac + self.branches.pattern_frac,
+            ));
+        }
+        if self.memory.hot_frac + self.memory.warm_frac > 1.0 {
+            return Err(ProfileError::FractionOutOfRange(
+                "hot_frac + warm_frac",
+                self.memory.hot_frac + self.memory.warm_frac,
+            ));
+        }
+        if !(self.branches.hard_spread >= 0.0 && self.branches.hard_spread <= 0.5) {
+            return Err(ProfileError::FractionOutOfRange(
+                "hard_spread",
+                self.branches.hard_spread,
+            ));
+        }
+        for (name, v) in [
+            ("mean_distance", self.deps.mean_distance),
+            ("avg_block_size", self.branches.avg_block_size),
+            ("code_footprint", self.branches.code_footprint as f64),
+            ("hot_bytes", self.memory.hot_bytes as f64),
+            ("warm_bytes", self.memory.warm_bytes as f64),
+            ("cold_bytes", self.memory.cold_bytes as f64),
+        ] {
+            if v <= 0.0 {
+                return Err(ProfileError::NonPositive(name, v));
+            }
+        }
+        if self.deps.max_distance == 0 {
+            return Err(ProfileError::NonPositive("max_distance", 0.0));
+        }
+        if self.branches.avg_block_size < 2.0 {
+            return Err(ProfileError::NonPositive(
+                "avg_block_size (must be at least 2)",
+                self.branches.avg_block_size,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Synthesizes a dynamic trace of `n_ops` instructions.
+    ///
+    /// Fully deterministic given (`self`, `seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`WorkloadProfile::validate`].
+    pub fn generate(&self, n_ops: usize, seed: u64) -> Trace {
+        self.validate().expect("profile must be valid");
+        crate::generator::generate(self, n_ops, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(WorkloadProfile::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_out_of_range_fraction() {
+        let mut p = WorkloadProfile::default();
+        p.load_frac = 1.5;
+        assert!(matches!(
+            p.validate(),
+            Err(ProfileError::FractionOutOfRange("load_frac", _))
+        ));
+    }
+
+    #[test]
+    fn rejects_overflowing_mix() {
+        let mut p = WorkloadProfile::default();
+        p.load_frac = 0.6;
+        p.store_frac = 0.6;
+        assert!(matches!(p.validate(), Err(ProfileError::MixOverflows(_))));
+    }
+
+    #[test]
+    fn rejects_tiny_blocks() {
+        let mut p = WorkloadProfile::default();
+        p.branches.avg_block_size = 1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_branch_population() {
+        let mut p = WorkloadProfile::default();
+        p.branches.easy_frac = 0.8;
+        p.branches.pattern_frac = 0.4;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_memory_regions() {
+        let mut p = WorkloadProfile::default();
+        p.memory.hot_frac = 0.9;
+        p.memory.warm_frac = 0.2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_max_distance() {
+        let mut p = WorkloadProfile::default();
+        p.deps.max_distance = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn error_messages() {
+        let e = ProfileError::MixOverflows(1.3);
+        assert!(e.to_string().contains("1.3"));
+    }
+}

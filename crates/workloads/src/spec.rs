@@ -1,0 +1,455 @@
+//! SPECint2000-like workload profiles.
+//!
+//! The twelve profiles are named after the SPEC CPU2000 integer benchmarks
+//! the paper evaluates on. The parameters are chosen so each profile lands
+//! in the *qualitative regime* reported for its namesake in the
+//! contemporaneous characterization literature:
+//!
+//! * `gcc`, `perlbmk`, `vortex` — large code footprints (I-cache
+//!   pressure);
+//! * `mcf` — pointer-chasing over a huge data working set (long D-misses
+//!   dominate, low ILP);
+//! * `gzip`, `bzip2` — regular compression loops, moderate branch
+//!   behaviour, few cache problems;
+//! * `crafty`, `eon` — predictable branches, high ILP;
+//! * `twolf`, `vpr`, `parser` — hard data-dependent branches (high
+//!   misprediction rates);
+//! * `gap` — middle of the road.
+//!
+//! Absolute miss rates will not match hardware runs of the real binaries —
+//! see `DESIGN.md` for the substitution argument — but the cross-benchmark
+//! *ordering* (which benchmark is bursty, which is branch-limited, which
+//! is memory-bound) is preserved, which is what the paper's
+//! characterization depends on.
+
+use crate::profile::{BranchModel, DependenceModel, MemoryModel, WorkloadProfile};
+
+/// Names of the twelve profiles, in canonical order.
+pub const NAMES: [&str; 12] = [
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex", "bzip2",
+    "twolf",
+];
+
+/// One row of the tuning table; see [`by_name`] for semantics.
+struct Row {
+    name: &'static str,
+    load: f64,
+    store: f64,
+    fp: f64,
+    /// Mean register dependence distance (ILP proxy).
+    dep_mean: f64,
+    /// Mean basic-block size.
+    block: f64,
+    /// Static code footprint in KiB.
+    code_kib: u64,
+    /// Branch-site population: (easy, pattern, hard_spread).
+    easy: f64,
+    pattern: f64,
+    hard_spread: f64,
+    /// Data working sets in KiB: (hot, warm, cold-MiB) and access split.
+    hot_kib: u64,
+    warm_kib: u64,
+    cold_mib: u64,
+    hot_frac: f64,
+    warm_frac: f64,
+    chase: f64,
+    reuse: f64,
+    stream: f64,
+    /// Fraction of blocks ending in indirect dispatch.
+    indirect: f64,
+}
+
+const ROWS: [Row; 12] = [
+    // Compression: tight loops, small code, decent predictability.
+    Row {
+        name: "gzip",
+        load: 0.22,
+        store: 0.08,
+        fp: 0.00,
+        dep_mean: 5.0,
+        block: 9.0,
+        code_kib: 24,
+        easy: 0.80,
+        pattern: 0.12,
+        hard_spread: 0.32,
+        hot_kib: 24,
+        warm_kib: 192,
+        cold_mib: 16,
+        hot_frac: 0.960,
+        warm_frac: 0.035,
+        chase: 0.02,
+        reuse: 0.85,
+        stream: 0.15,
+        indirect: 0.002,
+    },
+    // Place & route: data-dependent branches, modest working set.
+    Row {
+        name: "vpr",
+        load: 0.28,
+        store: 0.11,
+        fp: 0.07,
+        dep_mean: 3.2,
+        block: 7.0,
+        code_kib: 48,
+        easy: 0.70,
+        pattern: 0.10,
+        hard_spread: 0.28,
+        hot_kib: 12,
+        warm_kib: 160,
+        cold_mib: 32,
+        hot_frac: 0.940,
+        warm_frac: 0.050,
+        chase: 0.08,
+        reuse: 0.80,
+        stream: 0.08,
+        indirect: 0.003,
+    },
+    // Compiler: huge code footprint, bursty I-cache behaviour.
+    Row {
+        name: "gcc",
+        load: 0.26,
+        store: 0.13,
+        fp: 0.00,
+        dep_mean: 4.0,
+        block: 6.0,
+        code_kib: 512,
+        easy: 0.76,
+        pattern: 0.10,
+        hard_spread: 0.30,
+        hot_kib: 16,
+        warm_kib: 256,
+        cold_mib: 32,
+        hot_frac: 0.950,
+        warm_frac: 0.040,
+        chase: 0.04,
+        reuse: 0.80,
+        stream: 0.05,
+        indirect: 0.006,
+    },
+    // Min-cost flow: pointer chasing over a giant graph; memory-bound.
+    Row {
+        name: "mcf",
+        load: 0.32,
+        store: 0.09,
+        fp: 0.00,
+        dep_mean: 2.4,
+        block: 8.0,
+        code_kib: 16,
+        easy: 0.80,
+        pattern: 0.08,
+        hard_spread: 0.35,
+        hot_kib: 8,
+        warm_kib: 128,
+        cold_mib: 128,
+        hot_frac: 0.780,
+        warm_frac: 0.120,
+        chase: 0.30,
+        reuse: 0.35,
+        stream: 0.02,
+        indirect: 0.002,
+    },
+    // Chess: highly predictable control, high ILP, cache-resident.
+    Row {
+        name: "crafty",
+        load: 0.27,
+        store: 0.07,
+        fp: 0.00,
+        dep_mean: 6.5,
+        block: 10.0,
+        code_kib: 96,
+        easy: 0.88,
+        pattern: 0.08,
+        hard_spread: 0.20,
+        hot_kib: 28,
+        warm_kib: 192,
+        cold_mib: 8,
+        hot_frac: 0.970,
+        warm_frac: 0.025,
+        chase: 0.02,
+        reuse: 0.85,
+        stream: 0.05,
+        indirect: 0.003,
+    },
+    // NL parser: hard branches, linked structures.
+    Row {
+        name: "parser",
+        load: 0.25,
+        store: 0.10,
+        fp: 0.00,
+        dep_mean: 3.0,
+        block: 6.0,
+        code_kib: 80,
+        easy: 0.68,
+        pattern: 0.10,
+        hard_spread: 0.28,
+        hot_kib: 16,
+        warm_kib: 224,
+        cold_mib: 32,
+        hot_frac: 0.930,
+        warm_frac: 0.060,
+        chase: 0.12,
+        reuse: 0.75,
+        stream: 0.06,
+        indirect: 0.004,
+    },
+    // Ray tracer (C++): predictable, FP-heavy, high ILP.
+    Row {
+        name: "eon",
+        load: 0.26,
+        store: 0.12,
+        fp: 0.16,
+        dep_mean: 6.0,
+        block: 11.0,
+        code_kib: 64,
+        easy: 0.90,
+        pattern: 0.06,
+        hard_spread: 0.18,
+        hot_kib: 24,
+        warm_kib: 128,
+        cold_mib: 4,
+        hot_frac: 0.975,
+        warm_frac: 0.020,
+        chase: 0.01,
+        reuse: 0.88,
+        stream: 0.10,
+        indirect: 0.008,
+    },
+    // Perl interpreter: big code, indirect-ish control, mixed data.
+    Row {
+        name: "perlbmk",
+        load: 0.28,
+        store: 0.14,
+        fp: 0.00,
+        dep_mean: 3.8,
+        block: 6.0,
+        code_kib: 384,
+        easy: 0.78,
+        pattern: 0.08,
+        hard_spread: 0.28,
+        hot_kib: 20,
+        warm_kib: 256,
+        cold_mib: 24,
+        hot_frac: 0.950,
+        warm_frac: 0.040,
+        chase: 0.05,
+        reuse: 0.80,
+        stream: 0.05,
+        indirect: 0.012,
+    },
+    // Group theory: list-walking interpreter, moderate everything.
+    Row {
+        name: "gap",
+        load: 0.27,
+        store: 0.11,
+        fp: 0.00,
+        dep_mean: 4.2,
+        block: 8.0,
+        code_kib: 128,
+        easy: 0.78,
+        pattern: 0.10,
+        hard_spread: 0.26,
+        hot_kib: 20,
+        warm_kib: 256,
+        cold_mib: 48,
+        hot_frac: 0.940,
+        warm_frac: 0.050,
+        chase: 0.08,
+        reuse: 0.78,
+        stream: 0.08,
+        indirect: 0.010,
+    },
+    // OO database: very large code footprint, predictable branches.
+    Row {
+        name: "vortex",
+        load: 0.30,
+        store: 0.16,
+        fp: 0.00,
+        dep_mean: 4.8,
+        block: 9.0,
+        code_kib: 640,
+        easy: 0.86,
+        pattern: 0.08,
+        hard_spread: 0.22,
+        hot_kib: 24,
+        warm_kib: 384,
+        cold_mib: 48,
+        hot_frac: 0.950,
+        warm_frac: 0.040,
+        chase: 0.04,
+        reuse: 0.75,
+        stream: 0.10,
+        indirect: 0.005,
+    },
+    // Compression again: larger blocks, very regular.
+    Row {
+        name: "bzip2",
+        load: 0.24,
+        store: 0.10,
+        fp: 0.00,
+        dep_mean: 4.6,
+        block: 10.0,
+        code_kib: 20,
+        easy: 0.78,
+        pattern: 0.14,
+        hard_spread: 0.30,
+        hot_kib: 28,
+        warm_kib: 448,
+        cold_mib: 32,
+        hot_frac: 0.930,
+        warm_frac: 0.060,
+        chase: 0.02,
+        reuse: 0.70,
+        stream: 0.18,
+        indirect: 0.002,
+    },
+    // Placement: the classic branch-misprediction victim.
+    Row {
+        name: "twolf",
+        load: 0.27,
+        store: 0.10,
+        fp: 0.05,
+        dep_mean: 2.8,
+        block: 6.0,
+        code_kib: 64,
+        easy: 0.62,
+        pattern: 0.10,
+        hard_spread: 0.24,
+        hot_kib: 14,
+        warm_kib: 192,
+        cold_mib: 16,
+        hot_frac: 0.940,
+        warm_frac: 0.050,
+        chase: 0.06,
+        reuse: 0.80,
+        stream: 0.06,
+        indirect: 0.003,
+    },
+];
+
+fn profile_from_row(row: &Row) -> WorkloadProfile {
+    let p = WorkloadProfile {
+        name: row.name.to_owned(),
+        load_frac: row.load,
+        store_frac: row.store,
+        int_mul_frac: 0.012,
+        int_div_frac: 0.0015,
+        fp_add_frac: row.fp * 0.5,
+        fp_mul_frac: row.fp * 0.4,
+        fp_div_frac: row.fp * 0.1,
+        deps: DependenceModel {
+            mean_distance: row.dep_mean,
+            max_distance: 64,
+            no_src_frac: 0.15,
+            two_src_frac: 0.35,
+        },
+        branches: BranchModel {
+            avg_block_size: row.block,
+            code_footprint: row.code_kib * 1024,
+            easy_frac: row.easy,
+            pattern_frac: row.pattern,
+            hard_spread: row.hard_spread,
+            call_frac: 0.04,
+            indirect_frac: row.indirect,
+            loop_back_frac: 0.7,
+        },
+        memory: MemoryModel {
+            hot_bytes: row.hot_kib * 1024,
+            warm_bytes: row.warm_kib * 1024,
+            cold_bytes: row.cold_mib * 1024 * 1024,
+            hot_frac: row.hot_frac,
+            warm_frac: row.warm_frac,
+            pointer_chase_frac: row.chase,
+            region_reuse: row.reuse,
+            stream_frac: row.stream,
+        },
+    };
+    debug_assert!(p.validate().is_ok(), "profile {} invalid", row.name);
+    p
+}
+
+/// Returns all twelve SPECint2000-like profiles in canonical order.
+///
+/// # Examples
+///
+/// ```
+/// let all = bmp_workloads::spec::all_profiles();
+/// assert_eq!(all.len(), 12);
+/// assert!(all.iter().all(|p| p.validate().is_ok()));
+/// ```
+pub fn all_profiles() -> Vec<WorkloadProfile> {
+    ROWS.iter().map(profile_from_row).collect()
+}
+
+/// Looks up one profile by benchmark name; `None` for unknown names.
+///
+/// # Examples
+///
+/// ```
+/// assert!(bmp_workloads::spec::by_name("mcf").is_some());
+/// assert!(bmp_workloads::spec::by_name("nginx").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+    ROWS.iter().find(|r| r.name == name).map(profile_from_row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_valid_profiles() {
+        let all = all_profiles();
+        assert_eq!(all.len(), 12);
+        for p in &all {
+            assert!(p.validate().is_ok(), "{} invalid", p.name);
+        }
+    }
+
+    #[test]
+    fn names_match_canonical_order() {
+        let all = all_profiles();
+        for (p, n) in all.iter().zip(NAMES) {
+            assert_eq!(p.name, n);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        for n in NAMES {
+            assert_eq!(by_name(n).unwrap().name, n);
+        }
+        assert!(by_name("notabenchmark").is_none());
+    }
+
+    #[test]
+    fn regimes_are_distinct() {
+        let gcc = by_name("gcc").unwrap();
+        let gzip = by_name("gzip").unwrap();
+        let mcf = by_name("mcf").unwrap();
+        let crafty = by_name("crafty").unwrap();
+        let twolf = by_name("twolf").unwrap();
+        // Code-footprint ordering: gcc much bigger than gzip.
+        assert!(gcc.branches.code_footprint > 8 * gzip.branches.code_footprint);
+        // ILP ordering: crafty > mcf (mcf's chains are short-distance).
+        assert!(crafty.deps.mean_distance > mcf.deps.mean_distance);
+        // Branch-hardness ordering: twolf harder than crafty.
+        let hard =
+            |p: &crate::WorkloadProfile| 1.0 - p.branches.easy_frac - p.branches.pattern_frac;
+        assert!(hard(&twolf) > hard(&crafty));
+        // Memory-boundness: mcf's cold traffic dominates everyone's.
+        let cold = |p: &crate::WorkloadProfile| 1.0 - p.memory.hot_frac - p.memory.warm_frac;
+        for n in NAMES {
+            if n != "mcf" {
+                assert!(cold(&mcf) > cold(&by_name(n).unwrap()), "mcf vs {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_generate() {
+        for p in all_profiles() {
+            let t = p.generate(2_000, 1);
+            assert_eq!(t.len(), 2_000, "{}", p.name);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests over the microbenchmark kernels: structural invariants
+//! for arbitrary parameters.
+
+use bmp_trace::Trace;
+use bmp_uarch::OpClass;
+use bmp_workloads::micro;
+use proptest::prelude::*;
+
+fn check_structure(t: &Trace, n: usize) {
+    assert_eq!(t.len(), n);
+    for pair in t.ops().windows(2) {
+        assert_eq!(
+            pair[0].next_pc(),
+            pair[1].pc(),
+            "control-flow break after {:?}",
+            pair[0]
+        );
+    }
+    // Dependences never reach before the trace.
+    for (i, op) in t.iter().enumerate() {
+        for d in op.src_distances() {
+            assert!(d as usize <= i, "op {i} reaches before the trace");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chain_kernel_structure(
+        n in 1usize..3000,
+        k in 1u32..16,
+        body in 1u32..128,
+    ) {
+        let t = micro::chain_kernel(n, k, body, OpClass::IntAlu);
+        check_structure(&t, n);
+        // Exactly one unconditional jump per body_len ops (give or take
+        // truncation at the trace end).
+        let jumps = t
+            .iter()
+            .filter(|o| o.branch_info().is_some())
+            .count();
+        prop_assert!(jumps <= n / body as usize + 1);
+    }
+
+    #[test]
+    fn branch_kernel_structure(
+        n in 1usize..3000,
+        chain in 1u32..32,
+        bias in 0.0f64..=1.0,
+        seed in 0u64..100,
+    ) {
+        let t = micro::branch_resolution_kernel(n, chain, bias, seed);
+        check_structure(&t, n);
+        // Every conditional targets the loop head and depends on the op
+        // right before it.
+        for op in t.iter().filter(|o| o.is_conditional_branch()) {
+            prop_assert_eq!(op.srcs()[0], Some(1));
+        }
+    }
+
+    #[test]
+    fn memory_kernel_structure(
+        n in 1usize..3000,
+        ws in prop::sample::select(vec![8u64, 256, 4096, 1 << 20]),
+        opl in 1u32..8,
+        chase in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        let t = micro::memory_kernel(n, ws, opl, chase, seed);
+        check_structure(&t, n);
+        for op in t.iter() {
+            if let Some(a) = op.mem_addr() {
+                prop_assert!(a >= 0x5000_0000 && a < 0x5000_0000 + ws);
+            }
+        }
+    }
+
+    #[test]
+    fn indirect_kernel_structure(
+        n in 1usize..3000,
+        cases in 2u32..10,
+        case_len in 1u32..16,
+    ) {
+        let t = micro::indirect_kernel(n, cases, case_len);
+        check_structure(&t, n);
+        // All indirect targets fall in the case region.
+        let mut distinct = std::collections::HashSet::new();
+        for op in t.iter() {
+            if let Some(b) = op.branch_info() {
+                if b.kind == bmp_trace::BranchKind::IndirectJump {
+                    distinct.insert(b.target);
+                }
+            }
+        }
+        prop_assert!(distinct.len() <= cases as usize);
+    }
+
+    /// Determinism of every kernel.
+    #[test]
+    fn kernels_are_deterministic(seed in 0u64..100) {
+        let a = micro::branch_resolution_kernel(1000, 5, 0.5, seed);
+        let b = micro::branch_resolution_kernel(1000, 5, 0.5, seed);
+        prop_assert_eq!(a, b);
+        let c = micro::memory_kernel(1000, 4096, 3, true, seed);
+        let d = micro::memory_kernel(1000, 4096, 3, true, seed);
+        prop_assert_eq!(c, d);
+    }
+}

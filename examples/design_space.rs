@@ -1,0 +1,56 @@
+//! Design-space grid: frontend depth × window size.
+//!
+//! The interval framework exposes a designer's tension directly: deeper
+//! frontends buy clock frequency but pay `+1` penalty cycle per stage per
+//! misprediction, while larger windows buy IPC but lengthen every window
+//! drain. This example sweeps the 2-D grid on one workload and prints
+//! IPC and mean penalty at every point.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use mispredict::sim::Simulator;
+use mispredict::uarch::presets;
+use mispredict::workloads::spec;
+
+fn main() {
+    const OPS: usize = 80_000;
+    let trace = spec::by_name("twolf")
+        .expect("twolf is a known profile")
+        .generate(OPS, 17);
+    let depths = [3u32, 5, 10, 20];
+    let windows = [16u32, 32, 64, 128];
+
+    println!("IPC (top) and mean misprediction penalty (bottom) per configuration:\n");
+    print!("{:>12}", "depth\\window");
+    for w in windows {
+        print!(" {w:>10}");
+    }
+    println!();
+    for d in depths {
+        let mut ipc_row = format!("{d:>12}");
+        let mut pen_row = format!("{:>12}", "");
+        for w in windows {
+            let cfg = presets::baseline_4wide()
+                .to_builder()
+                .frontend_depth(d)
+                .window_size(w)
+                .rob_size(w * 2)
+                .build()
+                .expect("valid grid point");
+            let res = Simulator::new(cfg).run(&trace);
+            ipc_row.push_str(&format!(" {:>10.3}", res.ipc()));
+            pen_row.push_str(&format!(" {:>10.1}", res.mean_penalty().unwrap_or(0.0)));
+        }
+        println!("{ipc_row}");
+        println!("{pen_row}\n");
+    }
+    println!(
+        "Reading the grid: moving right (bigger windows) raises IPC *and* the\n\
+         penalty; moving down (deeper frontends) only raises the penalty. The\n\
+         paper's point is that the penalty's window-drain floor — the bottom-left\n\
+         to top-right gradient — is invisible if you equate the penalty with the\n\
+         pipeline depth."
+    );
+}

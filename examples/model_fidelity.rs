@@ -1,0 +1,89 @@
+//! The fidelity ladder: four ways to estimate the same penalty.
+//!
+//! Interval analysis exists because cycle-level simulation is expensive.
+//! This example runs the same workload through every estimator in the
+//! workspace and reports both the answer and the time it took:
+//!
+//! 1. closed form — aggregate statistics only, O(1) per event;
+//! 2. local interval scheduling — the paper's pure window model;
+//! 3. whole-trace scheduling — "interval simulation";
+//! 4. the cycle-level simulator — ground truth.
+//!
+//! ```text
+//! cargo run --release --example model_fidelity
+//! ```
+
+use std::time::Instant;
+
+use mispredict::core::{closed_form, PenaltyModel};
+use mispredict::sim::Simulator;
+use mispredict::uarch::presets;
+use mispredict::workloads::spec;
+
+fn main() {
+    const OPS: usize = 300_000;
+    let machine = presets::baseline_4wide();
+    let trace = spec::by_name("twolf")
+        .expect("twolf is a known profile")
+        .generate(OPS, 42);
+
+    println!("workload: twolf-like, {OPS} instructions\n");
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "estimator", "mean penalty", "wall time"
+    );
+    println!("{}", "-".repeat(58));
+
+    // 1. Closed form.
+    let t0 = Instant::now();
+    let cf = closed_form::estimate(&trace, &machine);
+    let dt_cf = t0.elapsed();
+    println!(
+        "{:<28} {:>14.1} {:>9.1} ms",
+        "closed form (stats only)",
+        cf.mean_penalty,
+        dt_cf.as_secs_f64() * 1e3
+    );
+
+    // 2 + 3. The penalty model computes both granularities in one pass.
+    let t0 = Instant::now();
+    let analysis = PenaltyModel::new(machine.clone()).analyze(&trace);
+    let dt_model = t0.elapsed();
+    let local = analysis
+        .breakdowns
+        .iter()
+        .map(|b| b.local_resolution as f64)
+        .sum::<f64>()
+        / analysis.breakdowns.len().max(1) as f64
+        + f64::from(analysis.frontend_depth);
+    println!(
+        "{:<28} {:>14.1} {:>9} ",
+        "local interval schedule", local, "(shared)"
+    );
+    println!(
+        "{:<28} {:>14.1} {:>9.1} ms",
+        "whole-trace schedule",
+        analysis.mean_penalty().unwrap_or(0.0),
+        dt_model.as_secs_f64() * 1e3
+    );
+
+    // 4. The simulator.
+    let t0 = Instant::now();
+    let res = Simulator::new(machine).run(&trace);
+    let dt_sim = t0.elapsed();
+    println!(
+        "{:<28} {:>14.1} {:>9.1} ms",
+        "cycle-level simulation",
+        res.mean_penalty().unwrap_or(0.0),
+        dt_sim.as_secs_f64() * 1e3
+    );
+
+    println!(
+        "\nThe ladder trades accuracy for speed: the closed form estimates the\n\
+         window drain from two aggregate curves; the local schedule adds the\n\
+         interval's real dependence structure; the whole-trace schedule adds\n\
+         cross-interval state and lands within a few percent of the simulator\n\
+         at a fraction of its cost (x{:.1} faster here).",
+        dt_sim.as_secs_f64() / dt_model.as_secs_f64().max(1e-9)
+    );
+}

@@ -1,0 +1,48 @@
+//! Design study: how deep can the frontend go?
+//!
+//! Sweeps the frontend pipeline depth (as the deep-pipeline debates of
+//! the paper's era did) and shows how the misprediction penalty — and
+//! through it, performance — degrades. The resolution component is
+//! depth-independent, so the penalty is `resolution + depth`: a designer
+//! who budgets only the pipeline length underestimates every point.
+//!
+//! ```text
+//! cargo run --release --example pipeline_depth_study
+//! ```
+
+use mispredict::core::PenaltyModel;
+use mispredict::sim::Simulator;
+use mispredict::uarch::presets;
+use mispredict::workloads::spec;
+
+fn main() {
+    const OPS: usize = 150_000;
+    let trace = spec::by_name("twolf")
+        .expect("twolf is a known profile")
+        .generate(OPS, 42);
+
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>10}",
+        "depth", "IPC", "sim-penalty", "resolution", "mod-penalty", "slowdown"
+    );
+    let mut base_ipc = None;
+    for depth in [1u32, 3, 5, 8, 12, 16, 20, 30, 40] {
+        let machine = presets::deep_frontend(depth).expect("valid depth");
+        let result = Simulator::new(machine.clone()).run(&trace);
+        let analysis = PenaltyModel::new(machine).analyze(&trace);
+        let ipc = result.ipc();
+        let base = *base_ipc.get_or_insert(ipc);
+        println!(
+            "{depth:>6} {ipc:>8.3} {:>12.1} {:>12.1} {:>12.1} {:>9.1}%",
+            result.mean_penalty().unwrap_or(0.0),
+            result.mean_resolution().unwrap_or(0.0),
+            analysis.mean_penalty().unwrap_or(0.0),
+            (base / ipc - 1.0) * 100.0,
+        );
+    }
+    println!(
+        "\nThe resolution column barely moves: the penalty grows with depth at slope ~1,\n\
+         but its floor — set by window drain, ILP, latencies and short misses — is what\n\
+         the paper characterizes."
+    );
+}

@@ -1,0 +1,68 @@
+//! Characterize all twelve SPECint2000-like workloads: IPC, miss events,
+//! penalties and the five-contributor breakdown — a compact version of
+//! the paper's whole evaluation on one screen.
+//!
+//! ```text
+//! cargo run --release --example spec_characterization
+//! ```
+
+use mispredict::core::{cpi, PenaltyModel};
+use mispredict::sim::Simulator;
+use mispredict::uarch::presets;
+use mispredict::workloads::spec;
+
+fn main() {
+    let machine = presets::baseline_4wide();
+    let sim = Simulator::new(machine.clone());
+    let model = PenaltyModel::new(machine.clone());
+    const OPS: usize = 100_000;
+
+    println!(
+        "{:<8} {:>6} {:>8} {:>9} {:>9} | {:>5} {:>5} {:>5} {:>5} {:>6}",
+        "bench", "IPC", "br-MPKI", "sim-pen", "mod-pen", "base", "ilp", "fu", "dmiss", "carry"
+    );
+    println!("{}", "-".repeat(84));
+    for profile in spec::all_profiles() {
+        let trace = profile.generate(OPS, 7);
+        let result = sim.run(&trace);
+        let analysis = model.analyze(&trace);
+        let (base, ilp, fu, dmiss) = analysis
+            .mean_contributions()
+            .unwrap_or((0.0, 0.0, 0.0, 0.0));
+        let carry = if analysis.breakdowns.is_empty() {
+            0.0
+        } else {
+            analysis
+                .breakdowns
+                .iter()
+                .map(|b| b.carryover as f64)
+                .sum::<f64>()
+                / analysis.breakdowns.len() as f64
+        };
+        println!(
+            "{:<8} {:>6.3} {:>8.2} {:>9.1} {:>9.1} | {:>5.1} {:>5.1} {:>5.1} {:>5.1} {:>6.1}",
+            profile.name,
+            result.ipc(),
+            result.branch_stats.mpki(result.instructions),
+            result.mean_penalty().unwrap_or(0.0),
+            analysis.mean_penalty().unwrap_or(0.0),
+            base,
+            ilp,
+            fu,
+            dmiss,
+            carry,
+        );
+    }
+
+    // CPI stacks for the extremes.
+    println!("\nCPI stacks (interval model):");
+    for name in ["crafty", "gcc", "mcf"] {
+        let trace = spec::by_name(name).expect("known profile").generate(OPS, 7);
+        let stack = cpi::predict(&trace, &machine);
+        let (b, br, ic, dm) = stack.components();
+        println!(
+            "{name:<8} total {:.2} = base {b:.2} + branch {br:.2} + icache {ic:.2} + long-dmiss {dm:.2}",
+            stack.cpi()
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! The `mispredict` command-line tool.
+//!
+//! ```text
+//! mispredict list
+//! mispredict run --profile twolf --ops 200000 --depth 20 --predictor gshare
+//! mispredict gen --profile gcc --ops 1000000 --out gcc.bmpt
+//! mispredict analyze --trace gcc.bmpt --window 128
+//! ```
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mispredict — interval-analysis characterization of the branch misprediction penalty
+
+usage:
+  mispredict list
+      List the available workload profiles.
+  mispredict run --profile NAME [--ops N] [--seed S] [--depth D] [--width W]
+                 [--window W] [--predictor NAME] [--markdown] [--warmup N]
+      Synthesize a workload, simulate it, and print the measured and
+      modeled penalty with its five-contributor decomposition.
+  mispredict gen --profile NAME --out FILE [--ops N] [--seed S]
+      Synthesize a workload and save it as a binary trace.
+  mispredict analyze --trace FILE [machine flags as for run]
+      Analyze a previously saved trace.
+
+predictors: bimodal, gshare, local, tournament, perceptron, perfect,
+            taken, not-taken
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" || args[0] == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let cmd = match mispredict::cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut stdout = std::io::stdout().lock();
+    match mispredict::cli::execute(&cmd, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

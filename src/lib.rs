@@ -1,0 +1,54 @@
+//! `mispredict` — a reproduction of Eyerman, Smith & Eeckhout,
+//! *"Characterizing the branch misprediction penalty"* (ISPASS 2006), as a
+//! Rust workspace.
+//!
+//! This umbrella crate re-exports the workspace's public API under short
+//! module names so applications need a single dependency:
+//!
+//! * [`uarch`] — machine configuration (widths, pipeline depth,
+//!   functional units, caches, predictor);
+//! * [`trace`] — dynamic instruction traces and dependence-graph
+//!   utilities;
+//! * [`branch`] — branch predictors, BTB, RAS;
+//! * [`cache`] — cache and memory-hierarchy models;
+//! * [`workloads`] — SPECint2000-like statistical workload synthesis and
+//!   controlled microbenchmarks;
+//! * [`sim`] — the cycle-level out-of-order superscalar simulator;
+//! * [`core`] — interval analysis: the branch misprediction penalty
+//!   model, its five-contributor decomposition, and the CPI stack.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mispredict::core::PenaltyModel;
+//! use mispredict::sim::Simulator;
+//! use mispredict::uarch::presets;
+//! use mispredict::workloads::spec;
+//!
+//! // Synthesize a twolf-like workload and measure it.
+//! let trace = spec::by_name("twolf").unwrap().generate(20_000, 42);
+//! let machine = presets::baseline_4wide();
+//! let measured = Simulator::new(machine.clone()).run(&trace);
+//!
+//! // Model the same machine analytically.
+//! let modeled = PenaltyModel::new(machine).analyze(&trace);
+//!
+//! // The paper's point: the penalty exceeds the frontend depth.
+//! if let (Some(m), Some(a)) = (measured.mean_penalty(), modeled.mean_penalty()) {
+//!     assert!(m > 5.0);
+//!     assert!(a > 5.0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use bmp_branch as branch;
+pub use bmp_cache as cache;
+pub use bmp_core as core;
+pub use bmp_sim as sim;
+pub use bmp_trace as trace;
+pub use bmp_uarch as uarch;
+pub use bmp_workloads as workloads;
