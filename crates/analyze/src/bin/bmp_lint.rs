@@ -1,0 +1,240 @@
+//! `bmp-lint`: run the model-consistency lint rules from the command
+//! line.
+//!
+//! With no arguments it sweeps every machine preset and every workload
+//! profile in the SPEC-like table, checking machine balance, trace
+//! well-formedness and — by running the interval model, the CPI stack
+//! and the reference simulator on each generated trace — result
+//! conservation. Exit status: 0 clean (warnings allowed), 1 when any
+//! error-severity finding fires, 2 on usage errors.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use bmp_analyze::{analyze, lint_sim_result, AnalysisReport, Severity};
+use bmp_sim::Simulator;
+use bmp_uarch::{presets, MachineConfig};
+use bmp_workloads::spec;
+
+const USAGE: &str = "\
+bmp-lint: static model-consistency linter (BMP rule codes)
+
+USAGE:
+    bmp-lint [OPTIONS]
+
+OPTIONS:
+    --json            render the report as one JSON object instead of text
+    --preset NAME     lint only the named machine preset
+    --profile NAME    lint only the named workload profile (skips the
+                      preset pass unless --preset is also given)
+    --ops N           trace length per workload profile (default 2000)
+    --no-traces       lint machine presets only; skip workload traces
+    --list            list preset and profile names, then exit
+    -h, --help        show this help
+
+Severities: errors make the exit status 1; warnings and infos do not.
+See docs/ANALYZER.md for the BMP code catalogue.";
+
+/// The machine presets swept by default, by stable CLI name.
+fn all_presets() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("baseline_4wide", presets::baseline_4wide()),
+        ("wide_8way", presets::wide_8way()),
+        ("alpha21264_like", presets::alpha21264_like()),
+        ("pentium4_like", presets::pentium4_like()),
+        ("test_tiny", presets::test_tiny()),
+        ("perfect_branches", presets::perfect_branches()),
+        (
+            "deep_frontend_20",
+            presets::deep_frontend(20).expect("valid preset"),
+        ),
+        ("scaled_latencies_2x", presets::scaled_latencies(2.0)),
+        (
+            "l1d_16k",
+            presets::l1d_sized(16 * 1024).expect("valid preset"),
+        ),
+    ]
+}
+
+/// Parsed command line.
+struct Options {
+    json: bool,
+    preset: Option<String>,
+    profile: Option<String>,
+    ops: usize,
+    no_traces: bool,
+    list: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        preset: None,
+        profile: None,
+        ops: 2000,
+        no_traces: false,
+        list: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--no-traces" => opts.no_traces = true,
+            "--list" => opts.list = true,
+            "--preset" => {
+                opts.preset = Some(
+                    it.next()
+                        .ok_or_else(|| "--preset needs a name".to_owned())?
+                        .clone(),
+                );
+            }
+            "--profile" => {
+                opts.profile = Some(
+                    it.next()
+                        .ok_or_else(|| "--profile needs a name".to_owned())?
+                        .clone(),
+                );
+            }
+            "--ops" => {
+                let v = it.next().ok_or_else(|| "--ops needs a count".to_owned())?;
+                opts.ops = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("--ops: '{v}' is not a count"))?;
+                if opts.ops == 0 {
+                    return Err("--ops must be positive".to_owned());
+                }
+            }
+            "-h" | "--help" => {
+                out(USAGE);
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Prefixes every diagnostic locus with the target it was found in, so
+/// one merged report stays attributable.
+fn scoped(target: &str, mut report: AnalysisReport) -> AnalysisReport {
+    for d in &mut report.diagnostics {
+        d.locus = format!("{target}: {}", d.locus);
+    }
+    report
+}
+
+/// Writes a line to stdout, swallowing broken-pipe errors so
+/// `bmp-lint --list | head` exits cleanly instead of panicking.
+fn out(line: &str) {
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bmp-lint: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let machines = all_presets();
+    let profiles = spec::all_profiles();
+
+    if opts.list {
+        out("presets:");
+        for (name, _) in &machines {
+            out(&format!("  {name}"));
+        }
+        out("profiles:");
+        for p in &profiles {
+            out(&format!("  {}", p.name));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let machines: Vec<_> = match &opts.preset {
+        Some(want) => {
+            let selected: Vec<_> = machines.into_iter().filter(|(n, _)| n == want).collect();
+            if selected.is_empty() {
+                eprintln!("bmp-lint: unknown preset '{want}' (try --list)");
+                return ExitCode::from(2);
+            }
+            selected
+        }
+        None => machines,
+    };
+    let profiles: Vec<_> = match &opts.profile {
+        Some(want) => {
+            let selected: Vec<_> = profiles.into_iter().filter(|p| &p.name == want).collect();
+            if selected.is_empty() {
+                eprintln!("bmp-lint: unknown profile '{want}' (try --list)");
+                return ExitCode::from(2);
+            }
+            selected
+        }
+        None => profiles,
+    };
+
+    let mut report = AnalysisReport::default();
+    let mut targets = 0usize;
+
+    // Pass 1: every selected machine preset on its own. A bare
+    // `--profile` request means "lint this workload", so the preset
+    // sweep only runs when presets were not narrowed away.
+    if opts.profile.is_none() || opts.preset.is_some() {
+        for (name, cfg) in &machines {
+            targets += 1;
+            report.merge(scoped(&format!("preset {name}"), analyze(cfg, None)));
+        }
+    }
+
+    // Pass 2: every selected workload profile — trace well-formedness,
+    // then model- and simulator-side conservation on the reference
+    // (baseline) machine.
+    if !opts.no_traces {
+        let reference = presets::baseline_4wide();
+        let simulator = Simulator::new(reference.clone());
+        for profile in &profiles {
+            targets += 1;
+            let target = format!("profile {}", profile.name);
+            if let Err(e) = profile.validate() {
+                report.merge(scoped(
+                    &target,
+                    AnalysisReport::new(vec![bmp_analyze::Diagnostic::error(
+                        "BMP100",
+                        "profile",
+                        format!("profile does not validate: {e}"),
+                    )]),
+                ));
+                continue;
+            }
+            let trace = profile.generate(opts.ops, 1);
+            report.merge(scoped(&target, analyze(&reference, Some(&trace))));
+
+            let result = simulator.run(&trace);
+            report.merge(scoped(
+                &target,
+                AnalysisReport::new(lint_sim_result(&result, &reference)),
+            ));
+        }
+    }
+
+    if opts.json {
+        out(&report.render_json());
+    } else {
+        let mut human = report.render_human();
+        human.push_str(&format!(
+            "linted {targets} target(s); worst severity: {}",
+            report.worst().map_or("none".to_owned(), |s| s.to_string())
+        ));
+        out(&human);
+    }
+
+    if report.worst() == Some(Severity::Error) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

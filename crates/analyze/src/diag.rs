@@ -1,0 +1,297 @@
+//! Structured diagnostics and report rendering.
+//!
+//! Every lint rule emits [`Diagnostic`]s carrying a stable `BMP###` code,
+//! a severity, a locus naming the offending configuration field or trace
+//! position, a human message, and (where a fix is mechanical) a
+//! suggestion. [`AnalysisReport`] aggregates them and renders either a
+//! compiler-style human listing or line-delimited JSON for tooling.
+
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Ordering is semantic: `Info < Warn < Error`, so `max()` over a
+/// report's diagnostics yields the worst severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Stylistic or informational; the model's answers are unaffected.
+    Info,
+    /// Suspicious: the configuration or data is legal but undermines a
+    /// model assumption (results may be misleading).
+    Warn,
+    /// An invariant the model relies on is broken; results computed from
+    /// this input are untrustworthy.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule code (`BMP000`–`BMP2xx`); see `docs/ANALYZER.md` for
+    /// the catalogue.
+    pub code: &'static str,
+    /// How bad it is.
+    pub severity: Severity,
+    /// What the finding is anchored to: a config field
+    /// (`machine.window_size`), a trace position (`trace[42]`), or a
+    /// result component (`result.slots`).
+    pub locus: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the fix is mechanical.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: &'static str, locus: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: Severity::Error,
+            locus: locus.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// A warn-severity diagnostic.
+    pub fn warn(code: &'static str, locus: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: Severity::Warn,
+            locus: locus.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// An info-severity diagnostic.
+    pub fn info(code: &'static str, locus: impl Into<String>, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: Severity::Info,
+            locus: locus.into(),
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a fix suggestion.
+    #[must_use]
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+
+    /// Renders this diagnostic as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push_str("{\"code\":");
+        json_string(&mut s, self.code);
+        s.push_str(",\"severity\":");
+        json_string(&mut s, self.severity.label());
+        s.push_str(",\"locus\":");
+        json_string(&mut s, &self.locus);
+        s.push_str(",\"message\":");
+        json_string(&mut s, &self.message);
+        s.push_str(",\"suggestion\":");
+        match &self.suggestion {
+            Some(sug) => json_string(&mut s, sug),
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// Compiler-style single finding:
+    /// `error[BMP001] machine.fus: message` plus an indented suggestion
+    /// line when present.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.locus, self.message
+        )?;
+        if let Some(sug) = &self.suggestion {
+            write!(f, "\n    help: {sug}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of running a set of lint rules over one target.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// Every finding, in rule order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl AnalysisReport {
+    /// Wraps a list of findings.
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        Self { diagnostics }
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == sev)
+            .count()
+    }
+
+    /// `true` when there are no findings of any severity.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The worst severity present, or `None` on a clean report.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Appends another report's findings to this one.
+    pub fn merge(&mut self, other: AnalysisReport) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Renders the compiler-style human listing, one finding per line
+    /// (suggestions indented below), ending with a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} finding(s) total\n",
+            self.error_count(),
+            self.warn_count(),
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Renders the whole report as one JSON object:
+    /// `{"errors":N,"warnings":N,"diagnostics":[...]}`.
+    pub fn render_json(&self) -> String {
+        let mut s = String::with_capacity(64 + 128 * self.diagnostics.len());
+        s.push_str(&format!(
+            "{{\"errors\":{},\"warnings\":{},\"diagnostics\":[",
+            self.error_count(),
+            self.warn_count()
+        ));
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&d.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Appends `value` to `out` as a JSON string literal with full escaping.
+fn json_string(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_and_worst() {
+        let r = AnalysisReport::new(vec![
+            Diagnostic::info("BMP003", "machine.predictor", "underutilized"),
+            Diagnostic::warn("BMP002", "machine.window_size", "too small"),
+            Diagnostic::error("BMP001", "machine.fus", "unbalanced"),
+        ]);
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warn_count(), 1);
+        assert_eq!(r.worst(), Some(Severity::Error));
+        assert!(!r.is_clean());
+        assert!(AnalysisReport::default().is_clean());
+    }
+
+    #[test]
+    fn human_rendering_is_compiler_style() {
+        let d = Diagnostic::error("BMP001", "machine.fus", "5 units for a 8-wide dispatch")
+            .with_suggestion("add functional units or narrow the machine");
+        let s = d.to_string();
+        assert!(s.starts_with("error[BMP001] machine.fus:"));
+        assert!(s.contains("help: add functional units"));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let d = Diagnostic::warn("BMP102", "trace[3]", "bad \"quote\"\nnewline\ttab \\ slash");
+        let j = d.to_json();
+        assert!(j.contains(r#""message":"bad \"quote\"\nnewline\ttab \\ slash""#));
+        assert!(j.contains(r#""suggestion":null"#));
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let r = AnalysisReport::new(vec![Diagnostic::error("BMP201", "cpi", "m")]);
+        let j = r.render_json();
+        assert!(j.starts_with("{\"errors\":1,\"warnings\":0,\"diagnostics\":["));
+        assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = AnalysisReport::new(vec![Diagnostic::info("BMP003", "x", "m")]);
+        a.merge(AnalysisReport::new(vec![Diagnostic::warn(
+            "BMP004", "y", "n",
+        )]));
+        assert_eq!(a.diagnostics.len(), 2);
+    }
+}

@@ -1,0 +1,127 @@
+//! `bmp-analyze`: a static model-consistency linter for the mispredict
+//! workspace.
+//!
+//! The interval model of the branch misprediction penalty (Eyerman,
+//! Smeets & Eeckhout, ISPASS 2006) rests on assumptions no type system
+//! enforces: the machine is *balanced* around its dispatch width `D`,
+//! traces are well-formed executions, and every decomposition the model
+//! produces *conserves* the quantity it decomposes. This crate checks
+//! all three as lint rules with stable `BMP###` codes:
+//!
+//! * `BMP0xx` — machine balance ([`machine`]): configurations that are
+//!   structurally legal but break the model's steady-state premise
+//!   (starved FU pools, windows smaller than the `c_fe · D` refill
+//!   drain, under-indexed predictors, fetch/commit narrower than
+//!   dispatch).
+//! * `BMP1xx` — trace well-formedness ([`tracelint`]): cyclic or
+//!   dangling dependences, control flow that contradicts recorded branch
+//!   outcomes, and unsorted measured-resolution records — the documented
+//!   precondition of `ValidationReport::from_pairs`.
+//! * `BMP2xx` — result conservation ([`conserve`]): CPI stacks whose
+//!   components do not sum to the CPI, penalty breakdowns whose five
+//!   contributors do not sum to the resolution they explain, and
+//!   simulator results that leak dispatch slots or ROB samples.
+//!
+//! [`analyze`] is the one-call entry point; the `bmp-lint` binary runs it
+//! over presets, workload profiles, or both, and renders either a
+//! compiler-style listing or JSON (`bmp-lint --json`). The full code
+//! catalogue lives in `docs/ANALYZER.md`.
+
+#![warn(missing_docs)]
+
+pub mod conserve;
+pub mod diag;
+pub mod machine;
+pub mod tracelint;
+
+pub use conserve::{lint_cpi_stack, lint_penalty_analysis, lint_sim_result};
+pub use diag::{AnalysisReport, Diagnostic, Severity};
+pub use machine::{lint_fu_coverage, lint_machine};
+pub use tracelint::{lint_dag_edges, lint_measured_pairs, lint_trace};
+
+use bmp_core::PenaltyModel;
+use bmp_trace::Trace;
+use bmp_uarch::MachineConfig;
+
+/// Runs every applicable rule family over one machine configuration and,
+/// when given, one trace.
+///
+/// The machine-balance rules always run. With a trace, the
+/// well-formedness rules run over it, and — provided the configuration
+/// is structurally valid — the interval model and CPI stack are computed
+/// for the pair and fed through the conservation rules, so a single call
+/// checks inputs *and* the model outputs they produce. (The
+/// cycle-accurate simulator is not run here; use
+/// [`lint_sim_result`] on an existing [`bmp_sim::SimResult`] or the
+/// `bmp-lint` binary for that.)
+pub fn analyze(cfg: &MachineConfig, trace: Option<&Trace>) -> AnalysisReport {
+    let mut report = AnalysisReport::new(lint_machine(cfg));
+
+    if let Some(trace) = trace {
+        report.merge(AnalysisReport::new(lint_trace(trace)));
+
+        // The model constructors reject invalid configs by panicking;
+        // BMP000 has already reported that case, so stop short of it.
+        if cfg.validate().is_ok() && !trace.is_empty() {
+            let analysis = PenaltyModel::new(cfg.clone()).analyze(trace);
+            report.merge(AnalysisReport::new(lint_penalty_analysis(&analysis)));
+
+            let stack = bmp_core::cpi::predict(trace, cfg);
+            report.merge(AnalysisReport::new(lint_cpi_stack(&stack)));
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_uarch::presets;
+
+    #[test]
+    fn baseline_with_workload_trace_is_error_free() {
+        let cfg = presets::baseline_4wide();
+        let profile = bmp_workloads::spec::by_name("gcc").expect("spec profile");
+        let trace = profile.generate(2000, 1);
+        let report = analyze(&cfg, Some(&trace));
+        assert_eq!(report.error_count(), 0, "{}", report.render_human());
+    }
+
+    #[test]
+    fn every_preset_is_error_free() {
+        let presets: Vec<(&str, MachineConfig)> = vec![
+            ("baseline_4wide", presets::baseline_4wide()),
+            ("wide_8way", presets::wide_8way()),
+            ("alpha21264_like", presets::alpha21264_like()),
+            ("pentium4_like", presets::pentium4_like()),
+            ("test_tiny", presets::test_tiny()),
+            ("perfect_branches", presets::perfect_branches()),
+            ("deep_frontend_20", presets::deep_frontend(20).unwrap()),
+            ("scaled_latencies_2x", presets::scaled_latencies(2.0)),
+            ("l1d_16k", presets::l1d_sized(16 * 1024).unwrap()),
+        ];
+        for (name, cfg) in presets {
+            let report = analyze(&cfg, None);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "preset {name} has lint errors:\n{}",
+                report.render_human()
+            );
+        }
+    }
+
+    #[test]
+    fn analyze_surfaces_machine_errors() {
+        use bmp_uarch::{FuPool, MachineConfigBuilder};
+        let cfg = MachineConfigBuilder::new()
+            .width(8)
+            .window_size(128)
+            .rob_size(256)
+            .fus(FuPool::new([1, 1, 1, 1, 1]).unwrap())
+            .build()
+            .unwrap();
+        assert!(analyze(&cfg, None).error_count() > 0);
+    }
+}

@@ -392,7 +392,7 @@ impl PenaltyModel {
             let r_unit = r_unit.min(r_l1);
             let r_base = r_base.min(r_unit);
             let resolution = global.resolution(iv.end);
-            breakdowns.push(PenaltyBreakdown {
+            let b = PenaltyBreakdown {
                 branch_idx: iv.end,
                 interval_start: iv.start,
                 interval_len: iv.len(),
@@ -404,7 +404,20 @@ impl PenaltyModel {
                 fu_latency: r_l1 - r_unit,
                 short_dmiss: r_local - r_l1,
                 carryover: resolution as i64 - r_local as i64,
-            });
+            };
+            // Conservation identities, mirrored by lint BMP202.
+            debug_assert_eq!(
+                b.base + b.ilp + b.fu_latency + b.short_dmiss,
+                b.local_resolution,
+                "knock-out terms must sum to the local resolution (BMP202)"
+            );
+            debug_assert_eq!(
+                b.local_resolution as i64 + b.carryover,
+                b.resolution as i64,
+                "local resolution plus carryover must equal the effective \
+                 resolution (BMP202)"
+            );
+            breakdowns.push(b);
         }
 
         PenaltyAnalysis {

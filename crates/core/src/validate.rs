@@ -32,9 +32,27 @@ pub struct ValidationReport {
 
 impl ValidationReport {
     /// Joins a model analysis with measured `(branch_idx, resolution)`
-    /// records (e.g. from `bmp-sim`'s `MispredictRecord`s). Both inputs
-    /// must be sorted by branch index, which both producers guarantee.
+    /// records (e.g. from `bmp-sim`'s `MispredictRecord`s).
+    ///
+    /// The merge-join needs both inputs sorted by branch index, which
+    /// both in-tree producers guarantee (`bmp-analyze` checks it as lint
+    /// `BMP104`). Unsorted or duplicated measured records trip a debug
+    /// assertion; in release builds they are detected and the join runs
+    /// on a sorted, deduplicated copy instead of silently miscounting.
     pub fn from_pairs(analysis: &PenaltyAnalysis, measured: &[(usize, u64)]) -> Self {
+        let sorted = measured.windows(2).all(|w| w[0].0 < w[1].0);
+        debug_assert!(
+            sorted,
+            "measured records must be strictly sorted by branch index \
+             (lint BMP104); sorting a copy as fallback"
+        );
+        if !sorted {
+            let mut owned = measured.to_vec();
+            owned.sort_by_key(|&(idx, _)| idx);
+            owned.dedup_by_key(|&mut (idx, _)| idx);
+            return Self::from_pairs(analysis, &owned);
+        }
+
         let mut pairs = Vec::new();
         let mut model_only = 0;
         let mut measured_only = 0;
@@ -221,6 +239,25 @@ mod tests {
         let a = analysis_with(&[(1, 5), (2, 5)]);
         let r = ValidationReport::from_pairs(&a, &[(1, 3), (2, 9)]);
         assert!(r.correlation().is_none());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "BMP104")]
+    fn unsorted_measured_records_trip_the_debug_assertion() {
+        let a = analysis_with(&[(10, 8)]);
+        let _ = ValidationReport::from_pairs(&a, &[(20, 9), (10, 8)]);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn unsorted_measured_records_are_sorted_in_release() {
+        let a = analysis_with(&[(10, 8), (20, 12)]);
+        // Unsorted with a duplicate; the release fallback sorts and
+        // dedups, so the join still matches both branches.
+        let r = ValidationReport::from_pairs(&a, &[(20, 12), (10, 8), (10, 8)]);
+        assert_eq!(r.pairs.len(), 2);
+        assert_eq!(r.event_agreement(), 1.0);
     }
 
     #[test]

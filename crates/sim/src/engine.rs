@@ -188,6 +188,20 @@ impl<'a> Engine<'a> {
             }
             self.cycle += 1;
         }
+        // Accounting conservation, mirrored by lint BMP203: every offered
+        // dispatch slot is attributed to exactly one cause, and the ROB
+        // histogram samples every measured cycle.
+        let cycles = self.cycle - self.stats_start_cycle;
+        debug_assert_eq!(
+            self.slots.total(),
+            cycles * u64::from(self.cfg.dispatch_width),
+            "dispatch-slot accounting leaked slots (BMP203)"
+        );
+        debug_assert_eq!(
+            self.rob_occupancy.iter().sum::<u64>(),
+            cycles,
+            "ROB-occupancy histogram missed cycles (BMP203)"
+        );
         SimResult {
             cycles: self.cycle - self.stats_start_cycle,
             instructions: self.committed - self.stats_start_committed,

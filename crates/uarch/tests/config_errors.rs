@@ -1,0 +1,145 @@
+//! Every [`ConfigError`] variant, produced through the public
+//! constructors that guard it, with its `Display` rendering asserted —
+//! so an error-message regression (or a validation path silently
+//! disappearing) fails here.
+
+use bmp_uarch::{
+    CacheGeometry, ConfigError, HierarchyConfig, MachineConfigBuilder, PredictorConfig,
+};
+
+/// Asserts `err` matches `pat` and that its message contains `needle`.
+macro_rules! assert_error {
+    ($result:expr, $pat:pat, $needle:expr) => {{
+        let err = $result.expect_err("construction must be rejected");
+        assert!(matches!(err, $pat), "unexpected variant: {err:?}");
+        let msg = err.to_string();
+        assert!(
+            msg.contains($needle),
+            "Display {msg:?} does not mention {:?}",
+            $needle
+        );
+    }};
+}
+
+#[test]
+fn zero_resource_from_builder() {
+    assert_error!(
+        MachineConfigBuilder::new().fetch_width(0).build(),
+        ConfigError::ZeroResource(_),
+        "must be at least 1"
+    );
+    assert_error!(
+        MachineConfigBuilder::new().window_size(0).build(),
+        ConfigError::ZeroResource(_),
+        "must be at least 1"
+    );
+}
+
+#[test]
+fn zero_resource_from_cache_constructors() {
+    assert_error!(
+        CacheGeometry::new(32 * 1024, 64, 0, 2),
+        ConfigError::ZeroResource("cache parameter"),
+        "cache parameter"
+    );
+    let l1 = CacheGeometry::new(32 * 1024, 64, 4, 2).unwrap();
+    assert_error!(
+        HierarchyConfig::new(l1, l1, None, 0),
+        ConfigError::ZeroResource("memory latency"),
+        "memory latency"
+    );
+}
+
+#[test]
+fn not_power_of_two_from_builder_and_caches() {
+    assert_error!(
+        MachineConfigBuilder::new().btb_entries(1000).build(),
+        ConfigError::NotPowerOfTwo(_, 1000),
+        "power of two, got 1000"
+    );
+    assert_error!(
+        CacheGeometry::new(3000, 64, 4, 2),
+        ConfigError::NotPowerOfTwo("cache size", 3000),
+        "cache size must be a power of two"
+    );
+}
+
+#[test]
+fn geometry_rejects_indivisible_ways() {
+    // 8 KiB / 64 B lines = 128 lines; 3 ways does not divide them.
+    assert_error!(
+        CacheGeometry::new(8 * 1024, 64, 3, 2),
+        ConfigError::Geometry {
+            size_bytes: 8192,
+            line_bytes: 64,
+            ways: 3,
+        },
+        "invalid cache geometry"
+    );
+}
+
+#[test]
+fn latency_ordering_must_increase_outward() {
+    let l1 = CacheGeometry::new(32 * 1024, 64, 4, 2).unwrap();
+    let slow_l2 = CacheGeometry::new(256 * 1024, 64, 8, 2).unwrap();
+    assert_error!(
+        HierarchyConfig::new(l1, l1, Some(slow_l2), 200),
+        ConfigError::LatencyOrdering,
+        "strictly increase outward"
+    );
+    // No L2: memory must still be slower than L1.
+    assert_error!(
+        HierarchyConfig::new(l1, l1, None, 1),
+        ConfigError::LatencyOrdering,
+        "strictly increase outward"
+    );
+}
+
+#[test]
+fn history_length_from_builder() {
+    // 16 history bits cannot index a 256-entry gshare table.
+    assert_error!(
+        MachineConfigBuilder::new()
+            .predictor(PredictorConfig::GShare {
+                entries: 256,
+                history_bits: 16,
+            })
+            .build(),
+        ConfigError::HistoryLength(16),
+        "history length of 16 bits"
+    );
+    assert_error!(
+        MachineConfigBuilder::new()
+            .predictor(PredictorConfig::GShare {
+                entries: 256,
+                history_bits: 0,
+            })
+            .build(),
+        ConfigError::HistoryLength(0),
+        "history length of 0 bits"
+    );
+}
+
+#[test]
+fn window_exceeds_rob_from_builder() {
+    assert_error!(
+        MachineConfigBuilder::new()
+            .window_size(256)
+            .rob_size(128)
+            .build(),
+        ConfigError::WindowExceedsRob {
+            window: 256,
+            rob: 128,
+        },
+        "issue window (256) exceeds reorder buffer (128)"
+    );
+}
+
+#[test]
+fn width_too_large_from_builder() {
+    assert_error!(
+        MachineConfigBuilder::new().width(128).build(),
+        ConfigError::WidthTooLarge(_, 128),
+        "exceeds the supported maximum of 64"
+    );
+}

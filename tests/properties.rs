@@ -21,8 +21,10 @@ fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
         0.3f64..1.0,                                    // hot_frac
     )
         .prop_map(|(load, store, dep, block, easy, pattern, code_kib, hot)| {
-            let mut p = WorkloadProfile::default();
-            p.name = "prop".into();
+            let mut p = WorkloadProfile {
+                name: "prop".into(),
+                ..WorkloadProfile::default()
+            };
             p.load_frac = load;
             p.store_frac = store;
             p.deps.mean_distance = dep;

@@ -1,0 +1,246 @@
+//! Offline stub of `criterion` (API-compatible subset).
+//!
+//! The build environment has no registry access, so this crate keeps the
+//! workspace's benches compiling and running: [`Criterion`],
+//! [`BenchmarkGroup`] (`throughput` / `bench_function` /
+//! `bench_with_input` / `finish`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`] and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a short warmup then a mean over a
+//! time-bounded batch of iterations, printed one line per benchmark. There
+//! is no statistical analysis, no HTML report, and no saved baselines;
+//! numbers are indicative, not publication-grade. Swapping the real
+//! criterion back in is a manifest-only change.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque wrapper preventing the optimizer from deleting a benchmark's
+/// work (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-iteration work volume, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        Self {
+            id: format!("{}/{param}", name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    warmup_iters: u32,
+    measure_for: Duration,
+    result: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.warmup_iters {
+            std_black_box(routine());
+        }
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < self.measure_for || iters == 0 {
+            std_black_box(routine());
+            iters += 1;
+        }
+        self.result = Some(started.elapsed() / iters.max(1) as u32);
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work volume for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark, timing whatever the body passes to
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warmup_iters: self.criterion.warmup_iters,
+            measure_for: self.criterion.measure_for,
+            result: None,
+        };
+        body(&mut b);
+        self.report(&id.to_string(), b.result);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            warmup_iters: self.criterion.warmup_iters,
+            measure_for: self.criterion.measure_for,
+            result: None,
+        };
+        body(&mut b, input);
+        self.report(&id.to_string(), b.result);
+        self
+    }
+
+    /// Ends the group. (The stub reports per-bench, so this only exists
+    /// for source compatibility.)
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, mean: Option<Duration>) {
+        let Some(mean) = mean else {
+            println!("{}/{id}: no measurement (iter was never called)", self.name);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean.as_nanos() > 0 => {
+                format!(" ({:.1} Melem/s)", n as f64 / mean.as_nanos() as f64 * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if mean.as_nanos() > 0 => {
+                format!(
+                    " ({:.1} MiB/s)",
+                    n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {mean:?}/iter{rate}", self.name);
+    }
+}
+
+/// Benchmark driver. Construction is cheap; configuration methods the
+/// real crate offers are accepted where the workspace uses them.
+pub struct Criterion {
+    warmup_iters: u32,
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep runs short: these benches also execute under `cargo test`.
+        Self {
+            warmup_iters: 1,
+            measure_for: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, body);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name, mirroring upstream's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &k| {
+            b.iter(|| (0u64..100).map(|x| x * k).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_api_runs() {
+        let mut c = Criterion {
+            warmup_iters: 0,
+            measure_for: Duration::from_micros(50),
+        };
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("run", "gzip").to_string(), "run/gzip");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,627 @@
+//! Offline stub of `proptest` (API-compatible subset).
+//!
+//! The build environment has no registry access, so this crate implements
+//! the slice of proptest this workspace's tests use: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_filter` /
+//! `prop_filter_map` / `boxed`, range and tuple strategies, [`Just`],
+//! [`any`], `collection::vec`, `sample::select`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Semantics differ from upstream in two deliberate ways: generation is
+//! plain random sampling (no size ramping) and failures do not shrink —
+//! the failing case is reported as-is. Runs are deterministic: the RNG is
+//! seeded from the test's name, so a failure reproduces on every run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic source of randomness handed to [`Strategy::sample`].
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name so each property gets an
+    /// independent, reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            inner: SmallRng::seed_from_u64(h),
+        }
+    }
+}
+
+/// How a single sampled test case ended.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was filtered out (`prop_assume!` or a `prop_filter`);
+    /// the runner draws a replacement.
+    Reject,
+    /// A `prop_assert!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure carrying `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result type the generated test-case closure returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to execute.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Executes one property: draws inputs and runs `case` until
+/// `config.cases` cases pass, panicking on the first failure.
+///
+/// # Panics
+///
+/// Panics when a case fails or when rejection (via `prop_assume!` /
+/// filters) is so frequent the property cannot make progress.
+pub fn run_property<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let reject_cap = u64::from(config.cases) * 256 + 1024;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < reject_cap,
+                    "property '{name}': too many rejected cases \
+                     ({rejected} rejections for {passed} passes)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property '{name}' failed (case {passed}): {msg}")
+            }
+        }
+    }
+}
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree: `sample` directly
+/// draws a value, returning `None` when a filter rejects the draw.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Draws one value; `None` means the draw was filtered out.
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into `f` to pick a second strategy, then
+    /// samples that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects values for which `pred` is false; `reason` is kept only
+    /// for source compatibility.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Maps values through `f`, rejecting draws where `f` returns `None`.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let mid = self.inner.sample(rng)?;
+        (self.f)(mid).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.sample(rng).filter(|v| (self.pred)(v))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    #[allow(dead_code)]
+    reason: &'static str,
+    f: F,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).and_then(&self.f)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.sample(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its payload.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// A strategy over a type's full "standard" distribution (fair `bool`,
+/// full-range integers, `f64` in `[0, 1)`).
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::sample(&mut rng.inner))
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    core::ops::Range<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(rng.inner.gen_range(self.clone()))
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    core::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(rng.inner.gen_range(self.clone()))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $v:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                $(let $v = $s.sample(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A a)
+    (A a, B b)
+    (A a, B b, C c)
+    (A a, B b, C c, D d)
+    (A a, B b, C c, D d, E e)
+    (A a, B b, C c, D d, E e, F f)
+    (A a, B b, C c, D d, E e, F f, G g)
+    (A a, B b, C c, D d, E e, F f, G g, H h)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// An inclusive size range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length falls in `size` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let len = rng.inner.gen_range(self.size.lo..=self.size.hi);
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(self.element.sample(rng)?);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Picks uniformly from a fixed list of options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select(options)
+    }
+
+    /// See [`select`].
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> Option<T> {
+            let i = rng.inner.gen_range(0..self.0.len());
+            Some(self.0[i].clone())
+        }
+    }
+}
+
+/// The glob-import surface tests use: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{any, BoxedStrategy, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of upstream's `prop` module re-export.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Declares property tests. Accepts an optional leading
+/// `#![proptest_config(...)]` followed by `fn name(arg in strategy, ...)`
+/// items; each becomes a `#[test]` that samples inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_property(__config, stringify!($name), |__rng| {
+                $(
+                    let $arg = match $crate::Strategy::sample(&($strat), __rng) {
+                        ::core::option::Option::Some(v) => v,
+                        ::core::option::Option::None => {
+                            return ::core::result::Result::Err($crate::TestCaseError::Reject)
+                        }
+                    };
+                )*
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (the runner draws a replacement) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples(x in 1u32..10, pair in (0u64..5, 0.0f64..1.0)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(pair.0 < 5);
+            prop_assert!((0.0..1.0).contains(&pair.1), "f64 out of range: {}", pair.1);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u8..4).prop_map(|b| b * 2), 1..20),
+            pick in prop::sample::select(vec![10u32, 20, 30]),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|&b| b % 2 == 0 && b < 8));
+            prop_assert!(pick % 10 == 0);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+
+    }
+
+    #[test]
+    fn flat_map_and_boxed() {
+        let mut rng = crate::TestRng::from_name("flat_map_and_boxed");
+        let strat = (1usize..5).prop_flat_map(|len| (Just(len), (0usize..len).boxed()));
+        for _ in 0..100 {
+            let (len, v) = strat.sample(&mut rng).unwrap();
+            assert!(v < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic() {
+        crate::run_property(ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err(crate::TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    fn filters_reject_draws() {
+        let mut rng = crate::TestRng::from_name("filters");
+        let even = (0u32..100).prop_filter("even only", |v| v % 2 == 0);
+        let mut seen = 0;
+        for _ in 0..200 {
+            if let Some(v) = even.sample(&mut rng) {
+                assert_eq!(v % 2, 0);
+                seen += 1;
+            }
+        }
+        assert!(seen > 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but
+//! never serializes anything (no format crate is in the dependency graph),
+//! and the build environment cannot reach a registry. This stub keeps the
+//! same import surface (`use serde::{Serialize, Deserialize}` resolves to
+//! both the traits and the derive macros) so that swapping the real serde
+//! back in is a one-line manifest change.
+
+/// Marker stand-in for `serde::Serialize`. The stub derive emits no impl;
+/// nothing in the workspace requires the bound.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`. The stub derive emits no
+/// impl; nothing in the workspace requires the bound.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
