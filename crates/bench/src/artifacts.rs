@@ -1,0 +1,224 @@
+//! The shared trace/simulation/analysis cache.
+//!
+//! Every experiment cell is a pure function of its inputs: a trace is
+//! fully determined by `(profile fingerprint, ops, seed)`, a simulation
+//! by `(machine config + options fingerprint, trace key)`, and an
+//! interval-model analysis by `(config fingerprint, trace key)`. The
+//! cache is content-addressed on exactly those keys, so each artifact is
+//! computed **once** per `run_all` and shared (as an `Arc`) across every
+//! experiment that needs it, on every thread.
+//!
+//! Concurrent lookups of the same key are collapsed: the first caller
+//! computes while later callers block and then receive the same shared
+//! instance — never a duplicate computation, never a different value.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hit/miss counters for one artifact kind.
+#[derive(Debug, Default)]
+pub struct MemoStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl MemoStats {
+    /// Lookups served from the cache (including waits on an in-flight
+    /// computation of the same key).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compute the artifact.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+/// One entry: either being computed by some thread, or ready.
+enum Slot<V> {
+    InFlight,
+    Ready(Arc<V>),
+}
+
+/// A once-per-key memo table returning shared `Arc` values.
+pub struct Memo<V> {
+    map: Mutex<HashMap<u64, Slot<V>>>,
+    ready: Condvar,
+    stats: MemoStats,
+}
+
+impl<V> Default for Memo<V> {
+    fn default() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+            ready: Condvar::new(),
+            stats: MemoStats::default(),
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for Memo<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memo")
+            .field("entries", &self.map.lock().map(|m| m.len()).unwrap_or(0))
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// Removes an in-flight marker if `compute` panics, so waiters retry
+/// instead of deadlocking.
+struct InFlightGuard<'a, V> {
+    memo: &'a Memo<V>,
+    key: u64,
+    armed: bool,
+}
+
+impl<V> Drop for InFlightGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut m) = self.memo.map.lock() {
+                m.remove(&self.key);
+            }
+            self.memo.ready.notify_all();
+        }
+    }
+}
+
+impl<V> Memo<V> {
+    /// Returns the artifact for `key`, computing it with `compute` on
+    /// first access. Exactly one caller computes per key; concurrent
+    /// callers receive the same shared instance.
+    pub fn get_or_compute<F: FnOnce() -> V>(&self, key: u64, compute: F) -> Arc<V> {
+        {
+            let mut map = self.map.lock().expect("memo map poisoned");
+            loop {
+                match map.get(&key) {
+                    Some(Slot::Ready(v)) => {
+                        self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                        return Arc::clone(v);
+                    }
+                    Some(Slot::InFlight) => {
+                        map = self.ready.wait(map).expect("memo map poisoned");
+                    }
+                    None => {
+                        map.insert(key, Slot::InFlight);
+                        break;
+                    }
+                }
+            }
+        }
+        let mut guard = InFlightGuard {
+            memo: self,
+            key,
+            armed: true,
+        };
+        let value = Arc::new(compute());
+        guard.armed = false;
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("memo map poisoned");
+        map.insert(key, Slot::Ready(Arc::clone(&value)));
+        drop(map);
+        self.ready.notify_all();
+        value
+    }
+
+    /// The hit/miss counters.
+    pub fn stats(&self) -> &MemoStats {
+        &self.stats
+    }
+
+    /// Number of cached artifacts.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo map poisoned").len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Combines a kind tag and the addressing fields into one 64-bit key.
+///
+/// The tag keeps the key spaces of different artifact kinds disjoint even
+/// when their content hashes collide positionally.
+pub fn cache_key(tag: &str, parts: &[u64]) -> u64 {
+    let mut buf = String::with_capacity(tag.len() + parts.len() * 17);
+    buf.push_str(tag);
+    for p in parts {
+        buf.push('/');
+        buf.push_str(&format!("{p:016x}"));
+    }
+    bmp_uarch::fp::fnv1a(buf.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_once_and_shares() {
+        let memo: Memo<u64> = Memo::default();
+        let calls = AtomicUsize::new(0);
+        let a = memo.get_or_compute(1, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            42
+        });
+        let b = memo.get_or_compute(1, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            99
+        });
+        assert_eq!(*a, 42);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(memo.stats().hits(), 1);
+        assert_eq!(memo.stats().misses(), 1);
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_instance() {
+        let memo: Memo<Vec<u8>> = Memo::default();
+        let calls = AtomicUsize::new(0);
+        let arcs: Vec<Arc<Vec<u8>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        memo.get_or_compute(7, || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            vec![1, 2, 3]
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "exactly one compute");
+        for a in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], a), "all callers share one Arc");
+        }
+    }
+
+    #[test]
+    fn a_panicking_compute_unblocks_the_key() {
+        let memo: Memo<u64> = Memo::default();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            memo.get_or_compute(3, || panic!("boom"));
+        }));
+        assert!(r.is_err());
+        // The key is free again; a retry computes normally.
+        assert_eq!(*memo.get_or_compute(3, || 5), 5);
+    }
+
+    #[test]
+    fn keys_separate_kinds() {
+        assert_ne!(cache_key("trace", &[1, 2]), cache_key("sim", &[1, 2]));
+        assert_ne!(cache_key("trace", &[1, 2]), cache_key("trace", &[2, 1]));
+        assert_eq!(cache_key("trace", &[1, 2]), cache_key("trace", &[1, 2]));
+    }
+}

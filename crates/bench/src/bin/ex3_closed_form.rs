@@ -1,6 +1,7 @@
 //! Regenerates extension experiment "ex3_closed_form" — see DESIGN.md.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
-    bmp_bench::run_and_save(&bmp_bench::experiments::ex3_closed_form(scale));
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(&bmp_bench::experiments::ex3_closed_form(&ctx, scale))
 }

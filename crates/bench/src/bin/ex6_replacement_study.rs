@@ -1,6 +1,7 @@
 //! Regenerates extension experiment "ex6_replacement_study" — see DESIGN.md.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
-    bmp_bench::run_and_save(&bmp_bench::experiments::ex6_replacement_study(scale));
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(&bmp_bench::experiments::ex6_replacement_study(&ctx, scale))
 }

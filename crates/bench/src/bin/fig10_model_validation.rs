@@ -1,6 +1,7 @@
 //! Regenerates "E-F10: model vs simulator validation" — see DESIGN.md experiment index.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
-    bmp_bench::run_and_save(&bmp_bench::experiments::fig10_model_validation(scale));
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(&bmp_bench::experiments::fig10_model_validation(&ctx, scale))
 }

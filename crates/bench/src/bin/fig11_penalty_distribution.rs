@@ -1,7 +1,10 @@
 //! Regenerates "E-F11: distribution of branch resolution times" — see
 //! DESIGN.md.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
-    bmp_bench::run_and_save(&bmp_bench::experiments::fig11_penalty_distribution(scale));
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(&bmp_bench::experiments::fig11_penalty_distribution(
+        &ctx, scale,
+    ))
 }

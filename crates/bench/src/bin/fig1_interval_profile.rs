@@ -1,6 +1,7 @@
 //! Regenerates "E-F1: dispatch-rate transient around a misprediction" — see DESIGN.md experiment index.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
-    bmp_bench::run_and_save(&bmp_bench::experiments::fig1_interval_profile(scale));
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(&bmp_bench::experiments::fig1_interval_profile(&ctx, scale))
 }

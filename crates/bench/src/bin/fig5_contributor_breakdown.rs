@@ -1,6 +1,9 @@
 //! Regenerates "E-F5: five-contributor penalty decomposition" — see DESIGN.md experiment index.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
-    bmp_bench::run_and_save(&bmp_bench::experiments::fig5_contributor_breakdown(scale));
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(&bmp_bench::experiments::fig5_contributor_breakdown(
+        &ctx, scale,
+    ))
 }

@@ -1,6 +1,7 @@
 //! Regenerates "E-F6: penalty vs frontend depth" — see DESIGN.md experiment index.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
-    bmp_bench::run_and_save(&bmp_bench::experiments::fig6_pipeline_depth(scale));
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(&bmp_bench::experiments::fig6_pipeline_depth(&ctx, scale))
 }

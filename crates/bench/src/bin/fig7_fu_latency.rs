@@ -1,6 +1,7 @@
 //! Regenerates "E-F7: resolution vs FU latency scaling" — see DESIGN.md experiment index.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
-    bmp_bench::run_and_save(&bmp_bench::experiments::fig7_fu_latency(scale));
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(&bmp_bench::experiments::fig7_fu_latency(&ctx, scale))
 }

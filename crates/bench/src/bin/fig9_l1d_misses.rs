@@ -1,6 +1,7 @@
 //! Regenerates "E-F9: resolution vs L1D size" — see DESIGN.md experiment index.
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
-    bmp_bench::run_and_save(&bmp_bench::experiments::fig9_l1d_misses(scale));
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(&bmp_bench::experiments::fig9_l1d_misses(&ctx, scale))
 }

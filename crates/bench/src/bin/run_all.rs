@@ -1,13 +1,35 @@
 //! Regenerates every table and figure of the reconstructed evaluation
-//! (DESIGN.md, E-T1 … E-F10) and writes the CSVs under `results/`.
+//! (DESIGN.md, E-T1 … E-F11, E-X1 … E-X8) and writes the CSVs under
+//! `results/`, plus the timing report to `results/bench_timings.json`.
+//!
+//! Scale with `BMP_OPS` / `BMP_SEED`; pick the worker count with
+//! `BMP_THREADS` (default: available parallelism, `1` = sequential).
+//! The produced CSVs are byte-identical for any thread count.
 
-fn main() {
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
     let scale = bmp_bench::Scale::from_env();
+    let engine = bmp_bench::Engine::from_env();
     eprintln!(
-        "running all experiments at {} ops per workload (BMP_OPS to change)",
-        scale.ops
+        "running all experiments at {} ops per workload on {} threads \
+         (BMP_OPS / BMP_THREADS to change)",
+        scale.ops,
+        bmp_bench::engine::threads_from_env()
     );
-    for table in bmp_bench::experiments::all(scale) {
-        bmp_bench::run_and_save(&table);
+    let report = engine.run_all(scale);
+    for table in &report.tables {
+        if let Err(e) = bmp_bench::run_and_save(table) {
+            eprintln!("error: cannot write results for {}: {e}", table.id);
+            return ExitCode::FAILURE;
+        }
     }
+    print!("{}", report.to_summary());
+    let timings = std::path::Path::new("results").join("bench_timings.json");
+    if let Err(e) = std::fs::write(&timings, report.to_json(scale)) {
+        eprintln!("error: cannot write {}: {e}", timings.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[saved {}]", timings.display());
+    ExitCode::SUCCESS
 }

@@ -1,0 +1,713 @@
+//! The parallel experiment engine.
+//!
+//! `run_all` used to execute the 21 experiments strictly sequentially,
+//! each re-synthesizing and re-simulating the same twelve SPECint-like
+//! traces from scratch. The engine replaces that with a two-phase job
+//! graph over a [`ThreadPool`]:
+//!
+//! 1. **Cell fan-out** — every experiment declares its shared
+//!    `(experiment × workload × config)` cells (trace synthesis, baseline /
+//!    oracle / warmup simulations, interval-model analyses). The engine
+//!    deduplicates them by content key and computes each exactly once,
+//!    spread across the pool, into the shared [`Ctx`] cache.
+//! 2. **Experiments** — the 21 experiment functions run on the pool,
+//!    hitting the warm cache for the shared work and computing only their
+//!    experiment-specific sweeps.
+//!
+//! Results are **merged by stable experiment index, never by completion
+//! order**, and every artifact is a pure function of its cache key, so
+//! the produced tables are byte-identical for any thread count — the
+//! determinism test in `tests/determinism.rs` locks this down.
+//!
+//! `BMP_THREADS=1` (see [`threads_from_env`]) skips the fan-out phase and
+//! runs the experiments inline in order: the exact legacy path.
+
+use std::ops::Deref;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bmp_core::{PenaltyAnalysis, PenaltyModel};
+use bmp_sim::{SimOptions, SimResult, Simulator};
+use bmp_uarch::{presets, MachineConfig, PredictorConfig};
+use bmp_workloads::{spec, WorkloadProfile};
+
+use crate::artifacts::{cache_key, Memo};
+use crate::pool::ThreadPool;
+use crate::{experiments, Scale, Table};
+
+/// A synthesized trace plus its content key, so downstream simulation and
+/// analysis lookups can address results as `(machine key, trace key)`.
+#[derive(Debug, Clone)]
+pub struct TraceHandle {
+    key: u64,
+    trace: Arc<bmp_trace::Trace>,
+}
+
+impl TraceHandle {
+    /// The content key addressing this trace in the cache.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The shared trace.
+    pub fn trace(&self) -> &Arc<bmp_trace::Trace> {
+        &self.trace
+    }
+}
+
+impl Deref for TraceHandle {
+    type Target = bmp_trace::Trace;
+
+    fn deref(&self) -> &Self::Target {
+        &self.trace
+    }
+}
+
+/// The shared experiment context: the content-addressed cache every
+/// experiment draws traces, simulation results and analyses from.
+///
+/// All methods are `&self` and thread-safe; concurrent requests for the
+/// same artifact collapse into one computation (see [`Memo`]).
+#[derive(Debug, Default)]
+pub struct Ctx {
+    traces: Memo<bmp_trace::Trace>,
+    sims: Memo<SimResult>,
+    analyses: Memo<PenaltyAnalysis>,
+}
+
+impl Ctx {
+    /// A fresh, empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The trace synthesized by `profile` at `scale`, cached by
+    /// `(profile fingerprint, ops, seed)`.
+    pub fn trace(&self, profile: &WorkloadProfile, scale: Scale) -> TraceHandle {
+        let key = cache_key(
+            "trace",
+            &[profile.fingerprint(), scale.ops as u64, scale.seed],
+        );
+        let trace = self
+            .traces
+            .get_or_compute(key, || profile.generate(scale.ops, scale.seed));
+        TraceHandle { key, trace }
+    }
+
+    /// The trace for the SPEC-like profile `name` at `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not one of [`spec::NAMES`].
+    pub fn named_trace(&self, name: &str, scale: Scale) -> TraceHandle {
+        self.trace(&spec::by_name(name).expect("known profile"), scale)
+    }
+
+    /// A trace from an arbitrary synthesis closure, addressed by `key`
+    /// (build it with [`cache_key`] from the synthesis parameters). Used
+    /// by the microbenchmark experiments.
+    pub fn keyed_trace<F>(&self, key: u64, synth: F) -> TraceHandle
+    where
+        F: FnOnce() -> bmp_trace::Trace,
+    {
+        let trace = self.traces.get_or_compute(key, synth);
+        TraceHandle { key, trace }
+    }
+
+    /// The result of running `sim` over `trace`, cached by
+    /// `(config + options fingerprint, trace key)`.
+    pub fn sim(&self, sim: &Simulator, trace: &TraceHandle) -> Arc<SimResult> {
+        let key = cache_key("sim", &[sim.fingerprint(), trace.key]);
+        self.sims.get_or_compute(key, || sim.run(trace))
+    }
+
+    /// The interval-model analysis of `trace` under `cfg`, cached by
+    /// `(config fingerprint, trace key)`.
+    pub fn analyze(&self, cfg: &MachineConfig, trace: &TraceHandle) -> Arc<PenaltyAnalysis> {
+        let key = cache_key("analysis", &[cfg.fingerprint(), trace.key]);
+        self.analyses
+            .get_or_compute(key, || PenaltyModel::new(cfg.clone()).analyze(trace))
+    }
+
+    /// Cache statistics, for the timing report.
+    pub fn cache_stats(&self) -> CacheReport {
+        CacheReport {
+            trace_hits: self.traces.stats().hits(),
+            trace_misses: self.traces.stats().misses(),
+            sim_hits: self.sims.stats().hits(),
+            sim_misses: self.sims.stats().misses(),
+            analysis_hits: self.analyses.stats().hits(),
+            analysis_misses: self.analyses.stats().misses(),
+        }
+    }
+}
+
+/// The closure a [`Cell`] runs against the shared context.
+type CellWork = Box<dyn Fn(&Ctx, Scale) + Send + Sync>;
+
+/// One shared `(workload × config)` unit of an experiment's work, fanned
+/// out ahead of the experiment itself.
+pub struct Cell {
+    /// `workload/config` label; cells with equal labels are the same work
+    /// and are deduplicated across experiments.
+    pub label: String,
+    work: CellWork,
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cell").field("label", &self.label).finish()
+    }
+}
+
+impl Cell {
+    /// Synthesize the named workload's trace.
+    pub fn trace(workload: &'static str) -> Self {
+        Self {
+            label: format!("{workload}/trace"),
+            work: Box::new(move |ctx, scale| {
+                ctx.named_trace(workload, scale);
+            }),
+        }
+    }
+
+    /// Baseline-machine simulation of the named workload (implies the
+    /// trace).
+    pub fn baseline_sim(workload: &'static str) -> Self {
+        Self {
+            label: format!("{workload}/sim-baseline"),
+            work: Box::new(move |ctx, scale| {
+                let th = ctx.named_trace(workload, scale);
+                ctx.sim(&Simulator::new(presets::baseline_4wide()), &th);
+            }),
+        }
+    }
+
+    /// Perfect-predictor (oracle) simulation of the named workload.
+    pub fn oracle_sim(workload: &'static str) -> Self {
+        Self {
+            label: format!("{workload}/sim-oracle"),
+            work: Box::new(move |ctx, scale| {
+                let cfg = presets::baseline_4wide()
+                    .to_builder()
+                    .predictor(PredictorConfig::Perfect)
+                    .build()
+                    .expect("valid oracle machine");
+                let th = ctx.named_trace(workload, scale);
+                ctx.sim(&Simulator::new(cfg), &th);
+            }),
+        }
+    }
+
+    /// Baseline simulation with the standard 20% warmup.
+    pub fn warmup_sim(workload: &'static str) -> Self {
+        Self {
+            label: format!("{workload}/sim-warmup"),
+            work: Box::new(move |ctx, scale| {
+                let sim = Simulator::with_options(
+                    presets::baseline_4wide(),
+                    SimOptions::with_warmup(scale.ops as u64 / 5),
+                );
+                let th = ctx.named_trace(workload, scale);
+                ctx.sim(&sim, &th);
+            }),
+        }
+    }
+
+    /// Baseline interval-model analysis of the named workload.
+    pub fn analysis(workload: &'static str) -> Self {
+        Self {
+            label: format!("{workload}/analysis-baseline"),
+            work: Box::new(move |ctx, scale| {
+                let th = ctx.named_trace(workload, scale);
+                ctx.analyze(&presets::baseline_4wide(), &th);
+            }),
+        }
+    }
+
+    /// Runs the cell's work against the shared context.
+    pub fn run(&self, ctx: &Ctx, scale: Scale) {
+        (self.work)(ctx, scale);
+    }
+}
+
+/// One experiment in the registry: its stable name, the shared cells it
+/// fans out, and the function producing its table.
+pub struct ExperimentDef {
+    /// Stable identifier; matches the produced table's `id`.
+    pub name: &'static str,
+    /// Produces the experiment's table from the shared context.
+    pub run: fn(&Ctx, Scale) -> Table,
+    /// The shared `(workload × config)` cells this experiment needs.
+    pub cells: fn() -> Vec<Cell>,
+}
+
+/// Every experiment of the reconstructed evaluation, in the canonical
+/// order `run_all` reports them (E-T1 … E-F11, E-X1 … E-X8).
+pub fn experiment_defs() -> Vec<ExperimentDef> {
+    use experiments as ex;
+    fn none() -> Vec<Cell> {
+        Vec::new()
+    }
+    fn all_profiles(f: fn(&'static str) -> Cell) -> Vec<Cell> {
+        spec::NAMES.iter().map(|n| f(n)).collect()
+    }
+    fn sim_and_analysis_all() -> Vec<Cell> {
+        let mut cells = all_profiles(Cell::baseline_sim);
+        cells.extend(all_profiles(Cell::analysis));
+        cells
+    }
+    vec![
+        ExperimentDef {
+            name: "table1_config",
+            run: |_, _| ex::table1_config(),
+            cells: none,
+        },
+        ExperimentDef {
+            name: "table2_benchmarks",
+            run: ex::table2_benchmarks,
+            cells: || all_profiles(Cell::warmup_sim),
+        },
+        ExperimentDef {
+            name: "fig1_interval_profile",
+            run: ex::fig1_interval_profile,
+            cells: || vec![Cell::trace("crafty")],
+        },
+        ExperimentDef {
+            name: "fig2_penalty_per_benchmark",
+            run: ex::fig2_penalty_per_benchmark,
+            cells: || {
+                let mut cells = sim_and_analysis_all();
+                cells.extend(all_profiles(Cell::oracle_sim));
+                cells
+            },
+        },
+        ExperimentDef {
+            name: "fig3_penalty_vs_interval",
+            run: ex::fig3_penalty_vs_interval,
+            cells: || {
+                let mut cells = Vec::new();
+                for w in ["gzip", "gcc", "twolf"] {
+                    cells.push(Cell::baseline_sim(w));
+                    cells.push(Cell::analysis(w));
+                }
+                cells
+            },
+        },
+        ExperimentDef {
+            name: "fig4_interval_distribution",
+            run: ex::fig4_interval_distribution,
+            cells: || all_profiles(Cell::analysis),
+        },
+        ExperimentDef {
+            name: "fig5_contributor_breakdown",
+            run: ex::fig5_contributor_breakdown,
+            cells: || all_profiles(Cell::analysis),
+        },
+        ExperimentDef {
+            name: "fig6_pipeline_depth",
+            run: ex::fig6_pipeline_depth,
+            cells: || vec![Cell::trace("twolf"), Cell::trace("gcc")],
+        },
+        ExperimentDef {
+            name: "fig7_fu_latency",
+            run: ex::fig7_fu_latency,
+            cells: || vec![Cell::trace("twolf")],
+        },
+        ExperimentDef {
+            name: "fig8_ilp",
+            run: ex::fig8_ilp,
+            cells: none,
+        },
+        ExperimentDef {
+            name: "fig9_l1d_misses",
+            run: ex::fig9_l1d_misses,
+            cells: none,
+        },
+        ExperimentDef {
+            name: "fig10_model_validation",
+            run: ex::fig10_model_validation,
+            cells: sim_and_analysis_all,
+        },
+        ExperimentDef {
+            name: "fig11_penalty_distribution",
+            run: ex::fig11_penalty_distribution,
+            cells: || {
+                let mut cells = Vec::new();
+                for w in ["gzip", "gcc", "twolf"] {
+                    cells.push(Cell::baseline_sim(w));
+                    cells.push(Cell::analysis(w));
+                }
+                cells
+            },
+        },
+        ExperimentDef {
+            name: "ex1_predictor_study",
+            run: ex::ex1_predictor_study,
+            cells: || vec![Cell::trace("twolf"), Cell::trace("gzip")],
+        },
+        ExperimentDef {
+            name: "ex2_window_sweep",
+            run: ex::ex2_window_sweep,
+            cells: || vec![Cell::trace("twolf"), Cell::trace("gzip")],
+        },
+        ExperimentDef {
+            name: "ex3_closed_form",
+            run: ex::ex3_closed_form,
+            cells: sim_and_analysis_all,
+        },
+        ExperimentDef {
+            name: "ex4_prefetch_study",
+            run: ex::ex4_prefetch_study,
+            cells: || ["bzip2", "gzip", "mcf", "gcc"].map(Cell::trace).into(),
+        },
+        ExperimentDef {
+            name: "ex5_occupancy_study",
+            run: ex::ex5_occupancy_study,
+            cells: || all_profiles(Cell::baseline_sim),
+        },
+        ExperimentDef {
+            name: "ex6_replacement_study",
+            run: ex::ex6_replacement_study,
+            cells: || ["gzip", "parser", "mcf"].map(Cell::trace).into(),
+        },
+        ExperimentDef {
+            name: "ex7_indirect_study",
+            run: ex::ex7_indirect_study,
+            cells: || ["perlbmk", "gap", "eon", "gcc"].map(Cell::trace).into(),
+        },
+        ExperimentDef {
+            name: "ex8_warmup_study",
+            run: ex::ex8_warmup_study,
+            cells: || {
+                let mut cells = Vec::new();
+                for w in ["gzip", "gcc", "mcf", "crafty"] {
+                    cells.push(Cell::baseline_sim(w));
+                    cells.push(Cell::warmup_sim(w));
+                }
+                cells
+            },
+        },
+    ]
+}
+
+/// Wall-clock of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentTiming {
+    /// The experiment's stable name.
+    pub name: &'static str,
+    /// Wall-clock milliseconds spent producing its table (after the cell
+    /// fan-out phase).
+    pub millis: u128,
+}
+
+/// Cache hit/miss counters per artifact kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheReport {
+    /// Trace lookups served from the cache.
+    pub trace_hits: u64,
+    /// Trace synthesis computations.
+    pub trace_misses: u64,
+    /// Simulation lookups served from the cache.
+    pub sim_hits: u64,
+    /// Simulation runs.
+    pub sim_misses: u64,
+    /// Analysis lookups served from the cache.
+    pub analysis_hits: u64,
+    /// Interval-model analysis computations.
+    pub analysis_misses: u64,
+}
+
+impl CacheReport {
+    /// Overall hit fraction across all artifact kinds.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.trace_hits + self.sim_hits + self.analysis_hits;
+        let total = hits + self.trace_misses + self.sim_misses + self.analysis_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// Everything `run_all` reports: the tables in canonical order plus the
+/// wall-clock/cache accounting that seeds `results/bench_timings.json`.
+#[derive(Debug)]
+pub struct EngineReport {
+    /// The experiment tables, merged by stable experiment index.
+    pub tables: Vec<Table>,
+    /// Per-experiment wall-clock, in registry order.
+    pub timings: Vec<ExperimentTiming>,
+    /// Deduplicated shared cells fanned out in phase 1.
+    pub cells: usize,
+    /// Cells before deduplication (the sharing the cache exposed).
+    pub cells_requested: usize,
+    /// Wall-clock milliseconds of the cell fan-out phase.
+    pub cell_millis: u128,
+    /// Wall-clock milliseconds of the whole run.
+    pub total_millis: u128,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cache accounting at the end of the run.
+    pub cache: CacheReport,
+}
+
+impl EngineReport {
+    /// Renders the human-readable timing summary.
+    pub fn to_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "\n## Timing report ({} threads, {} shared cells from {} requests, \
+             fan-out {} ms, total {} ms)\n\n",
+            self.threads, self.cells, self.cells_requested, self.cell_millis, self.total_millis
+        ));
+        for t in &self.timings {
+            out.push_str(&format!("{:>8} ms  {}\n", t.millis, t.name));
+        }
+        let c = &self.cache;
+        out.push_str(&format!(
+            "cache: traces {}/{} hits, sims {}/{} hits, analyses {}/{} hits \
+             ({:.0}% overall hit rate)\n",
+            c.trace_hits,
+            c.trace_hits + c.trace_misses,
+            c.sim_hits,
+            c.sim_hits + c.sim_misses,
+            c.analysis_hits,
+            c.analysis_hits + c.analysis_misses,
+            c.hit_rate() * 100.0
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report written to
+    /// `results/bench_timings.json` (hand-formatted: the workspace has no
+    /// JSON serializer).
+    pub fn to_json(&self, scale: Scale) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"ops\": {},\n", scale.ops));
+        out.push_str(&format!("  \"seed\": {},\n", scale.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"cells\": {},\n", self.cells));
+        out.push_str(&format!(
+            "  \"cells_requested\": {},\n",
+            self.cells_requested
+        ));
+        out.push_str(&format!("  \"cell_millis\": {},\n", self.cell_millis));
+        out.push_str(&format!("  \"total_millis\": {},\n", self.total_millis));
+        let c = &self.cache;
+        out.push_str(&format!(
+            "  \"cache\": {{ \"trace_hits\": {}, \"trace_misses\": {}, \
+             \"sim_hits\": {}, \"sim_misses\": {}, \
+             \"analysis_hits\": {}, \"analysis_misses\": {} }},\n",
+            c.trace_hits,
+            c.trace_misses,
+            c.sim_hits,
+            c.sim_misses,
+            c.analysis_hits,
+            c.analysis_misses
+        ));
+        out.push_str("  \"experiments\": [\n");
+        for (i, t) in self.timings.iter().enumerate() {
+            let comma = if i + 1 == self.timings.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"millis\": {} }}{}\n",
+                t.name, t.millis, comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The engine: a pool plus a shared context.
+#[derive(Debug)]
+pub struct Engine {
+    pool: ThreadPool,
+    ctx: Ctx,
+}
+
+impl Engine {
+    /// An engine running on `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            pool: ThreadPool::new(threads),
+            ctx: Ctx::new(),
+        }
+    }
+
+    /// An engine sized from `BMP_THREADS` / available parallelism.
+    pub fn from_env() -> Self {
+        Self::new(threads_from_env())
+    }
+
+    /// The shared context (for reuse after a run).
+    pub fn ctx(&self) -> &Ctx {
+        &self.ctx
+    }
+
+    /// Runs every experiment and returns tables (stable order) plus the
+    /// timing report.
+    pub fn run_all(&self, scale: Scale) -> EngineReport {
+        self.run(&experiment_defs(), scale)
+    }
+
+    /// Runs the named experiments (in registry order) — the subset entry
+    /// point the determinism test drives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is not in the registry.
+    pub fn run_named(&self, names: &[&str], scale: Scale) -> EngineReport {
+        let defs: Vec<ExperimentDef> = experiment_defs()
+            .into_iter()
+            .filter(|d| names.contains(&d.name))
+            .collect();
+        assert_eq!(defs.len(), names.len(), "unknown experiment name");
+        self.run(&defs, scale)
+    }
+
+    /// Runs `defs` through the two-phase job graph.
+    fn run(&self, defs: &[ExperimentDef], scale: Scale) -> EngineReport {
+        let start = Instant::now();
+        let threads = self.pool.threads();
+
+        // Phase 1: fan out the deduplicated shared cells. Skipped on one
+        // thread — the legacy path computes everything lazily in place,
+        // and the cache makes the results identical either way.
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut requested = 0usize;
+        for def in defs {
+            for cell in (def.cells)() {
+                requested += 1;
+                if !cells.iter().any(|c| c.label == cell.label) {
+                    cells.push(cell);
+                }
+            }
+        }
+        let cell_start = Instant::now();
+        if threads > 1 {
+            self.pool
+                .map(cells.len(), |i| cells[i].run(&self.ctx, scale));
+        }
+        let cell_millis = cell_start.elapsed().as_millis();
+
+        // Phase 2: the experiments themselves, merged by stable index.
+        let timed: Vec<(Table, u128)> = self.pool.map(defs.len(), |i| {
+            let t0 = Instant::now();
+            let table = (defs[i].run)(&self.ctx, scale);
+            (table, t0.elapsed().as_millis())
+        });
+        let mut tables = Vec::with_capacity(timed.len());
+        let mut timings = Vec::with_capacity(timed.len());
+        for (def, (table, millis)) in defs.iter().zip(timed) {
+            debug_assert_eq!(def.name, table.id, "registry name matches table id");
+            tables.push(table);
+            timings.push(ExperimentTiming {
+                name: def.name,
+                millis,
+            });
+        }
+        EngineReport {
+            tables,
+            timings,
+            cells: cells.len(),
+            cells_requested: requested,
+            cell_millis,
+            total_millis: start.elapsed().as_millis(),
+            threads,
+            cache: self.ctx.cache_stats(),
+        }
+    }
+}
+
+/// Worker count from the environment: `BMP_THREADS` when set (minimum 1;
+/// `1` selects the exact legacy sequential path), otherwise the machine's
+/// available parallelism.
+pub fn threads_from_env() -> usize {
+    std::env::var("BMP_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_experiments_once() {
+        let defs = experiment_defs();
+        assert_eq!(defs.len(), 21);
+        let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21, "registry names must be unique");
+    }
+
+    #[test]
+    fn ctx_shares_traces_and_sims() {
+        let ctx = Ctx::new();
+        let scale = Scale {
+            ops: 2_000,
+            seed: 9,
+        };
+        let a = ctx.named_trace("gzip", scale);
+        let b = ctx.named_trace("gzip", scale);
+        assert!(Arc::ptr_eq(a.trace(), b.trace()));
+        assert_eq!(a.key(), b.key());
+        let sim = Simulator::new(presets::baseline_4wide());
+        let r1 = ctx.sim(&sim, &a);
+        let r2 = ctx.sim(&sim, &b);
+        assert!(Arc::ptr_eq(&r1, &r2));
+        let stats = ctx.cache_stats();
+        assert_eq!(stats.trace_misses, 1);
+        assert_eq!(stats.trace_hits, 1);
+        assert_eq!(stats.sim_misses, 1);
+        assert_eq!(stats.sim_hits, 1);
+    }
+
+    #[test]
+    fn different_scales_do_not_collide() {
+        let ctx = Ctx::new();
+        let a = ctx.named_trace(
+            "gzip",
+            Scale {
+                ops: 1_000,
+                seed: 1,
+            },
+        );
+        let b = ctx.named_trace(
+            "gzip",
+            Scale {
+                ops: 1_000,
+                seed: 2,
+            },
+        );
+        assert_ne!(a.key(), b.key());
+        assert!(!Arc::ptr_eq(a.trace(), b.trace()));
+    }
+
+    #[test]
+    fn run_named_merges_in_registry_order() {
+        let engine = Engine::new(2);
+        let scale = Scale {
+            ops: 2_000,
+            seed: 3,
+        };
+        let report = engine.run_named(&["fig4_interval_distribution", "table1_config"], scale);
+        assert_eq!(report.tables.len(), 2);
+        // Registry order, not argument order or completion order.
+        assert_eq!(report.tables[0].id, "table1_config");
+        assert_eq!(report.tables[1].id, "fig4_interval_distribution");
+        assert_eq!(report.threads, 2);
+        let json = report.to_json(scale);
+        assert!(json.contains("\"threads\": 2"));
+        assert!(json.contains("\"table1_config\""));
+    }
+}

@@ -1,11 +1,12 @@
 //! The characterization figures E-F1 … E-F5.
 
-use bmp_core::{IntervalLengthHistogram, PenaltyModel, LENGTH_BUCKETS};
+use bmp_core::{IntervalLengthHistogram, LENGTH_BUCKETS};
 use bmp_sim::{SimOptions, Simulator};
 use bmp_uarch::presets;
 use bmp_workloads::spec;
 
 use crate::convert::measured_interval_lengths;
+use crate::engine::Ctx;
 use crate::table::{f2, f3};
 use crate::{Scale, Table};
 
@@ -20,7 +21,7 @@ const REPRESENTATIVES: [&str; 3] = ["gzip", "gcc", "twolf"];
 /// Only mispredictions at least 50 cycles away from the previous and
 /// next recorded events are averaged, so the transient is not polluted by
 /// neighbouring events.
-pub fn fig1_interval_profile(scale: Scale) -> Table {
+pub fn fig1_interval_profile(ctx: &Ctx, scale: Scale) -> Table {
     const BEFORE: i64 = 20;
     const AFTER: i64 = 60;
     const ISOLATION: i64 = 50;
@@ -28,10 +29,8 @@ pub fn fig1_interval_profile(scale: Scale) -> Table {
     let sim = Simulator::with_options(cfg, SimOptions::with_timeline());
     // crafty-like: predictable branches and quiet caches, so enough
     // mispredictions are far from any other event.
-    let trace = spec::by_name("crafty")
-        .expect("known profile")
-        .generate(scale.ops, scale.seed);
-    let res = sim.run(&trace);
+    let trace = ctx.named_trace("crafty", scale);
+    let res = ctx.sim(&sim, &trace);
     let timeline = res.dispatch_timeline.as_ref().expect("timeline enabled");
 
     // Event cycles, for isolation filtering.
@@ -82,7 +81,7 @@ pub fn fig1_interval_profile(scale: Scale) -> Table {
 ///   the black-box penalty (overlap with other events makes it differ
 ///   from per-event accounting);
 /// * **the interval model's prediction**.
-pub fn fig2_penalty_per_benchmark(scale: Scale) -> Table {
+pub fn fig2_penalty_per_benchmark(ctx: &Ctx, scale: Scale) -> Table {
     use bmp_uarch::PredictorConfig;
     let cfg = presets::baseline_4wide();
     let oracle = cfg
@@ -92,7 +91,6 @@ pub fn fig2_penalty_per_benchmark(scale: Scale) -> Table {
         .expect("valid oracle machine");
     let sim = Simulator::new(cfg.clone());
     let oracle_sim = Simulator::new(oracle);
-    let model = PenaltyModel::new(cfg.clone());
     let mut t = Table::new(
         "fig2_penalty_per_benchmark",
         "Figure 2 (E-F2): average branch misprediction penalty per benchmark \
@@ -107,10 +105,10 @@ pub fn fig2_penalty_per_benchmark(scale: Scale) -> Table {
         ],
     );
     for profile in spec::all_profiles() {
-        let trace = profile.generate(scale.ops, scale.seed);
-        let res = sim.run(&trace);
-        let perfect = oracle_sim.run(&trace);
-        let analysis = model.analyze(&trace);
+        let trace = ctx.trace(&profile, scale);
+        let res = ctx.sim(&sim, &trace);
+        let perfect = ctx.sim(&oracle_sim, &trace);
+        let analysis = ctx.analyze(&cfg, &trace);
         let extra_events = res
             .mispredicts
             .len()
@@ -135,10 +133,9 @@ pub fn fig2_penalty_per_benchmark(scale: Scale) -> Table {
 /// E-F3: branch resolution time versus the number of instructions since
 /// the last miss event (contributor ii — burstiness). Three series per
 /// benchmark: measured, model-local (pure ramp-up) and model-effective.
-pub fn fig3_penalty_vs_interval(scale: Scale) -> Table {
+pub fn fig3_penalty_vs_interval(ctx: &Ctx, scale: Scale) -> Table {
     let cfg = presets::baseline_4wide();
     let sim = Simulator::new(cfg.clone());
-    let model = PenaltyModel::new(cfg);
     let mut t = Table::new(
         "fig3_penalty_vs_interval",
         "Figure 3 (E-F3): branch resolution time vs. instructions since the last miss event",
@@ -152,10 +149,8 @@ pub fn fig3_penalty_vs_interval(scale: Scale) -> Table {
         ],
     );
     for name in REPRESENTATIVES {
-        let trace = spec::by_name(name)
-            .expect("known profile")
-            .generate(scale.ops, scale.seed);
-        let res = sim.run(&trace);
+        let trace = ctx.named_trace(name, scale);
+        let res = ctx.sim(&sim, &trace);
         let lengths = measured_interval_lengths(&res, trace.len());
         // Bucket the measured resolutions the same way the model does.
         let mut sums = vec![0u64; LENGTH_BUCKETS.len() + 1];
@@ -169,7 +164,7 @@ pub fn fig3_penalty_vs_interval(scale: Scale) -> Table {
             sums[bucket] += m.resolution();
             counts[bucket] += 1;
         }
-        let analysis = model.analyze(&trace);
+        let analysis = ctx.analyze(&cfg, &trace);
         let local = analysis.local_resolution_by_interval_length();
         let global = analysis.resolution_by_interval_length();
         let find = |curve: &[(usize, f64, u64)], lo: usize| {
@@ -194,17 +189,16 @@ pub fn fig3_penalty_vs_interval(scale: Scale) -> Table {
 
 /// E-F4: the distribution of inter-miss interval lengths per benchmark —
 /// the burstiness characterization.
-pub fn fig4_interval_distribution(scale: Scale) -> Table {
+pub fn fig4_interval_distribution(ctx: &Ctx, scale: Scale) -> Table {
     let cfg = presets::baseline_4wide();
-    let model = PenaltyModel::new(cfg);
     let mut t = Table::new(
         "fig4_interval_distribution",
         "Figure 4 (E-F4): distribution of inter-miss-event interval lengths",
         &["benchmark", "interval-bucket-lo", "fraction", "count"],
     );
     for profile in spec::all_profiles() {
-        let trace = profile.generate(scale.ops, scale.seed);
-        let analysis = model.analyze(&trace);
+        let trace = ctx.trace(&profile, scale);
+        let analysis = ctx.analyze(&cfg, &trace);
         let hist = IntervalLengthHistogram::from_intervals(&analysis.intervals);
         for (i, &lo) in LENGTH_BUCKETS.iter().enumerate() {
             if hist.count(i) == 0 {
@@ -234,9 +228,8 @@ pub fn fig4_interval_distribution(scale: Scale) -> Table {
 /// benchmark: frontend (i), the branch's own execution, inherent ILP
 /// (iii), functional-unit latencies (iv), short D-misses (v), and the
 /// cross-interval window carryover (part of ii).
-pub fn fig5_contributor_breakdown(scale: Scale) -> Table {
+pub fn fig5_contributor_breakdown(ctx: &Ctx, scale: Scale) -> Table {
     let cfg = presets::baseline_4wide();
-    let model = PenaltyModel::new(cfg);
     let mut t = Table::new(
         "fig5_contributor_breakdown",
         "Figure 5 (E-F5): decomposition of the mean misprediction penalty",
@@ -252,8 +245,8 @@ pub fn fig5_contributor_breakdown(scale: Scale) -> Table {
         ],
     );
     for profile in spec::all_profiles() {
-        let trace = profile.generate(scale.ops, scale.seed);
-        let analysis = model.analyze(&trace);
+        let trace = ctx.trace(&profile, scale);
+        let analysis = ctx.analyze(&cfg, &trace);
         let Some((base, ilp, fu, dmiss)) = analysis.mean_contributions() else {
             continue;
         };
@@ -282,11 +275,10 @@ pub fn fig5_contributor_breakdown(scale: Scale) -> Table {
 /// mean, the shape: a mass of cheap bursty events, a body near the window
 /// drain, and a long-miss-shadow tail. Measured (simulator) and modeled
 /// side by side, per representative benchmark.
-pub fn fig11_penalty_distribution(scale: Scale) -> Table {
+pub fn fig11_penalty_distribution(ctx: &Ctx, scale: Scale) -> Table {
     const BOUNDS: [u64; 7] = [2, 5, 10, 20, 50, 100, 200];
     let cfg = presets::baseline_4wide();
     let sim = Simulator::new(cfg.clone());
-    let model = PenaltyModel::new(cfg);
     let mut t = Table::new(
         "fig11_penalty_distribution",
         "Figure 11 (E-F11): distribution of branch resolution times",
@@ -299,11 +291,9 @@ pub fn fig11_penalty_distribution(scale: Scale) -> Table {
         ],
     );
     for name in REPRESENTATIVES {
-        let trace = spec::by_name(name)
-            .expect("known profile")
-            .generate(scale.ops, scale.seed);
-        let res = sim.run(&trace);
-        let analysis = model.analyze(&trace);
+        let trace = ctx.named_trace(name, scale);
+        let res = ctx.sim(&sim, &trace);
+        let analysis = ctx.analyze(&cfg, &trace);
 
         // Measured histogram over the same buckets.
         let mut measured = vec![0u64; BOUNDS.len() + 1];
@@ -351,10 +341,14 @@ mod tests {
 
     #[test]
     fn fig1_shows_a_dispatch_hole() {
-        let t = fig1_interval_profile(Scale {
-            ops: 60_000,
-            seed: 5,
-        });
+        let ctx = Ctx::new();
+        let t = fig1_interval_profile(
+            &ctx,
+            Scale {
+                ops: 60_000,
+                seed: 5,
+            },
+        );
         // Parse the series back.
         let series: Vec<(i64, f64)> = t
             .rows
@@ -383,7 +377,8 @@ mod tests {
 
     #[test]
     fn fig2_penalty_exceeds_frontend_everywhere() {
-        let t = fig2_penalty_per_benchmark(tiny());
+        let ctx = Ctx::new();
+        let t = fig2_penalty_per_benchmark(&ctx, tiny());
         assert_eq!(t.rows.len(), 12);
         for row in &t.rows {
             let measured: f64 = row[1].parse().unwrap();
@@ -405,7 +400,8 @@ mod tests {
 
     #[test]
     fn fig3_has_all_series() {
-        let t = fig3_penalty_vs_interval(tiny());
+        let ctx = Ctx::new();
+        let t = fig3_penalty_vs_interval(&ctx, tiny());
         assert!(!t.rows.is_empty());
         // Model-local series should ramp up within a benchmark. Only
         // well-populated buckets are meaningful at test scale.
@@ -428,7 +424,8 @@ mod tests {
 
     #[test]
     fn fig4_fractions_sum_to_one_per_benchmark() {
-        let t = fig4_interval_distribution(tiny());
+        let ctx = Ctx::new();
+        let t = fig4_interval_distribution(&ctx, tiny());
         for profile in ["gzip", "mcf"] {
             let sum: f64 = t
                 .rows
@@ -442,7 +439,8 @@ mod tests {
 
     #[test]
     fn fig5_components_reconcile() {
-        let t = fig5_contributor_breakdown(tiny());
+        let ctx = Ctx::new();
+        let t = fig5_contributor_breakdown(&ctx, tiny());
         for row in &t.rows {
             let parts: Vec<f64> = row[1..7].iter().map(|c| c.parse().unwrap()).collect();
             let total: f64 = row[7].parse().unwrap();
@@ -457,10 +455,14 @@ mod tests {
 
     #[test]
     fn fig11_distributions_normalize_and_track() {
-        let t = fig11_penalty_distribution(Scale {
-            ops: 30_000,
-            seed: 5,
-        });
+        let ctx = Ctx::new();
+        let t = fig11_penalty_distribution(
+            &ctx,
+            Scale {
+                ops: 30_000,
+                seed: 5,
+            },
+        );
         for name in REPRESENTATIVES {
             let rows: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == name).collect();
             let m_sum: f64 = rows.iter().map(|r| r[2].parse::<f64>().unwrap()).sum();

@@ -1,11 +1,11 @@
-//! Extension experiments E-X1 … E-X4: beyond the paper's evaluation, the
+//! Extension experiments E-X1 … E-X8: beyond the paper's evaluation, the
 //! studies its framework invites.
 
-use bmp_core::{closed_form, PenaltyModel};
+use bmp_core::closed_form;
 use bmp_sim::Simulator;
 use bmp_uarch::{presets, PredictorConfig, PrefetchConfig};
-use bmp_workloads::spec;
 
+use crate::engine::Ctx;
 use crate::table::{f2, f3};
 use crate::{Scale, Table};
 
@@ -14,7 +14,7 @@ use crate::{Scale, Table};
 /// that the per-event penalty is a property of the program and the
 /// window, not of the predictor — so the mean penalty should stay in the
 /// same band while MPKI and IPC move a lot.
-pub fn ex1_predictor_study(scale: Scale) -> Table {
+pub fn ex1_predictor_study(ctx: &Ctx, scale: Scale) -> Table {
     let predictors: [(&str, PredictorConfig); 6] = [
         ("bimodal", PredictorConfig::Bimodal { entries: 4096 }),
         (
@@ -61,16 +61,14 @@ pub fn ex1_predictor_study(scale: Scale) -> Table {
         ],
     );
     for name in ["twolf", "gzip"] {
-        let trace = spec::by_name(name)
-            .expect("known profile")
-            .generate(scale.ops, scale.seed);
+        let trace = ctx.named_trace(name, scale);
         for (pname, pcfg) in predictors {
             let cfg = presets::baseline_4wide()
                 .to_builder()
                 .predictor(pcfg)
                 .build()
                 .expect("valid predictor");
-            let res = Simulator::new(cfg).run(&trace);
+            let res = ctx.sim(&Simulator::new(cfg), &trace);
             t.push_row(vec![
                 name.to_owned(),
                 pname.to_owned(),
@@ -88,7 +86,7 @@ pub fn ex1_predictor_study(scale: Scale) -> Table {
 /// the window drain bound, so growing the window *raises* the
 /// misprediction penalty even as it raises IPC — the tension the paper's
 /// framework exposes.
-pub fn ex2_window_sweep(scale: Scale) -> Table {
+pub fn ex2_window_sweep(ctx: &Ctx, scale: Scale) -> Table {
     let mut t = Table::new(
         "ex2_window_sweep",
         "Extension E-X2: penalty vs. issue-window size",
@@ -102,9 +100,7 @@ pub fn ex2_window_sweep(scale: Scale) -> Table {
         ],
     );
     for name in ["twolf", "gzip"] {
-        let trace = spec::by_name(name)
-            .expect("known profile")
-            .generate(scale.ops, scale.seed);
+        let trace = ctx.named_trace(name, scale);
         for window in [16u32, 32, 64, 128, 256] {
             let rob = window * 2;
             let cfg = presets::baseline_4wide()
@@ -113,8 +109,8 @@ pub fn ex2_window_sweep(scale: Scale) -> Table {
                 .rob_size(rob)
                 .build()
                 .expect("valid window");
-            let res = Simulator::new(cfg.clone()).run(&trace);
-            let analysis = PenaltyModel::new(cfg).analyze(&trace);
+            let res = ctx.sim(&Simulator::new(cfg.clone()), &trace);
+            let analysis = ctx.analyze(&cfg, &trace);
             t.push_row(vec![
                 name.to_owned(),
                 window.to_string(),
@@ -137,10 +133,10 @@ pub fn ex2_window_sweep(scale: Scale) -> Table {
 /// blind to cross-event shadows, so it sits between the scheduled model's
 /// local resolution and the simulator's effective one. The error column
 /// is against the local resolution.
-pub fn ex3_closed_form(scale: Scale) -> Table {
+pub fn ex3_closed_form(ctx: &Ctx, scale: Scale) -> Table {
+    use bmp_workloads::spec;
     let cfg = presets::baseline_4wide();
     let sim = Simulator::new(cfg.clone());
-    let model = PenaltyModel::new(cfg.clone());
     let mut t = Table::new(
         "ex3_closed_form",
         "Extension E-X3: closed-form vs. scheduled model vs. simulation (mean resolution)",
@@ -154,9 +150,9 @@ pub fn ex3_closed_form(scale: Scale) -> Table {
         ],
     );
     for profile in spec::all_profiles() {
-        let trace = profile.generate(scale.ops, scale.seed);
-        let res = sim.run(&trace);
-        let analysis = model.analyze(&trace);
+        let trace = ctx.trace(&profile, scale);
+        let res = ctx.sim(&sim, &trace);
+        let analysis = ctx.analyze(&cfg, &trace);
         let cf = closed_form::estimate(&trace, &cfg);
         let local = if analysis.breakdowns.is_empty() {
             0.0
@@ -187,7 +183,7 @@ pub fn ex3_closed_form(scale: Scale) -> Table {
 
 /// E-X4: hardware prefetching attacks contributors (v) and the I-miss
 /// events: streaming benchmarks gain, pointer-chasing ones do not.
-pub fn ex4_prefetch_study(scale: Scale) -> Table {
+pub fn ex4_prefetch_study(ctx: &Ctx, scale: Scale) -> Table {
     let mut t = Table::new(
         "ex4_prefetch_study",
         "Extension E-X4: stride + next-line prefetching on vs. off",
@@ -202,9 +198,7 @@ pub fn ex4_prefetch_study(scale: Scale) -> Table {
         ],
     );
     for name in ["bzip2", "gzip", "mcf", "gcc"] {
-        let trace = spec::by_name(name)
-            .expect("known profile")
-            .generate(scale.ops, scale.seed);
+        let trace = ctx.named_trace(name, scale);
         for (label, pf) in [
             ("off", PrefetchConfig::off()),
             ("on", PrefetchConfig::aggressive()),
@@ -216,7 +210,7 @@ pub fn ex4_prefetch_study(scale: Scale) -> Table {
                 .caches(caches)
                 .build()
                 .expect("valid machine");
-            let res = Simulator::new(cfg).run(&trace);
+            let res = ctx.sim(&Simulator::new(cfg), &trace);
             let n = res.instructions;
             t.push_row(vec![
                 name.to_owned(),
@@ -236,7 +230,8 @@ pub fn ex4_prefetch_study(scale: Scale) -> Table {
 /// view behind contributor (ii). High mean occupancy means mispredicted
 /// branches dispatch into full windows (long drains); the slot columns
 /// name the bottleneck.
-pub fn ex5_occupancy_study(scale: Scale) -> Table {
+pub fn ex5_occupancy_study(ctx: &Ctx, scale: Scale) -> Table {
+    use bmp_workloads::spec;
     let cfg = presets::baseline_4wide();
     let sim = Simulator::new(cfg);
     let mut t = Table::new(
@@ -254,8 +249,8 @@ pub fn ex5_occupancy_study(scale: Scale) -> Table {
         ],
     );
     for profile in spec::all_profiles() {
-        let trace = profile.generate(scale.ops, scale.seed);
-        let res = sim.run(&trace);
+        let trace = ctx.trace(&profile, scale);
+        let res = ctx.sim(&sim, &trace);
         let total = res.slots.total().max(1) as f64;
         t.push_row(vec![
             profile.name.clone(),
@@ -274,7 +269,7 @@ pub fn ex5_occupancy_study(scale: Scale) -> Table {
 /// E-X6: cache replacement policies. LRU exploits the workloads' temporal
 /// reuse; FIFO and random give some of it up, and the damage shows as
 /// higher miss rates and lower IPC.
-pub fn ex6_replacement_study(scale: Scale) -> Table {
+pub fn ex6_replacement_study(ctx: &Ctx, scale: Scale) -> Table {
     use bmp_uarch::{CacheGeometry, HierarchyConfig, ReplacementKind};
     let mut t = Table::new(
         "ex6_replacement_study",
@@ -282,9 +277,7 @@ pub fn ex6_replacement_study(scale: Scale) -> Table {
         &["benchmark", "policy", "l1d-miss-rate", "long-D-MPKI", "IPC"],
     );
     for name in ["gzip", "parser", "mcf"] {
-        let trace = spec::by_name(name)
-            .expect("known profile")
-            .generate(scale.ops, scale.seed);
+        let trace = ctx.named_trace(name, scale);
         for policy in [
             ReplacementKind::Lru,
             ReplacementKind::Fifo,
@@ -304,7 +297,7 @@ pub fn ex6_replacement_study(scale: Scale) -> Table {
                 .caches(caches)
                 .build()
                 .expect("valid machine");
-            let res = Simulator::new(cfg).run(&trace);
+            let res = ctx.sim(&Simulator::new(cfg), &trace);
             t.push_row(vec![
                 name.to_owned(),
                 policy.to_string(),
@@ -321,7 +314,7 @@ pub fn ex6_replacement_study(scale: Scale) -> Table {
 /// classified by branch kind from the trace; the gtarget predictor
 /// (history-hashed target cache) recovers the cyclic dispatch sequences a
 /// last-target BTB cannot.
-pub fn ex7_indirect_study(scale: Scale) -> Table {
+pub fn ex7_indirect_study(ctx: &Ctx, scale: Scale) -> Table {
     use bmp_trace::BranchKind;
     use bmp_uarch::IndirectPredictorConfig;
     let mut t = Table::new(
@@ -337,9 +330,7 @@ pub fn ex7_indirect_study(scale: Scale) -> Table {
         ],
     );
     for name in ["perlbmk", "gap", "eon", "gcc"] {
-        let trace = spec::by_name(name)
-            .expect("known profile")
-            .generate(scale.ops, scale.seed);
+        let trace = ctx.named_trace(name, scale);
         let indirect_total = trace
             .iter()
             .filter(|o| {
@@ -362,7 +353,7 @@ pub fn ex7_indirect_study(scale: Scale) -> Table {
                 .indirect_predictor(icfg)
                 .build()
                 .expect("valid machine");
-            let res = Simulator::new(cfg).run(&trace);
+            let res = ctx.sim(&Simulator::new(cfg), &trace);
             let mut indirect_misses = 0usize;
             let mut cond_misses = 0usize;
             for m in &res.mispredicts {
@@ -393,7 +384,7 @@ pub fn ex7_indirect_study(scale: Scale) -> Table {
 /// misses inflate every cold-start rate at laptop-scale trace lengths;
 /// warmup (statistics reset after the first fifth, machine state kept)
 /// recovers the steady state the paper's SimPoint-sampled runs measured.
-pub fn ex8_warmup_study(scale: Scale) -> Table {
+pub fn ex8_warmup_study(ctx: &Ctx, scale: Scale) -> Table {
     use bmp_sim::SimOptions;
     let mut t = Table::new(
         "ex8_warmup_study",
@@ -409,14 +400,12 @@ pub fn ex8_warmup_study(scale: Scale) -> Table {
     );
     let base = presets::baseline_4wide();
     for name in ["gzip", "gcc", "mcf", "crafty"] {
-        let trace = spec::by_name(name)
-            .expect("known profile")
-            .generate(scale.ops, scale.seed);
+        let trace = ctx.named_trace(name, scale);
         for (mode, opts) in [
             ("cold", SimOptions::default()),
             ("warm", SimOptions::with_warmup(scale.ops as u64 / 5)),
         ] {
-            let res = Simulator::with_options(base.clone(), opts).run(&trace);
+            let res = ctx.sim(&Simulator::with_options(base.clone(), opts), &trace);
             let n = res.instructions.max(1);
             t.push_row(vec![
                 name.to_owned(),
@@ -444,7 +433,8 @@ mod tests {
 
     #[test]
     fn ex1_perfect_wins_and_penalties_stay_banded() {
-        let t = ex1_predictor_study(tiny());
+        let ctx = Ctx::new();
+        let t = ex1_predictor_study(&ctx, tiny());
         let twolf: Vec<&Vec<String>> = t.rows.iter().filter(|r| r[0] == "twolf").collect();
         let ipc = |p: &str| -> f64 {
             twolf.iter().find(|r| r[1] == p).unwrap()[5]
@@ -466,7 +456,8 @@ mod tests {
 
     #[test]
     fn ex2_bigger_windows_raise_resolution() {
-        let t = ex2_window_sweep(tiny());
+        let ctx = Ctx::new();
+        let t = ex2_window_sweep(&ctx, tiny());
         let res: Vec<f64> = t
             .rows
             .iter()
@@ -481,10 +472,14 @@ mod tests {
 
     #[test]
     fn ex3_closed_form_brackets_sensibly() {
-        let t = ex3_closed_form(Scale {
-            ops: 30_000,
-            seed: 5,
-        });
+        let ctx = Ctx::new();
+        let t = ex3_closed_form(
+            &ctx,
+            Scale {
+                ops: 30_000,
+                seed: 5,
+            },
+        );
         // The closed form computes a window-drain-flavoured estimate: it
         // should sit between the branch-chain bound (the local scheduled
         // resolution) and a generous multiple of the simulator's
@@ -503,10 +498,14 @@ mod tests {
 
     #[test]
     fn ex4_prefetch_helps_streaming_benchmarks() {
-        let t = ex4_prefetch_study(Scale {
-            ops: 30_000,
-            seed: 5,
-        });
+        let ctx = Ctx::new();
+        let t = ex4_prefetch_study(
+            &ctx,
+            Scale {
+                ops: 30_000,
+                seed: 5,
+            },
+        );
         let get = |bench: &str, pf: &str, col: usize| -> f64 {
             t.rows.iter().find(|r| r[0] == bench && r[1] == pf).unwrap()[col]
                 .parse()
@@ -522,7 +521,8 @@ mod tests {
 
     #[test]
     fn ex5_occupancy_reconciles() {
-        let t = ex5_occupancy_study(tiny());
+        let ctx = Ctx::new();
+        let t = ex5_occupancy_study(&ctx, tiny());
         assert_eq!(t.rows.len(), 12);
         for row in &t.rows {
             let slots: f64 = row[3..7].iter().map(|c| c.parse::<f64>().unwrap()).sum();
@@ -545,10 +545,14 @@ mod tests {
 
     #[test]
     fn ex6_lru_beats_random_on_reuse_heavy_workloads() {
-        let t = ex6_replacement_study(Scale {
-            ops: 30_000,
-            seed: 5,
-        });
+        let ctx = Ctx::new();
+        let t = ex6_replacement_study(
+            &ctx,
+            Scale {
+                ops: 30_000,
+                seed: 5,
+            },
+        );
         let rate = |b: &str, p: &str| -> f64 {
             t.rows.iter().find(|r| r[0] == b && r[1] == p).unwrap()[2]
                 .parse()
@@ -567,10 +571,14 @@ mod tests {
 
     #[test]
     fn ex7_gtarget_beats_btb_on_indirect_heavy_profiles() {
-        let t = ex7_indirect_study(Scale {
-            ops: 40_000,
-            seed: 5,
-        });
+        let ctx = Ctx::new();
+        let t = ex7_indirect_study(
+            &ctx,
+            Scale {
+                ops: 40_000,
+                seed: 5,
+            },
+        );
         let miss = |b: &str, p: &str| -> f64 {
             t.rows.iter().find(|r| r[0] == b && r[1] == p).unwrap()[2]
                 .parse()
@@ -595,10 +603,14 @@ mod tests {
 
     #[test]
     fn ex8_warmup_raises_ipc_and_cuts_compulsory_misses() {
-        let t = ex8_warmup_study(Scale {
-            ops: 40_000,
-            seed: 5,
-        });
+        let ctx = Ctx::new();
+        let t = ex8_warmup_study(
+            &ctx,
+            Scale {
+                ops: 40_000,
+                seed: 5,
+            },
+        );
         let get = |b: &str, m: &str, col: usize| -> f64 {
             t.rows.iter().find(|r| r[0] == b && r[1] == m).unwrap()[col]
                 .parse()

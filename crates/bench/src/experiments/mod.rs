@@ -23,31 +23,10 @@ pub use validation::fig10_model_validation;
 use crate::Scale;
 use crate::Table;
 
-/// Runs every experiment in order, returning the tables.
+/// Runs every experiment in canonical order through a single-threaded
+/// engine (shared cache, sequential execution), returning the tables.
 pub fn all(scale: Scale) -> Vec<Table> {
-    vec![
-        table1_config(),
-        table2_benchmarks(scale),
-        fig1_interval_profile(scale),
-        fig2_penalty_per_benchmark(scale),
-        fig3_penalty_vs_interval(scale),
-        fig4_interval_distribution(scale),
-        fig5_contributor_breakdown(scale),
-        fig6_pipeline_depth(scale),
-        fig7_fu_latency(scale),
-        fig8_ilp(scale),
-        fig9_l1d_misses(scale),
-        fig10_model_validation(scale),
-        fig11_penalty_distribution(scale),
-        ex1_predictor_study(scale),
-        ex2_window_sweep(scale),
-        ex3_closed_form(scale),
-        ex4_prefetch_study(scale),
-        ex5_occupancy_study(scale),
-        ex6_replacement_study(scale),
-        ex7_indirect_study(scale),
-        ex8_warmup_study(scale),
-    ]
+    crate::Engine::new(1).run_all(scale).tables
 }
 
 #[cfg(test)]

@@ -1,18 +1,39 @@
 //! The sensitivity sweeps E-F6 … E-F9, one per penalty contributor.
 
-use bmp_core::PenaltyModel;
 use bmp_sim::Simulator;
+use bmp_uarch::fp::fnv1a;
 use bmp_uarch::{presets, LatencyTable, PredictorConfig};
 use bmp_workloads::{micro, spec};
 
+use crate::artifacts::cache_key;
+use crate::engine::{Ctx, TraceHandle};
 use crate::table::{f2, f3};
 use crate::{Scale, Table};
+
+/// Synthesizes (or fetches from the cache) the mispredicting
+/// dependence-chain microbenchmark of E-F7/E-F8, addressed by its full
+/// parameter set.
+fn chain_kernel(ctx: &Ctx, scale: Scale, chain: u32, taken_bias: f64) -> TraceHandle {
+    let key = cache_key(
+        "micro",
+        &[
+            fnv1a(b"branch_resolution_kernel"),
+            scale.ops as u64,
+            u64::from(chain),
+            taken_bias.to_bits(),
+            scale.seed,
+        ],
+    );
+    ctx.keyed_trace(key, || {
+        micro::branch_resolution_kernel(scale.ops, chain, taken_bias, scale.seed)
+    })
+}
 
 /// E-F6: penalty versus frontend pipeline depth (contributor i). The
 /// penalty tracks `resolution + depth`: a line of slope one whose offset
 /// is the (depth-independent) resolution — the paper's argument that the
 /// penalty is *not* just the pipeline length.
-pub fn fig6_pipeline_depth(scale: Scale) -> Table {
+pub fn fig6_pipeline_depth(ctx: &Ctx, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig6_pipeline_depth",
         "Figure 6 (E-F6): penalty vs. frontend pipeline depth",
@@ -26,13 +47,11 @@ pub fn fig6_pipeline_depth(scale: Scale) -> Table {
         ],
     );
     for name in ["twolf", "gcc"] {
-        let trace = spec::by_name(name)
-            .expect("known profile")
-            .generate(scale.ops, scale.seed);
+        let trace = ctx.named_trace(name, scale);
         for depth in [1u32, 5, 10, 20, 30, 40] {
             let cfg = presets::deep_frontend(depth).expect("valid depth");
-            let res = Simulator::new(cfg.clone()).run(&trace);
-            let analysis = PenaltyModel::new(cfg).analyze(&trace);
+            let res = ctx.sim(&Simulator::new(cfg.clone()), &trace);
+            let analysis = ctx.analyze(&cfg, &trace);
             t.push_row(vec![
                 name.to_owned(),
                 depth.to_string(),
@@ -47,7 +66,7 @@ pub fn fig6_pipeline_depth(scale: Scale) -> Table {
 }
 
 /// E-F7: penalty versus functional-unit latency scaling (contributor iv).
-pub fn fig7_fu_latency(scale: Scale) -> Table {
+pub fn fig7_fu_latency(ctx: &Ctx, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig7_fu_latency",
         "Figure 7 (E-F7): resolution time vs. functional-unit latency scaling",
@@ -60,10 +79,8 @@ pub fn fig7_fu_latency(scale: Scale) -> Table {
         ],
     );
     // A mispredicting mul-chain kernel plus a real profile.
-    let branchy = micro::branch_resolution_kernel(scale.ops, 8, 1.0, scale.seed);
-    let twolf = spec::by_name("twolf")
-        .expect("known profile")
-        .generate(scale.ops, scale.seed);
+    let branchy = chain_kernel(ctx, scale, 8, 1.0);
+    let twolf = ctx.named_trace("twolf", scale);
     for (label, trace, predictor) in [
         ("chain-kernel", &branchy, PredictorConfig::AlwaysNotTaken),
         ("twolf", &twolf, PredictorConfig::default()),
@@ -75,8 +92,8 @@ pub fn fig7_fu_latency(scale: Scale) -> Table {
                 .predictor(predictor)
                 .build()
                 .expect("valid config");
-            let res = Simulator::new(cfg.clone()).run(trace);
-            let analysis = PenaltyModel::new(cfg).analyze(trace);
+            let res = ctx.sim(&Simulator::new(cfg.clone()), trace);
+            let analysis = ctx.analyze(&cfg, trace);
             let fu_share = analysis
                 .mean_contributions()
                 .map(|(_, _, fu, _)| fu)
@@ -96,14 +113,13 @@ pub fn fig7_fu_latency(scale: Scale) -> Table {
 /// E-F8: resolution time versus the dependence-chain length ahead of the
 /// branch (contributor iii — inherent ILP), on the controlled
 /// microbenchmark.
-pub fn fig8_ilp(scale: Scale) -> Table {
+pub fn fig8_ilp(ctx: &Ctx, scale: Scale) -> Table {
     let cfg = presets::baseline_4wide()
         .to_builder()
         .predictor(PredictorConfig::AlwaysNotTaken)
         .build()
         .expect("valid config");
     let sim = Simulator::new(cfg.clone());
-    let model = PenaltyModel::new(cfg);
     let mut t = Table::new(
         "fig8_ilp",
         "Figure 8 (E-F8): resolution time vs. dependence-chain length before the branch",
@@ -115,9 +131,9 @@ pub fn fig8_ilp(scale: Scale) -> Table {
         ],
     );
     for chain in [1u32, 2, 4, 8, 16, 32] {
-        let trace = micro::branch_resolution_kernel(scale.ops, chain, 1.0, scale.seed);
-        let res = sim.run(&trace);
-        let analysis = model.analyze(&trace);
+        let trace = chain_kernel(ctx, scale, chain, 1.0);
+        let res = ctx.sim(&sim, &trace);
+        let analysis = ctx.analyze(&cfg, &trace);
         let ilp_share = analysis
             .mean_contributions()
             .map(|(_, ilp, _, _)| ilp)
@@ -135,12 +151,12 @@ pub fn fig8_ilp(scale: Scale) -> Table {
 /// E-F9: penalty versus L1 D-cache size (contributor v — short misses).
 /// The workload's hot set is 24 KiB, so small L1s turn its loads into
 /// short misses that stretch the chains feeding branches.
-pub fn fig9_l1d_misses(scale: Scale) -> Table {
+pub fn fig9_l1d_misses(ctx: &Ctx, scale: Scale) -> Table {
     let mut profile = spec::by_name("parser").expect("known profile");
     profile.memory.hot_bytes = 24 * 1024;
     profile.memory.hot_frac = 0.93;
     profile.memory.warm_frac = 0.06;
-    let trace = profile.generate(scale.ops, scale.seed);
+    let trace = ctx.trace(&profile, scale);
     let mut t = Table::new(
         "fig9_l1d_misses",
         "Figure 9 (E-F9): resolution time vs. L1 D-cache size (24 KiB hot set)",
@@ -154,8 +170,8 @@ pub fn fig9_l1d_misses(scale: Scale) -> Table {
     );
     for kib in [4u64, 8, 16, 32, 64] {
         let cfg = presets::l1d_sized(kib * 1024).expect("valid L1D size");
-        let res = Simulator::new(cfg.clone()).run(&trace);
-        let analysis = PenaltyModel::new(cfg).analyze(&trace);
+        let res = ctx.sim(&Simulator::new(cfg.clone()), &trace);
+        let analysis = ctx.analyze(&cfg, &trace);
         let dmiss_share = analysis
             .mean_contributions()
             .map(|(_, _, _, v)| v)
@@ -184,7 +200,8 @@ mod tests {
 
     #[test]
     fn fig6_penalty_grows_with_depth() {
-        let t = fig6_pipeline_depth(tiny());
+        let ctx = Ctx::new();
+        let t = fig6_pipeline_depth(&ctx, tiny());
         let twolf: Vec<(u32, f64)> = t
             .rows
             .iter()
@@ -208,7 +225,8 @@ mod tests {
 
     #[test]
     fn fig7_resolution_grows_with_latency() {
-        let t = fig7_fu_latency(tiny());
+        let ctx = Ctx::new();
+        let t = fig7_fu_latency(&ctx, tiny());
         let kernel: Vec<f64> = t
             .rows
             .iter()
@@ -220,7 +238,8 @@ mod tests {
 
     #[test]
     fn fig8_resolution_tracks_chain_length() {
-        let t = fig8_ilp(tiny());
+        let ctx = Ctx::new();
+        let t = fig8_ilp(&ctx, tiny());
         let measured: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
         for pair in measured.windows(2) {
             assert!(
@@ -233,7 +252,8 @@ mod tests {
 
     #[test]
     fn fig9_small_l1_hurts() {
-        let t = fig9_l1d_misses(tiny());
+        let ctx = Ctx::new();
+        let t = fig9_l1d_misses(&ctx, tiny());
         let first: f64 = t.rows.first().unwrap()[2].parse().unwrap();
         let last: f64 = t.rows.last().unwrap()[2].parse().unwrap();
         assert!(
@@ -243,5 +263,16 @@ mod tests {
         let mr_first: f64 = t.rows.first().unwrap()[1].parse().unwrap();
         let mr_last: f64 = t.rows.last().unwrap()[1].parse().unwrap();
         assert!(mr_first > mr_last, "miss rate must fall with size");
+    }
+
+    #[test]
+    fn chain_kernel_is_cached_by_parameters() {
+        let ctx = Ctx::new();
+        let a = chain_kernel(&ctx, tiny(), 4, 1.0);
+        let b = chain_kernel(&ctx, tiny(), 4, 1.0);
+        let c = chain_kernel(&ctx, tiny(), 8, 1.0);
+        assert_eq!(a.key(), b.key());
+        assert!(std::sync::Arc::ptr_eq(a.trace(), b.trace()));
+        assert_ne!(a.key(), c.key());
     }
 }

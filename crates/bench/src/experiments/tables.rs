@@ -4,6 +4,7 @@ use bmp_sim::{SimOptions, Simulator};
 use bmp_uarch::{presets, FU_KINDS};
 use bmp_workloads::spec;
 
+use crate::engine::Ctx;
 use crate::table::{f2, f3};
 use crate::{Scale, Table};
 
@@ -67,7 +68,7 @@ pub fn table1_config() -> Table {
 /// workloads on the baseline machine. The first 20% of each trace warms
 /// the caches and predictors (statistics reset at the boundary), so the
 /// rates below are steady-state rather than compulsory-miss-dominated.
-pub fn table2_benchmarks(scale: Scale) -> Table {
+pub fn table2_benchmarks(ctx: &Ctx, scale: Scale) -> Table {
     let cfg = presets::baseline_4wide();
     let mut t = Table::new(
         "table2_benchmarks",
@@ -85,8 +86,8 @@ pub fn table2_benchmarks(scale: Scale) -> Table {
     );
     let sim = Simulator::with_options(cfg, SimOptions::with_warmup(scale.ops as u64 / 5));
     for profile in spec::all_profiles() {
-        let trace = profile.generate(scale.ops, scale.seed);
-        let res = sim.run(&trace);
+        let trace = ctx.trace(&profile, scale);
+        let res = ctx.sim(&sim, &trace);
         let n = res.instructions;
         t.push_row(vec![
             profile.name.clone(),
@@ -116,10 +117,14 @@ mod tests {
 
     #[test]
     fn table2_covers_all_benchmarks() {
-        let t = table2_benchmarks(Scale {
-            ops: 5_000,
-            seed: 1,
-        });
+        let ctx = Ctx::new();
+        let t = table2_benchmarks(
+            &ctx,
+            Scale {
+                ops: 5_000,
+                seed: 1,
+            },
+        );
         assert_eq!(t.rows.len(), 12);
         for row in &t.rows {
             let ipc: f64 = row[1].parse().unwrap();

@@ -1,20 +1,20 @@
 //! E-F10: validation of the analytical model against the cycle-level
 //! simulator.
 
-use bmp_core::{cpi, validate::ValidationReport, PenaltyModel};
+use bmp_core::{cpi, validate::ValidationReport};
 use bmp_sim::Simulator;
 use bmp_uarch::presets;
 use bmp_workloads::spec;
 
+use crate::engine::Ctx;
 use crate::table::{f2, f3};
 use crate::{Scale, Table};
 
 /// E-F10: per benchmark, the model's per-misprediction resolution and
 /// CPI against the simulator's measurements.
-pub fn fig10_model_validation(scale: Scale) -> Table {
+pub fn fig10_model_validation(ctx: &Ctx, scale: Scale) -> Table {
     let cfg = presets::baseline_4wide();
     let sim = Simulator::new(cfg.clone());
-    let model = PenaltyModel::new(cfg.clone());
     let mut t = Table::new(
         "fig10_model_validation",
         "Figure 10 (E-F10): interval model vs. cycle-level simulation",
@@ -31,9 +31,9 @@ pub fn fig10_model_validation(scale: Scale) -> Table {
         ],
     );
     for profile in spec::all_profiles() {
-        let trace = profile.generate(scale.ops, scale.seed);
-        let res = sim.run(&trace);
-        let analysis = model.analyze(&trace);
+        let trace = ctx.trace(&profile, scale);
+        let res = ctx.sim(&sim, &trace);
+        let analysis = ctx.analyze(&cfg, &trace);
         let measured: Vec<(usize, u64)> = res
             .mispredicts
             .iter()
@@ -65,10 +65,14 @@ mod tests {
 
     #[test]
     fn model_tracks_simulator() {
-        let t = fig10_model_validation(Scale {
-            ops: 30_000,
-            seed: 5,
-        });
+        let ctx = Ctx::new();
+        let t = fig10_model_validation(
+            &ctx,
+            Scale {
+                ops: 30_000,
+                seed: 5,
+            },
+        );
         assert_eq!(t.rows.len(), 12);
         for row in &t.rows {
             let agree: f64 = row[1].parse().unwrap();

@@ -4,31 +4,97 @@
 //! `DESIGN.md`, experiment index E-T1 … E-F11 and E-X1 … E-X8) is implemented as a
 //! function in [`experiments`] returning a [`Table`]; the binaries under
 //! `src/bin/` are thin wrappers that run one experiment each, print the
-//! table and write it to `results/<name>.csv`. `run_all` regenerates
-//! everything.
+//! table and write it to `results/<name>.csv`. `run_all` schedules
+//! everything through the parallel [`engine`]: experiments fan out over a
+//! work-stealing [`pool`], and every synthesized trace, simulation result
+//! and interval-model analysis is computed once into the shared
+//! content-addressed [`artifacts`] cache.
 //!
 //! Experiments scale with the `BMP_OPS` environment variable (dynamic
 //! instructions per workload; default 200 000) and `BMP_SEED` (default
 //! 42), so CI can run cheap versions and full runs stay reproducible.
+//! `BMP_THREADS` picks the worker count (default: available parallelism;
+//! `1` is the exact legacy sequential path). Results are independent of
+//! the thread count, byte for byte.
 
+pub mod artifacts;
 pub mod convert;
+pub mod engine;
 pub mod experiments;
+pub mod pool;
 pub mod scale;
 pub mod table;
 
+pub use engine::{Ctx, Engine};
 pub use scale::Scale;
 pub use table::Table;
 
-/// Runs one experiment end-to-end: compute, print, persist.
+/// Persists the table's CSV as `<dir>/<id>.csv`, creating `dir` first.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the results directory cannot be written.
-pub fn run_and_save(table: &Table) {
-    println!("{}", table.to_markdown());
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results directory");
+/// Returns the underlying I/O error when the directory or the CSV file
+/// cannot be written.
+pub fn save_under(dir: &std::path::Path, table: &Table) -> std::io::Result<std::path::PathBuf> {
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.csv", table.id));
-    std::fs::write(&path, table.to_csv()).expect("write results CSV");
+    std::fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+/// Runs one experiment end-to-end: print the table, persist the CSV under
+/// `results/`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the results directory or the CSV
+/// file cannot be written.
+pub fn run_and_save(table: &Table) -> std::io::Result<()> {
+    println!("{}", table.to_markdown());
+    let path = save_under(std::path::Path::new("results"), table)?;
     println!("[saved {}]", path.display());
+    Ok(())
+}
+
+/// Binary wrapper around [`run_and_save`]: reports a write failure on
+/// stderr and turns it into a non-zero exit code.
+pub fn run_bin(table: &Table) -> std::process::ExitCode {
+    match run_and_save(table) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: cannot write results for {}: {e}", table.id);
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_under_reports_unwritable_dir() {
+        let mut t = Table::new("t_unwritable", "T", &["a"]);
+        t.push_row(vec!["1".into()]);
+        // A regular file occupies the directory path component, so the
+        // save must fail with an error instead of panicking.
+        let tmp = std::env::temp_dir().join("bmp_bench_unwritable_test");
+        std::fs::create_dir_all(&tmp).unwrap();
+        let blocker = tmp.join("results");
+        std::fs::write(&blocker, b"not a dir").unwrap();
+        let r = save_under(&blocker, &t);
+        std::fs::remove_dir_all(&tmp).ok();
+        assert!(r.is_err(), "writing into a file-as-dir must fail");
+    }
+
+    #[test]
+    fn save_under_roundtrips() {
+        let mut t = Table::new("t_roundtrip", "T", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let tmp = std::env::temp_dir().join("bmp_bench_save_test");
+        let path = save_under(&tmp, &t).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&tmp).ok();
+        assert_eq!(body, t.to_csv());
+    }
 }

@@ -1,0 +1,64 @@
+//! The engine's central guarantee: the produced tables are byte-identical
+//! for any thread count. `BMP_THREADS=1` is the exact legacy sequential
+//! path (no cell fan-out), so comparing it against an 8-worker run covers
+//! both phases of the job graph, the result merge order, and the cache.
+
+use bmp_bench::{Engine, Scale};
+
+/// A cross-section of the registry: both tables, figure experiments that
+/// share baseline/oracle/warmup simulations, a microbenchmark sweep, and
+/// two extension studies.
+const SUBSET: &[&str] = &[
+    "table1_config",
+    "table2_benchmarks",
+    "fig2_penalty_per_benchmark",
+    "fig5_contributor_breakdown",
+    "fig8_ilp",
+    "fig10_model_validation",
+    "ex5_occupancy_study",
+    "ex8_warmup_study",
+];
+
+#[test]
+fn results_are_identical_for_any_thread_count() {
+    let scale = Scale {
+        ops: 2_000,
+        seed: 42,
+    };
+    let sequential = Engine::new(1).run_named(SUBSET, scale);
+    let parallel = Engine::new(8).run_named(SUBSET, scale);
+
+    assert_eq!(sequential.tables.len(), SUBSET.len());
+    assert_eq!(parallel.tables.len(), SUBSET.len());
+    for (seq, par) in sequential.tables.iter().zip(&parallel.tables) {
+        assert_eq!(seq.id, par.id, "merge order must be the registry order");
+        assert_eq!(
+            seq.to_csv(),
+            par.to_csv(),
+            "{}: 1-thread and 8-thread CSVs must match byte for byte",
+            seq.id
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_share_the_cache() {
+    let scale = Scale {
+        ops: 2_000,
+        seed: 42,
+    };
+    let engine = Engine::new(4);
+    let first = engine.run_named(&["fig2_penalty_per_benchmark"], scale);
+    let second = engine.run_named(&["fig2_penalty_per_benchmark"], scale);
+    assert_eq!(
+        first.tables[0].to_csv(),
+        second.tables[0].to_csv(),
+        "a warm cache must not change the result"
+    );
+    // The second run computed nothing new.
+    assert_eq!(
+        second.cache.trace_misses + second.cache.sim_misses + second.cache.analysis_misses,
+        first.cache.trace_misses + first.cache.sim_misses + first.cache.analysis_misses,
+        "every artifact of the repeat run must come from the cache"
+    );
+}

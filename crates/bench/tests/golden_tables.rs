@@ -1,0 +1,65 @@
+//! Golden-table regression tests: three experiments' CSVs at a small,
+//! fixed scale (`BMP_OPS=2000`, `BMP_SEED=42`) are committed under
+//! `tests/golden/` and must reproduce exactly. Any change to trace
+//! synthesis, the simulator, the interval model or the experiment
+//! plumbing that shifts a single digit shows up here.
+//!
+//! To regenerate after an *intentional* model change:
+//!
+//! ```sh
+//! BMP_GOLDEN_REGEN=1 cargo test -p bmp-bench --test golden_tables
+//! ```
+
+use bmp_bench::{Ctx, Scale};
+
+fn golden_scale() -> Scale {
+    Scale {
+        ops: 2_000,
+        seed: 42,
+    }
+}
+
+fn check(name: &str, produce: fn(&Ctx, Scale) -> bmp_bench::Table) {
+    let ctx = Ctx::new();
+    let table = produce(&ctx, golden_scale());
+    assert_eq!(table.id, name);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.csv"));
+    let actual = table.to_csv();
+    if std::env::var_os("BMP_GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name}: output drifted from the committed golden table; \
+         if the change is intentional, regenerate with BMP_GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn fig2_matches_golden() {
+    check(
+        "fig2_penalty_per_benchmark",
+        bmp_bench::experiments::fig2_penalty_per_benchmark,
+    );
+}
+
+#[test]
+fn fig5_matches_golden() {
+    check(
+        "fig5_contributor_breakdown",
+        bmp_bench::experiments::fig5_contributor_breakdown,
+    );
+}
+
+#[test]
+fn fig10_matches_golden() {
+    check(
+        "fig10_model_validation",
+        bmp_bench::experiments::fig10_model_validation,
+    );
+}

@@ -61,6 +61,20 @@ impl Simulator {
         &self.config
     }
 
+    /// The simulation options.
+    pub fn options(&self) -> SimOptions {
+        self.options
+    }
+
+    /// A 64-bit content fingerprint of the machine configuration and the
+    /// simulation options together. Since a run is a pure function of
+    /// `(config, options, trace)`, this plus a trace fingerprint fully
+    /// addresses the [`SimResult`] — the experiment harness uses it as
+    /// the simulation cache key.
+    pub fn fingerprint(&self) -> u64 {
+        bmp_uarch::fp::fingerprint_debug(&(&self.config, self.options))
+    }
+
     /// Simulates the trace to completion and returns the measurements.
     pub fn run(&self, trace: &Trace) -> SimResult {
         Engine::new(&self.config, self.options, trace).run()

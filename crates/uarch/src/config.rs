@@ -86,6 +86,13 @@ impl MachineConfig {
         MachineConfigBuilder { cfg: self.clone() }
     }
 
+    /// A 64-bit content fingerprint of the full configuration, used as a
+    /// cache key by the experiment harness (see [`crate::fp`]). Two
+    /// configurations fingerprint equal iff every field is equal.
+    pub fn fingerprint(&self) -> u64 {
+        crate::fp::fingerprint_debug(self)
+    }
+
     /// Validates cross-field invariants.
     ///
     /// # Errors

@@ -1,0 +1,49 @@
+//! Content fingerprinting for configuration values.
+//!
+//! The experiment harness memoizes synthesized traces and simulation
+//! results in a content-addressed cache; the keys are 64-bit FNV-1a
+//! hashes of the *values* that determine the artifact (a workload
+//! profile, a machine configuration, simulation options). Every
+//! configuration type in this workspace derives `Debug` with full field
+//! coverage, so hashing the `Debug` rendering is a stable, dependency-free
+//! content address: two values fingerprint equal iff they render equal,
+//! and any field change changes the key.
+
+/// 64-bit FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprints any `Debug` value by hashing its rendering.
+pub fn fingerprint_debug<T: std::fmt::Debug>(value: &T) -> u64 {
+    fnv1a(format!("{value:?}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_distinguishes_and_repeats() {
+        assert_eq!(fnv1a(b"abc"), fnv1a(b"abc"));
+        assert_ne!(fnv1a(b"abc"), fnv1a(b"abd"));
+        assert_ne!(fnv1a(b""), fnv1a(b"0"));
+    }
+
+    #[test]
+    fn debug_fingerprint_tracks_value() {
+        assert_eq!(
+            fingerprint_debug(&(1u32, "x")),
+            fingerprint_debug(&(1u32, "x"))
+        );
+        assert_ne!(
+            fingerprint_debug(&(1u32, "x")),
+            fingerprint_debug(&(2u32, "x"))
+        );
+    }
+}

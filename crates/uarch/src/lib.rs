@@ -31,6 +31,7 @@
 mod cache_cfg;
 mod config;
 mod error;
+pub mod fp;
 mod fu;
 mod predictor_cfg;
 mod prefetch_cfg;

@@ -630,9 +630,11 @@ mod tests {
 
     #[test]
     fn mix_approximates_profile() {
-        let mut p = WorkloadProfile::default();
-        p.load_frac = 0.3;
-        p.store_frac = 0.1;
+        let p = WorkloadProfile {
+            load_frac: 0.3,
+            store_frac: 0.1,
+            ..WorkloadProfile::default()
+        };
         let t = p.generate(100_000, 11);
         let s = t.stats();
         let branch_frac = s.fraction(bmp_uarch::OpClass::Branch);

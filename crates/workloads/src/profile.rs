@@ -305,6 +305,16 @@ impl WorkloadProfile {
         self.validate().expect("profile must be valid");
         crate::generator::generate(self, n_ops, seed)
     }
+
+    /// A 64-bit content fingerprint of every knob in the profile.
+    ///
+    /// Together with `(n_ops, seed)` this fully addresses the trace
+    /// [`generate`](Self::generate) produces — the experiment harness
+    /// uses it as the synthesis cache key, so two profiles share a cached
+    /// trace iff all their parameters (including the name) are equal.
+    pub fn fingerprint(&self) -> u64 {
+        bmp_uarch::fp::fingerprint_debug(self)
+    }
 }
 
 #[cfg(test)]
@@ -318,8 +328,10 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_fraction() {
-        let mut p = WorkloadProfile::default();
-        p.load_frac = 1.5;
+        let p = WorkloadProfile {
+            load_frac: 1.5,
+            ..WorkloadProfile::default()
+        };
         assert!(matches!(
             p.validate(),
             Err(ProfileError::FractionOutOfRange("load_frac", _))
@@ -328,9 +340,11 @@ mod tests {
 
     #[test]
     fn rejects_overflowing_mix() {
-        let mut p = WorkloadProfile::default();
-        p.load_frac = 0.6;
-        p.store_frac = 0.6;
+        let p = WorkloadProfile {
+            load_frac: 0.6,
+            store_frac: 0.6,
+            ..WorkloadProfile::default()
+        };
         assert!(matches!(p.validate(), Err(ProfileError::MixOverflows(_))));
     }
 
