@@ -1,0 +1,194 @@
+//! Compiled-trace well-formedness lints (`BMP3xx`).
+//!
+//! The event-driven simulator core trusts two structural invariants of
+//! [`CompiledTrace`] on its hot path and checks neither: every real
+//! producer index is **in bounds** (`BMP301`), and producers strictly
+//! **precede** their consumers (`BMP302`). `CompiledTrace::from_trace`
+//! establishes both by construction — the distance encoding of the
+//! source trace cannot express a forward or out-of-range edge — so these
+//! rules are the defensive counterpart of [`crate::lint_dag_edges`]:
+//! they cost one linear pass and protect any future source of compiled
+//! traces (deserialization, transforms, hand-built fixtures) from
+//! feeding the wakeup scheduler an edge it would mis-handle.
+//!
+//! An out-of-bounds producer panics the simulator at the first dispatch
+//! of the consumer; a forward (producer ≥ consumer) edge is worse — the
+//! wakeup scheduler registers the waiter against an op that has not been
+//! fetched yet, so the consumer either issues too early or deadlocks the
+//! wheel. Both are therefore errors, not warnings.
+
+use bmp_trace::compiled::NO_PRODUCER;
+use bmp_trace::CompiledTrace;
+
+use crate::diag::Diagnostic;
+
+/// Cap on repeated findings per rule, matching the trace linter.
+const MAX_PER_CODE: usize = 8;
+
+/// Runs the compiled-trace rules over `ct`.
+///
+/// Equivalent to [`lint_producer_table`] over the trace's producer
+/// entries; provided so callers holding a [`CompiledTrace`] need not
+/// re-extract the table themselves.
+pub fn lint_compiled(ct: &CompiledTrace) -> Vec<Diagnostic> {
+    let n = ct.len();
+    lint_producer_table(n, (0..n).map(|i| ct.producers(i)))
+}
+
+/// `BMP301`/`BMP302`: checks a producer table of `nodes` entries, two
+/// producer slots each, as yielded in consumer order.
+///
+/// `BMP301` fires when a non-sentinel producer index is `>= nodes`;
+/// `BMP302` fires when a producer does not strictly precede its
+/// consumer (`producers(i)[k] >= i`), the compiled-form statement of
+/// acyclicity. Entries equal to [`NO_PRODUCER`] are ready-by-definition
+/// sources and always pass.
+pub fn lint_producer_table(
+    nodes: usize,
+    producers: impl IntoIterator<Item = [u32; 2]>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let (mut oob, mut fwd) = (0usize, 0usize);
+
+    for (i, slots) in producers.into_iter().enumerate() {
+        for (k, p) in slots.into_iter().enumerate() {
+            if p == NO_PRODUCER {
+                continue;
+            }
+            if p as usize >= nodes {
+                oob += 1;
+                if oob <= MAX_PER_CODE {
+                    out.push(
+                        Diagnostic::error(
+                            "BMP301",
+                            format!("compiled[{i}].producers[{k}]"),
+                            format!(
+                                "producer index {p} is out of bounds for a \
+                                 {nodes}-op compiled trace"
+                            ),
+                        )
+                        .with_suggestion(
+                            "recompile from the source trace; from_trace only \
+                             emits in-range indices or NO_PRODUCER",
+                        ),
+                    );
+                }
+            } else if p as usize >= i {
+                fwd += 1;
+                if fwd <= MAX_PER_CODE {
+                    out.push(
+                        Diagnostic::error(
+                            "BMP302",
+                            format!("compiled[{i}].producers[{k}]"),
+                            format!(
+                                "producer {p} does not precede its consumer {i}; \
+                                 compiled dependences must satisfy producer < \
+                                 consumer"
+                            ),
+                        )
+                        .with_suggestion(
+                            "a dependence must point strictly backward in program \
+                             order; re-derive the compiled trace from a legal \
+                             execution",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    for (code, count) in [("BMP301", oob), ("BMP302", fwd)] {
+        if count > MAX_PER_CODE {
+            out.push(Diagnostic::info(
+                code,
+                "compiled",
+                format!("... and {} more {code} finding(s)", count - MAX_PER_CODE),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_trace::{MicroOp, Trace};
+    use bmp_uarch::OpClass;
+
+    fn chain(n: usize) -> CompiledTrace {
+        let t: Trace = (0..n)
+            .map(|i| {
+                let src = if i == 0 { None } else { Some(1) };
+                MicroOp::alu(0x1000 + 4 * i as u64, OpClass::IntAlu, [src, None])
+            })
+            .collect();
+        t.compile()
+    }
+
+    #[test]
+    fn compiled_chain_is_clean() {
+        assert!(lint_compiled(&chain(64)).is_empty());
+    }
+
+    #[test]
+    fn empty_compiled_trace_is_clean() {
+        assert!(lint_compiled(&Trace::from_ops_unchecked(Vec::new()).compile()).is_empty());
+    }
+
+    #[test]
+    fn sentinel_slots_always_pass() {
+        // All-NO_PRODUCER tables are clean regardless of node count.
+        let table = vec![[NO_PRODUCER, NO_PRODUCER]; 4];
+        assert!(lint_producer_table(4, table).is_empty());
+    }
+
+    #[test]
+    fn out_of_bounds_producer_is_an_error() {
+        // Deliberately broken: op 1 names producer 9 in a 2-op table.
+        let diags = lint_producer_table(2, vec![[NO_PRODUCER, NO_PRODUCER], [9, NO_PRODUCER]]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "BMP301");
+        assert_eq!(diags[0].severity, crate::Severity::Error);
+        assert_eq!(diags[0].locus, "compiled[1].producers[0]");
+    }
+
+    #[test]
+    fn self_dependence_is_a_forward_edge() {
+        // Deliberately broken: op 1 depends on itself.
+        let diags = lint_producer_table(3, vec![[NO_PRODUCER; 2], [1, NO_PRODUCER], [0, 1]]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "BMP302");
+        assert!(diags[0].message.contains("producer 1"));
+    }
+
+    #[test]
+    fn forward_edge_is_an_error() {
+        // Deliberately broken: op 0 depends on the later op 2.
+        let diags = lint_producer_table(
+            3,
+            vec![[2, NO_PRODUCER], [NO_PRODUCER; 2], [NO_PRODUCER; 2]],
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "BMP302");
+    }
+
+    #[test]
+    fn second_slot_is_checked_too() {
+        let diags = lint_producer_table(2, vec![[NO_PRODUCER; 2], [0, 7]]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "BMP301");
+        assert_eq!(diags[0].locus, "compiled[1].producers[1]");
+    }
+
+    #[test]
+    fn repeated_findings_are_capped() {
+        let table: Vec<[u32; 2]> = (0..20).map(|_| [99, NO_PRODUCER]).collect();
+        let diags = lint_producer_table(20, table);
+        let errors = diags.iter().filter(|d| d.code == "BMP301").count();
+        // 8 individual findings plus one summary line.
+        assert_eq!(errors, MAX_PER_CODE + 1);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == "BMP301" && d.message.contains("more BMP301")));
+    }
+}

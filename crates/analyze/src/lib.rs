@@ -21,6 +21,10 @@
 //!   components do not sum to the CPI, penalty breakdowns whose five
 //!   contributors do not sum to the resolution they explain, and
 //!   simulator results that leak dispatch slots or ROB samples.
+//! * `BMP3xx` — compiled-trace structure ([`compiledlint`]): producer
+//!   indices in the structure-of-arrays form the event-driven simulator
+//!   consumes must be in bounds and strictly precede their consumers —
+//!   the invariants the wakeup scheduler trusts without checking.
 //!
 //! [`analyze`] is the one-call entry point; the `bmp-lint` binary runs it
 //! over presets, workload profiles, or both, and renders either a
@@ -29,11 +33,13 @@
 
 #![warn(missing_docs)]
 
+pub mod compiledlint;
 pub mod conserve;
 pub mod diag;
 pub mod machine;
 pub mod tracelint;
 
+pub use compiledlint::{lint_compiled, lint_producer_table};
 pub use conserve::{lint_cpi_stack, lint_penalty_analysis, lint_sim_result};
 pub use diag::{AnalysisReport, Diagnostic, Severity};
 pub use machine::{lint_fu_coverage, lint_machine};
@@ -59,6 +65,7 @@ pub fn analyze(cfg: &MachineConfig, trace: Option<&Trace>) -> AnalysisReport {
 
     if let Some(trace) = trace {
         report.merge(AnalysisReport::new(lint_trace(trace)));
+        report.merge(AnalysisReport::new(lint_compiled(&trace.compile())));
 
         // The model constructors reject invalid configs by panicking;
         // BMP000 has already reported that case, so stop short of it.

@@ -1,0 +1,215 @@
+//! Performance profile of the simulation pipeline: times trace
+//! synthesis, trace compilation, simulation (event-driven vs reference
+//! engine) and interval-model analysis, then writes the machine-readable
+//! report to `results/BENCH_sim.json`.
+//!
+//! Two measurements are taken, both single-threaded:
+//!
+//! 1. **Per-workload** — each SPECint-like workload at the baseline
+//!    4-wide config: every phase timed in isolation, simulation
+//!    best-of-`BMP_PROFILE_REPS` (default 3) per engine, with the two
+//!    engines' `SimResult`s asserted bit-identical.
+//! 2. **Suite** — the full `run_all` experiment registry (every config
+//!    sweep of the paper reproduction) executed once per engine through
+//!    the shared artifact cache, comparing accumulated simulation-phase
+//!    compute time. This is the default workload mix the harness
+//!    actually runs, so its sim-phase ratio is the headline speedup.
+//!
+//! Scale with `BMP_OPS` / `BMP_SEED` as usual.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bmp_bench::{Engine, EngineChoice, Scale};
+use bmp_core::PenaltyModel;
+use bmp_sim::Simulator;
+use bmp_uarch::presets;
+use bmp_workloads::spec;
+
+/// One workload's phase timings, in seconds.
+struct WorkloadRow {
+    name: &'static str,
+    trace_s: f64,
+    compile_s: f64,
+    sim_event_s: f64,
+    sim_reference_s: f64,
+    analysis_s: f64,
+}
+
+fn reps_from_env() -> u32 {
+    std::env::var("BMP_PROFILE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(3)
+}
+
+fn ms(seconds: f64) -> String {
+    format!("{:.3}", seconds * 1e3)
+}
+
+fn profile_workloads(scale: Scale, reps: u32) -> Vec<WorkloadRow> {
+    let cfg = presets::baseline_4wide();
+    let mut rows = Vec::new();
+    for name in spec::NAMES {
+        let profile = spec::by_name(name).expect("registry name");
+        let t0 = Instant::now();
+        let trace = profile.generate(scale.ops, scale.seed);
+        let trace_s = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let compiled = trace.compile();
+        let compile_s = t0.elapsed().as_secs_f64();
+
+        let sim = Simulator::new(cfg.clone());
+        let mut sim_event_s = f64::MAX;
+        let mut sim_reference_s = f64::MAX;
+        let mut r_event = None;
+        let mut r_reference = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            r_event = Some(sim.run_compiled(&compiled));
+            sim_event_s = sim_event_s.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            r_reference = Some(sim.run_reference(&trace));
+            sim_reference_s = sim_reference_s.min(t0.elapsed().as_secs_f64());
+        }
+        assert_eq!(
+            r_event, r_reference,
+            "engines must produce bit-identical results on {name}"
+        );
+
+        let t0 = Instant::now();
+        let _ = PenaltyModel::new(cfg.clone()).analyze(&trace);
+        let analysis_s = t0.elapsed().as_secs_f64();
+
+        eprintln!(
+            "{name:>10}: trace {:>8} ms  compile {:>7} ms  sim new {:>8} ms  \
+             sim ref {:>8} ms  analysis {:>7} ms  ({:.2}x)",
+            ms(trace_s),
+            ms(compile_s),
+            ms(sim_event_s),
+            ms(sim_reference_s),
+            ms(analysis_s),
+            sim_reference_s / sim_event_s
+        );
+        rows.push(WorkloadRow {
+            name,
+            trace_s,
+            compile_s,
+            sim_event_s,
+            sim_reference_s,
+            analysis_s,
+        });
+    }
+    rows
+}
+
+/// Runs the full experiment registry single-threaded through one engine
+/// and returns `(phase report, experiment count, wall seconds)`.
+fn profile_suite(scale: Scale, choice: EngineChoice) -> (bmp_bench::PhaseReport, usize, f64) {
+    let engine = Engine::with_engine(1, choice);
+    let t0 = Instant::now();
+    let report = engine.run_all(scale);
+    let wall_s = t0.elapsed().as_secs_f64();
+    (engine.ctx().phase_report(), report.timings.len(), wall_s)
+}
+
+fn phase_json(label: &str, p: bmp_bench::PhaseReport, wall_s: f64) -> String {
+    format!(
+        "    \"{label}\": {{ \"trace_ms\": {}, \"compile_ms\": {}, \"sim_ms\": {}, \
+         \"analysis_ms\": {}, \"wall_ms\": {} }}",
+        ms(p.trace_nanos as f64 * 1e-9),
+        ms(p.compile_nanos as f64 * 1e-9),
+        ms(p.sim_nanos as f64 * 1e-9),
+        ms(p.analysis_nanos as f64 * 1e-9),
+        ms(wall_s)
+    )
+}
+
+fn main() -> ExitCode {
+    let scale = Scale::from_env();
+    let reps = reps_from_env();
+    eprintln!(
+        "profiling at {} ops per workload, seed {}, best of {} reps, 1 thread",
+        scale.ops, scale.seed, reps
+    );
+
+    eprintln!("\n-- per-workload phases (baseline 4-wide) --");
+    let rows = profile_workloads(scale, reps);
+    let wl_event: f64 = rows.iter().map(|r| r.sim_event_s).sum();
+    let wl_reference: f64 = rows.iter().map(|r| r.sim_reference_s).sum();
+    eprintln!(
+        "{:>10}: sim new {:>8} ms  sim ref {:>8} ms  ({:.2}x)",
+        "TOTAL",
+        ms(wl_event),
+        ms(wl_reference),
+        wl_reference / wl_event
+    );
+
+    eprintln!("\n-- full experiment suite (run_all registry), event-driven engine --");
+    let (p_event, experiments, wall_event) = profile_suite(scale, EngineChoice::EventDriven);
+    eprintln!("\n-- full experiment suite (run_all registry), reference engine --");
+    let (p_reference, _, wall_reference) = profile_suite(scale, EngineChoice::Reference);
+    let suite_speedup = p_reference.sim_nanos as f64 / p_event.sim_nanos as f64;
+    eprintln!(
+        "suite ({experiments} experiments): sim new {} ms  sim ref {} ms  ({suite_speedup:.2}x); \
+         wall {} ms vs {} ms",
+        ms(p_event.sim_nanos as f64 * 1e-9),
+        ms(p_reference.sim_nanos as f64 * 1e-9),
+        ms(wall_event),
+        ms(wall_reference),
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"ops\": {},\n", scale.ops));
+    out.push_str(&format!("  \"seed\": {},\n", scale.seed));
+    out.push_str("  \"threads\": 1,\n");
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"trace_ms\": {}, \"compile_ms\": {}, \
+             \"sim_event_ms\": {}, \"sim_reference_ms\": {}, \"analysis_ms\": {}, \
+             \"speedup\": {:.3} }}{}\n",
+            r.name,
+            ms(r.trace_s),
+            ms(r.compile_s),
+            ms(r.sim_event_s),
+            ms(r.sim_reference_s),
+            ms(r.analysis_s),
+            r.sim_reference_s / r.sim_event_s,
+            comma
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"workload_sim_totals\": {{ \"event_ms\": {}, \"reference_ms\": {}, \
+         \"speedup\": {:.3} }},\n",
+        ms(wl_event),
+        ms(wl_reference),
+        wl_reference / wl_event
+    ));
+    out.push_str("  \"suite\": {\n");
+    out.push_str(&format!("    \"experiments\": {experiments},\n"));
+    out.push_str(&phase_json("event", p_event, wall_event));
+    out.push_str(",\n");
+    out.push_str(&phase_json("reference", p_reference, wall_reference));
+    out.push_str(",\n");
+    out.push_str(&format!("    \"sim_speedup\": {suite_speedup:.3}\n"));
+    out.push_str("  }\n}\n");
+
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("error: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = dir.join("BENCH_sim.json");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[saved {}]", path.display());
+    ExitCode::SUCCESS
+}

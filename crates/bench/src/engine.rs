@@ -23,6 +23,7 @@
 //! runs the experiments inline in order: the exact legacy path.
 
 use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -63,22 +64,109 @@ impl Deref for TraceHandle {
     }
 }
 
+/// Which simulator engine a [`Ctx`] routes its simulations through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The event-driven engine over cached [`CompiledTrace`]s (default).
+    EventDriven,
+    /// The retained reference engine (forced by `BMP_REFERENCE_ENGINE=1`,
+    /// or chosen explicitly by `bmp-profile` for its A/B timing).
+    Reference,
+}
+
+use bmp_trace::CompiledTrace;
+
+/// Wall-clock nanoseconds accumulated per artifact phase, across all
+/// threads (a sum of per-computation durations, not elapsed time).
+#[derive(Debug, Default)]
+struct PhaseNanos {
+    trace: AtomicU64,
+    compile: AtomicU64,
+    sim: AtomicU64,
+    analysis: AtomicU64,
+}
+
+impl PhaseNanos {
+    fn add(counter: &AtomicU64, start: Instant) {
+        counter.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// A snapshot of the per-phase compute time spent by a [`Ctx`], used by
+/// `bmp-profile` to attribute the run to trace synthesis, trace
+/// compilation, simulation and analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseReport {
+    /// Nanoseconds synthesizing traces.
+    pub trace_nanos: u64,
+    /// Nanoseconds compiling traces to structure-of-arrays form.
+    pub compile_nanos: u64,
+    /// Nanoseconds simulating.
+    pub sim_nanos: u64,
+    /// Nanoseconds in interval-model analysis.
+    pub analysis_nanos: u64,
+}
+
 /// The shared experiment context: the content-addressed cache every
-/// experiment draws traces, simulation results and analyses from.
+/// experiment draws traces, compiled traces, simulation results and
+/// analyses from.
 ///
 /// All methods are `&self` and thread-safe; concurrent requests for the
 /// same artifact collapse into one computation (see [`Memo`]).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Ctx {
     traces: Memo<bmp_trace::Trace>,
+    compiled: Memo<CompiledTrace>,
     sims: Memo<SimResult>,
     analyses: Memo<PenaltyAnalysis>,
+    engine: EngineChoice,
+    phases: PhaseNanos,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Ctx {
-    /// A fresh, empty context.
+    /// A fresh, empty context. Simulations route through the event-driven
+    /// engine unless `BMP_REFERENCE_ENGINE=1` is set.
     pub fn new() -> Self {
-        Self::default()
+        let engine = if bmp_sim::reference_engine_forced() {
+            EngineChoice::Reference
+        } else {
+            EngineChoice::EventDriven
+        };
+        Self::with_engine(engine)
+    }
+
+    /// A fresh, empty context with an explicit engine choice (ignoring
+    /// the environment).
+    pub fn with_engine(engine: EngineChoice) -> Self {
+        Self {
+            traces: Memo::default(),
+            compiled: Memo::default(),
+            sims: Memo::default(),
+            analyses: Memo::default(),
+            engine,
+            phases: PhaseNanos::default(),
+        }
+    }
+
+    /// The engine this context routes simulations through.
+    pub fn engine(&self) -> EngineChoice {
+        self.engine
+    }
+
+    /// The per-phase compute-time snapshot.
+    pub fn phase_report(&self) -> PhaseReport {
+        PhaseReport {
+            trace_nanos: self.phases.trace.load(Ordering::Relaxed),
+            compile_nanos: self.phases.compile.load(Ordering::Relaxed),
+            sim_nanos: self.phases.sim.load(Ordering::Relaxed),
+            analysis_nanos: self.phases.analysis.load(Ordering::Relaxed),
+        }
     }
 
     /// The trace synthesized by `profile` at `scale`, cached by
@@ -88,9 +176,12 @@ impl Ctx {
             "trace",
             &[profile.fingerprint(), scale.ops as u64, scale.seed],
         );
-        let trace = self
-            .traces
-            .get_or_compute(key, || profile.generate(scale.ops, scale.seed));
+        let trace = self.traces.get_or_compute(key, || {
+            let t0 = Instant::now();
+            let trace = profile.generate(scale.ops, scale.seed);
+            PhaseNanos::add(&self.phases.trace, t0);
+            trace
+        });
         TraceHandle { key, trace }
     }
 
@@ -110,23 +201,67 @@ impl Ctx {
     where
         F: FnOnce() -> bmp_trace::Trace,
     {
-        let trace = self.traces.get_or_compute(key, synth);
+        let trace = self.traces.get_or_compute(key, || {
+            let t0 = Instant::now();
+            let trace = synth();
+            PhaseNanos::add(&self.phases.trace, t0);
+            trace
+        });
         TraceHandle { key, trace }
     }
 
+    /// The compiled (structure-of-arrays) form of `trace`, cached by the
+    /// trace key. Config-independent, so one compiled trace serves every
+    /// machine configuration simulated over it.
+    pub fn compiled(&self, trace: &TraceHandle) -> Arc<CompiledTrace> {
+        let key = cache_key("compiled", &[trace.key]);
+        self.compiled.get_or_compute(key, || {
+            let t0 = Instant::now();
+            let ct = trace.compile();
+            PhaseNanos::add(&self.phases.compile, t0);
+            ct
+        })
+    }
+
     /// The result of running `sim` over `trace`, cached by
-    /// `(config + options fingerprint, trace key)`.
+    /// `(config + options fingerprint, trace key)` and routed through
+    /// this context's [`EngineChoice`]: the event-driven engine reuses the
+    /// cached compiled trace, the reference engine runs the original
+    /// scan-everything loop. Both produce bit-identical results.
     pub fn sim(&self, sim: &Simulator, trace: &TraceHandle) -> Arc<SimResult> {
         let key = cache_key("sim", &[sim.fingerprint(), trace.key]);
-        self.sims.get_or_compute(key, || sim.run(trace))
+        match self.engine {
+            EngineChoice::EventDriven => {
+                // Resolve the compiled trace *outside* the sim timer so
+                // a first-touch compile is attributed to the compile
+                // phase, not the simulation phase.
+                self.sims.get_or_compute(key, || {
+                    let ct = self.compiled(trace);
+                    let t0 = Instant::now();
+                    let res = sim.run_compiled(&ct);
+                    PhaseNanos::add(&self.phases.sim, t0);
+                    res
+                })
+            }
+            EngineChoice::Reference => self.sims.get_or_compute(key, || {
+                let t0 = Instant::now();
+                let res = sim.run_reference(trace);
+                PhaseNanos::add(&self.phases.sim, t0);
+                res
+            }),
+        }
     }
 
     /// The interval-model analysis of `trace` under `cfg`, cached by
     /// `(config fingerprint, trace key)`.
     pub fn analyze(&self, cfg: &MachineConfig, trace: &TraceHandle) -> Arc<PenaltyAnalysis> {
         let key = cache_key("analysis", &[cfg.fingerprint(), trace.key]);
-        self.analyses
-            .get_or_compute(key, || PenaltyModel::new(cfg.clone()).analyze(trace))
+        self.analyses.get_or_compute(key, || {
+            let t0 = Instant::now();
+            let a = PenaltyModel::new(cfg.clone()).analyze(trace);
+            PhaseNanos::add(&self.phases.analysis, t0);
+            a
+        })
     }
 
     /// Cache statistics, for the timing report.
@@ -134,6 +269,8 @@ impl Ctx {
         CacheReport {
             trace_hits: self.traces.stats().hits(),
             trace_misses: self.traces.stats().misses(),
+            compiled_hits: self.compiled.stats().hits(),
+            compiled_misses: self.compiled.stats().misses(),
             sim_hits: self.sims.stats().hits(),
             sim_misses: self.sims.stats().misses(),
             analysis_hits: self.analyses.stats().hits(),
@@ -408,6 +545,10 @@ pub struct CacheReport {
     pub trace_hits: u64,
     /// Trace synthesis computations.
     pub trace_misses: u64,
+    /// Compiled-trace lookups served from the cache.
+    pub compiled_hits: u64,
+    /// Trace compilations (structure-of-arrays transform).
+    pub compiled_misses: u64,
     /// Simulation lookups served from the cache.
     pub sim_hits: u64,
     /// Simulation runs.
@@ -421,8 +562,12 @@ pub struct CacheReport {
 impl CacheReport {
     /// Overall hit fraction across all artifact kinds.
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.trace_hits + self.sim_hits + self.analysis_hits;
-        let total = hits + self.trace_misses + self.sim_misses + self.analysis_misses;
+        let hits = self.trace_hits + self.compiled_hits + self.sim_hits + self.analysis_hits;
+        let total = hits
+            + self.trace_misses
+            + self.compiled_misses
+            + self.sim_misses
+            + self.analysis_misses;
         if total == 0 {
             0.0
         } else {
@@ -467,10 +612,12 @@ impl EngineReport {
         }
         let c = &self.cache;
         out.push_str(&format!(
-            "cache: traces {}/{} hits, sims {}/{} hits, analyses {}/{} hits \
-             ({:.0}% overall hit rate)\n",
+            "cache: traces {}/{} hits, compiled {}/{} hits, sims {}/{} hits, \
+             analyses {}/{} hits ({:.0}% overall hit rate)\n",
             c.trace_hits,
             c.trace_hits + c.trace_misses,
+            c.compiled_hits,
+            c.compiled_hits + c.compiled_misses,
             c.sim_hits,
             c.sim_hits + c.sim_misses,
             c.analysis_hits,
@@ -498,10 +645,13 @@ impl EngineReport {
         let c = &self.cache;
         out.push_str(&format!(
             "  \"cache\": {{ \"trace_hits\": {}, \"trace_misses\": {}, \
+             \"compiled_hits\": {}, \"compiled_misses\": {}, \
              \"sim_hits\": {}, \"sim_misses\": {}, \
              \"analysis_hits\": {}, \"analysis_misses\": {} }},\n",
             c.trace_hits,
             c.trace_misses,
+            c.compiled_hits,
+            c.compiled_misses,
             c.sim_hits,
             c.sim_misses,
             c.analysis_hits,
@@ -539,6 +689,16 @@ impl Engine {
     /// An engine sized from `BMP_THREADS` / available parallelism.
     pub fn from_env() -> Self {
         Self::new(threads_from_env())
+    }
+
+    /// An engine on `threads` workers with an explicit simulator engine
+    /// choice (ignoring `BMP_REFERENCE_ENGINE`) — `bmp-profile` uses this
+    /// to run the same suite through both engines in one process.
+    pub fn with_engine(threads: usize, choice: EngineChoice) -> Self {
+        Self {
+            pool: ThreadPool::new(threads),
+            ctx: Ctx::with_engine(choice),
+        }
     }
 
     /// The shared context (for reuse after a run).

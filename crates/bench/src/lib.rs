@@ -25,7 +25,7 @@ pub mod pool;
 pub mod scale;
 pub mod table;
 
-pub use engine::{Ctx, Engine};
+pub use engine::{Ctx, Engine, EngineChoice, PhaseReport};
 pub use scale::Scale;
 pub use table::Table;
 

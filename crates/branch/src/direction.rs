@@ -78,6 +78,111 @@ pub fn build_predictor(cfg: &PredictorConfig) -> Box<dyn DirectionPredictor> {
     }
 }
 
+/// The same concrete predictors as [`build_predictor`], behind an enum
+/// instead of a vtable so a simulator hot loop can inline the per-branch
+/// `predict`/`update` pair. Built from the same [`PredictorConfig`], the
+/// enum holds identical state and produces identical predictions to the
+/// boxed form — it exists purely so static dispatch is available where
+/// the two virtual calls per conditional branch are measurable.
+#[derive(Debug, Clone)]
+pub enum InlinePredictor {
+    /// Fixed-direction static prediction.
+    Static(StaticPredictor),
+    /// Oracle prediction.
+    Perfect(Perfect),
+    /// PC-indexed 2-bit counters.
+    Bimodal(Bimodal),
+    /// Global history XOR PC.
+    GShare(GShare),
+    /// Per-branch local history.
+    Local(LocalTwoLevel),
+    /// Bimodal/gshare with a chooser.
+    Tournament(Tournament),
+    /// Perceptron over global history.
+    Perceptron(Perceptron),
+}
+
+impl InlinePredictor {
+    /// Builds the predictor described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`PredictorConfig::validate`]; validate
+    /// configurations at machine-construction time.
+    pub fn build(cfg: &PredictorConfig) -> Self {
+        cfg.validate()
+            .expect("predictor configuration must be valid");
+        match *cfg {
+            PredictorConfig::AlwaysTaken => Self::Static(StaticPredictor { taken: true }),
+            PredictorConfig::AlwaysNotTaken => Self::Static(StaticPredictor { taken: false }),
+            PredictorConfig::Bimodal { entries } => Self::Bimodal(Bimodal::new(entries)),
+            PredictorConfig::GShare {
+                entries,
+                history_bits,
+            } => Self::GShare(GShare::new(entries, history_bits)),
+            PredictorConfig::Local {
+                history_entries,
+                history_bits,
+                pattern_entries,
+            } => Self::Local(LocalTwoLevel::new(
+                history_entries,
+                history_bits,
+                pattern_entries,
+            )),
+            PredictorConfig::Tournament {
+                entries,
+                history_bits,
+            } => Self::Tournament(Tournament::new(entries, history_bits)),
+            PredictorConfig::Perceptron {
+                entries,
+                history_bits,
+            } => Self::Perceptron(Perceptron::new(entries, history_bits)),
+            PredictorConfig::Perfect => Self::Perfect(Perfect),
+        }
+    }
+
+    /// Statically dispatched [`DirectionPredictor::predict`].
+    #[inline]
+    pub fn predict(&mut self, pc: u64, actual: bool) -> bool {
+        match self {
+            Self::Static(p) => p.predict(pc, actual),
+            Self::Perfect(p) => p.predict(pc, actual),
+            Self::Bimodal(p) => p.predict(pc, actual),
+            Self::GShare(p) => p.predict(pc, actual),
+            Self::Local(p) => p.predict(pc, actual),
+            Self::Tournament(p) => p.predict(pc, actual),
+            Self::Perceptron(p) => p.predict(pc, actual),
+        }
+    }
+
+    /// Statically dispatched [`DirectionPredictor::update`].
+    #[inline]
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        match self {
+            Self::Static(p) => p.update(pc, taken),
+            Self::Perfect(p) => p.update(pc, taken),
+            Self::Bimodal(p) => p.update(pc, taken),
+            Self::GShare(p) => p.update(pc, taken),
+            Self::Local(p) => p.update(pc, taken),
+            Self::Tournament(p) => p.update(pc, taken),
+            Self::Perceptron(p) => p.update(pc, taken),
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Static(p) => p.name(),
+            Self::Perfect(p) => p.name(),
+            Self::Bimodal(p) => p.name(),
+            Self::GShare(p) => p.name(),
+            Self::Local(p) => p.name(),
+            Self::Tournament(p) => p.name(),
+            Self::Perceptron(p) => p.name(),
+        }
+    }
+}
+
 fn pc_index(pc: u64, entries: u32) -> usize {
     // Drop the 2 low bits (4-byte instructions) before indexing.
     ((pc >> 2) & u64::from(entries - 1)) as usize
@@ -90,10 +195,12 @@ pub struct StaticPredictor {
 }
 
 impl DirectionPredictor for StaticPredictor {
+    #[inline]
     fn predict(&mut self, _pc: u64, _actual: bool) -> bool {
         self.taken
     }
 
+    #[inline]
     fn update(&mut self, _pc: u64, _taken: bool) {}
 
     fn name(&self) -> &'static str {
@@ -110,10 +217,12 @@ impl DirectionPredictor for StaticPredictor {
 pub struct Perfect;
 
 impl DirectionPredictor for Perfect {
+    #[inline]
     fn predict(&mut self, _pc: u64, actual: bool) -> bool {
         actual
     }
 
+    #[inline]
     fn update(&mut self, _pc: u64, _taken: bool) {}
 
     fn name(&self) -> &'static str {
@@ -144,10 +253,12 @@ impl Bimodal {
 }
 
 impl DirectionPredictor for Bimodal {
+    #[inline]
     fn predict(&mut self, pc: u64, _actual: bool) -> bool {
         self.table[pc_index(pc, self.entries)].predicts_taken()
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
         self.table[pc_index(pc, self.entries)].train(taken);
     }
@@ -190,10 +301,12 @@ impl GShare {
 }
 
 impl DirectionPredictor for GShare {
+    #[inline]
     fn predict(&mut self, pc: u64, _actual: bool) -> bool {
         self.table[self.index(pc)].predicts_taken()
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
         let idx = self.index(pc);
         self.table[idx].train(taken);
@@ -242,10 +355,12 @@ impl LocalTwoLevel {
 }
 
 impl DirectionPredictor for LocalTwoLevel {
+    #[inline]
     fn predict(&mut self, pc: u64, _actual: bool) -> bool {
         self.pattern[self.pattern_index(pc)].predicts_taken()
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
         let pidx = self.pattern_index(pc);
         self.pattern[pidx].train(taken);
@@ -288,6 +403,7 @@ impl Tournament {
 }
 
 impl DirectionPredictor for Tournament {
+    #[inline]
     fn predict(&mut self, pc: u64, actual: bool) -> bool {
         let use_gshare = self.chooser[pc_index(pc, self.entries)].predicts_taken();
         if use_gshare {
@@ -297,6 +413,7 @@ impl DirectionPredictor for Tournament {
         }
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
         let b = self.bimodal.predict(pc, taken);
         let g = self.gshare.predict(pc, taken);
@@ -370,11 +487,13 @@ impl Perceptron {
 }
 
 impl DirectionPredictor for Perceptron {
+    #[inline]
     fn predict(&mut self, pc: u64, _actual: bool) -> bool {
         self.last_output = self.output(pc);
         self.last_output >= 0
     }
 
+    #[inline]
     fn update(&mut self, pc: u64, taken: bool) {
         let y = self.output(pc);
         let predicted = y >= 0;

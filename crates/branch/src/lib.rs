@@ -38,7 +38,7 @@ mod stats;
 
 pub use btb::Btb;
 pub use counter::SaturatingCounter;
-pub use direction::{build_predictor, DirectionPredictor};
+pub use direction::{build_predictor, DirectionPredictor, InlinePredictor};
 pub use indirect::{GTarget, IndirectPredictor};
 pub use ras::ReturnAddressStack;
 pub use stats::BranchStats;

@@ -36,5 +36,5 @@ mod stats;
 
 pub use cache::SetAssocCache;
 pub use hierarchy::{DataAccess, DataOutcome, FetchAccess, MemoryHierarchy};
-pub use prefetch::StridePrefetcher;
+pub use prefetch::{PrefetchBatch, StridePrefetcher};
 pub use stats::{CacheStats, HierarchyStats};

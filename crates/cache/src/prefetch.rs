@@ -11,6 +11,57 @@ struct RptEntry {
     confidence: u8,
 }
 
+/// The prefetch addresses emitted by one [`StridePrefetcher::observe`]
+/// call: `addr + stride * k` for `k` in `1..=degree`, materialized lazily
+/// so the hot path never touches the heap.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchBatch {
+    base: u64,
+    stride: i64,
+    count: u32,
+    k: u32,
+}
+
+impl PrefetchBatch {
+    const EMPTY: Self = Self {
+        base: 0,
+        stride: 0,
+        count: 0,
+        k: 0,
+    };
+
+    /// `true` when the observation emitted no prefetches.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Addresses remaining in the batch.
+    pub fn len(&self) -> usize {
+        (self.count - self.k) as usize
+    }
+}
+
+impl Iterator for PrefetchBatch {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.k == self.count {
+            return None;
+        }
+        self.k += 1;
+        Some(
+            self.base
+                .wrapping_add((self.stride * i64::from(self.k)) as u64),
+        )
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len(), Some(self.len()))
+    }
+}
+
+impl ExactSizeIterator for PrefetchBatch {}
+
 /// A classic reference prediction table (Chen & Baer): per-PC stride
 /// detection with 2-bit confidence, emitting `degree` prefetch addresses
 /// once a stride repeats.
@@ -24,7 +75,7 @@ struct RptEntry {
 /// assert!(p.observe(0x100, 0x1000).is_empty()); // first sighting
 /// assert!(p.observe(0x100, 0x1040).is_empty()); // stride learned
 /// let pf = p.observe(0x100, 0x1080);            // stride confirmed
-/// assert_eq!(pf, vec![0x10c0, 0x1100]);
+/// assert_eq!(pf.collect::<Vec<_>>(), vec![0x10c0, 0x1100]);
 /// ```
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
@@ -54,7 +105,7 @@ impl StridePrefetcher {
 
     /// Observes a data access by the instruction at `pc` to `addr` and
     /// returns the addresses to prefetch (possibly empty).
-    pub fn observe(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+    pub fn observe(&mut self, pc: u64, addr: u64) -> PrefetchBatch {
         let idx = ((pc >> 2) & u64::from(self.entries - 1)) as usize;
         let e = &mut self.table[idx];
         if !e.valid || e.tag != pc {
@@ -65,7 +116,7 @@ impl StridePrefetcher {
                 stride: 0,
                 confidence: 0,
             };
-            return Vec::new();
+            return PrefetchBatch::EMPTY;
         }
         let new_stride = addr.wrapping_sub(e.last_addr) as i64;
         if new_stride == e.stride && new_stride != 0 {
@@ -76,14 +127,15 @@ impl StridePrefetcher {
         }
         e.last_addr = addr;
         if e.confidence >= 1 && e.stride != 0 {
-            let stride = e.stride;
-            let out: Vec<u64> = (1..=u64::from(self.degree))
-                .map(|k| addr.wrapping_add((stride * k as i64) as u64))
-                .collect();
-            self.issued += out.len() as u64;
-            return out;
+            self.issued += u64::from(self.degree);
+            return PrefetchBatch {
+                base: addr,
+                stride: e.stride,
+                count: self.degree,
+                k: 0,
+            };
         }
-        Vec::new()
+        PrefetchBatch::EMPTY
     }
 
     /// Total prefetch addresses emitted.
@@ -106,7 +158,7 @@ mod tests {
         let mut p = StridePrefetcher::new(16, 1);
         assert!(p.observe(0x10, 100).is_empty());
         assert!(p.observe(0x10, 164).is_empty());
-        assert_eq!(p.observe(0x10, 228), vec![292]);
+        assert_eq!(p.observe(0x10, 228).collect::<Vec<_>>(), vec![292]);
         assert_eq!(p.issued(), 1);
     }
 
@@ -115,7 +167,7 @@ mod tests {
         let mut p = StridePrefetcher::new(16, 1);
         p.observe(0x10, 1000);
         p.observe(0x10, 936);
-        assert_eq!(p.observe(0x10, 872), vec![808]);
+        assert_eq!(p.observe(0x10, 872).collect::<Vec<_>>(), vec![808]);
     }
 
     #[test]
@@ -146,8 +198,8 @@ mod tests {
         p.observe(0x14, 1000);
         p.observe(0x10, 64);
         p.observe(0x14, 1008);
-        assert_eq!(p.observe(0x10, 128), vec![192]);
-        assert_eq!(p.observe(0x14, 1016), vec![1024]);
+        assert_eq!(p.observe(0x10, 128).collect::<Vec<_>>(), vec![192]);
+        assert_eq!(p.observe(0x14, 1016).collect::<Vec<_>>(), vec![1024]);
     }
 
     #[test]
@@ -166,6 +218,9 @@ mod tests {
         let mut p = StridePrefetcher::new(16, 4);
         p.observe(0x10, 0);
         p.observe(0x10, 64);
-        assert_eq!(p.observe(0x10, 128), vec![192, 256, 320, 384]);
+        assert_eq!(
+            p.observe(0x10, 128).collect::<Vec<_>>(),
+            vec![192, 256, 320, 384]
+        );
     }
 }

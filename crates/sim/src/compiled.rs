@@ -1,0 +1,68 @@
+//! Config-derived per-class lookup tables for the compiled engine.
+//!
+//! A [`CompiledTrace`](bmp_trace::CompiledTrace) is deliberately
+//! config-independent (so the experiment harness can cache one compiled
+//! form per trace and reuse it across every machine configuration). The
+//! config-dependent half of the op decode — execution latency, functional
+//! unit and divide behavior per [`OpClass`] — is flattened here into three
+//! 9-entry arrays, built once per run, indexed by
+//! [`OpClass::index`].
+
+use bmp_uarch::{MachineConfig, OpClass, OP_CLASSES};
+
+/// Per-class latency/FU/divide tables derived from a [`MachineConfig`].
+#[derive(Debug, Clone)]
+pub(crate) struct ClassTables {
+    /// Execution latency per class (`>= 1`, enforced by config
+    /// validation — the scheduler's "consumers wake strictly later"
+    /// invariant rests on this).
+    pub latency: [u64; 9],
+    /// Functional-unit pool index (`FuKind::index`) per class.
+    pub fu: [usize; 9],
+    /// FU occupancy per issue: divides hold their unit for the full
+    /// latency, everything else is pipelined (one cycle).
+    pub occupancy: [u64; 9],
+}
+
+impl ClassTables {
+    pub(crate) fn new(cfg: &MachineConfig) -> Self {
+        let mut t = Self {
+            latency: [0; 9],
+            fu: [0; 9],
+            occupancy: [0; 9],
+        };
+        for class in OP_CLASSES {
+            let i = class.index();
+            let lat = u64::from(cfg.latencies.latency(class));
+            t.latency[i] = lat;
+            t.fu[i] = class.fu_kind().index();
+            t.occupancy[i] = match class {
+                OpClass::IntDiv | OpClass::FpDiv => lat,
+                _ => 1,
+            };
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_uarch::presets;
+
+    #[test]
+    fn tables_match_config() {
+        let cfg = presets::baseline_4wide();
+        let t = ClassTables::new(&cfg);
+        for class in OP_CLASSES {
+            let i = class.index();
+            assert_eq!(t.latency[i], u64::from(cfg.latencies.latency(class)));
+            assert_eq!(t.fu[i], class.fu_kind().index());
+            assert!(t.latency[i] >= 1, "validated configs have nonzero latency");
+            match class {
+                OpClass::IntDiv | OpClass::FpDiv => assert_eq!(t.occupancy[i], t.latency[i]),
+                _ => assert_eq!(t.occupancy[i], 1),
+            }
+        }
+    }
+}

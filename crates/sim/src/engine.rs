@@ -1,27 +1,55 @@
-//! The cycle loop.
+//! The event-driven cycle loop.
 //!
 //! Per-cycle stage order is commit → issue → dispatch → fetch, which gives
 //! the conventional timing: an instruction dispatched in cycle `c` can
 //! issue at `c + 1` at the earliest, a producer issued at `c` with latency
 //! `L` wakes its consumers for issue at `c + L`, and a mispredicted branch
 //! issued at `c` (1-cycle branch execution) redirects fetch at `c + 1`.
+//!
+//! This engine computes bit-identical [`SimResult`]s to the retained
+//! reference implementation in [`crate::reference`] (the original
+//! scan-everything loop), but restructures the hot path three ways:
+//!
+//! 1. it runs over a [`CompiledTrace`] — flat structure-of-arrays op
+//!    storage with producer indices pre-resolved (built once per trace,
+//!    cacheable across machine configurations);
+//! 2. issue selection is event-driven through the
+//!    [`WakeupScheduler`](crate::sched::WakeupScheduler) instead of
+//!    scanning the whole ROB every cycle; and
+//! 3. provably inert cycles — frontend stalled or starved, nothing
+//!    completing, nothing issueable — are *skipped in bulk* by advancing
+//!    the clock straight to the next event time while replicating the
+//!    per-cycle accounting (see `idle_gap`/`skip` and
+//!    `docs/PERFORMANCE.md` for the invariant argument).
+//!
+//! `Simulator::run` picks the engine: the event-driven one by default,
+//! the reference one when `BMP_REFERENCE_ENGINE=1` is set (used by CI to
+//! diff full experiment-suite outputs across both).
 
-use bmp_branch::{
-    build_predictor, BranchStats, Btb, DirectionPredictor, IndirectPredictor, ReturnAddressStack,
-};
+use bmp_branch::{BranchStats, Btb, IndirectPredictor, InlinePredictor, ReturnAddressStack};
 use bmp_cache::{DataOutcome, MemoryHierarchy};
-use bmp_trace::{BranchKind, MicroOp, Trace};
-use bmp_uarch::{FuKind, MachineConfig, OpClass, FU_KINDS};
-use std::collections::VecDeque;
+use bmp_trace::{BranchKind, CompiledTrace, Trace};
+use bmp_uarch::{MachineConfig, OpClass, FU_KINDS};
+use std::sync::OnceLock;
 
+use crate::compiled::ClassTables;
 use crate::options::SimOptions;
 use crate::result::{
     ClassIssueStats, FetchAccounting, MispredictRecord, MissEvent, MissEventKind, SimResult,
     SlotAccounting,
 };
+use crate::sched::WakeupScheduler;
 
 /// Sentinel for "not yet executed".
 const NOT_DONE: u64 = u64::MAX;
+
+/// `true` when `BMP_REFERENCE_ENGINE=1` forces every [`Simulator::run`]
+/// through the retained reference engine instead of the event-driven one.
+/// Read once per process.
+pub fn reference_engine_forced() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| std::env::var("BMP_REFERENCE_ENGINE").is_ok_and(|v| v == "1"))
+}
 
 /// A configured simulator, ready to run traces.
 ///
@@ -76,15 +104,71 @@ impl Simulator {
     }
 
     /// Simulates the trace to completion and returns the measurements.
+    ///
+    /// Compiles the trace and runs the event-driven engine, unless
+    /// `BMP_REFERENCE_ENGINE=1` routes the run through the reference
+    /// engine; both produce identical results. Callers that already hold
+    /// a [`CompiledTrace`] (e.g. the experiment harness, which caches
+    /// them) should use [`run_compiled`](Simulator::run_compiled) to skip
+    /// the per-run compile.
     pub fn run(&self, trace: &Trace) -> SimResult {
-        Engine::new(&self.config, self.options, trace).run()
+        if reference_engine_forced() {
+            self.run_reference(trace)
+        } else {
+            self.run_compiled(&trace.compile())
+        }
+    }
+
+    /// Simulates an already-compiled trace on the event-driven engine.
+    ///
+    /// The big per-op arrays (completion times, dispatch times, scheduler
+    /// wait records) are reused from a per-thread scratch pool: short
+    /// runs are dominated by page-faulting a fresh ~10 MB of zeroed
+    /// memory otherwise, and the harness runs many sims per thread.
+    pub fn run_compiled(&self, trace: &CompiledTrace) -> SimResult {
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            let mut engine = Engine::new(&self.config, self.options, trace, &mut scratch);
+            let result = engine.run();
+            engine.recycle(&mut scratch);
+            result
+        })
+    }
+
+    /// Simulates the trace on the retained reference engine (the original
+    /// straightforward cycle loop). Used as the ground truth in
+    /// equivalence tests and CI diffs.
+    pub fn run_reference(&self, trace: &Trace) -> SimResult {
+        crate::reference::run(&self.config, self.options, trace)
     }
 }
 
-struct RobSlot {
-    idx: usize,
-    issued: bool,
-    dispatch_cycle: u64,
+/// Per-thread reusable buffers for [`Engine`] runs. `times` keeps
+/// whatever the previous run left in it: every slot is written before it
+/// is read (both fields at fetch) within a run, so no re-initialization
+/// pass is needed.
+#[derive(Default)]
+struct Scratch {
+    times: Vec<OpTimes>,
+    sched: Option<WakeupScheduler>,
+    events: Vec<MissEvent>,
+    mispredicts: Vec<MispredictRecord>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
+}
+
+/// Completion and dispatch time of one op, interleaved so the stages
+/// that touch both (fetch initializes them, issue writes `done` and
+/// reads `disp`) hit a single cache line per op.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OpTimes {
+    /// Completion time ([`NOT_DONE`] until executed).
+    pub(crate) done: u64,
+    /// Dispatch cycle once dispatched; before that, the cycle the op
+    /// clears the frontend pipe and becomes dispatchable.
+    pub(crate) disp: u64,
 }
 
 /// Per-misprediction bookkeeping while the branch is in flight.
@@ -99,29 +183,43 @@ struct PendingMiss {
 struct Engine<'a> {
     cfg: &'a MachineConfig,
     opts: SimOptions,
-    ops: &'a [MicroOp],
+    ct: &'a CompiledTrace,
+    tables: ClassTables,
 
     cycle: u64,
     committed: u64,
 
-    // Completion time per trace index (NOT_DONE until executed).
-    done: Vec<u64>,
+    // Completion and dispatch time per trace index (see [`OpTimes`]).
+    times: Vec<OpTimes>,
 
-    // Frontend.
+    // Frontend. Because the trace is correct-path-only and fetch,
+    // dispatch and commit all proceed in trace order, the frontend queue
+    // and the ROB are *contiguous index ranges* delimited by three
+    // cursors: `commit_head <= dispatch_head <= fetch_idx`. The ROB is
+    // `commit_head..dispatch_head`; the frontend queue is
+    // `dispatch_head..fetch_idx`, with each op's dispatch-ready time
+    // parked in `disp` until dispatch overwrites it with the actual
+    // dispatch cycle.
     fetch_idx: usize,
     fetch_stall_until: u64,
     blocked_on: Option<usize>,
     current_fetch_line: u64,
-    frontend_q: VecDeque<(usize, u64)>,
     frontend_cap: usize,
+    // Hoisted per-run constants, so the per-cycle stages touch plain
+    // fields instead of re-deriving them through the config.
+    n_ops: usize,
+    fetch_width: u32,
 
-    // Backend.
-    rob: VecDeque<RobSlot>,
+    // Backend: `issued` is implied by `done[idx] != NOT_DONE`, and issue
+    // selection lives in the scheduler.
+    commit_head: usize,
+    dispatch_head: usize,
     unissued: u32,
     fu_busy: [Vec<u64>; 5],
+    sched: WakeupScheduler,
 
     // Helpers.
-    predictor: Box<dyn DirectionPredictor>,
+    predictor: InlinePredictor,
     btb: Btb,
     indirect: IndirectPredictor,
     ras: ReturnAddressStack,
@@ -146,33 +244,60 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a MachineConfig, opts: SimOptions, trace: &'a Trace) -> Self {
+    fn new(
+        cfg: &'a MachineConfig,
+        opts: SimOptions,
+        ct: &'a CompiledTrace,
+        scratch: &mut Scratch,
+    ) -> Self {
         let fu_busy = std::array::from_fn(|i| vec![0u64; usize::from(cfg.fus.count(FU_KINDS[i]))]);
+        let n = ct.len();
+        let mut times = std::mem::take(&mut scratch.times);
+        if times.len() < n {
+            times.resize(
+                n,
+                OpTimes {
+                    done: NOT_DONE,
+                    disp: 0,
+                },
+            );
+        }
+        let sched = match scratch.sched.take() {
+            Some(mut s) => {
+                s.reset(n);
+                s
+            }
+            None => WakeupScheduler::new(n),
+        };
         Self {
             cfg,
             opts,
-            ops: trace.ops(),
+            ct,
+            tables: ClassTables::new(cfg),
             cycle: 0,
             committed: 0,
-            done: vec![NOT_DONE; trace.len()],
+            times,
             fetch_idx: 0,
             fetch_stall_until: 0,
             blocked_on: None,
             current_fetch_line: u64::MAX,
-            frontend_q: VecDeque::new(),
+            n_ops: n,
+            fetch_width: cfg.effective_fetch_width(),
             frontend_cap: (cfg.frontend_depth as usize * cfg.dispatch_width as usize)
                 .max(cfg.fetch_width as usize),
-            rob: VecDeque::with_capacity(cfg.rob_size as usize),
+            commit_head: 0,
+            dispatch_head: 0,
             unissued: 0,
             fu_busy,
-            predictor: build_predictor(&cfg.predictor),
+            sched,
+            predictor: InlinePredictor::build(&cfg.predictor),
             btb: Btb::new(cfg.btb_entries),
             indirect: IndirectPredictor::build(&cfg.indirect_predictor),
             ras: ReturnAddressStack::new(cfg.ras_entries),
             mem: MemoryHierarchy::new(&cfg.caches),
             branch_stats: BranchStats::new(),
-            events: Vec::new(),
-            mispredicts: Vec::new(),
+            events: std::mem::take(&mut scratch.events),
+            mispredicts: std::mem::take(&mut scratch.mispredicts),
             pending: None,
             timeline: opts.record_dispatch_timeline.then(Vec::new),
             line_mask: !u64::from(cfg.caches.l1i().line_bytes() - 1),
@@ -186,21 +311,62 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> SimResult {
-        let n = self.ops.len() as u64;
+    /// Returns the reusable buffers to the per-thread scratch pool.
+    fn recycle(self, scratch: &mut Scratch) {
+        scratch.times = self.times;
+        scratch.sched = Some(self.sched);
+        scratch.events = self.events;
+        scratch.events.clear();
+        scratch.mispredicts = self.mispredicts;
+        scratch.mispredicts.clear();
+    }
+
+    /// Current ROB occupancy (the ROB is the committed..dispatched range).
+    #[inline]
+    fn rob_len(&self) -> usize {
+        self.dispatch_head - self.commit_head
+    }
+
+    fn run(&mut self) -> SimResult {
+        let n = self.n_ops as u64;
+        // `idle_gap` is ~a dozen loads and branches; on dense cycles it is
+        // pure overhead. It is only consulted after a cycle in which no
+        // stage made progress — a *heuristic*, not a correctness gate: a
+        // normal cycle on an inert machine produces exactly the accounting
+        // `skip(1)` would (the invariant `skip` is built on), so running
+        // one wasted cycle per transition into idleness is bit-identical
+        // and much cheaper than probing every cycle.
+        let mut probe_idle = true;
         while self.committed < n && self.cycle < self.opts.max_cycles {
+            if probe_idle {
+                let gap = self.idle_gap();
+                if gap > 0 {
+                    self.skip(gap);
+                    // The cycle after a maximal skip always makes
+                    // progress (the gap is bounded by the next event).
+                    probe_idle = false;
+                    continue;
+                }
+            }
+            let commit_head0 = self.commit_head;
+            let fetch_idx0 = self.fetch_idx;
             self.commit();
             if !self.warmed && self.committed >= self.opts.warmup_ops {
                 self.reset_statistics();
             }
-            self.issue();
+            let issued = self.issue();
             let dispatched = self.dispatch();
             self.fetch();
-            self.rob_occupancy[self.rob.len()] += 1;
+            let occ = self.rob_len();
+            self.rob_occupancy[occ] += 1;
             if let Some(t) = &mut self.timeline {
                 t.push(dispatched);
             }
             self.cycle += 1;
+            probe_idle = !issued
+                && dispatched == 0
+                && self.commit_head == commit_head0
+                && self.fetch_idx == fetch_idx0;
         }
         // Accounting conservation, mirrored by lint BMP203: every offered
         // dispatch slot is attributed to exactly one cause, and the ROB
@@ -221,15 +387,115 @@ impl<'a> Engine<'a> {
             instructions: self.committed - self.stats_start_committed,
             branch_stats: self.branch_stats,
             hierarchy: self.mem.stats(),
-            events: self.events,
-            mispredicts: self.mispredicts,
-            dispatch_timeline: self.timeline,
+            // Cloned, not taken: the exact-size copy goes to the caller
+            // while the grown buffer returns to the scratch pool.
+            events: self.events.clone(),
+            mispredicts: self.mispredicts.clone(),
+            dispatch_timeline: self.timeline.take(),
             frontend_depth: self.cfg.frontend_depth,
             slots: self.slots,
             fetch: self.fetch_acct,
-            rob_occupancy: self.rob_occupancy,
+            rob_occupancy: std::mem::take(&mut self.rob_occupancy),
             class_issue: self.class_issue,
         }
+    }
+
+    /// Length of the inert stretch starting at the current cycle: the
+    /// number of cycles during which *no* stage can change machine state,
+    /// bounded by the next event time. Returns 0 when the current cycle
+    /// must run normally.
+    ///
+    /// A cycle is inert iff every stage is provably a no-op:
+    /// * **issue** — ready set empty and no calendar bucket due;
+    /// * **commit** — ROB empty, or its head has not completed;
+    /// * **dispatch** — blocked (ROB/window full) or starved (queue empty
+    ///   or its head still in the frontend pipe); blocked/starved cycles
+    ///   only charge slot accounting, replicated in `skip`;
+    /// * **fetch** — waiting on a redirect, stalled on a miss, out of
+    ///   trace, or the frontend queue is full.
+    ///
+    /// The bound is the min of the times these conditions can flip:
+    /// calendar head (issue), ROB-head completion (commit and everything
+    /// downstream of a full ROB), frontend-pipe arrival (dispatch), and
+    /// stall expiry (fetch). Conditions resolved by *other* ops issuing
+    /// (window pressure, a blocked redirect) need no separate bound: any
+    /// future issue is already a calendar entry, or the ready set is
+    /// non-empty and the cycle is not inert in the first place.
+    fn idle_gap(&self) -> u64 {
+        let c = self.cycle;
+        if self.sched.has_ready() {
+            return 0;
+        }
+        let mut next = u64::MAX;
+        if let Some(w) = self.sched.next_wakeup() {
+            if w <= c {
+                return 0;
+            }
+            next = next.min(w);
+        }
+        if self.commit_head < self.dispatch_head {
+            let d = self.times[self.commit_head].done;
+            if d != NOT_DONE {
+                if d <= c {
+                    return 0;
+                }
+                next = next.min(d);
+            }
+        }
+        let rob_full = self.rob_len() >= self.cfg.rob_size as usize;
+        let window_full = self.unissued >= self.cfg.window_size;
+        if !rob_full && !window_full && self.dispatch_head < self.fetch_idx {
+            let ready = self.times[self.dispatch_head].disp;
+            if ready <= c {
+                return 0;
+            }
+            next = next.min(ready);
+        }
+        if self.blocked_on.is_none() {
+            if c < self.fetch_stall_until {
+                next = next.min(self.fetch_stall_until);
+            } else if self.fetch_idx < self.n_ops
+                && self.fetch_idx - self.dispatch_head < self.frontend_cap
+            {
+                return 0;
+            }
+        }
+        if next == u64::MAX {
+            // No future event found (e.g. drained run-out): fall back to
+            // single-stepping, which matches the reference engine exactly.
+            return 0;
+        }
+        next.min(self.opts.max_cycles) - c
+    }
+
+    /// Performs `k` inert cycles at once: advances the clock and applies
+    /// exactly the accounting the reference engine would accumulate over
+    /// `k` normal iterations of a blocked machine. The blocking causes
+    /// cannot change mid-gap because `idle_gap` bounded `k` by every
+    /// relevant expiry time.
+    fn skip(&mut self, k: u64) {
+        let occ = self.rob_len();
+        self.rob_occupancy[occ] += k;
+        if let Some(t) = &mut self.timeline {
+            let len = t.len() + k as usize;
+            t.resize(len, 0);
+        }
+        // Dispatch charges its full width to the first blocking cause,
+        // with the same precedence as `dispatch`.
+        let width = u64::from(self.cfg.dispatch_width);
+        if self.rob_len() >= self.cfg.rob_size as usize {
+            self.slots.rob_full += k * width;
+        } else if self.unissued >= self.cfg.window_size {
+            self.slots.window_full += k * width;
+        } else {
+            self.slots.frontend_starved += k * width;
+        }
+        if self.blocked_on.is_some() {
+            self.fetch_acct.redirect_wait += k;
+        } else if self.cycle < self.fetch_stall_until {
+            self.fetch_acct.stall += k;
+        }
+        self.cycle += k;
     }
 
     /// Crosses the warmup boundary: zero every statistic while keeping
@@ -253,32 +519,21 @@ impl<'a> Engine<'a> {
 
     fn commit(&mut self) {
         let mut budget = self.cfg.commit_width;
-        while budget > 0 {
-            match self.rob.front() {
-                Some(slot) if self.done[slot.idx] <= self.cycle => {
-                    self.rob.pop_front();
-                    self.committed += 1;
-                    budget -= 1;
-                }
-                _ => break,
-            }
+        while budget > 0
+            && self.commit_head < self.dispatch_head
+            && self.times[self.commit_head].done <= self.cycle
+        {
+            self.commit_head += 1;
+            self.committed += 1;
+            budget -= 1;
         }
     }
 
-    fn sources_ready(&self, idx: usize) -> bool {
-        for d in self.ops[idx].src_distances() {
-            let d = d as usize;
-            if d <= idx && self.done[idx - d] > self.cycle {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Finds a free unit of `kind` and occupies it for `occupancy`
-    /// cycles. Returns `false` when every unit is busy this cycle.
-    fn take_fu(&mut self, kind: FuKind, occupancy: u64) -> bool {
-        let units = &mut self.fu_busy[kind.index()];
+    /// Finds a free unit in pool `kind_idx` and occupies it for
+    /// `occupancy` cycles. Returns `false` when every unit is busy this
+    /// cycle.
+    fn take_fu(&mut self, kind_idx: usize, occupancy: u64) -> bool {
+        let units = &mut self.fu_busy[kind_idx];
         for busy_until in units.iter_mut() {
             if *busy_until <= self.cycle {
                 *busy_until = self.cycle + occupancy;
@@ -288,36 +543,30 @@ impl<'a> Engine<'a> {
         false
     }
 
-    fn issue(&mut self) {
+    /// Returns `true` when at least one op issued this cycle.
+    fn issue(&mut self) -> bool {
+        self.sched.drain(self.cycle);
         let mut budget = self.cfg.issue_width;
-        // Oldest-first select over the un-issued window.
-        for slot_pos in 0..self.rob.len() {
-            if budget == 0 {
+        // The ready set pops oldest-first (ascending trace index == ROB
+        // order), replicating the reference engine's scan order.
+        while budget > 0 {
+            let Some(idx32) = self.sched.pop_ready() else {
                 break;
-            }
-            let (idx, issued, dispatch_cycle) = {
-                let s = &self.rob[slot_pos];
-                (s.idx, s.issued, s.dispatch_cycle)
             };
-            if issued || !self.sources_ready(idx) {
+            let idx = idx32 as usize;
+            let class = self.ct.class(idx);
+            let ci = class.index();
+            if !self.take_fu(self.tables.fu[ci], self.tables.occupancy[ci]) {
+                // Lost FU arbitration: retry next cycle, exactly like the
+                // reference scan skipping past a busy unit.
+                self.sched.defer(idx32);
                 continue;
             }
-            let class = self.ops[idx].class();
-            let kind = class.fu_kind();
-            // Divides hold their unit for the full latency; everything
-            // else is pipelined (one issue per unit per cycle).
-            let base_lat = u64::from(self.cfg.latencies.latency(class));
-            let occupancy = match class {
-                OpClass::IntDiv | OpClass::FpDiv => base_lat,
-                _ => 1,
-            };
-            if !self.take_fu(kind, occupancy) {
-                continue;
-            }
+            let base_lat = self.tables.latency[ci];
             let latency = match class {
                 OpClass::Load => {
-                    let addr = self.ops[idx].mem_addr().expect("loads carry addresses");
-                    let access = self.mem.data_access_at(self.ops[idx].pc(), addr);
+                    let addr = self.ct.mem_addr(idx).expect("loads carry addresses");
+                    let access = self.mem.data_access_at(self.ct.pc(idx), addr);
                     if access.outcome == DataOutcome::LongMiss {
                         self.events.push(MissEvent {
                             trace_idx: idx,
@@ -331,23 +580,23 @@ impl<'a> Engine<'a> {
                     // Stores retire through a write buffer: the cache sees
                     // the access (write-allocate) but the pipeline is not
                     // held up by the miss.
-                    let addr = self.ops[idx].mem_addr().expect("stores carry addresses");
-                    let _ = self.mem.data_access_at(self.ops[idx].pc(), addr);
+                    let addr = self.ct.mem_addr(idx).expect("stores carry addresses");
+                    let _ = self.mem.data_access_at(self.ct.pc(idx), addr);
                     base_lat
                 }
                 _ => base_lat,
             };
-            self.done[idx] = self.cycle + latency;
-            self.rob[slot_pos].issued = true;
+            self.times[idx].done = self.cycle + latency;
             self.unissued -= 1;
             budget -= 1;
-            let cs = &mut self.class_issue[class.index()];
+            let cs = &mut self.class_issue[ci];
             cs.issued += 1;
-            cs.wait_cycles += self.cycle - dispatch_cycle;
+            cs.wait_cycles += self.cycle - self.times[idx].disp;
+            self.sched.on_issue(idx32, &self.times);
             // A mispredicted branch redirects fetch when it resolves.
             if self.blocked_on == Some(idx) {
                 self.blocked_on = None;
-                self.fetch_stall_until = self.fetch_stall_until.max(self.done[idx]);
+                self.fetch_stall_until = self.fetch_stall_until.max(self.times[idx].done);
                 let pending = self
                     .pending
                     .take()
@@ -357,17 +606,19 @@ impl<'a> Engine<'a> {
                     branch_idx: idx,
                     fetch_cycle: pending.fetch_cycle,
                     dispatch_cycle: pending.dispatch_cycle,
-                    resolve_cycle: self.done[idx],
+                    resolve_cycle: self.times[idx].done,
                     window_occupancy: pending.window_occupancy,
                 });
             }
         }
+        self.sched.rearm_deferred();
+        budget < self.cfg.issue_width
     }
 
     fn dispatch(&mut self) -> u8 {
         let mut dispatched = 0u8;
         while u32::from(dispatched) < self.cfg.dispatch_width {
-            if self.rob.len() >= self.cfg.rob_size as usize {
+            if self.rob_len() >= self.cfg.rob_size as usize {
                 self.slots.rob_full += u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
                 break;
             }
@@ -376,23 +627,18 @@ impl<'a> Engine<'a> {
                     u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
                 break;
             }
-            let front = self.frontend_q.front().copied();
-            let Some((idx, ready)) = front else {
-                self.slots.frontend_starved +=
-                    u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
-                break;
-            };
-            if ready > self.cycle {
+            let idx = self.dispatch_head;
+            // `disp` holds the dispatch-ready time until the op actually
+            // dispatches (see the cursor comment on the struct).
+            if idx >= self.fetch_idx || self.times[idx].disp > self.cycle {
                 self.slots.frontend_starved +=
                     u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
                 break;
             }
-            self.frontend_q.pop_front();
-            self.rob.push_back(RobSlot {
-                idx,
-                issued: false,
-                dispatch_cycle: self.cycle,
-            });
+            self.dispatch_head += 1;
+            self.times[idx].disp = self.cycle;
+            self.sched
+                .on_dispatch(idx as u32, self.cycle, self.ct.producers(idx), &self.times);
             self.unissued += 1;
             dispatched += 1;
             self.slots.used += 1;
@@ -400,7 +646,7 @@ impl<'a> Engine<'a> {
                 if p.branch_idx == idx {
                     p.dispatched = true;
                     p.dispatch_cycle = self.cycle;
-                    p.window_occupancy = self.rob.len() as u32;
+                    p.window_occupancy = (self.dispatch_head - self.commit_head) as u32;
                 }
             }
         }
@@ -416,16 +662,16 @@ impl<'a> Engine<'a> {
             self.fetch_acct.stall += 1;
             return;
         }
-        let mut budget = self.cfg.effective_fetch_width();
+        let mut budget = self.fetch_width;
         while budget > 0
-            && self.fetch_idx < self.ops.len()
-            && self.frontend_q.len() < self.frontend_cap
+            && self.fetch_idx < self.n_ops
+            && self.fetch_idx - self.dispatch_head < self.frontend_cap
         {
             let idx = self.fetch_idx;
-            let op = &self.ops[idx];
-            let line = op.pc() & self.line_mask;
+            let pc = self.ct.pc(idx);
+            let line = pc & self.line_mask;
             if line != self.current_fetch_line {
-                let access = self.mem.fetch_access(op.pc());
+                let access = self.mem.fetch_access(pc);
                 self.current_fetch_line = line;
                 if access.l1i_miss {
                     let extra = u64::from(access.latency - self.cfg.caches.l1i().hit_latency());
@@ -444,13 +690,19 @@ impl<'a> Engine<'a> {
                     return;
                 }
             }
-            // The op is fetched this cycle.
-            self.frontend_q
-                .push_back((idx, self.cycle + u64::from(self.cfg.frontend_depth)));
+            // The op is fetched this cycle; it can dispatch once it has
+            // traversed the frontend pipe (`disp` parks the ready time).
+            // `done` is initialized lazily here — the buffers come from
+            // the scratch pool with a previous run's contents, and no
+            // stage reads either array past `fetch_idx`.
+            self.times[idx] = OpTimes {
+                done: NOT_DONE,
+                disp: self.cycle + u64::from(self.cfg.frontend_depth),
+            };
             self.fetch_idx += 1;
             budget -= 1;
-            if let Some(info) = op.branch_info() {
-                let mispredicted = self.handle_branch(idx, op.pc(), info);
+            if let Some(info) = self.ct.branch_info(idx) {
+                let mispredicted = self.handle_branch(pc, info);
                 if mispredicted {
                     self.blocked_on = Some(idx);
                     self.pending = Some(PendingMiss {
@@ -478,7 +730,7 @@ impl<'a> Engine<'a> {
     /// Runs the frontend's prediction machinery for a fetched branch.
     /// Returns `true` when the branch is mispredicted (direction or
     /// return target).
-    fn handle_branch(&mut self, _idx: usize, pc: u64, info: bmp_trace::BranchInfo) -> bool {
+    fn handle_branch(&mut self, pc: u64, info: bmp_trace::BranchInfo) -> bool {
         match info.kind {
             BranchKind::Conditional => {
                 let pred = self.predictor.predict(pc, info.taken);
@@ -536,7 +788,7 @@ impl<'a> Engine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bmp_trace::TraceBuilder;
+    use bmp_trace::{MicroOp, TraceBuilder};
     use bmp_uarch::{presets, PredictorConfig};
     use bmp_workloads::micro;
 
@@ -1053,5 +1305,75 @@ mod tests {
             "balanced call/return should be RAS-predicted, got {} misses",
             res.mispredicts.len()
         );
+    }
+
+    /// The event-driven engine and the reference engine agree bit-for-bit
+    /// across structurally different kernels and configurations. (The
+    /// proptest in `tests/engine_equivalence.rs` covers random profiles;
+    /// this pins the named micro-kernels deterministically.)
+    #[test]
+    fn engines_agree_on_micro_kernels() {
+        let traces = vec![
+            micro::chain_kernel(8_000, 4, 32, OpClass::IntAlu),
+            micro::chain_kernel(3_000, 1, 64, OpClass::IntMul),
+            micro::branch_resolution_kernel(8_000, 8, 0.5, 7),
+            micro::memory_kernel(6_000, 8 * 1024 * 1024, 4, false, 9),
+            micro::memory_kernel(6_000, 512, 2, true, 1),
+        ];
+        let configs = vec![
+            presets::test_tiny(),
+            presets::baseline_4wide(),
+            presets::baseline_4wide()
+                .to_builder()
+                .predictor(PredictorConfig::AlwaysNotTaken)
+                .build()
+                .unwrap(),
+        ];
+        for trace in &traces {
+            for cfg in &configs {
+                let sim = Simulator::new(cfg.clone());
+                let fast = sim.run_compiled(&trace.compile());
+                let slow = sim.run_reference(trace);
+                assert_eq!(fast, slow, "engines diverged on {cfg:?}");
+            }
+        }
+    }
+
+    /// Engine agreement holds under warmup and timeline options too —
+    /// the statistics reset and per-cycle recording interact with
+    /// idle-cycle skipping.
+    #[test]
+    fn engines_agree_with_options() {
+        let trace = micro::memory_kernel(20_000, 16 * 1024, 4, false, 9);
+        for opts in [
+            SimOptions::with_timeline(),
+            SimOptions::with_warmup(5_000),
+            SimOptions {
+                record_dispatch_timeline: true,
+                max_cycles: 2_000,
+                warmup_ops: 1_000,
+            },
+        ] {
+            let sim = Simulator::with_options(presets::baseline_4wide(), opts);
+            let fast = sim.run_compiled(&trace.compile());
+            let slow = sim.run_reference(&trace);
+            assert_eq!(fast, slow, "engines diverged with {opts:?}");
+        }
+    }
+
+    /// Idle-cycle skipping must stop exactly at the max_cycles guard even
+    /// when the next event lies beyond it.
+    #[test]
+    fn max_cycles_is_exact_under_skipping() {
+        // Long memory misses create big skippable gaps.
+        let trace = micro::memory_kernel(50_000, 64 * 1024 * 1024, 1, false, 3);
+        let opts = SimOptions {
+            max_cycles: 777,
+            ..SimOptions::default()
+        };
+        let sim = Simulator::with_options(presets::test_tiny(), opts);
+        let fast = sim.run_compiled(&trace.compile());
+        assert_eq!(fast.cycles, 777);
+        assert_eq!(fast, sim.run_reference(&trace));
     }
 }

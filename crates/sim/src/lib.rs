@@ -37,11 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod engine;
 mod options;
+mod reference;
 mod result;
+mod sched;
 
-pub use engine::Simulator;
+pub use engine::{reference_engine_forced, Simulator};
 pub use options::SimOptions;
 pub use result::{
     ClassIssueStats, FetchAccounting, MispredictRecord, MissEvent, MissEventKind, SimResult,

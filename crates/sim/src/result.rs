@@ -150,7 +150,11 @@ impl ClassIssueStats {
 }
 
 /// Aggregate outcome of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Derives `PartialEq` so the compiled/event-driven engine can be checked
+/// field-for-field against the reference engine (see
+/// `tests/engine_equivalence.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Total simulated cycles.
     pub cycles: u64,

@@ -1,0 +1,154 @@
+//! Property-based equivalence of the event-driven engine and the frozen
+//! reference engine.
+//!
+//! The event-driven core (compiled structure-of-arrays traces, wakeup
+//! scheduling, idle-cycle skipping) is a pure performance transform: for
+//! every machine configuration, workload, and seed it must produce a
+//! [`SimResult`] bit-identical to the cycle-by-cycle reference engine's.
+//! The unit tests in `engine.rs` pin that down for hand-picked cases;
+//! this suite drives it across *random* `(MachineConfig,
+//! WorkloadProfile, seed)` triples so a scheduling or skipping bug that
+//! only shows under an odd width/window/latency combination still has a
+//! chance to surface — and when one does, proptest shrinks it to a
+//! minimal counterexample.
+
+use bmp_sim::{SimOptions, Simulator};
+use bmp_uarch::{presets, LatencyTable, MachineConfig, MachineConfigBuilder, PredictorConfig};
+use bmp_workloads::WorkloadProfile;
+use proptest::prelude::*;
+
+/// A strategy over valid workload profiles (a representative subspace,
+/// mirroring the workspace-level `tests/properties.rs`).
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        0.05f64..0.4,                              // load_frac
+        0.0f64..0.2,                               // store_frac
+        1.5f64..10.0,                              // dep mean distance
+        3.0f64..14.0,                              // avg block size
+        0.0f64..0.8,                               // easy_frac
+        0.0f64..0.2,                               // pattern_frac
+        prop::sample::select(vec![8u64, 32, 128]), // code KiB
+        0.3f64..1.0,                               // hot_frac
+    )
+        .prop_map(|(load, store, dep, block, easy, pattern, code_kib, hot)| {
+            let mut p = WorkloadProfile {
+                name: "prop".into(),
+                ..WorkloadProfile::default()
+            };
+            p.load_frac = load;
+            p.store_frac = store;
+            p.deps.mean_distance = dep;
+            p.branches.avg_block_size = block;
+            p.branches.easy_frac = easy;
+            p.branches.pattern_frac = pattern;
+            p.branches.code_footprint = code_kib * 1024;
+            p.memory.hot_frac = hot;
+            p.memory.warm_frac = (1.0 - hot) * 0.7;
+            p
+        })
+        .prop_filter("profile must validate", |p| p.validate().is_ok())
+}
+
+/// A strategy over direction predictors, covering every dispatch arm of
+/// the engine's inline predictor.
+fn arb_predictor() -> impl Strategy<Value = PredictorConfig> {
+    (
+        prop::sample::select((0usize..6).collect::<Vec<_>>()),
+        prop::sample::select(vec![256u32, 1024]),
+        2u32..=8,
+    )
+        .prop_map(|(kind, entries, history_bits)| match kind {
+            0 => PredictorConfig::AlwaysTaken,
+            1 => PredictorConfig::AlwaysNotTaken,
+            2 => PredictorConfig::Perfect,
+            3 => PredictorConfig::Bimodal { entries },
+            4 => PredictorConfig::GShare {
+                entries,
+                history_bits,
+            },
+            _ => PredictorConfig::Tournament {
+                entries,
+                history_bits,
+            },
+        })
+}
+
+/// A strategy over machine configurations stressing the event core's
+/// moving parts: narrow and wide pipelines, windows from tiny (frequent
+/// dispatch stalls) to large (deep wakeup wheels), shallow and deep
+/// frontends (idle-gap lengths), and scaled latencies (timer-wheel
+/// overflow paths).
+fn arb_config() -> impl Strategy<Value = MachineConfig> {
+    (
+        prop::sample::select(vec![1u32, 2, 4, 8]),      // width
+        prop::sample::select(vec![16u32, 32, 64, 256]), // window
+        prop::sample::select(vec![1u32, 5, 12, 30]),    // frontend depth
+        prop::sample::select(vec![1.0f64, 2.0, 5.0]),   // latency scale
+        arb_predictor(),
+    )
+        .prop_map(|(width, window, depth, lat, predictor)| {
+            MachineConfigBuilder::new()
+                .width(width)
+                .window_size(window)
+                .rob_size(window * 2)
+                .frontend_depth(depth)
+                .latencies(LatencyTable::default().scaled(lat))
+                .predictor(predictor)
+                .build()
+                .expect("strategy only emits valid configs")
+        })
+}
+
+proptest! {
+    // Each case runs both engines over a few-thousand-op trace, so keep
+    // the case count moderate; the space is re-sampled every CI run.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The event-driven engine and the reference engine agree bit-for-bit
+    /// on the full `SimResult` — cycles, events, mispredict records, ROB
+    /// histogram, cache hierarchy, everything `PartialEq` sees.
+    #[test]
+    fn engines_agree_on_random_triples(
+        cfg in arb_config(),
+        profile in arb_profile(),
+        seed in 0u64..1000,
+    ) {
+        let trace = profile.generate(3_000, seed);
+        let sim = Simulator::new(cfg);
+        let event = sim.run_compiled(&trace.compile());
+        let reference = sim.run_reference(&trace);
+        prop_assert_eq!(event, reference);
+    }
+
+    /// Same equivalence with cache warmup enabled: the warmup boundary
+    /// interacts with idle-cycle skipping (events before the boundary are
+    /// dropped from the stats but still shape timing).
+    #[test]
+    fn engines_agree_under_warmup(
+        cfg in arb_config(),
+        profile in arb_profile(),
+        seed in 0u64..1000,
+    ) {
+        let trace = profile.generate(3_000, seed);
+        let sim = Simulator::with_options(cfg, SimOptions::with_warmup(1_000));
+        let event = sim.run_compiled(&trace.compile());
+        let reference = sim.run_reference(&trace);
+        prop_assert_eq!(event, reference);
+    }
+
+    /// Run-to-run determinism of the event engine itself: rerunning the
+    /// same compiled trace on the same simulator (scratch buffers now
+    /// warm and recycled) changes nothing.
+    #[test]
+    fn event_engine_is_deterministic_across_reruns(
+        profile in arb_profile(),
+        seed in 0u64..1000,
+    ) {
+        let trace = profile.generate(2_000, seed);
+        let ct = trace.compile();
+        let sim = Simulator::new(presets::baseline_4wide());
+        let first = sim.run_compiled(&ct);
+        let second = sim.run_compiled(&ct);
+        prop_assert_eq!(first, second);
+    }
+}

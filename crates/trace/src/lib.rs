@@ -37,12 +37,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiled;
 pub mod dag;
 pub mod io;
 mod op;
 mod stats;
 mod trace;
 
+pub use compiled::CompiledTrace;
 pub use op::{BranchInfo, BranchKind, MicroOp};
 pub use stats::{DepDistanceHistogram, TraceStats};
 pub use trace::{Trace, TraceBuilder, TraceError};

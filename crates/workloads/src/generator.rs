@@ -7,6 +7,7 @@
 //! what makes the I-cache, BTB and RAS models meaningful.
 
 use bmp_trace::{BranchKind, MicroOp, Trace};
+use bmp_uarch::fp::{FnvHashMap, FnvHashSet};
 use bmp_uarch::OpClass;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -108,15 +109,14 @@ impl CodeLayout {
         // leave every site too cold to train any target predictor.
         let n_indirect = ((n as f64 * br.indirect_frac).round() as usize)
             .clamp(if br.indirect_frac > 0.0 { 2 } else { 0 }, 12);
-        let mut indirect_sites = std::collections::HashSet::new();
+        let mut indirect_sites = FnvHashSet::default();
         while indirect_sites.len() < n_indirect && n > 16 {
             indirect_sites.insert(rng.gen_range(0..n - 10));
         }
         // Second pass: lay out and assign terminators. Indirect dispatch
         // sites force the following `m` blocks to be their case bodies
         // (each jumping straight back to the dispatch), recorded here.
-        let mut forced: std::collections::HashMap<usize, Terminator> =
-            std::collections::HashMap::new();
+        let mut forced: FnvHashMap<usize, Terminator> = FnvHashMap::default();
         let mut blocks = Vec::with_capacity(n);
         let mut pc = CODE_BASE;
         for (i, &size) in sizes.iter().enumerate() {
@@ -222,7 +222,7 @@ impl CodeLayout {
         rng: &mut SmallRng,
         i: usize,
         n: usize,
-        forced: &mut std::collections::HashMap<usize, Terminator>,
+        forced: &mut FnvHashMap<usize, Terminator>,
     ) -> Terminator {
         let m = rng
             .gen_range(2..=6usize)
@@ -269,7 +269,7 @@ struct Walker<'a> {
     reuse_cursors: [usize; 2],
     /// Per-site sequential cursors for streaming accesses into the warm
     /// region.
-    stream_cursors: std::collections::HashMap<u64, u64>,
+    stream_cursors: FnvHashMap<u64, u64>,
     call_stack: Vec<usize>,
     ops: Vec<MicroOp>,
     /// Index of the most recent load, for pointer chasing.
@@ -293,7 +293,7 @@ impl<'a> Walker<'a> {
             indirect_emitted: 0,
             reuse_rings: [Vec::new(), Vec::new()],
             reuse_cursors: [0, 0],
-            stream_cursors: std::collections::HashMap::new(),
+            stream_cursors: FnvHashMap::default(),
             call_stack: Vec::new(),
             ops: Vec::with_capacity(n_ops),
             last_load: None,
@@ -445,20 +445,25 @@ impl<'a> Walker<'a> {
 
     /// Emits one block; returns the next block id.
     fn step(&mut self, block_id: usize, budget: usize) -> usize {
-        let block = self.layout.blocks[block_id].clone();
-        let body = block.size - 1;
+        // Copy out the scalars instead of cloning the block: a clone
+        // would heap-allocate the case table of every indirect dispatch
+        // site on every trip through its (hot, by construction) loop.
+        let (start_pc, body) = {
+            let block = &self.layout.blocks[block_id];
+            (block.start_pc, block.size - 1)
+        };
         for j in 0..body {
             if self.ops.len() >= budget {
                 return block_id;
             }
-            self.emit_body_op(block.start_pc + u64::from(j) * 4);
+            self.emit_body_op(start_pc + u64::from(j) * 4);
         }
         if self.ops.len() >= budget {
             return block_id;
         }
-        let term_pc = block.start_pc + u64::from(body) * 4;
+        let term_pc = start_pc + u64::from(body) * 4;
         let fall_through = (block_id + 1) % self.layout.blocks.len();
-        match block.term {
+        match self.layout.blocks[block_id].term {
             Terminator::Cond { taken_target, site } => {
                 let taken = self.resolve_cond(block_id, site);
                 let target_pc = self.layout.blocks[taken_target].start_pc;
@@ -509,6 +514,10 @@ impl<'a> Walker<'a> {
                 cyclic,
                 trips,
             } => {
+                // Only the case count leaves the borrow; the chosen case
+                // is re-read by index below, after the RNG and trip-state
+                // updates that need `&mut self`.
+                let n_cases = cases.len();
                 // Dispatch loops are magnets for the walk (fall-through
                 // and loop-backs re-enter them), so a dynamic budget
                 // keeps the *active* (loop-running) indirect share near
@@ -517,22 +526,27 @@ impl<'a> Walker<'a> {
                 let budget = self.profile.branches.indirect_frac * self.ops.len().max(1) as f64;
                 let done = self.indirect_trips[block_id];
                 let target =
-                    if done >= trips || cases.is_empty() || (self.indirect_emitted as f64) > budget
-                    {
+                    if done >= trips || n_cases == 0 || (self.indirect_emitted as f64) > budget {
                         self.indirect_trips[block_id] = 0;
                         exit
                     } else {
                         self.indirect_trips[block_id] = done + 1;
                         self.indirect_emitted += 1;
-                        if cyclic {
+                        let case = if cyclic {
                             let phase = self.phases[block_id] as usize;
-                            self.phases[block_id] = (phase as u32 + 1) % cases.len() as u32;
-                            cases[phase % cases.len()]
+                            self.phases[block_id] = (phase as u32 + 1) % n_cases as u32;
+                            phase % n_cases
                         } else if self.rng.gen::<f64>() < q {
-                            cases[0]
+                            0
                         } else {
-                            cases[self.rng.gen_range(0..cases.len())]
-                        }
+                            self.rng.gen_range(0..n_cases)
+                        };
+                        let Terminator::Indirect { ref cases, .. } =
+                            self.layout.blocks[block_id].term
+                        else {
+                            unreachable!("terminator kind cannot change mid-walk")
+                        };
+                        cases[case]
                     };
                 let target_pc = self.layout.blocks[target].start_pc;
                 let srcs = self.draw_srcs();
