@@ -27,6 +27,9 @@ OPTIONS:
     --preset NAME     lint only the named machine preset
     --profile NAME    lint only the named workload profile (skips the
                       preset pass unless --preset is also given)
+    --journal PATH    lint a run journal (results/run_journal.json) with
+                      the BMP4xx rules; given alone, skips the other
+                      passes like --profile does
     --ops N           trace length per workload profile (default 2000)
     --no-traces       lint machine presets only; skip workload traces
     --list            list preset and profile names, then exit
@@ -61,6 +64,7 @@ struct Options {
     json: bool,
     preset: Option<String>,
     profile: Option<String>,
+    journal: Option<String>,
     ops: usize,
     no_traces: bool,
     list: bool,
@@ -71,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         json: false,
         preset: None,
         profile: None,
+        journal: None,
         ops: 2000,
         no_traces: false,
         list: false,
@@ -92,6 +97,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.profile = Some(
                     it.next()
                         .ok_or_else(|| "--profile needs a name".to_owned())?
+                        .clone(),
+                );
+            }
+            "--journal" => {
+                opts.journal = Some(
+                    it.next()
+                        .ok_or_else(|| "--journal needs a path".to_owned())?
                         .clone(),
                 );
             }
@@ -180,10 +192,28 @@ fn main() -> ExitCode {
     let mut report = AnalysisReport::default();
     let mut targets = 0usize;
 
+    // Pass 0: a run journal, when asked for. The file must exist — a
+    // missing journal is a usage error, not a lint finding.
+    if let Some(path) = &opts.journal {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("bmp-lint: cannot read journal '{path}': {e}");
+                return ExitCode::from(2);
+            }
+        };
+        targets += 1;
+        report.merge(scoped(
+            &format!("journal {path}"),
+            AnalysisReport::new(bmp_analyze::lint_journal_text(&text)),
+        ));
+    }
+
     // Pass 1: every selected machine preset on its own. A bare
-    // `--profile` request means "lint this workload", so the preset
-    // sweep only runs when presets were not narrowed away.
-    if opts.profile.is_none() || opts.preset.is_some() {
+    // `--profile` (or `--journal`) request means "lint this target", so
+    // the preset sweep only runs when presets were not narrowed away.
+    let narrowed = opts.profile.is_some() || opts.journal.is_some();
+    if !narrowed || opts.preset.is_some() {
         for (name, cfg) in &machines {
             targets += 1;
             report.merge(scoped(&format!("preset {name}"), analyze(cfg, None)));
@@ -193,7 +223,7 @@ fn main() -> ExitCode {
     // Pass 2: every selected workload profile — trace well-formedness,
     // then model- and simulator-side conservation on the reference
     // (baseline) machine.
-    if !opts.no_traces {
+    if !opts.no_traces && (opts.journal.is_none() || opts.profile.is_some()) {
         let reference = presets::baseline_4wide();
         let simulator = Simulator::new(reference.clone());
         for profile in &profiles {

@@ -25,23 +25,31 @@
 //!   indices in the structure-of-arrays form the event-driven simulator
 //!   consumes must be in bounds and strictly precede their consumers —
 //!   the invariants the wakeup scheduler trusts without checking.
+//! * `BMP4xx` — run-journal consistency ([`journal`]): the
+//!   `results/run_journal.json` manifest `run_all` maintains and
+//!   `--resume` trusts must parse, carry a supported version, and keep
+//!   its per-experiment records unique, attempted, status/error
+//!   consistent, fingerprinted and name-sorted.
 //!
 //! [`analyze`] is the one-call entry point; the `bmp-lint` binary runs it
-//! over presets, workload profiles, or both, and renders either a
-//! compiler-style listing or JSON (`bmp-lint --json`). The full code
-//! catalogue lives in `docs/ANALYZER.md`.
+//! over presets, workload profiles, or both (plus `--journal` for run
+//! journals), and renders either a compiler-style listing or JSON
+//! (`bmp-lint --json`). The full code catalogue lives in
+//! `docs/ANALYZER.md`.
 
 #![warn(missing_docs)]
 
 pub mod compiledlint;
 pub mod conserve;
 pub mod diag;
+pub mod journal;
 pub mod machine;
 pub mod tracelint;
 
 pub use compiledlint::{lint_compiled, lint_producer_table};
 pub use conserve::{lint_cpi_stack, lint_penalty_analysis, lint_sim_result};
 pub use diag::{AnalysisReport, Diagnostic, Severity};
+pub use journal::{lint_journal, lint_journal_text};
 pub use machine::{lint_fu_coverage, lint_machine};
 pub use tracelint::{lint_dag_edges, lint_measured_pairs, lint_trace};
 

@@ -11,10 +11,23 @@
 //! Concurrent lookups of the same key are collapsed: the first caller
 //! computes while later callers block and then receive the same shared
 //! instance — never a duplicate computation, never a different value.
+//!
+//! A *panicking* computation must not wedge the cache: the panic is
+//! caught, recorded as a [`Slot::Failed`] with its structured
+//! [`CellError`], every blocked waiter is woken and re-raises that same
+//! error (no waiter recomputes, no waiter deadlocks), and the original
+//! computing thread re-panics with the structured payload so
+//! [`ThreadPool::try_map`](crate::pool::ThreadPool::try_map) can report
+//! it. The failed slot does **not** poison the key: the next *fresh*
+//! lookup claims it and recomputes — which is exactly what the harness's
+//! bounded retry does.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+use crate::error::CellError;
 
 /// Hit/miss counters for one artifact kind.
 #[derive(Debug, Default)]
@@ -36,10 +49,12 @@ impl MemoStats {
     }
 }
 
-/// One entry: either being computed by some thread, or ready.
+/// One entry: being computed by some thread, ready, or failed (the last
+/// computation panicked; a fresh lookup may claim and retry it).
 enum Slot<V> {
     InFlight,
     Ready(Arc<V>),
+    Failed(CellError),
 }
 
 /// A once-per-key memo table returning shared `Arc` values.
@@ -68,32 +83,24 @@ impl<V> std::fmt::Debug for Memo<V> {
     }
 }
 
-/// Removes an in-flight marker if `compute` panics, so waiters retry
-/// instead of deadlocking.
-struct InFlightGuard<'a, V> {
-    memo: &'a Memo<V>,
-    key: u64,
-    armed: bool,
-}
-
-impl<V> Drop for InFlightGuard<'_, V> {
-    fn drop(&mut self) {
-        if self.armed {
-            if let Ok(mut m) = self.memo.map.lock() {
-                m.remove(&self.key);
-            }
-            self.memo.ready.notify_all();
-        }
-    }
-}
-
 impl<V> Memo<V> {
     /// Returns the artifact for `key`, computing it with `compute` on
     /// first access. Exactly one caller computes per key; concurrent
     /// callers receive the same shared instance.
+    ///
+    /// # Panics
+    ///
+    /// If `compute` panics, the panic propagates to the computing caller
+    /// *and* to every caller that was blocked waiting on this key — all
+    /// with the same structured [`CellError`] payload. The key itself is
+    /// left retryable: a later fresh lookup recomputes it.
     pub fn get_or_compute<F: FnOnce() -> V>(&self, key: u64, compute: F) -> Arc<V> {
         {
             let mut map = self.map.lock().expect("memo map poisoned");
+            // Whether this caller slept on an in-flight computation: a
+            // waiter woken into `Failed` inherits that failure, while a
+            // fresh caller seeing a stale `Failed` claims and retries.
+            let mut waited = false;
             loop {
                 match map.get(&key) {
                     Some(Slot::Ready(v)) => {
@@ -101,28 +108,40 @@ impl<V> Memo<V> {
                         return Arc::clone(v);
                     }
                     Some(Slot::InFlight) => {
+                        waited = true;
                         map = self.ready.wait(map).expect("memo map poisoned");
                     }
-                    None => {
+                    Some(Slot::Failed(e)) if waited => {
+                        let e = e.clone();
+                        drop(map);
+                        std::panic::panic_any(e);
+                    }
+                    Some(Slot::Failed(_)) | None => {
                         map.insert(key, Slot::InFlight);
                         break;
                     }
                 }
             }
         }
-        let mut guard = InFlightGuard {
-            memo: self,
-            key,
-            armed: true,
-        };
-        let value = Arc::new(compute());
-        guard.armed = false;
-        self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("memo map poisoned");
-        map.insert(key, Slot::Ready(Arc::clone(&value)));
-        drop(map);
-        self.ready.notify_all();
-        value
+        match catch_unwind(AssertUnwindSafe(compute)) {
+            Ok(value) => {
+                let value = Arc::new(value);
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                let mut map = self.map.lock().expect("memo map poisoned");
+                map.insert(key, Slot::Ready(Arc::clone(&value)));
+                drop(map);
+                self.ready.notify_all();
+                value
+            }
+            Err(payload) => {
+                let err = CellError::from_panic_payload(&format!("memo:{key:016x}"), payload);
+                let mut map = self.map.lock().expect("memo map poisoned");
+                map.insert(key, Slot::Failed(err.clone()));
+                drop(map);
+                self.ready.notify_all();
+                std::panic::panic_any(err);
+            }
+        }
     }
 
     /// The hit/miss counters.
@@ -210,9 +229,67 @@ mod tests {
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             memo.get_or_compute(3, || panic!("boom"));
         }));
-        assert!(r.is_err());
-        // The key is free again; a retry computes normally.
+        // The re-raised payload is the structured classification.
+        let payload = r.unwrap_err();
+        let e = payload
+            .downcast_ref::<CellError>()
+            .expect("CellError payload");
+        assert_eq!(e.kind, crate::error::CellErrorKind::Panic);
+        assert!(e.message.contains("boom"));
+        // The key is retryable; a fresh lookup computes normally.
         assert_eq!(*memo.get_or_compute(3, || 5), 5);
+        assert_eq!(memo.stats().misses(), 1, "the failed attempt is not a miss");
+    }
+
+    #[test]
+    fn waiters_inherit_an_in_flight_failure() {
+        let memo: Memo<u64> = Memo::default();
+        let sibling_computes = AtomicUsize::new(0);
+        let errors: Vec<CellError> = std::thread::scope(|s| {
+            let computer = s.spawn(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    memo.get_or_compute(11, || {
+                        // Give the waiters ample time to block on the
+                        // in-flight marker before the failure lands.
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                        std::panic::panic_any(CellError::panic("cell-11", "wedged"));
+                    })
+                }))
+            });
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let waiters: Vec<_> = (0..4)
+                .map(|_| {
+                    s.spawn(|| {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            memo.get_or_compute(11, || {
+                                sibling_computes.fetch_add(1, Ordering::Relaxed);
+                                7
+                            })
+                        }))
+                    })
+                })
+                .collect();
+            std::iter::once(computer)
+                .chain(waiters)
+                .map(|h| {
+                    let payload = h.join().unwrap().unwrap_err();
+                    payload
+                        .downcast_ref::<CellError>()
+                        .expect("CellError payload")
+                        .clone()
+                })
+                .collect()
+        });
+        assert_eq!(errors.len(), 5);
+        for e in &errors {
+            assert_eq!(e.context, "cell-11", "waiters see the original error");
+            assert_eq!(e.message, "wedged");
+        }
+        assert_eq!(
+            sibling_computes.load(Ordering::Relaxed),
+            0,
+            "no waiter recomputed a failure it was waiting on"
+        );
     }
 
     #[test]

@@ -4,7 +4,5 @@
 fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
     let ctx = bmp_bench::Ctx::new();
-    bmp_bench::run_bin(&bmp_bench::experiments::fig11_penalty_distribution(
-        &ctx, scale,
-    ))
+    bmp_bench::run_bin(|| bmp_bench::experiments::fig11_penalty_distribution(&ctx, scale))
 }

@@ -3,5 +3,5 @@
 fn main() -> std::process::ExitCode {
     let scale = bmp_bench::Scale::from_env();
     let ctx = bmp_bench::Ctx::new();
-    bmp_bench::run_bin(&bmp_bench::experiments::fig7_fu_latency(&ctx, scale))
+    bmp_bench::run_bin(|| bmp_bench::experiments::fig7_fu_latency(&ctx, scale))
 }

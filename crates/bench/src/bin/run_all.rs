@@ -2,34 +2,214 @@
 //! (DESIGN.md, E-T1 … E-F11, E-X1 … E-X8) and writes the CSVs under
 //! `results/`, plus the timing report to `results/bench_timings.json`.
 //!
+//! The run is fault-tolerant and crash-safe (see `docs/ROBUSTNESS.md`):
+//! a panicking experiment is isolated, retried (`BMP_ATTEMPTS`, default
+//! 2), and finally recorded as failed in `results/run_journal.json`
+//! while every other experiment still completes. CSVs and the journal
+//! are written atomically the moment each experiment settles, so an
+//! interrupted run leaves a consistent partial results directory.
+//!
+//! Flags:
+//!
+//! * `--resume` — skip experiments whose journal record is completed,
+//!   fingerprint-matches the current `BMP_OPS`/`BMP_SEED`, and whose
+//!   CSV still exists; re-run only failed/missing ones.
+//! * `--inject <spec>` — deterministic fault injection (overrides the
+//!   `BMP_FAULT` environment variable); see `docs/ROBUSTNESS.md`.
+//!
 //! Scale with `BMP_OPS` / `BMP_SEED`; pick the worker count with
 //! `BMP_THREADS` (default: available parallelism, `1` = sequential).
-//! The produced CSVs are byte-identical for any thread count.
+//! The produced CSVs are byte-identical for any thread count and any
+//! survivable fault schedule.
+//!
+//! Exit codes: 0 all good; 1 at least one experiment ultimately failed;
+//! 2 experiments succeeded but output could not be written.
 
+use std::collections::HashSet;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Mutex;
+
+use bmp_bench::engine::{
+    attempts_from_env, experiment_fingerprint, threads_from_env, ExperimentOutcome, OutcomeKind,
+    RunPolicy,
+};
+use bmp_bench::{save_under_with, write_atomic, FaultPlan};
+use bmp_core::journal::{ExperimentRecord, RunJournal, RunStatus};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: run_all [--resume] [--inject <fault-spec>]");
+    eprintln!("  fault-spec: kind:target[:times=N][;...] with kind panic|io|budget");
+    eprintln!("  and target exp=NAME|cell=LABEL|index=N|file=NAME");
+    ExitCode::from(bmp_bench::EXIT_WRITE_FAILED)
+}
 
 fn main() -> ExitCode {
+    let mut resume = false;
+    let mut inject: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            "--inject" => match args.next() {
+                Some(spec) => inject = Some(spec),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let faults = match inject.map_or_else(FaultPlan::from_env, |s| FaultPlan::parse(&s)) {
+        Ok(plan) => plan,
+        Err(e) => {
+            eprintln!("error: bad fault spec: {e}");
+            return usage();
+        }
+    };
+
     let scale = bmp_bench::Scale::from_env();
+    let results_dir = Path::new("results");
+    let journal_path = results_dir.join("run_journal.json");
+
+    // On --resume, trust journal records that are completed, fingerprint
+    // the current configuration, and still have their CSV on disk.
+    let mut skip: HashSet<String> = HashSet::new();
+    let mut journal = RunJournal::new(scale.ops as u64, scale.seed);
+    if resume {
+        match std::fs::read_to_string(&journal_path) {
+            Ok(text) => match RunJournal::parse(&text) {
+                Ok(prior) => {
+                    for rec in prior.experiments {
+                        let current_fp = experiment_fingerprint(&rec.name, scale);
+                        let csv = results_dir.join(format!("{}.csv", rec.name));
+                        if rec.status == RunStatus::Completed
+                            && rec.fingerprint == current_fp
+                            && csv.is_file()
+                        {
+                            skip.insert(rec.name.clone());
+                            journal.upsert(rec);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("warning: ignoring unreadable journal: {e}"),
+            },
+            Err(e) => eprintln!(
+                "warning: --resume but no journal at {}: {e}",
+                journal_path.display()
+            ),
+        }
+        eprintln!(
+            "resuming: {} completed experiments match the journal and will be skipped",
+            skip.len()
+        );
+    }
+
     let engine = bmp_bench::Engine::from_env();
     eprintln!(
         "running all experiments at {} ops per workload on {} threads \
          (BMP_OPS / BMP_THREADS to change)",
         scale.ops,
-        bmp_bench::engine::threads_from_env()
+        threads_from_env()
     );
-    let report = engine.run_all(scale);
-    for table in &report.tables {
-        if let Err(e) = bmp_bench::run_and_save(table) {
-            eprintln!("error: cannot write results for {}: {e}", table.id);
-            return ExitCode::FAILURE;
+    if !faults.is_empty() {
+        eprintln!("fault injection active: {faults}");
+    }
+
+    let mut policy = RunPolicy::with_attempts(attempts_from_env(), &faults);
+    policy.skip = skip;
+
+    // Shared with the worker threads through on_done: the journal (with
+    // carried-over resume records) and the write-failure log.
+    let journal = Mutex::new(journal);
+    let write_errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    let on_done = |outcome: &ExperimentOutcome| {
+        let mut record = ExperimentRecord {
+            name: outcome.name.to_string(),
+            status: RunStatus::Completed,
+            fingerprint: experiment_fingerprint(outcome.name, scale),
+            attempts: outcome.attempts,
+            error: None,
+        };
+        match &outcome.kind {
+            // Skipped experiments keep their carried-over record.
+            OutcomeKind::Skipped => return,
+            OutcomeKind::Completed(table) => {
+                if let Err(e) = save_under_with(results_dir, table, &faults) {
+                    let msg = format!("cannot write results for {}: {e}", table.id);
+                    eprintln!("error: {msg}");
+                    write_errors.lock().expect("write log poisoned").push(msg);
+                    record.status = RunStatus::Failed;
+                    record.error = Some(format!("write failed: {e}"));
+                }
+            }
+            OutcomeKind::Failed(e) => {
+                record.status = RunStatus::Failed;
+                record.error = Some(e.to_string());
+            }
+        }
+        let mut j = journal.lock().expect("journal poisoned");
+        j.upsert(record);
+        // Deterministic on-disk order regardless of completion order.
+        j.experiments.sort_by(|a, b| a.name.cmp(&b.name));
+        if std::fs::create_dir_all(results_dir)
+            .and_then(|()| write_atomic(&journal_path, j.to_json().as_bytes()))
+            .is_err()
+        {
+            // The journal is advisory; a CSV write failure is already
+            // reported above, and a journal-only failure must not kill
+            // the run. Record it for the exit code.
+            write_errors
+                .lock()
+                .expect("write log poisoned")
+                .push(format!("cannot write {}", journal_path.display()));
+        }
+    };
+
+    let report = engine.run_all_tolerant(scale, &policy, &on_done);
+
+    // Tables in stable registry order, exactly like the strict path —
+    // printed after the run so worker threads never interleave output.
+    for outcome in &report.outcomes {
+        match &outcome.kind {
+            OutcomeKind::Completed(table) => {
+                println!("{}", table.to_markdown());
+                println!("[saved results/{}.csv]", table.id);
+            }
+            OutcomeKind::Skipped => println!("[skipped {} (resume)]", outcome.name),
+            OutcomeKind::Failed(_) => {}
         }
     }
     print!("{}", report.to_summary());
-    let timings = std::path::Path::new("results").join("bench_timings.json");
-    if let Err(e) = std::fs::write(&timings, report.to_json(scale)) {
-        eprintln!("error: cannot write {}: {e}", timings.display());
-        return ExitCode::FAILURE;
+
+    let timings = results_dir.join("bench_timings.json");
+    let timings_ok = std::fs::create_dir_all(results_dir)
+        .and_then(|()| write_atomic(&timings, report.to_json(scale).as_bytes()));
+    match timings_ok {
+        Ok(()) => eprintln!("[saved {}]", timings.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", timings.display());
+            write_errors
+                .lock()
+                .expect("write log poisoned")
+                .push(format!("cannot write {}", timings.display()));
+        }
     }
-    eprintln!("[saved {}]", timings.display());
-    ExitCode::SUCCESS
+
+    let failed = report.failures().count();
+    let write_failed = write_errors.into_inner().expect("write log poisoned");
+    if failed > 0 {
+        eprintln!(
+            "{failed} experiment(s) failed; see {} (re-run with --resume after fixing)",
+            journal_path.display()
+        );
+        ExitCode::from(bmp_bench::EXIT_EXPERIMENT_FAILED)
+    } else if !write_failed.is_empty() {
+        eprintln!(
+            "all experiments completed but {} write(s) failed",
+            write_failed.len()
+        );
+        ExitCode::from(bmp_bench::EXIT_WRITE_FAILED)
+    } else {
+        ExitCode::from(bmp_bench::EXIT_OK)
+    }
 }

@@ -22,17 +22,21 @@
 //! `BMP_THREADS=1` (see [`threads_from_env`]) skips the fan-out phase and
 //! runs the experiments inline in order: the exact legacy path.
 
+use std::collections::HashSet;
 use std::ops::Deref;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bmp_core::{PenaltyAnalysis, PenaltyModel};
 use bmp_sim::{SimOptions, SimResult, Simulator};
-use bmp_uarch::{presets, MachineConfig, PredictorConfig};
-use bmp_workloads::{spec, WorkloadProfile};
+use bmp_uarch::{presets, MachineConfig, OpClass, PredictorConfig};
+use bmp_workloads::{micro, spec, WorkloadProfile};
 
 use crate::artifacts::{cache_key, Memo};
+use crate::error::CellError;
+use crate::fault::{FaultKind, FaultPlan, FaultSite};
 use crate::pool::ThreadPool;
 use crate::{experiments, Scale, Table};
 
@@ -185,13 +189,25 @@ impl Ctx {
         TraceHandle { key, trace }
     }
 
+    /// The trace for the SPEC-like profile `name` at `scale`, or a
+    /// structured [`CellError`] when `name` is not in [`spec::NAMES`].
+    pub fn try_named_trace(&self, name: &str, scale: Scale) -> Result<TraceHandle, CellError> {
+        match spec::by_name(name) {
+            Some(profile) => Ok(self.trace(&profile, scale)),
+            None => Err(CellError::unknown_profile(name)),
+        }
+    }
+
     /// The trace for the SPEC-like profile `name` at `scale`.
     ///
     /// # Panics
     ///
-    /// Panics if `name` is not one of [`spec::NAMES`].
+    /// Panics (with a structured [`CellError`] payload, so the
+    /// fault-tolerant run layer reports it as `unknown-profile` rather
+    /// than an opaque panic) if `name` is not one of [`spec::NAMES`].
     pub fn named_trace(&self, name: &str, scale: Scale) -> TraceHandle {
-        self.trace(&spec::by_name(name).expect("known profile"), scale)
+        self.try_named_trace(name, scale)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
     }
 
     /// A trace from an arbitrary synthesis closure, addressed by `key`
@@ -329,7 +345,12 @@ impl Cell {
                     .to_builder()
                     .predictor(PredictorConfig::Perfect)
                     .build()
-                    .expect("valid oracle machine");
+                    .unwrap_or_else(|e| {
+                        std::panic::panic_any(CellError::invalid_config(
+                            format!("{workload}/sim-oracle"),
+                            e.to_string(),
+                        ))
+                    });
                 let th = ctx.named_trace(workload, scale);
                 ctx.sim(&Simulator::new(cfg), &th);
             }),
@@ -670,6 +691,223 @@ impl EngineReport {
     }
 }
 
+/// How one experiment ended under the fault-tolerant run layer.
+#[derive(Debug)]
+pub enum OutcomeKind {
+    /// The experiment produced its table (possibly after retries).
+    Completed(Table),
+    /// The experiment was skipped: the resume journal showed a matching
+    /// completed record with its CSV still on disk.
+    Skipped,
+    /// Every attempt failed; the last structured error is attached.
+    Failed(CellError),
+}
+
+/// One experiment's result under [`Engine::run_tolerant`].
+#[derive(Debug)]
+pub struct ExperimentOutcome {
+    /// The experiment's stable registry name.
+    pub name: &'static str,
+    /// Index in the run's definition slice (stable merge order).
+    pub index: usize,
+    /// Attempts consumed (0 for skipped, ≥ 1 otherwise).
+    pub attempts: u32,
+    /// Wall-clock milliseconds across all attempts.
+    pub millis: u128,
+    /// What happened.
+    pub kind: OutcomeKind,
+}
+
+impl ExperimentOutcome {
+    /// The error of a failed outcome.
+    pub fn error(&self) -> Option<&CellError> {
+        match &self.kind {
+            OutcomeKind::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Retry/skip/fault policy for a tolerant run.
+#[derive(Debug)]
+pub struct RunPolicy<'a> {
+    /// Attempts per experiment (minimum 1; retried work recomputes
+    /// through the content-addressed cache, so a successful retry is
+    /// byte-identical to a first-try success).
+    pub attempts: u32,
+    /// Experiment names to skip (from a `--resume` journal).
+    pub skip: HashSet<String>,
+    /// Fault-injection schedule consulted before each unit of work.
+    pub faults: &'a FaultPlan,
+}
+
+impl<'a> RunPolicy<'a> {
+    /// A policy with `attempts` tries, no skips and no faults.
+    pub fn with_attempts(attempts: u32, faults: &'a FaultPlan) -> Self {
+        Self {
+            attempts: attempts.max(1),
+            skip: HashSet::new(),
+            faults,
+        }
+    }
+}
+
+/// Content fingerprint of one experiment at one scale — the identity a
+/// `run_journal.json` record is trusted by on `--resume`: a completed
+/// record only short-circuits a re-run when its fingerprint matches the
+/// current `(name, ops, seed)`.
+pub fn experiment_fingerprint(name: &str, scale: Scale) -> u64 {
+    cache_key(
+        "experiment",
+        &[
+            bmp_uarch::fp::fnv1a(name.as_bytes()),
+            scale.ops as u64,
+            scale.seed,
+        ],
+    )
+}
+
+/// Attempts per experiment from `BMP_ATTEMPTS` (default 2, minimum 1).
+pub fn attempts_from_env() -> u32 {
+    std::env::var("BMP_ATTEMPTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(2)
+}
+
+/// Everything a fault-tolerant run reports: per-experiment outcomes in
+/// stable order, soft cell-phase errors, and the same wall-clock/cache
+/// accounting as [`EngineReport`].
+#[derive(Debug)]
+pub struct TolerantReport {
+    /// Per-experiment outcomes, merged by stable experiment index.
+    pub outcomes: Vec<ExperimentOutcome>,
+    /// Failures from the phase-1 cell fan-out. These are *soft*: the
+    /// affected experiments recompute the artifacts themselves (the
+    /// failed cache slots are retryable), so a cell error here only
+    /// matters if the owning experiment also ultimately failed.
+    pub cell_errors: Vec<CellError>,
+    /// Deduplicated shared cells fanned out in phase 1.
+    pub cells: usize,
+    /// Cells before deduplication.
+    pub cells_requested: usize,
+    /// Wall-clock milliseconds of the cell fan-out phase.
+    pub cell_millis: u128,
+    /// Wall-clock milliseconds of the whole run.
+    pub total_millis: u128,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cache accounting at the end of the run.
+    pub cache: CacheReport,
+}
+
+impl TolerantReport {
+    /// Outcomes that ultimately failed.
+    pub fn failures(&self) -> impl Iterator<Item = &ExperimentOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.kind, OutcomeKind::Failed(_)))
+    }
+
+    /// Renders the partial-results summary: counts, per-experiment
+    /// status lines for anything that was retried, skipped or failed,
+    /// and the cache accounting.
+    pub fn to_summary(&self) -> String {
+        let (mut completed, mut skipped, mut failed) = (0usize, 0usize, 0usize);
+        for o in &self.outcomes {
+            match o.kind {
+                OutcomeKind::Completed(_) => completed += 1,
+                OutcomeKind::Skipped => skipped += 1,
+                OutcomeKind::Failed(_) => failed += 1,
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "\n## Run report ({} threads, {} shared cells from {} requests, \
+             fan-out {} ms, total {} ms)\n\n\
+             {completed} completed, {skipped} skipped (resume), {failed} failed\n",
+            self.threads, self.cells, self.cells_requested, self.cell_millis, self.total_millis
+        ));
+        for o in &self.outcomes {
+            match &o.kind {
+                OutcomeKind::Completed(_) if o.attempts > 1 => {
+                    out.push_str(&format!(
+                        "  {:<28} completed after {} attempts\n",
+                        o.name, o.attempts
+                    ));
+                }
+                OutcomeKind::Skipped => {
+                    out.push_str(&format!("  {:<28} skipped (journal match)\n", o.name));
+                }
+                OutcomeKind::Failed(e) => {
+                    out.push_str(&format!(
+                        "  {:<28} FAILED after {} attempts: {e}\n",
+                        o.name, o.attempts
+                    ));
+                }
+                OutcomeKind::Completed(_) => {}
+            }
+        }
+        for e in &self.cell_errors {
+            out.push_str(&format!("  cell {e} (recovered by owning experiment)\n"));
+        }
+        out
+    }
+
+    /// Renders the machine-readable timing report written to
+    /// `results/bench_timings.json` — the [`EngineReport::to_json`] shape
+    /// plus per-experiment `status`/`attempts` fields.
+    pub fn to_json(&self, scale: Scale) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"ops\": {},\n", scale.ops));
+        out.push_str(&format!("  \"seed\": {},\n", scale.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str(&format!("  \"cells\": {},\n", self.cells));
+        out.push_str(&format!(
+            "  \"cells_requested\": {},\n",
+            self.cells_requested
+        ));
+        out.push_str(&format!("  \"cell_millis\": {},\n", self.cell_millis));
+        out.push_str(&format!("  \"total_millis\": {},\n", self.total_millis));
+        let c = &self.cache;
+        out.push_str(&format!(
+            "  \"cache\": {{ \"trace_hits\": {}, \"trace_misses\": {}, \
+             \"compiled_hits\": {}, \"compiled_misses\": {}, \
+             \"sim_hits\": {}, \"sim_misses\": {}, \
+             \"analysis_hits\": {}, \"analysis_misses\": {} }},\n",
+            c.trace_hits,
+            c.trace_misses,
+            c.compiled_hits,
+            c.compiled_misses,
+            c.sim_hits,
+            c.sim_misses,
+            c.analysis_hits,
+            c.analysis_misses
+        ));
+        out.push_str("  \"experiments\": [\n");
+        for (i, o) in self.outcomes.iter().enumerate() {
+            let comma = if i + 1 == self.outcomes.len() {
+                ""
+            } else {
+                ","
+            };
+            let status = match o.kind {
+                OutcomeKind::Completed(_) => "completed",
+                OutcomeKind::Skipped => "skipped",
+                OutcomeKind::Failed(_) => "failed",
+            };
+            out.push_str(&format!(
+                "    {{ \"name\": \"{}\", \"status\": \"{status}\", \
+                 \"attempts\": {}, \"millis\": {} }}{}\n",
+                o.name, o.attempts, o.millis, comma
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 /// The engine: a pool plus a shared context.
 #[derive(Debug)]
 pub struct Engine {
@@ -727,14 +965,9 @@ impl Engine {
         self.run(&defs, scale)
     }
 
-    /// Runs `defs` through the two-phase job graph.
-    fn run(&self, defs: &[ExperimentDef], scale: Scale) -> EngineReport {
-        let start = Instant::now();
-        let threads = self.pool.threads();
-
-        // Phase 1: fan out the deduplicated shared cells. Skipped on one
-        // thread — the legacy path computes everything lazily in place,
-        // and the cache makes the results identical either way.
+    /// Collects the deduplicated shared cells of `defs` (and the
+    /// pre-dedup request count).
+    fn collect_cells(defs: &[ExperimentDef]) -> (Vec<Cell>, usize) {
         let mut cells: Vec<Cell> = Vec::new();
         let mut requested = 0usize;
         for def in defs {
@@ -745,6 +978,18 @@ impl Engine {
                 }
             }
         }
+        (cells, requested)
+    }
+
+    /// Runs `defs` through the two-phase job graph.
+    fn run(&self, defs: &[ExperimentDef], scale: Scale) -> EngineReport {
+        let start = Instant::now();
+        let threads = self.pool.threads();
+
+        // Phase 1: fan out the deduplicated shared cells. Skipped on one
+        // thread — the legacy path computes everything lazily in place,
+        // and the cache makes the results identical either way.
+        let (cells, requested) = Self::collect_cells(defs);
         let cell_start = Instant::now();
         if threads > 1 {
             self.pool
@@ -778,6 +1023,145 @@ impl Engine {
             threads,
             cache: self.ctx.cache_stats(),
         }
+    }
+
+    /// Runs every experiment under the fault-tolerant layer: panics are
+    /// isolated per cell and per experiment, failed experiments are
+    /// retried up to `policy.attempts` times, skipped names short-circuit,
+    /// and `on_done` is invoked from the worker thread the moment each
+    /// experiment settles (for incremental CSV saves and journal writes).
+    pub fn run_all_tolerant(
+        &self,
+        scale: Scale,
+        policy: &RunPolicy<'_>,
+        on_done: &(dyn Fn(&ExperimentOutcome) + Sync),
+    ) -> TolerantReport {
+        self.run_tolerant(&experiment_defs(), scale, policy, on_done)
+    }
+
+    /// Fault-tolerant form of [`run`](Engine::run) over explicit `defs`.
+    ///
+    /// Determinism contract: because every artifact is a pure function
+    /// of its cache key, a retried experiment recomputes exactly the
+    /// same table a first-try success would have produced — fault
+    /// schedules change *which* experiments fail, never the bytes of
+    /// the tables that survive.
+    pub fn run_tolerant(
+        &self,
+        defs: &[ExperimentDef],
+        scale: Scale,
+        policy: &RunPolicy<'_>,
+        on_done: &(dyn Fn(&ExperimentOutcome) + Sync),
+    ) -> TolerantReport {
+        let start = Instant::now();
+        let threads = self.pool.threads();
+
+        // Phase 1: the shared-cell fan-out, with per-cell isolation. A
+        // failing cell is *soft*: its cache slot stays retryable and the
+        // owning experiments recompute it in phase 2 (under their own
+        // retry budget), so the error is only reported for forensics.
+        let (cells, requested) = Self::collect_cells(defs);
+        let cell_start = Instant::now();
+        let mut cell_errors: Vec<CellError> = Vec::new();
+        if threads > 1 {
+            let results = self.pool.try_map(cells.len(), |i| {
+                let label = &cells[i].label;
+                if policy
+                    .faults
+                    .fires(FaultKind::Panic, FaultSite::cell(label).index(i))
+                {
+                    std::panic::panic_any(CellError::panic(label.clone(), "injected panic fault"));
+                }
+                cells[i].run(&self.ctx, scale);
+            });
+            for (i, r) in results.into_iter().enumerate() {
+                if let Err(mut e) = r {
+                    // try_map labels raw panics by job index; the cell
+                    // label is the better name.
+                    if e.context.starts_with('#') {
+                        e.context = cells[i].label.clone();
+                    }
+                    cell_errors.push(e);
+                }
+            }
+        }
+        let cell_millis = cell_start.elapsed().as_millis();
+
+        // Phase 2: the experiments, each with its own retry budget. The
+        // pool job itself never panics — failure is data here.
+        let outcomes: Vec<ExperimentOutcome> = self.pool.map(defs.len(), |i| {
+            let def = &defs[i];
+            let outcome = if policy.skip.contains(def.name) {
+                ExperimentOutcome {
+                    name: def.name,
+                    index: i,
+                    attempts: 0,
+                    millis: 0,
+                    kind: OutcomeKind::Skipped,
+                }
+            } else {
+                let t0 = Instant::now();
+                let mut attempts = 0u32;
+                let kind = loop {
+                    attempts += 1;
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let site = FaultSite::exp(def.name).index(i);
+                        if policy.faults.fires(FaultKind::Panic, site) {
+                            std::panic::panic_any(CellError::panic(
+                                def.name,
+                                "injected panic fault",
+                            ));
+                        }
+                        if policy.faults.fires(FaultKind::Budget, site) {
+                            trip_budget(def.name);
+                        }
+                        (def.run)(&self.ctx, scale)
+                    }));
+                    match result {
+                        Ok(table) => break OutcomeKind::Completed(table),
+                        Err(payload) => {
+                            let err = CellError::from_panic_payload(def.name, payload);
+                            if attempts >= policy.attempts.max(1) {
+                                break OutcomeKind::Failed(err);
+                            }
+                        }
+                    }
+                };
+                ExperimentOutcome {
+                    name: def.name,
+                    index: i,
+                    attempts,
+                    millis: t0.elapsed().as_millis(),
+                    kind,
+                }
+            };
+            on_done(&outcome);
+            outcome
+        });
+
+        TolerantReport {
+            outcomes,
+            cell_errors,
+            cells: cells.len(),
+            cells_requested: requested,
+            cell_millis,
+            total_millis: start.elapsed().as_millis(),
+            threads,
+            cache: self.ctx.cache_stats(),
+        }
+    }
+}
+
+/// Deliberately exhausts a tiny cycle budget so a *real*
+/// [`bmp_sim::SimError::BudgetExceeded`] travels the failure path — the
+/// `budget:` fault kind proves the watchdog wiring without contaminating
+/// any cached artifact (the sacrificial run bypasses the [`Ctx`] cache).
+fn trip_budget(context: &str) -> ! {
+    let trace = micro::chain_kernel(10_000, 1, 64, OpClass::IntAlu);
+    let sim = Simulator::with_options(presets::test_tiny(), SimOptions::with_max_cycles(50));
+    match sim.try_run(&trace) {
+        Err(e) => std::panic::panic_any(CellError::budget(context, e)),
+        Ok(_) => unreachable!("a 50-cycle budget cannot complete 10k serial ops"),
     }
 }
 
@@ -851,6 +1235,156 @@ mod tests {
         );
         assert_ne!(a.key(), b.key());
         assert!(!Arc::ptr_eq(a.trace(), b.trace()));
+    }
+
+    fn defs_for(names: &[&str]) -> Vec<ExperimentDef> {
+        let defs: Vec<ExperimentDef> = experiment_defs()
+            .into_iter()
+            .filter(|d| names.contains(&d.name))
+            .collect();
+        assert_eq!(defs.len(), names.len());
+        defs
+    }
+
+    #[test]
+    fn tolerant_run_isolates_an_injected_failure() {
+        let scale = Scale {
+            ops: 2_000,
+            seed: 3,
+        };
+        let faults = FaultPlan::parse("panic:exp=fig8_ilp").unwrap();
+        let policy = RunPolicy::with_attempts(2, &faults);
+        let engine = Engine::new(2);
+        let defs = defs_for(&["table1_config", "fig8_ilp", "fig4_interval_distribution"]);
+        let seen = std::sync::Mutex::new(Vec::new());
+        let report = engine.run_tolerant(&defs, scale, &policy, &|o| {
+            seen.lock().unwrap().push(o.name);
+        });
+        assert_eq!(report.outcomes.len(), 3);
+        let failed: Vec<_> = report.failures().collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].name, "fig8_ilp");
+        assert_eq!(failed[0].attempts, 2, "the retry budget was consumed");
+        assert_eq!(failed[0].error().unwrap().message, "injected panic fault");
+        for o in &report.outcomes {
+            if o.name != "fig8_ilp" {
+                assert!(
+                    matches!(o.kind, OutcomeKind::Completed(_)),
+                    "{} must survive its sibling's failure",
+                    o.name
+                );
+            }
+        }
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(
+            seen,
+            ["fig4_interval_distribution", "fig8_ilp", "table1_config"],
+            "on_done fires once per experiment"
+        );
+        assert!(report.to_summary().contains("FAILED after 2 attempts"));
+    }
+
+    #[test]
+    fn tolerant_retry_is_deterministic() {
+        let scale = Scale {
+            ops: 2_000,
+            seed: 3,
+        };
+        let names = ["fig4_interval_distribution"];
+        let clean = Engine::new(2).run_named(&names, scale);
+
+        // times=1: the first attempt panics, the retry succeeds — and
+        // produces byte-identical CSV to the clean run.
+        let faults = FaultPlan::parse("panic:exp=fig4_interval_distribution:times=1").unwrap();
+        let policy = RunPolicy::with_attempts(2, &faults);
+        let report = Engine::new(2).run_tolerant(&defs_for(&names), scale, &policy, &|_| {});
+        let o = &report.outcomes[0];
+        assert_eq!(o.attempts, 2);
+        match &o.kind {
+            OutcomeKind::Completed(table) => {
+                assert_eq!(table.to_csv(), clean.tables[0].to_csv());
+            }
+            other => panic!("expected completion after retry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerant_run_skips_journaled_names() {
+        let scale = Scale {
+            ops: 2_000,
+            seed: 3,
+        };
+        let faults = FaultPlan::none();
+        let mut policy = RunPolicy::with_attempts(1, &faults);
+        policy.skip.insert("table1_config".to_string());
+        let defs = defs_for(&["table1_config", "fig8_ilp"]);
+        let report = Engine::new(1).run_tolerant(&defs, scale, &policy, &|_| {});
+        assert!(matches!(report.outcomes[0].kind, OutcomeKind::Skipped));
+        assert_eq!(report.outcomes[0].attempts, 0);
+        assert!(matches!(report.outcomes[1].kind, OutcomeKind::Completed(_)));
+    }
+
+    #[test]
+    fn budget_fault_travels_the_watchdog_path() {
+        let scale = Scale {
+            ops: 1_000,
+            seed: 3,
+        };
+        let faults = FaultPlan::parse("budget:exp=table1_config").unwrap();
+        let policy = RunPolicy::with_attempts(1, &faults);
+        let report =
+            Engine::new(1).run_tolerant(&defs_for(&["table1_config"]), scale, &policy, &|_| {});
+        let e = report.outcomes[0].error().expect("budget fault must fail");
+        assert_eq!(e.kind, crate::error::CellErrorKind::Budget);
+        assert!(e.message.contains("cycle budget exceeded"));
+    }
+
+    #[test]
+    fn cell_faults_are_soft_and_recovered() {
+        let scale = Scale {
+            ops: 2_000,
+            seed: 3,
+        };
+        // fig4 fans out per-workload analysis cells; panic one of them.
+        let faults = FaultPlan::parse("panic:cell=gzip/analysis-baseline").unwrap();
+        let policy = RunPolicy::with_attempts(1, &faults);
+        let clean = Engine::new(2).run_named(&["fig4_interval_distribution"], scale);
+        let report = Engine::new(2).run_tolerant(
+            &defs_for(&["fig4_interval_distribution"]),
+            scale,
+            &policy,
+            &|_| {},
+        );
+        assert_eq!(report.cell_errors.len(), 1);
+        assert_eq!(report.cell_errors[0].context, "gzip/analysis-baseline");
+        match &report.outcomes[0].kind {
+            OutcomeKind::Completed(table) => {
+                assert_eq!(
+                    table.to_csv(),
+                    clean.tables[0].to_csv(),
+                    "the experiment recomputed the failed cell and matched the clean run"
+                );
+            }
+            other => panic!("cell failure must not fail the experiment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_profile_is_a_structured_error() {
+        let ctx = Ctx::new();
+        let scale = Scale { ops: 100, seed: 1 };
+        let e = ctx.try_named_trace("ghost", scale).unwrap_err();
+        assert_eq!(e.kind, crate::error::CellErrorKind::UnknownProfile);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            ctx.named_trace("ghost", scale);
+        }))
+        .unwrap_err();
+        assert_eq!(
+            caught.downcast_ref::<CellError>().map(|e| e.kind),
+            Some(crate::error::CellErrorKind::UnknownProfile),
+            "the panicking form carries the structured payload"
+        );
     }
 
     #[test]

@@ -20,16 +20,74 @@
 pub mod artifacts;
 pub mod convert;
 pub mod engine;
+pub mod error;
 pub mod experiments;
+pub mod fault;
 pub mod pool;
 pub mod scale;
 pub mod table;
 
 pub use engine::{Ctx, Engine, EngineChoice, PhaseReport};
+pub use error::{CellError, CellErrorKind};
+pub use fault::{FaultKind, FaultPlan, FaultSite};
 pub use scale::Scale;
 pub use table::Table;
 
+/// Exit code when every experiment completed and every write succeeded.
+pub const EXIT_OK: u8 = 0;
+/// Exit code when at least one experiment (cell) ultimately failed.
+pub const EXIT_EXPERIMENT_FAILED: u8 = 1;
+/// Exit code when the experiments succeeded but persisting their output
+/// did not — so callers can tell "your model broke" from "your disk did".
+pub const EXIT_WRITE_FAILED: u8 = 2;
+
+/// Writes `bytes` to `path` crash-safely: the data goes to a temporary
+/// file in the same directory, is fsynced, and is atomically renamed
+/// over `path`. A crash (or injected fault) at any point leaves either
+/// the old complete file or the new complete file — never a torn CSV.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error from any step; the temporary file is
+/// cleaned up on failure.
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| std::io::Error::other("write_atomic needs a file path"))?;
+    // Same-directory temp name, unique per process so concurrent writers
+    // of *different* tables never collide.
+    let tmp = path.with_file_name(format!(
+        ".{}.{}.tmp",
+        file_name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Flush file contents to stable storage before the rename makes
+        // them visible under the real name.
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Best-effort directory fsync so the rename itself is durable; not
+    // all platforms/filesystems allow opening a directory for sync.
+    if let Some(dir) = dir {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
 /// Persists the table's CSV as `<dir>/<id>.csv`, creating `dir` first.
+/// The write is crash-safe (see [`write_atomic`]).
 ///
 /// # Errors
 ///
@@ -38,8 +96,26 @@ pub use table::Table;
 pub fn save_under(dir: &std::path::Path, table: &Table) -> std::io::Result<std::path::PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}.csv", table.id));
-    std::fs::write(&path, table.to_csv())?;
+    write_atomic(&path, table.to_csv().as_bytes())?;
     Ok(path)
+}
+
+/// [`save_under`] with a fault-injection hook: an `io:file=<table id>`
+/// rule in `faults` fails the write with an injected error before any
+/// byte reaches disk.
+///
+/// # Errors
+///
+/// The injected error, or any real I/O error from [`save_under`].
+pub fn save_under_with(
+    dir: &std::path::Path,
+    table: &Table,
+    faults: &fault::FaultPlan,
+) -> std::io::Result<std::path::PathBuf> {
+    if faults.fires(fault::FaultKind::Io, fault::FaultSite::file(&table.id)) {
+        return Err(fault::FaultPlan::io_error(&table.id));
+    }
+    save_under(dir, table)
 }
 
 /// Runs one experiment end-to-end: print the table, persist the CSV under
@@ -56,14 +132,31 @@ pub fn run_and_save(table: &Table) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Binary wrapper around [`run_and_save`]: reports a write failure on
-/// stderr and turns it into a non-zero exit code.
-pub fn run_bin(table: &Table) -> std::process::ExitCode {
-    match run_and_save(table) {
-        Ok(()) => std::process::ExitCode::SUCCESS,
+/// Binary wrapper for the single-experiment binaries: produce the table
+/// with `make` (panics are caught and classified), print it, persist the
+/// CSV under `results/`.
+///
+/// Exit codes distinguish the failure domains: [`EXIT_EXPERIMENT_FAILED`]
+/// when `make` fails (the model/simulation is at fault),
+/// [`EXIT_WRITE_FAILED`] when the experiment succeeded but its output
+/// could not be written (the environment is at fault).
+pub fn run_bin<F>(make: F) -> std::process::ExitCode
+where
+    F: FnOnce() -> Table,
+{
+    let table = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(make)) {
+        Ok(table) => table,
+        Err(payload) => {
+            let e = error::CellError::from_panic_payload("experiment", payload);
+            eprintln!("error: experiment failed: {e}");
+            return std::process::ExitCode::from(EXIT_EXPERIMENT_FAILED);
+        }
+    };
+    match run_and_save(&table) {
+        Ok(()) => std::process::ExitCode::from(EXIT_OK),
         Err(e) => {
             eprintln!("error: cannot write results for {}: {e}", table.id);
-            std::process::ExitCode::FAILURE
+            std::process::ExitCode::from(EXIT_WRITE_FAILED)
         }
     }
 }
@@ -96,5 +189,54 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         std::fs::remove_dir_all(&tmp).ok();
         assert_eq!(body, t.to_csv());
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp_droppings() {
+        let tmp = std::env::temp_dir().join("bmp_bench_atomic_test");
+        std::fs::create_dir_all(&tmp).unwrap();
+        let path = tmp.join("out.csv");
+        write_atomic(&path, b"old").unwrap();
+        write_atomic(&path, b"new").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new");
+        let leftovers: Vec<_> = std::fs::read_dir(&tmp)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        std::fs::remove_dir_all(&tmp).ok();
+        assert!(leftovers.is_empty(), "no temp files survive a write");
+    }
+
+    #[test]
+    fn write_atomic_failure_keeps_the_old_file() {
+        let tmp = std::env::temp_dir().join("bmp_bench_atomic_fail_test");
+        std::fs::create_dir_all(&tmp).unwrap();
+        let path = tmp.join("out.csv");
+        write_atomic(&path, b"precious").unwrap();
+        // Renaming over a path whose parent component is now a *file*
+        // must fail without touching the original.
+        let bad = tmp.join("out.csv").join("nested.csv");
+        assert!(write_atomic(&bad, b"x").is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "precious");
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+
+    #[test]
+    fn save_under_with_injects_io_faults() {
+        let mut t = Table::new("t_fault", "T", &["a"]);
+        t.push_row(vec!["1".into()]);
+        let tmp = std::env::temp_dir().join("bmp_bench_save_fault_test");
+        let plan = fault::FaultPlan::parse("io:file=t_fault:times=1").unwrap();
+        let first = save_under_with(&tmp, &t, &plan);
+        assert!(first.is_err(), "the injected fault fails the first write");
+        assert!(
+            !tmp.join("t_fault.csv").exists(),
+            "the fault fires before any byte reaches disk"
+        );
+        let second = save_under_with(&tmp, &t, &plan).unwrap();
+        let body = std::fs::read_to_string(second).unwrap();
+        std::fs::remove_dir_all(&tmp).ok();
+        assert_eq!(body, t.to_csv(), "a retry after the fault succeeds");
     }
 }

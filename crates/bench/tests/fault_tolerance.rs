@@ -1,0 +1,273 @@
+//! The robustness contract end to end: under *any* injected fault
+//! schedule, the experiments that survive produce CSVs byte-identical to
+//! a clean run (property test over random schedules), and the `run_all`
+//! binary's journal / exit-code / `--resume` flow recovers a faulted run
+//! into exactly the clean run's results directory.
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::process::Command;
+
+use bmp_bench::engine::{experiment_defs, ExperimentDef, OutcomeKind, RunPolicy};
+use bmp_bench::{Engine, FaultPlan, Scale};
+use bmp_core::journal::{RunJournal, RunStatus};
+use proptest::prelude::*;
+
+/// A small cross-section of the registry: a table, two figure
+/// experiments sharing baseline cells, and an extension study.
+const SUBSET: &[&str] = &[
+    "table1_config",
+    "fig2_penalty_per_benchmark",
+    "fig8_ilp",
+    "ex3_closed_form",
+];
+
+const SCALE: Scale = Scale {
+    ops: 1_000,
+    seed: 42,
+};
+
+fn subset_defs() -> Vec<ExperimentDef> {
+    experiment_defs()
+        .into_iter()
+        .filter(|d| SUBSET.contains(&d.name))
+        .collect()
+}
+
+/// CSV bytes per experiment from a clean (fault-free) tolerant run.
+fn clean_csvs(threads: usize) -> HashMap<&'static str, String> {
+    let plan = FaultPlan::none();
+    let policy = RunPolicy::with_attempts(2, &plan);
+    let report = Engine::new(threads).run_tolerant(&subset_defs(), SCALE, &policy, &|_| {});
+    report
+        .outcomes
+        .iter()
+        .map(|o| match &o.kind {
+            OutcomeKind::Completed(t) => (o.name, t.to_csv()),
+            other => panic!("clean run must complete {}: {other:?}", o.name),
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For every random schedule of panic/budget faults over the subset,
+    /// the surviving experiments' CSVs are byte-identical to a clean
+    /// run's, and exactly the experiments whose fault outlasts the retry
+    /// budget fail.
+    #[test]
+    fn surviving_csvs_match_a_clean_run_under_any_fault_schedule(
+        threads in prop::sample::select(vec![1usize, 4]),
+        faults in prop::collection::vec(
+            (
+                prop::sample::select(SUBSET.to_vec()),
+                prop::sample::select(vec!["panic", "budget"]),
+                1u32..=3,
+            ),
+            0..=3,
+        ),
+    ) {
+        let attempts = 2u32;
+        // One rule per experiment; a later tuple for the same name
+        // is dropped so the expected-failure predicate stays simple.
+        let mut by_name: HashMap<&str, (&str, u32)> = HashMap::new();
+        for (name, kind, times) in &faults {
+            by_name.entry(name).or_insert((kind, *times));
+        }
+        let spec = by_name
+            .iter()
+            .map(|(name, (kind, times))| format!("{kind}:exp={name}:times={times}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        let plan = if spec.is_empty() {
+            FaultPlan::none()
+        } else {
+            FaultPlan::parse(&spec).expect("generated spec parses")
+        };
+        let expected_failed: HashSet<&str> = by_name
+            .iter()
+            .filter(|(_, (_, times))| *times >= attempts)
+            .map(|(name, _)| *name)
+            .collect();
+
+        let clean = clean_csvs(threads);
+        let policy = RunPolicy::with_attempts(attempts, &plan);
+        let report = Engine::new(threads).run_tolerant(&subset_defs(), SCALE, &policy, &|_| {});
+
+        for outcome in &report.outcomes {
+            match &outcome.kind {
+                OutcomeKind::Completed(table) => {
+                    prop_assert!(
+                        !expected_failed.contains(outcome.name),
+                        "{} completed but its fault outlasts the retry budget (spec {spec})",
+                        outcome.name
+                    );
+                    prop_assert_eq!(
+                        &table.to_csv(),
+                        &clean[outcome.name],
+                        "{} must be byte-identical to the clean run (spec {})",
+                        outcome.name, spec
+                    );
+                }
+                OutcomeKind::Failed(e) => {
+                    prop_assert!(
+                        expected_failed.contains(outcome.name),
+                        "{} failed unexpectedly under spec {spec}: {e}",
+                        outcome.name
+                    );
+                    prop_assert_eq!(outcome.attempts, attempts);
+                }
+                OutcomeKind::Skipped => prop_assert!(false, "nothing was skipped"),
+            }
+        }
+    }
+}
+
+/// Runs the `run_all` binary in `dir` with the given extra args/env and
+/// returns its exit code.
+fn run_all_in(dir: &Path, args: &[&str], fault_env: Option<&str>) -> i32 {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_run_all"));
+    cmd.current_dir(dir)
+        .args(args)
+        .env("BMP_OPS", "500")
+        .env("BMP_SEED", "42")
+        .env("BMP_THREADS", "2")
+        .env("BMP_ATTEMPTS", "2")
+        .env_remove("BMP_FAULT");
+    if let Some(spec) = fault_env {
+        cmd.env("BMP_FAULT", spec);
+    }
+    let out = cmd.output().expect("run_all spawns");
+    out.status.code().expect("run_all exits normally")
+}
+
+/// All `*.csv` files under `dir/results`, as name → bytes.
+fn csvs_under(dir: &Path) -> HashMap<String, Vec<u8>> {
+    std::fs::read_dir(dir.join("results"))
+        .expect("results dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".csv"))
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).expect("csv readable"),
+            )
+        })
+        .collect()
+}
+
+fn journal_in(dir: &Path) -> RunJournal {
+    let text =
+        std::fs::read_to_string(dir.join("results/run_journal.json")).expect("journal exists");
+    RunJournal::parse(&text).expect("journal parses")
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bmp_fault_e2e_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// The acceptance flow: a run where one experiment panics exits non-zero
+/// with the failure journaled while every sibling completes; removing
+/// the fault and re-running with `--resume` skips the completed work and
+/// recovers a results directory byte-identical to a clean run's.
+#[test]
+fn a_faulted_run_resumes_into_the_clean_results() {
+    let clean = fresh_dir("clean");
+    assert_eq!(run_all_in(&clean, &[], None), 0, "clean run exits 0");
+    let clean_journal = journal_in(&clean);
+    assert_eq!(clean_journal.failed_count(), 0);
+    let clean_files = csvs_under(&clean);
+    assert!(!clean_files.is_empty());
+
+    // Fault the run through the environment (the CLI flag takes the same
+    // path): fig8_ilp panics on every attempt and ultimately fails.
+    let faulted = fresh_dir("faulted");
+    assert_eq!(
+        run_all_in(&faulted, &[], Some("panic:exp=fig8_ilp")),
+        i32::from(bmp_bench::EXIT_EXPERIMENT_FAILED),
+        "a failed experiment makes the run exit 1"
+    );
+    let journal = journal_in(&faulted);
+    let rec = journal.find("fig8_ilp").expect("failure is journaled");
+    assert_eq!(rec.status, RunStatus::Failed);
+    assert_eq!(rec.attempts, 2, "both attempts were consumed");
+    assert!(rec.error.as_deref().is_some_and(|e| e.contains("injected")));
+    assert!(
+        !faulted.join("results/fig8_ilp.csv").exists(),
+        "a failed experiment writes no CSV"
+    );
+    let survivors = csvs_under(&faulted);
+    assert_eq!(survivors.len(), clean_files.len() - 1, "siblings completed");
+
+    // Remove the fault and resume: only fig8_ilp re-runs, and the
+    // recovered directory matches the clean one byte for byte.
+    assert_eq!(run_all_in(&faulted, &["--resume"], None), 0);
+    let resumed = journal_in(&faulted);
+    assert_eq!(resumed.failed_count(), 0);
+    assert_eq!(resumed.experiments.len(), clean_journal.experiments.len());
+    let recovered = csvs_under(&faulted);
+    assert_eq!(recovered.len(), clean_files.len());
+    for (name, bytes) in &clean_files {
+        assert_eq!(
+            recovered.get(name),
+            Some(bytes),
+            "{name} must be byte-identical to the clean run after resume"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&faulted);
+}
+
+/// Write failures are the *other* failure domain: the experiment itself
+/// succeeds, the run exits 2 (not 1), the journal marks the record
+/// failed so `--resume` re-runs it once the disk heals.
+#[test]
+fn an_injected_write_failure_exits_2_and_resumes() {
+    let dir = fresh_dir("iofault");
+    assert_eq!(
+        run_all_in(
+            &dir,
+            &["--inject", "io:file=fig2_penalty_per_benchmark"],
+            None
+        ),
+        i32::from(bmp_bench::EXIT_WRITE_FAILED),
+        "a write failure with no experiment failure exits 2"
+    );
+    let rec = journal_in(&dir)
+        .find("fig2_penalty_per_benchmark")
+        .cloned()
+        .expect("write failure is journaled");
+    assert_eq!(rec.status, RunStatus::Failed);
+    assert!(rec
+        .error
+        .as_deref()
+        .is_some_and(|e| e.contains("write failed")));
+    assert!(!dir.join("results/fig2_penalty_per_benchmark.csv").exists());
+
+    assert_eq!(
+        run_all_in(&dir, &["--resume"], None),
+        0,
+        "resume heals the write"
+    );
+    assert!(dir.join("results/fig2_penalty_per_benchmark.csv").exists());
+    assert_eq!(journal_in(&dir).failed_count(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A malformed fault spec is a usage error: exit 2 before any work runs.
+#[test]
+fn a_bad_fault_spec_is_a_usage_error() {
+    let dir = fresh_dir("badspec");
+    assert_eq!(
+        run_all_in(&dir, &["--inject", "frobnicate:exp=x"], None),
+        i32::from(bmp_bench::EXIT_WRITE_FAILED)
+    );
+    assert!(!dir.join("results").exists(), "no work ran");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,607 @@
+//! Crash-safe run journal: the persistent manifest of an experiment run.
+//!
+//! `bmp-bench` (the `run_all` binary in `crates/bench`) maintains
+//! `results/run_journal.json` as it works: one [`ExperimentRecord`] per
+//! experiment with its completion status, content fingerprint, attempt
+//! count and — for failures — the error that stopped it. The journal is
+//! rewritten atomically after every experiment finishes, so a crash (or
+//! an injected fault) leaves a consistent manifest of exactly what was
+//! produced. `bmp-bench --resume` reads it back and skips experiments
+//! whose record says *completed*, whose fingerprint matches the current
+//! configuration, and whose CSV is still on disk.
+//!
+//! The format is deliberately plain JSON so humans and the `bmp-lint
+//! --journal` checker (rule family BMP4xx in `bmp-analyze`) can read it.
+//! Serialization is hand-rolled like every other emitter in this
+//! workspace; parsing uses the minimal recursive-descent reader in this
+//! module — the workspace carries no JSON dependency.
+//!
+//! Fingerprints are 64-bit content hashes (see `cache_key` in the bench
+//! crate) and are stored as fixed-width hex *strings*: JSON tooling
+//! treats numbers as f64 and would silently corrupt the top bits.
+
+use std::fmt;
+
+/// Journal format version written by this crate; readers reject others.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Terminal status of one experiment within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// The experiment produced its table and the CSV was written.
+    Completed,
+    /// The experiment (or writing its output) ultimately failed after
+    /// all retry attempts.
+    Failed,
+}
+
+impl RunStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Completed => "completed",
+            RunStatus::Failed => "failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "completed" => Some(RunStatus::Completed),
+            "failed" => Some(RunStatus::Failed),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RunStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One experiment's entry in the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentRecord {
+    /// Experiment name (matches the registry and the CSV filename stem).
+    pub name: String,
+    /// Terminal status of the most recent run of this experiment.
+    pub status: RunStatus,
+    /// Content fingerprint of `(name, ops, seed)` at the time of the
+    /// run; a resume only trusts records whose fingerprint matches the
+    /// current configuration.
+    pub fingerprint: u64,
+    /// Attempts consumed (≥ 1; a first-try success is 1).
+    pub attempts: u32,
+    /// Human-readable error for failed records; `None` when completed.
+    pub error: Option<String>,
+}
+
+/// The whole journal: run-level configuration plus per-experiment records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunJournal {
+    /// Format version ([`JOURNAL_VERSION`]).
+    pub version: u32,
+    /// Instruction budget the run was scaled to (`BMP_OPS`).
+    pub ops: u64,
+    /// Trace seed the run used (`BMP_SEED`).
+    pub seed: u64,
+    /// Per-experiment records, in registry order.
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+impl RunJournal {
+    /// An empty journal for a run at the given scale.
+    pub fn new(ops: u64, seed: u64) -> Self {
+        Self {
+            version: JOURNAL_VERSION,
+            ops,
+            seed,
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Looks up a record by experiment name.
+    pub fn find(&self, name: &str) -> Option<&ExperimentRecord> {
+        self.experiments.iter().find(|r| r.name == name)
+    }
+
+    /// Inserts or replaces the record for `record.name`.
+    pub fn upsert(&mut self, record: ExperimentRecord) {
+        match self.experiments.iter_mut().find(|r| r.name == record.name) {
+            Some(slot) => *slot = record,
+            None => self.experiments.push(record),
+        }
+    }
+
+    /// Number of records with [`RunStatus::Failed`].
+    pub fn failed_count(&self) -> usize {
+        self.experiments
+            .iter()
+            .filter(|r| r.status == RunStatus::Failed)
+            .count()
+    }
+
+    /// Serializes the journal as pretty-printed JSON (trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str(&format!("  \"ops\": {},\n", self.ops));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"experiments\": [");
+        for (i, r) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_string(&r.name)));
+            out.push_str(&format!("      \"status\": \"{}\",\n", r.status));
+            out.push_str(&format!(
+                "      \"fingerprint\": \"{:016x}\",\n",
+                r.fingerprint
+            ));
+            out.push_str(&format!("      \"attempts\": {}", r.attempts));
+            if let Some(err) = &r.error {
+                out.push_str(&format!(",\n      \"error\": {}", json_string(err)));
+            }
+            out.push_str("\n    }");
+        }
+        if !self.experiments.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a journal previously written by [`to_json`](Self::to_json)
+    /// (or any JSON object with the same shape).
+    pub fn parse(text: &str) -> Result<Self, JournalError> {
+        let value = Parser::new(text).parse_document()?;
+        let obj = value.as_object("journal root")?;
+        let version = obj.get_u64("version")? as u32;
+        if version != JOURNAL_VERSION {
+            return Err(JournalError::new(format!(
+                "unsupported journal version {version} (expected {JOURNAL_VERSION})"
+            )));
+        }
+        let ops = obj.get_u64("ops")?;
+        let seed = obj.get_u64("seed")?;
+        let mut experiments = Vec::new();
+        for item in obj.get_array("experiments")? {
+            let rec = item.as_object("experiment record")?;
+            let name = rec.get_string("name")?.to_string();
+            let status_raw = rec.get_string("status")?;
+            let status = RunStatus::parse(status_raw).ok_or_else(|| {
+                JournalError::new(format!("unknown status {status_raw:?} for {name:?}"))
+            })?;
+            let fp_raw = rec.get_string("fingerprint")?;
+            let fingerprint = u64::from_str_radix(fp_raw, 16).map_err(|_| {
+                JournalError::new(format!("bad fingerprint {fp_raw:?} for {name:?}"))
+            })?;
+            let attempts = rec.get_u64("attempts")? as u32;
+            let error = match rec.get("error") {
+                Some(v) => Some(v.as_string("error")?.to_string()),
+                None => None,
+            };
+            experiments.push(ExperimentRecord {
+                name,
+                status,
+                fingerprint,
+                attempts,
+                error,
+            });
+        }
+        Ok(Self {
+            version,
+            ops,
+            seed,
+            experiments,
+        })
+    }
+}
+
+/// Why a journal could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    message: String,
+}
+
+impl JournalError {
+    fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid run journal: {}", self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough for the journal's shape: objects,
+// arrays, strings, unsigned integers, and the standard escapes. Strict
+// about structure, tolerant of whitespace.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Object(Vec<(String, Value)>),
+    Array(Vec<Value>),
+    String(String),
+    Number(u64),
+}
+
+impl Value {
+    fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, JournalError> {
+        match self {
+            Value::Object(fields) => Ok(fields),
+            _ => Err(JournalError::new(format!("{what} is not a JSON object"))),
+        }
+    }
+
+    fn as_string(&self, what: &str) -> Result<&str, JournalError> {
+        match self {
+            Value::String(s) => Ok(s),
+            _ => Err(JournalError::new(format!("{what} is not a string"))),
+        }
+    }
+}
+
+trait ObjectExt {
+    fn get(&self, key: &str) -> Option<&Value>;
+    fn get_u64(&self, key: &str) -> Result<u64, JournalError>;
+    fn get_string(&self, key: &str) -> Result<&str, JournalError>;
+    fn get_array(&self, key: &str) -> Result<&Vec<Value>, JournalError>;
+}
+
+impl ObjectExt for Vec<(String, Value)> {
+    fn get(&self, key: &str) -> Option<&Value> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn get_u64(&self, key: &str) -> Result<u64, JournalError> {
+        match self.get(key) {
+            Some(Value::Number(n)) => Ok(*n),
+            Some(_) => Err(JournalError::new(format!("{key:?} is not a number"))),
+            None => Err(JournalError::new(format!("missing field {key:?}"))),
+        }
+    }
+
+    fn get_string(&self, key: &str) -> Result<&str, JournalError> {
+        self.get(key)
+            .ok_or_else(|| JournalError::new(format!("missing field {key:?}")))?
+            .as_string(key)
+    }
+
+    fn get_array(&self, key: &str) -> Result<&Vec<Value>, JournalError> {
+        match self.get(key) {
+            Some(Value::Array(items)) => Ok(items),
+            Some(_) => Err(JournalError::new(format!("{key:?} is not an array"))),
+            None => Err(JournalError::new(format!("missing field {key:?}"))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Value, JournalError> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(JournalError::new(format!(
+                "trailing garbage at byte {}",
+                self.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, JournalError> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| JournalError::new("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JournalError> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JournalError::new(format!(
+                "expected {:?} at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, JournalError> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Value::String(self.parse_string()?)),
+            b'0'..=b'9' => self.parse_number(),
+            other => Err(JournalError::new(format!(
+                "unexpected character {:?} at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, JournalError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(JournalError::new(format!(
+                        "expected ',' or '}}', found {:?} at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, JournalError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(JournalError::new(format!(
+                        "expected ',' or ']', found {:?} at byte {}",
+                        other as char, self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JournalError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| JournalError::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| JournalError::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| JournalError::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| JournalError::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // The journal never emits surrogate pairs
+                            // (only control characters go through \u).
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| JournalError::new("bad \\u code point"))?,
+                            );
+                        }
+                        other => {
+                            return Err(JournalError::new(format!(
+                                "unknown escape \\{}",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                b => {
+                    // Reassemble multi-byte UTF-8 sequences: the input
+                    // came from a &str, so continuation bytes are valid.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let slice = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| JournalError::new("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(slice)
+                        .map_err(|_| JournalError::new("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, JournalError> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JournalError::new("invalid number"))?;
+        text.parse::<u64>()
+            .map(Value::Number)
+            .map_err(|_| JournalError::new(format!("number out of range: {text}")))
+    }
+}
+
+/// Byte length of the UTF-8 sequence starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunJournal {
+        RunJournal {
+            version: JOURNAL_VERSION,
+            ops: 50_000,
+            seed: 1,
+            experiments: vec![
+                ExperimentRecord {
+                    name: "fig8_ilp".into(),
+                    status: RunStatus::Completed,
+                    fingerprint: 0xdead_beef_0bad_f00d,
+                    attempts: 1,
+                    error: None,
+                },
+                ExperimentRecord {
+                    name: "fig9_cpi".into(),
+                    status: RunStatus::Failed,
+                    fingerprint: 3,
+                    attempts: 2,
+                    error: Some("cell \"fig9:gcc\" panicked:\n\tboom".into()),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let j = sample();
+        let text = j.to_json();
+        let back = RunJournal::parse(&text).unwrap();
+        assert_eq!(j, back);
+        // Serialization is deterministic: same journal, same bytes.
+        assert_eq!(text, back.to_json());
+    }
+
+    #[test]
+    fn empty_journal_round_trips() {
+        let j = RunJournal::new(1_000, 7);
+        assert_eq!(RunJournal::parse(&j.to_json()).unwrap(), j);
+    }
+
+    #[test]
+    fn upsert_replaces_by_name() {
+        let mut j = sample();
+        j.upsert(ExperimentRecord {
+            name: "fig9_cpi".into(),
+            status: RunStatus::Completed,
+            fingerprint: 3,
+            attempts: 3,
+            error: None,
+        });
+        assert_eq!(j.experiments.len(), 2);
+        let r = j.find("fig9_cpi").unwrap();
+        assert_eq!(r.status, RunStatus::Completed);
+        assert_eq!(r.attempts, 3);
+        assert_eq!(j.failed_count(), 0);
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_garbage() {
+        let wrong = sample()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 9");
+        assert!(RunJournal::parse(&wrong).is_err());
+        assert!(RunJournal::parse("not json").is_err());
+        assert!(RunJournal::parse("{\"version\": 1}").is_err());
+        let trailing = format!("{}extra", sample().to_json());
+        assert!(RunJournal::parse(&trailing).is_err());
+    }
+
+    #[test]
+    fn fingerprints_survive_the_top_bits() {
+        // The reason fingerprints are hex strings: this value is not
+        // representable as an f64 and a number-typed field would corrupt
+        // it in any JS-based tooling.
+        let mut j = RunJournal::new(1, 1);
+        j.upsert(ExperimentRecord {
+            name: "x".into(),
+            status: RunStatus::Completed,
+            fingerprint: u64::MAX - 1,
+            attempts: 1,
+            error: None,
+        });
+        let back = RunJournal::parse(&j.to_json()).unwrap();
+        assert_eq!(back.find("x").unwrap().fingerprint, u64::MAX - 1);
+    }
+}

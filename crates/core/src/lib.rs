@@ -48,6 +48,7 @@ pub mod cpi;
 pub mod drain;
 pub mod functional;
 pub mod intervals;
+pub mod journal;
 pub mod penalty;
 pub mod report;
 pub mod validate;

@@ -33,6 +33,7 @@ use bmp_uarch::{MachineConfig, OpClass, FU_KINDS};
 use std::sync::OnceLock;
 
 use crate::compiled::ClassTables;
+use crate::error::{BudgetForensics, SimError};
 use crate::options::SimOptions;
 use crate::result::{
     ClassIssueStats, FetchAccounting, MispredictRecord, MissEvent, MissEventKind, SimResult,
@@ -111,11 +112,25 @@ impl Simulator {
     /// a [`CompiledTrace`] (e.g. the experiment harness, which caches
     /// them) should use [`run_compiled`](Simulator::run_compiled) to skip
     /// the per-run compile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cycle-budget watchdog fires (see
+    /// [`try_run`](Simulator::try_run) for the fallible form). The
+    /// default auto budget never trips on a machine that makes progress.
     pub fn run(&self, trace: &Trace) -> SimResult {
+        self.try_run(trace)
+            .unwrap_or_else(|e| panic!("simulation aborted: {e}"))
+    }
+
+    /// Fallible form of [`run`](Simulator::run): a run that exhausts its
+    /// cycle budget returns [`SimError::BudgetExceeded`] with a forensic
+    /// snapshot instead of panicking or hanging.
+    pub fn try_run(&self, trace: &Trace) -> Result<SimResult, SimError> {
         if reference_engine_forced() {
-            self.run_reference(trace)
+            self.try_run_reference(trace)
         } else {
-            self.run_compiled(&trace.compile())
+            self.try_run_compiled(&trace.compile())
         }
     }
 
@@ -125,7 +140,18 @@ impl Simulator {
     /// wait records) are reused from a per-thread scratch pool: short
     /// runs are dominated by page-faulting a fresh ~10 MB of zeroed
     /// memory otherwise, and the harness runs many sims per thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cycle-budget watchdog fires (see
+    /// [`try_run_compiled`](Simulator::try_run_compiled)).
     pub fn run_compiled(&self, trace: &CompiledTrace) -> SimResult {
+        self.try_run_compiled(trace)
+            .unwrap_or_else(|e| panic!("simulation aborted: {e}"))
+    }
+
+    /// Fallible form of [`run_compiled`](Simulator::run_compiled).
+    pub fn try_run_compiled(&self, trace: &CompiledTrace) -> Result<SimResult, SimError> {
         SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
             let mut engine = Engine::new(&self.config, self.options, trace, &mut scratch);
@@ -138,7 +164,21 @@ impl Simulator {
     /// Simulates the trace on the retained reference engine (the original
     /// straightforward cycle loop). Used as the ground truth in
     /// equivalence tests and CI diffs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cycle-budget watchdog fires (see
+    /// [`try_run_reference`](Simulator::try_run_reference)).
     pub fn run_reference(&self, trace: &Trace) -> SimResult {
+        self.try_run_reference(trace)
+            .unwrap_or_else(|e| panic!("simulation aborted: {e}"))
+    }
+
+    /// Fallible form of [`run_reference`](Simulator::run_reference). The
+    /// forensic snapshot in a budget error is bit-identical to the
+    /// event-driven engine's — aborts are part of the equivalence
+    /// contract.
+    pub fn try_run_reference(&self, trace: &Trace) -> Result<SimResult, SimError> {
         crate::reference::run(&self.config, self.options, trace)
     }
 }
@@ -186,6 +226,8 @@ struct Engine<'a> {
     ct: &'a CompiledTrace,
     tables: ClassTables,
 
+    /// Watchdog cutoff: `opts.cycle_budget(trace len)`, resolved once.
+    budget: u64,
     cycle: u64,
     committed: u64,
 
@@ -274,6 +316,7 @@ impl<'a> Engine<'a> {
             opts,
             ct,
             tables: ClassTables::new(cfg),
+            budget: opts.cycle_budget(n as u64),
             cycle: 0,
             committed: 0,
             times,
@@ -327,7 +370,7 @@ impl<'a> Engine<'a> {
         self.dispatch_head - self.commit_head
     }
 
-    fn run(&mut self) -> SimResult {
+    fn run(&mut self) -> Result<SimResult, SimError> {
         let n = self.n_ops as u64;
         // `idle_gap` is ~a dozen loads and branches; on dense cycles it is
         // pure overhead. It is only consulted after a cycle in which no
@@ -337,7 +380,7 @@ impl<'a> Engine<'a> {
         // one wasted cycle per transition into idleness is bit-identical
         // and much cheaper than probing every cycle.
         let mut probe_idle = true;
-        while self.committed < n && self.cycle < self.opts.max_cycles {
+        while self.committed < n && self.cycle < self.budget {
             if probe_idle {
                 let gap = self.idle_gap();
                 if gap > 0 {
@@ -368,6 +411,18 @@ impl<'a> Engine<'a> {
                 && self.commit_head == commit_head0
                 && self.fetch_idx == fetch_idx0;
         }
+        if self.committed < n {
+            // The watchdog fired: capture forensics instead of returning
+            // a silently truncated result (or spinning forever).
+            return Err(SimError::BudgetExceeded(BudgetForensics {
+                budget: self.budget,
+                cycle: self.cycle,
+                committed: self.committed,
+                trace_ops: n,
+                fetched: self.fetch_idx as u64,
+                window_occupancy: self.rob_len() as u32,
+            }));
+        }
         // Accounting conservation, mirrored by lint BMP203: every offered
         // dispatch slot is attributed to exactly one cause, and the ROB
         // histogram samples every measured cycle.
@@ -382,7 +437,7 @@ impl<'a> Engine<'a> {
             cycles,
             "ROB-occupancy histogram missed cycles (BMP203)"
         );
-        SimResult {
+        Ok(SimResult {
             cycles: self.cycle - self.stats_start_cycle,
             instructions: self.committed - self.stats_start_committed,
             branch_stats: self.branch_stats,
@@ -397,7 +452,7 @@ impl<'a> Engine<'a> {
             fetch: self.fetch_acct,
             rob_occupancy: std::mem::take(&mut self.rob_occupancy),
             class_issue: self.class_issue,
-        }
+        })
     }
 
     /// Length of the inert stretch starting at the current cycle: the
@@ -465,7 +520,7 @@ impl<'a> Engine<'a> {
             // single-stepping, which matches the reference engine exactly.
             return 0;
         }
-        next.min(self.opts.max_cycles) - c
+        next.min(self.budget) - c
     }
 
     /// Performs `k` inert cycles at once: advances the clock and applies
@@ -1257,9 +1312,29 @@ mod tests {
             max_cycles: 100,
             ..SimOptions::default()
         };
-        let res = Simulator::with_options(perfect_tiny(), opts).run(&trace);
-        assert_eq!(res.cycles, 100);
-        assert!(res.instructions < 100_000);
+        let err = Simulator::with_options(perfect_tiny(), opts)
+            .try_run(&trace)
+            .unwrap_err();
+        let SimError::BudgetExceeded(f) = err;
+        assert_eq!(f.budget, 100);
+        assert_eq!(f.cycle, 100);
+        assert_eq!(f.trace_ops, 100_000);
+        assert!(f.committed < 100_000);
+        // A serial dependence chain keeps the window mostly full while
+        // the watchdog ticks down; the snapshot must see real state.
+        assert!(f.fetched >= f.committed);
+    }
+
+    /// A run that fits its budget is unaffected by the watchdog: results
+    /// with a generous explicit budget are bit-identical to the default.
+    #[test]
+    fn budget_is_inert_when_not_tripped() {
+        let trace = micro::chain_kernel(5_000, 2, 32, OpClass::IntAlu);
+        let plain = Simulator::new(presets::test_tiny()).run(&trace);
+        let budgeted =
+            Simulator::with_options(presets::test_tiny(), SimOptions::with_max_cycles(1 << 40))
+                .run(&trace);
+        assert_eq!(plain, budgeted);
     }
 
     /// The RAS predicts matched call/return pairs; unmatched returns
@@ -1355,14 +1430,15 @@ mod tests {
             },
         ] {
             let sim = Simulator::with_options(presets::baseline_4wide(), opts);
-            let fast = sim.run_compiled(&trace.compile());
-            let slow = sim.run_reference(&trace);
+            let fast = sim.try_run_compiled(&trace.compile());
+            let slow = sim.try_run_reference(&trace);
             assert_eq!(fast, slow, "engines diverged with {opts:?}");
         }
     }
 
-    /// Idle-cycle skipping must stop exactly at the max_cycles guard even
-    /// when the next event lies beyond it.
+    /// Idle-cycle skipping must stop exactly at the budget cutoff even
+    /// when the next event lies beyond it — and the forensic snapshot of
+    /// the abort must match the reference engine's bit-for-bit.
     #[test]
     fn max_cycles_is_exact_under_skipping() {
         // Long memory misses create big skippable gaps.
@@ -1372,8 +1448,12 @@ mod tests {
             ..SimOptions::default()
         };
         let sim = Simulator::with_options(presets::test_tiny(), opts);
-        let fast = sim.run_compiled(&trace.compile());
-        assert_eq!(fast.cycles, 777);
-        assert_eq!(fast, sim.run_reference(&trace));
+        let fast = sim.try_run_compiled(&trace.compile()).unwrap_err();
+        let SimError::BudgetExceeded(f) = fast;
+        assert_eq!(f.cycle, 777, "skipping overshot the budget");
+        assert_eq!(
+            SimError::BudgetExceeded(f),
+            sim.try_run_reference(&trace).unwrap_err()
+        );
     }
 }

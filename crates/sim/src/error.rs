@@ -1,0 +1,78 @@
+//! Structured simulation failures.
+//!
+//! The simulator is a terminating algorithm on well-formed inputs, but a
+//! pathological [`MachineConfig`](bmp_uarch::MachineConfig) (or a bug in
+//! an engine) can keep a run from committing instructions while the
+//! clock advances without bound. The cycle-budget watchdog turns that
+//! failure mode from a hung worker thread into a structured
+//! [`SimError::BudgetExceeded`] carrying enough forensic state to see
+//! *where* the machine was stuck.
+
+use std::fmt;
+
+/// Machine state captured at the moment a run aborts, so a failure
+/// report can show where the pipeline was stuck without re-running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetForensics {
+    /// The cycle budget the run was allowed (see
+    /// [`SimOptions::cycle_budget`](crate::SimOptions::cycle_budget)).
+    pub budget: u64,
+    /// The cycle the run stopped at (always equal to `budget`).
+    pub cycle: u64,
+    /// Instructions committed when the budget tripped.
+    pub committed: u64,
+    /// Total instructions in the trace (the run needed all of them).
+    pub trace_ops: u64,
+    /// Instructions fetched when the budget tripped.
+    pub fetched: u64,
+    /// ROB occupancy (dispatched, uncommitted instructions) at the stop.
+    pub window_occupancy: u32,
+}
+
+/// A simulation that could not produce a [`SimResult`](crate::SimResult).
+///
+/// Both engines produce *identical* errors for the same
+/// `(config, options, trace)` — the forensic snapshot is part of the
+/// engine-equivalence contract, and the equivalence suite asserts it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle-budget watchdog fired: the run reached its cycle budget
+    /// with instructions still uncommitted.
+    BudgetExceeded(BudgetForensics),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BudgetExceeded(s) => write!(
+                f,
+                "cycle budget exceeded: {} cycles elapsed with {}/{} instructions \
+                 committed ({} fetched, window occupancy {})",
+                s.cycle, s.committed, s.trace_ops, s.fetched, s.window_occupancy
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_forensics() {
+        let e = SimError::BudgetExceeded(BudgetForensics {
+            budget: 100,
+            cycle: 100,
+            committed: 7,
+            trace_ops: 50,
+            fetched: 12,
+            window_occupancy: 5,
+        });
+        let s = e.to_string();
+        assert!(s.contains("100 cycles"));
+        assert!(s.contains("7/50"));
+        assert!(s.contains("occupancy 5"));
+    }
+}

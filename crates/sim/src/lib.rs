@@ -39,12 +39,14 @@
 
 mod compiled;
 mod engine;
+mod error;
 mod options;
 mod reference;
 mod result;
 mod sched;
 
 pub use engine::{reference_engine_forced, Simulator};
+pub use error::{BudgetForensics, SimError};
 pub use options::SimOptions;
 pub use result::{
     ClassIssueStats, FetchAccounting, MispredictRecord, MissEvent, MissEventKind, SimResult,

@@ -27,6 +27,7 @@ use bmp_trace::{BranchKind, MicroOp, Trace};
 use bmp_uarch::{FuKind, MachineConfig, OpClass, FU_KINDS};
 use std::collections::VecDeque;
 
+use crate::error::{BudgetForensics, SimError};
 use crate::options::SimOptions;
 use crate::result::{
     ClassIssueStats, FetchAccounting, MispredictRecord, MissEvent, MissEventKind, SimResult,
@@ -37,7 +38,11 @@ use crate::result::{
 const NOT_DONE: u64 = u64::MAX;
 
 /// Runs the reference engine over `trace`.
-pub(crate) fn run(cfg: &MachineConfig, opts: SimOptions, trace: &Trace) -> SimResult {
+pub(crate) fn run(
+    cfg: &MachineConfig,
+    opts: SimOptions,
+    trace: &Trace,
+) -> Result<SimResult, SimError> {
     Engine::new(cfg, opts, trace).run()
 }
 
@@ -146,9 +151,10 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn run(mut self) -> SimResult {
+    fn run(mut self) -> Result<SimResult, SimError> {
         let n = self.ops.len() as u64;
-        while self.committed < n && self.cycle < self.opts.max_cycles {
+        let budget = self.opts.cycle_budget(n);
+        while self.committed < n && self.cycle < budget {
             self.commit();
             if !self.warmed && self.committed >= self.opts.warmup_ops {
                 self.reset_statistics();
@@ -161,6 +167,19 @@ impl<'a> Engine<'a> {
                 t.push(dispatched);
             }
             self.cycle += 1;
+        }
+        if self.committed < n {
+            // Watchdog fired. The forensic snapshot must be bit-identical
+            // to the event-driven engine's at the same budget — it is
+            // part of the equivalence contract.
+            return Err(SimError::BudgetExceeded(BudgetForensics {
+                budget,
+                cycle: self.cycle,
+                committed: self.committed,
+                trace_ops: n,
+                fetched: self.fetch_idx as u64,
+                window_occupancy: self.rob.len() as u32,
+            }));
         }
         // Accounting conservation, mirrored by lint BMP203: every offered
         // dispatch slot is attributed to exactly one cause, and the ROB
@@ -176,7 +195,7 @@ impl<'a> Engine<'a> {
             cycles,
             "ROB-occupancy histogram missed cycles (BMP203)"
         );
-        SimResult {
+        Ok(SimResult {
             cycles: self.cycle - self.stats_start_cycle,
             instructions: self.committed - self.stats_start_committed,
             branch_stats: self.branch_stats,
@@ -189,7 +208,7 @@ impl<'a> Engine<'a> {
             fetch: self.fetch_acct,
             rob_occupancy: self.rob_occupancy,
             class_issue: self.class_issue,
-        }
+        })
     }
 
     /// Crosses the warmup boundary: zero every statistic while keeping
