@@ -30,6 +30,9 @@ OPTIONS:
     --journal PATH    lint a run journal (results/run_journal.json) with
                       the BMP4xx rules; given alone, skips the other
                       passes like --profile does
+    --metrics PATH    lint a metrics document (results/metrics/*.json) or
+                      a whole metrics directory with the BMP5xx rules;
+                      given alone, skips the other passes too
     --ops N           trace length per workload profile (default 2000)
     --no-traces       lint machine presets only; skip workload traces
     --list            list preset and profile names, then exit
@@ -65,6 +68,7 @@ struct Options {
     preset: Option<String>,
     profile: Option<String>,
     journal: Option<String>,
+    metrics: Option<String>,
     ops: usize,
     no_traces: bool,
     list: bool,
@@ -76,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         preset: None,
         profile: None,
         journal: None,
+        metrics: None,
         ops: 2000,
         no_traces: false,
         list: false,
@@ -104,6 +109,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.journal = Some(
                     it.next()
                         .ok_or_else(|| "--journal needs a path".to_owned())?
+                        .clone(),
+                );
+            }
+            "--metrics" => {
+                opts.metrics = Some(
+                    it.next()
+                        .ok_or_else(|| "--metrics needs a path".to_owned())?
                         .clone(),
                 );
             }
@@ -209,10 +221,51 @@ fn main() -> ExitCode {
         ));
     }
 
+    // Pass 0b: metrics documents. `--metrics` accepts one file or a
+    // directory of them (`results/metrics/`); like the journal, a
+    // missing path is a usage error, not a finding.
+    if let Some(path) = &opts.metrics {
+        let mut files: Vec<std::path::PathBuf> = Vec::new();
+        let p = std::path::Path::new(path);
+        if p.is_dir() {
+            match std::fs::read_dir(p) {
+                Ok(entries) => {
+                    files.extend(
+                        entries
+                            .filter_map(|e| e.ok().map(|e| e.path()))
+                            .filter(|p| p.extension().is_some_and(|x| x == "json")),
+                    );
+                    files.sort();
+                }
+                Err(e) => {
+                    eprintln!("bmp-lint: cannot read metrics directory '{path}': {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(p.to_path_buf());
+        }
+        for file in files {
+            let text = match std::fs::read_to_string(&file) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("bmp-lint: cannot read metrics '{}': {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            };
+            targets += 1;
+            report.merge(scoped(
+                &format!("metrics {}", file.display()),
+                AnalysisReport::new(bmp_analyze::lint_metrics_text(&text)),
+            ));
+        }
+    }
+
     // Pass 1: every selected machine preset on its own. A bare
-    // `--profile` (or `--journal`) request means "lint this target", so
-    // the preset sweep only runs when presets were not narrowed away.
-    let narrowed = opts.profile.is_some() || opts.journal.is_some();
+    // `--profile` (or `--journal` / `--metrics`) request means "lint
+    // this target", so the preset sweep only runs when presets were not
+    // narrowed away.
+    let narrowed = opts.profile.is_some() || opts.journal.is_some() || opts.metrics.is_some();
     if !narrowed || opts.preset.is_some() {
         for (name, cfg) in &machines {
             targets += 1;
@@ -223,7 +276,9 @@ fn main() -> ExitCode {
     // Pass 2: every selected workload profile — trace well-formedness,
     // then model- and simulator-side conservation on the reference
     // (baseline) machine.
-    if !opts.no_traces && (opts.journal.is_none() || opts.profile.is_some()) {
+    if !opts.no_traces
+        && ((opts.journal.is_none() && opts.metrics.is_none()) || opts.profile.is_some())
+    {
         let reference = presets::baseline_4wide();
         let simulator = Simulator::new(reference.clone());
         for profile in &profiles {

@@ -159,6 +159,7 @@ mod tests {
                 RunStatus::Completed => None,
                 RunStatus::Failed => Some("boom".to_owned()),
             },
+            metrics: None,
         }
     }
 
@@ -200,6 +201,7 @@ mod tests {
                 fingerprint: 3,
                 attempts: 0,
                 error: None,
+                metrics: None,
             },
             ExperimentRecord {
                 name: "c_exp".to_owned(),
@@ -207,6 +209,7 @@ mod tests {
                 fingerprint: 4,
                 attempts: 1,
                 error: Some("leftover".to_owned()),
+                metrics: None,
             },
         ];
         let codes: Vec<_> = lint_journal(&j).iter().map(|d| d.code).collect();

@@ -30,12 +30,18 @@
 //!   `--resume` trusts must parse, carry a supported version, and keep
 //!   its per-experiment records unique, attempted, status/error
 //!   consistent, fingerprinted and name-sorted.
+//! * `BMP5xx` — metrics-file consistency ([`metrics`]): the
+//!   `results/metrics/*.json` observability documents written under
+//!   `BMP_METRICS=1` (see `docs/OBSERVABILITY.md`) must parse, keep the
+//!   contributor and carryover identities, count one branch interval
+//!   per mispredict, conserve refill cycles, keep their histograms
+//!   complete, and carry a CPI stack that tracks the measured CPI.
 //!
 //! [`analyze`] is the one-call entry point; the `bmp-lint` binary runs it
 //! over presets, workload profiles, or both (plus `--journal` for run
-//! journals), and renders either a compiler-style listing or JSON
-//! (`bmp-lint --json`). The full code catalogue lives in
-//! `docs/ANALYZER.md`.
+//! journals and `--metrics` for observability documents), and renders
+//! either a compiler-style listing or JSON (`bmp-lint --json`). The full
+//! code catalogue lives in `docs/ANALYZER.md`.
 
 #![warn(missing_docs)]
 
@@ -44,6 +50,7 @@ pub mod conserve;
 pub mod diag;
 pub mod journal;
 pub mod machine;
+pub mod metrics;
 pub mod tracelint;
 
 pub use compiledlint::{lint_compiled, lint_producer_table};
@@ -51,6 +58,7 @@ pub use conserve::{lint_cpi_stack, lint_penalty_analysis, lint_sim_result};
 pub use diag::{AnalysisReport, Diagnostic, Severity};
 pub use journal::{lint_journal, lint_journal_text};
 pub use machine::{lint_fu_coverage, lint_machine};
+pub use metrics::{lint_metrics, lint_metrics_text};
 pub use tracelint::{lint_dag_edges, lint_measured_pairs, lint_trace};
 
 use bmp_core::PenaltyModel;

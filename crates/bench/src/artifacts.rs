@@ -13,7 +13,7 @@
 //! instance — never a duplicate computation, never a different value.
 //!
 //! A *panicking* computation must not wedge the cache: the panic is
-//! caught, recorded as a [`Slot::Failed`] with its structured
+//! caught, recorded as a `Slot::Failed` with its structured
 //! [`CellError`], every blocked waiter is woken and re-raises that same
 //! error (no waiter recomputes, no waiter deadlocks), and the original
 //! computing thread re-panics with the structured payload so

@@ -1,0 +1,104 @@
+//! Renders `results/metrics/*.json` (written by `run_all` under
+//! `BMP_METRICS=1`) into human tables, flat CSV, or a diff against a
+//! prior run — the reading side of the observability layer documented
+//! in `docs/OBSERVABILITY.md`.
+//!
+//! ```sh
+//! bmp-report                         # tables from results/metrics/
+//! bmp-report path/to/metrics         # explicit metrics directory
+//! bmp-report --csv                   # one flat CSV on stdout
+//! bmp-report --diff old/metrics      # compare against a prior run
+//! ```
+//!
+//! Exit codes: 0 success (for `--diff`: no differences); 1 `--diff`
+//! found differences — scriptable regression triage, like `diff(1)`;
+//! 2 a metrics directory could not be read or parsed.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bmp_bench::report;
+
+/// Writes to stdout, swallowing broken-pipe errors so
+/// `bmp-report | head` exits cleanly instead of panicking.
+fn out(text: &str) {
+    let _ = write!(std::io::stdout(), "{text}");
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bmp-report [DIR] [--csv] [--diff OLD_DIR]");
+    eprintln!("  DIR defaults to results/metrics");
+    ExitCode::from(bmp_bench::EXIT_WRITE_FAILED)
+}
+
+fn main() -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut csv = false;
+    let mut diff_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv" => csv = true,
+            "--diff" => match args.next() {
+                Some(d) => diff_dir = Some(PathBuf::from(d)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::from(bmp_bench::EXIT_OK);
+            }
+            other if !other.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(other));
+            }
+            _ => return usage(),
+        }
+    }
+    let dir = dir.unwrap_or_else(|| PathBuf::from("results/metrics"));
+
+    let docs = match report::load_dir(&dir) {
+        Ok(docs) => docs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("hint: metrics files are written by run_all under BMP_METRICS=1");
+            return ExitCode::from(bmp_bench::EXIT_WRITE_FAILED);
+        }
+    };
+
+    if let Some(old_dir) = diff_dir {
+        let old = match report::load_dir(&old_dir) {
+            Ok(docs) => docs,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(bmp_bench::EXIT_WRITE_FAILED);
+            }
+        };
+        let d = report::diff(&old, &docs);
+        out(&d.render());
+        return if d.is_empty() {
+            ExitCode::from(bmp_bench::EXIT_OK)
+        } else {
+            ExitCode::from(bmp_bench::EXIT_EXPERIMENT_FAILED)
+        };
+    }
+
+    if csv {
+        out(&report::to_csv(&docs));
+        return ExitCode::from(bmp_bench::EXIT_OK);
+    }
+
+    if docs.is_empty() {
+        eprintln!(
+            "no metrics files under {} (run run_all with BMP_METRICS=1 first)",
+            dir.display()
+        );
+        return ExitCode::from(bmp_bench::EXIT_OK);
+    }
+    for t in report::summary_tables(&docs) {
+        out(&format!("{}\n", t.to_markdown()));
+    }
+    for t in report::cpi_stack_tables(&docs) {
+        out(&format!("{}\n", t.to_markdown()));
+    }
+    ExitCode::from(bmp_bench::EXIT_OK)
+}

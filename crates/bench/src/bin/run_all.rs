@@ -20,7 +20,11 @@
 //! Scale with `BMP_OPS` / `BMP_SEED`; pick the worker count with
 //! `BMP_THREADS` (default: available parallelism, `1` = sequential).
 //! The produced CSVs are byte-identical for any thread count and any
-//! survivable fault schedule.
+//! survivable fault schedule — and for `BMP_METRICS` on or off: with
+//! `BMP_METRICS=1` the run *additionally* writes per-experiment
+//! accounting files under `results/metrics/` (render them with
+//! `bmp-report`; schema in `docs/OBSERVABILITY.md`) and records their
+//! paths in the journal.
 //!
 //! Exit codes: 0 all good; 1 at least one experiment ultimately failed;
 //! 2 experiments succeeded but output could not be written.
@@ -31,10 +35,10 @@ use std::process::ExitCode;
 use std::sync::Mutex;
 
 use bmp_bench::engine::{
-    attempts_from_env, experiment_fingerprint, threads_from_env, ExperimentOutcome, OutcomeKind,
-    RunPolicy,
+    attempts_from_env, experiment_defs, experiment_fingerprint, threads_from_env,
+    ExperimentOutcome, OutcomeKind, RunPolicy,
 };
-use bmp_bench::{save_under_with, write_atomic, FaultPlan};
+use bmp_bench::{metrics, save_under_with, write_atomic, FaultPlan};
 use bmp_core::journal::{ExperimentRecord, RunJournal, RunStatus};
 
 fn usage() -> ExitCode {
@@ -129,6 +133,7 @@ fn main() -> ExitCode {
             fingerprint: experiment_fingerprint(outcome.name, scale),
             attempts: outcome.attempts,
             error: None,
+            metrics: None,
         };
         match &outcome.kind {
             // Skipped experiments keep their carried-over record.
@@ -140,6 +145,26 @@ fn main() -> ExitCode {
                     write_errors.lock().expect("write log poisoned").push(msg);
                     record.status = RunStatus::Failed;
                     record.error = Some(format!("write failed: {e}"));
+                } else if metrics::metrics_enabled() {
+                    // Aggregate this experiment's per-interval records
+                    // out of the warm cache and persist them next to
+                    // the CSV. Metrics are advisory like the journal: a
+                    // write failure is logged for the exit code but
+                    // never fails the experiment.
+                    if let Some(def) = experiment_defs()
+                        .into_iter()
+                        .find(|d| d.name == outcome.name)
+                    {
+                        let doc = metrics::collect_experiment(engine.ctx(), &def, scale);
+                        match metrics::save_metrics(results_dir, &doc) {
+                            Ok(_) => record.metrics = Some(metrics::relative_path(&doc.name)),
+                            Err(e) => {
+                                let msg = format!("cannot write metrics for {}: {e}", outcome.name);
+                                eprintln!("error: {msg}");
+                                write_errors.lock().expect("write log poisoned").push(msg);
+                            }
+                        }
+                    }
                 }
             }
             OutcomeKind::Failed(e) => {

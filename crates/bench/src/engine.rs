@@ -124,6 +124,7 @@ pub struct Ctx {
     sims: Memo<SimResult>,
     analyses: Memo<PenaltyAnalysis>,
     engine: EngineChoice,
+    metrics: bool,
     phases: PhaseNanos,
 }
 
@@ -135,7 +136,9 @@ impl Default for Ctx {
 
 impl Ctx {
     /// A fresh, empty context. Simulations route through the event-driven
-    /// engine unless `BMP_REFERENCE_ENGINE=1` is set.
+    /// engine unless `BMP_REFERENCE_ENGINE=1` is set; per-interval
+    /// accounting is collected when `BMP_METRICS=1` (see
+    /// `docs/OBSERVABILITY.md`).
     pub fn new() -> Self {
         let engine = if bmp_sim::reference_engine_forced() {
             EngineChoice::Reference
@@ -145,15 +148,24 @@ impl Ctx {
         Self::with_engine(engine)
     }
 
-    /// A fresh, empty context with an explicit engine choice (ignoring
-    /// the environment).
+    /// A fresh, empty context with an explicit engine choice; metrics
+    /// collection still follows `BMP_METRICS`.
     pub fn with_engine(engine: EngineChoice) -> Self {
+        Self::with_settings(engine, crate::metrics::metrics_enabled())
+    }
+
+    /// A fresh, empty context with both the engine choice and the
+    /// metrics switch pinned explicitly (ignoring the environment) —
+    /// the constructor tests use to exercise metrics collection without
+    /// mutating process-global state.
+    pub fn with_settings(engine: EngineChoice, metrics: bool) -> Self {
         Self {
             traces: Memo::default(),
             compiled: Memo::default(),
             sims: Memo::default(),
             analyses: Memo::default(),
             engine,
+            metrics,
             phases: PhaseNanos::default(),
         }
     }
@@ -161,6 +173,11 @@ impl Ctx {
     /// The engine this context routes simulations through.
     pub fn engine(&self) -> EngineChoice {
         self.engine
+    }
+
+    /// Whether simulations collect per-interval accounting records.
+    pub fn metrics_on(&self) -> bool {
+        self.metrics
     }
 
     /// The per-phase compute-time snapshot.
@@ -244,7 +261,24 @@ impl Ctx {
     /// this context's [`EngineChoice`]: the event-driven engine reuses the
     /// cached compiled trace, the reference engine runs the original
     /// scan-everything loop. Both produce bit-identical results.
+    ///
+    /// With metrics on (`BMP_METRICS=1`), the simulation additionally
+    /// collects per-interval accounting records
+    /// ([`SimOptions::collect_intervals`]); the records are pure
+    /// observation, so every other `SimResult` field — and therefore
+    /// every CSV derived from it — is unchanged.
     pub fn sim(&self, sim: &Simulator, trace: &TraceHandle) -> Arc<SimResult> {
+        if self.metrics && !sim.options().collect_intervals {
+            let instrumented =
+                Simulator::with_options(sim.config().clone(), sim.options().intervals());
+            return self.sim_uncached_options(&instrumented, trace);
+        }
+        self.sim_uncached_options(sim, trace)
+    }
+
+    /// [`sim`](Ctx::sim) without the metrics flip — the cache lookup
+    /// itself, keyed by exactly the simulator passed in.
+    fn sim_uncached_options(&self, sim: &Simulator, trace: &TraceHandle) -> Arc<SimResult> {
         let key = cache_key("sim", &[sim.fingerprint(), trace.key]);
         match self.engine {
             EngineChoice::EventDriven => {
@@ -1039,7 +1073,7 @@ impl Engine {
         self.run_tolerant(&experiment_defs(), scale, policy, on_done)
     }
 
-    /// Fault-tolerant form of [`run`](Engine::run) over explicit `defs`.
+    /// Fault-tolerant form of `Engine::run` over explicit `defs`.
     ///
     /// Determinism contract: because every artifact is a pure function
     /// of its cache key, a retried experiment recomputes exactly the

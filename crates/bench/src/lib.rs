@@ -16,6 +16,12 @@
 //! `BMP_THREADS` picks the worker count (default: available parallelism;
 //! `1` is the exact legacy sequential path). Results are independent of
 //! the thread count, byte for byte.
+//!
+//! `BMP_METRICS=1` turns on the observability layer: simulations collect
+//! per-interval accounting records and `run_all` writes one aggregated
+//! metrics file per experiment under `results/metrics/` (see [`metrics`],
+//! the `bmp-report` binary, and `docs/OBSERVABILITY.md`). Off by default;
+//! when off the CSV outputs are byte-identical either way.
 
 pub mod artifacts;
 pub mod convert;
@@ -23,13 +29,16 @@ pub mod engine;
 pub mod error;
 pub mod experiments;
 pub mod fault;
+pub mod metrics;
 pub mod pool;
+pub mod report;
 pub mod scale;
 pub mod table;
 
 pub use engine::{Ctx, Engine, EngineChoice, PhaseReport};
 pub use error::{CellError, CellErrorKind};
 pub use fault::{FaultKind, FaultPlan, FaultSite};
+pub use metrics::{collect_experiment, metrics_enabled, MetricsRecorder};
 pub use scale::Scale;
 pub use table::Table;
 

@@ -1,0 +1,304 @@
+//! Opt-in observability collection for the experiment harness.
+//!
+//! With `BMP_METRICS=1`, every simulation routed through the shared
+//! [`Ctx`] collects per-interval accounting records
+//! ([`bmp_core::accounting`]), and `run_all` writes one aggregated
+//! metrics file per completed experiment under `results/metrics/`
+//! (schema: [`bmp_core::metrics`], contract: `docs/OBSERVABILITY.md`).
+//! With the variable unset nothing here runs and the simulators skip
+//! record collection entirely, so the produced CSVs are byte-identical
+//! to a metrics-off run — the golden-table tests pin this down.
+//!
+//! Collection is lock-free by construction: each experiment's
+//! [`MetricsRecorder`] lives on the worker thread that ran the
+//! experiment (the `on_done` callback of the tolerant engine), reads
+//! only the already-thread-safe content-addressed caches, and writes
+//! its own file. Nothing is shared between recorders, so aggregating
+//! across the [`ThreadPool`](crate::pool::ThreadPool) needs no locks
+//! and cannot perturb experiment timing.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use bmp_core::accounting::records_from_analysis;
+use bmp_core::{cpi, ExperimentMetrics, ModelMetrics, PenaltyAnalysis, WorkloadMetrics};
+use bmp_sim::{SimOptions, SimResult, Simulator};
+use bmp_uarch::presets;
+
+use crate::engine::{Ctx, ExperimentDef};
+use crate::{write_atomic, Scale};
+
+/// Whether metrics collection is on for this process: `BMP_METRICS=1`.
+/// Read once and cached, mirroring `BMP_REFERENCE_ENGINE` handling.
+pub fn metrics_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| std::env::var("BMP_METRICS").is_ok_and(|v| v == "1"))
+}
+
+/// Per-experiment metrics accumulator.
+///
+/// One recorder is created per completed experiment, on the worker
+/// thread that settles it; it owns its [`ExperimentMetrics`] document
+/// outright (no sharing, no locks) and hands the finished document
+/// back through [`finish`](MetricsRecorder::finish).
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    doc: ExperimentMetrics,
+}
+
+impl MetricsRecorder {
+    /// A fresh recorder for the named experiment at `scale`.
+    pub fn new(name: &str, scale: Scale) -> Self {
+        Self {
+            doc: ExperimentMetrics::new(name, scale.ops as u64, scale.seed),
+        }
+    }
+
+    /// Aggregates a simulation's interval records into a workload entry.
+    pub fn record_sim(&mut self, workload: &str, result: &SimResult) {
+        self.doc.workloads.push(WorkloadMetrics::from_records(
+            workload,
+            result.instructions,
+            result.cycles,
+            result.frontend_depth,
+            result.mispredicts.len() as u64,
+            &result.interval_records,
+        ));
+    }
+
+    /// Attaches the analytical model's view to the workload's entry. A
+    /// workload no simulation cell covered gets a model-only entry
+    /// built from the analysis' own interval records, with `cycles`
+    /// left 0 (the documented "no measured epoch" marker).
+    pub fn record_model(
+        &mut self,
+        workload: &str,
+        analysis: &PenaltyAnalysis,
+        stack: cpi::CpiStack,
+    ) {
+        let model = ModelMetrics::from_analysis(analysis, stack);
+        if let Some(w) = self
+            .doc
+            .workloads
+            .iter_mut()
+            .find(|w| w.workload == workload)
+        {
+            w.model = Some(model);
+            return;
+        }
+        let records = records_from_analysis(analysis);
+        let mut w = WorkloadMetrics::from_records(
+            workload,
+            analysis.instructions as u64,
+            0,
+            analysis.frontend_depth,
+            analysis.breakdowns.len() as u64,
+            &records,
+        );
+        w.model = Some(model);
+        self.doc.workloads.push(w);
+    }
+
+    /// The finished document, workloads in name order (deterministic
+    /// bytes regardless of cell declaration order).
+    pub fn finish(mut self) -> ExperimentMetrics {
+        self.doc
+            .workloads
+            .sort_by(|a, b| a.workload.cmp(&b.workload));
+        self.doc
+    }
+}
+
+/// Builds the metrics document for one settled experiment by replaying
+/// its declared cells against the warm [`Ctx`] cache.
+///
+/// Every lookup here is a cache hit for work the experiment already
+/// did — the same `(simulator fingerprint, trace key)` addresses — so
+/// collection adds no simulation time. Workloads are recognized from
+/// the cell labels (`{workload}/sim-baseline`, `{workload}/sim-warmup`,
+/// `{workload}/analysis-baseline`); trace-only and oracle cells carry
+/// no accounting and are skipped, as are experiments whose sweeps use
+/// no shared cells at all (their metrics file has an empty `workloads`
+/// array).
+pub fn collect_experiment(ctx: &Ctx, def: &ExperimentDef, scale: Scale) -> ExperimentMetrics {
+    let mut recorder = MetricsRecorder::new(def.name, scale);
+    // Group the experiment's cell kinds by workload, preserving the
+    // declaration order (the recorder sorts by name at the end).
+    let mut per_workload: Vec<(String, Vec<String>)> = Vec::new();
+    for cell in (def.cells)() {
+        if let Some((wl, kind)) = cell.label.split_once('/') {
+            match per_workload.iter_mut().find(|(name, _)| name == wl) {
+                Some((_, kinds)) => kinds.push(kind.to_string()),
+                None => per_workload.push((wl.to_string(), vec![kind.to_string()])),
+            }
+        }
+    }
+    for (workload, kinds) in &per_workload {
+        let Ok(trace) = ctx.try_named_trace(workload, scale) else {
+            continue;
+        };
+        // Prefer the plain baseline simulation; ex8 pairs it with a
+        // warmup run and the baseline is the comparable epoch.
+        let sim = if kinds.iter().any(|k| k == "sim-baseline") {
+            Some(Simulator::new(presets::baseline_4wide()))
+        } else if kinds.iter().any(|k| k == "sim-warmup") {
+            Some(Simulator::with_options(
+                presets::baseline_4wide(),
+                SimOptions::with_warmup(scale.ops as u64 / 5),
+            ))
+        } else {
+            None
+        };
+        if let Some(sim) = sim {
+            let result = ctx.sim(&sim, &trace);
+            recorder.record_sim(workload, &result);
+        }
+        if kinds.iter().any(|k| k == "analysis-baseline") {
+            let cfg = presets::baseline_4wide();
+            let analysis = ctx.analyze(&cfg, &trace);
+            let stack = cpi::predict(&trace, &cfg);
+            recorder.record_model(workload, &analysis, stack);
+        }
+    }
+    recorder.finish()
+}
+
+/// The on-disk location of an experiment's metrics file relative to
+/// the results directory — the path stored in the run journal.
+pub fn relative_path(name: &str) -> String {
+    format!("metrics/{name}.json")
+}
+
+/// Persists `doc` as `<results_dir>/metrics/<name>.json`, crash-safely
+/// (see [`write_atomic`]).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error when the metrics directory or the
+/// file cannot be written.
+pub fn save_metrics(results_dir: &Path, doc: &ExperimentMetrics) -> std::io::Result<PathBuf> {
+    let dir = results_dir.join("metrics");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{}.json", doc.name));
+    write_atomic(&path, doc.to_json().as_bytes())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{experiment_defs, EngineChoice};
+    use bmp_core::metrics::HISTOGRAM_BUCKETS;
+
+    fn def(name: &str) -> ExperimentDef {
+        experiment_defs()
+            .into_iter()
+            .find(|d| d.name == name)
+            .expect("known experiment")
+    }
+
+    fn scale() -> Scale {
+        Scale {
+            ops: 2_000,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn collects_sim_and_model_sections() {
+        let ctx = Ctx::with_settings(EngineChoice::EventDriven, true);
+        let doc = collect_experiment(&ctx, &def("fig2_penalty_per_benchmark"), scale());
+        assert_eq!(doc.name, "fig2_penalty_per_benchmark");
+        assert!(!doc.workloads.is_empty());
+        // Workloads are sorted and fully populated: a measured epoch,
+        // interval records, and the model section.
+        let names: Vec<&str> = doc.workloads.iter().map(|w| w.workload.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        for w in &doc.workloads {
+            assert!(w.cycles > 0, "{}: simulated epoch present", w.workload);
+            assert_eq!(w.length_histogram.len(), HISTOGRAM_BUCKETS);
+            assert_eq!(
+                w.intervals.bmiss, w.mispredicts,
+                "{}: one branch interval per mispredict",
+                w.workload
+            );
+            assert_eq!(
+                w.length_histogram.iter().sum::<u64>(),
+                w.intervals.total(),
+                "{}: histogram covers every interval",
+                w.workload
+            );
+            let m = w.model.as_ref().expect("model section");
+            assert_eq!(
+                m.local_resolution,
+                m.base + m.ilp + m.fu_latency + m.short_dmiss
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_only_workloads_get_model_entries() {
+        let ctx = Ctx::with_settings(EngineChoice::EventDriven, true);
+        let doc = collect_experiment(&ctx, &def("fig4_interval_distribution"), scale());
+        assert!(!doc.workloads.is_empty());
+        for w in &doc.workloads {
+            assert_eq!(w.cycles, 0, "{}: model-only marker", w.workload);
+            assert!(w.model.is_some());
+            assert!(w.intervals.total() > 0);
+        }
+    }
+
+    #[test]
+    fn cell_free_experiments_produce_empty_documents() {
+        let ctx = Ctx::with_settings(EngineChoice::EventDriven, true);
+        let doc = collect_experiment(&ctx, &def("fig8_ilp"), scale());
+        assert!(doc.workloads.is_empty());
+        // Still a valid, round-trippable document.
+        let back = ExperimentMetrics::parse(&doc.to_json()).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn collection_is_engine_independent() {
+        let event = collect_experiment(
+            &Ctx::with_settings(EngineChoice::EventDriven, true),
+            &def("table2_benchmarks"),
+            scale(),
+        );
+        let reference = collect_experiment(
+            &Ctx::with_settings(EngineChoice::Reference, true),
+            &def("table2_benchmarks"),
+            scale(),
+        );
+        assert_eq!(event, reference);
+        assert_eq!(event.to_json(), reference.to_json());
+    }
+
+    #[test]
+    fn save_metrics_round_trips() {
+        let ctx = Ctx::with_settings(EngineChoice::EventDriven, true);
+        let doc = collect_experiment(&ctx, &def("fig3_penalty_vs_interval"), scale());
+        let tmp = std::env::temp_dir().join("bmp_bench_metrics_save_test");
+        let path = save_metrics(&tmp, &doc).unwrap();
+        assert!(path.ends_with(relative_path(&doc.name)));
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&tmp).ok();
+        assert_eq!(ExperimentMetrics::parse(&body).unwrap(), doc);
+    }
+
+    #[test]
+    fn metrics_off_context_collects_no_records() {
+        let ctx = Ctx::with_settings(EngineChoice::EventDriven, false);
+        let doc = collect_experiment(&ctx, &def("table2_benchmarks"), scale());
+        for w in &doc.workloads {
+            assert_eq!(
+                w.intervals.total(),
+                0,
+                "{}: no records without BMP_METRICS",
+                w.workload
+            );
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! Rendering of `results/metrics/*.json` into human tables, flat CSV,
+//! and run-to-run diffs — the library behind the `bmp-report` binary.
+//!
+//! Everything here is deterministic: documents are processed in
+//! name order and floats are formatted with fixed precision, so two
+//! renders of the same files are byte-identical (the golden diff test
+//! relies on this).
+
+use std::path::Path;
+
+use bmp_core::{ExperimentMetrics, WorkloadMetrics};
+
+use crate::Table;
+
+/// Loads and parses every `*.json` under `dir`, sorted by file name.
+///
+/// # Errors
+///
+/// Returns a description naming the offending file when the directory
+/// cannot be read or a file fails to parse — partial reports would
+/// silently hide regressions, so one bad file fails the load.
+pub fn load_dir(dir: &Path) -> Result<Vec<ExperimentMetrics>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    let mut docs = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc =
+            ExperimentMetrics::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        docs.push(doc);
+    }
+    Ok(docs)
+}
+
+fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+fn opt3(v: Option<f64>) -> String {
+    v.map(fmt3).unwrap_or_else(|| "-".into())
+}
+
+/// One summary table per experiment: the per-workload measured epoch
+/// and interval counts (the simulator's side of the accounting).
+pub fn summary_tables(docs: &[ExperimentMetrics]) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for doc in docs {
+        if doc.workloads.is_empty() {
+            continue;
+        }
+        let mut t = Table::new(
+            &format!("metrics_{}", doc.name),
+            &format!("Metrics: {} (ops={}, seed={})", doc.name, doc.ops, doc.seed),
+            &[
+                "workload",
+                "instructions",
+                "cycles",
+                "cpi",
+                "mispredicts",
+                "bmiss",
+                "il1",
+                "il2",
+                "dlong",
+                "mean_penalty",
+            ],
+        );
+        for w in &doc.workloads {
+            t.push_row(vec![
+                w.workload.clone(),
+                w.instructions.to_string(),
+                w.cycles.to_string(),
+                if w.cycles == 0 {
+                    "-".into() // model-only entry: no measured epoch
+                } else {
+                    fmt3(w.measured_cpi())
+                },
+                w.mispredicts.to_string(),
+                w.intervals.bmiss.to_string(),
+                w.intervals.il1.to_string(),
+                w.intervals.il2.to_string(),
+                w.intervals.dlong.to_string(),
+                opt3(w.mean_penalty()),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// One CPI-stack table per experiment that carries model sections: the
+/// analytical model's first-order CPI decomposition plus the penalty
+/// contributor totals.
+pub fn cpi_stack_tables(docs: &[ExperimentMetrics]) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for doc in docs {
+        let modeled: Vec<&WorkloadMetrics> =
+            doc.workloads.iter().filter(|w| w.model.is_some()).collect();
+        if modeled.is_empty() {
+            continue;
+        }
+        let mut t = Table::new(
+            &format!("cpi_stack_{}", doc.name),
+            &format!("CPI stack: {}", doc.name),
+            &[
+                "workload",
+                "base_cpi",
+                "branch_cpi",
+                "icache_cpi",
+                "dmiss_cpi",
+                "model_cpi",
+                "base",
+                "ilp",
+                "fu_latency",
+                "short_dmiss",
+                "carryover",
+            ],
+        );
+        for w in modeled {
+            let m = w.model.as_ref().expect("filtered to modeled workloads");
+            let s = &m.cpi_stack;
+            let n = s.instructions.max(1) as f64;
+            t.push_row(vec![
+                w.workload.clone(),
+                fmt3(s.base_cycles / n),
+                fmt3(s.branch_cycles / n),
+                fmt3(s.icache_cycles / n),
+                fmt3(s.long_dmiss_cycles / n),
+                fmt3(s.cpi()),
+                m.base.to_string(),
+                m.ilp.to_string(),
+                m.fu_latency.to_string(),
+                m.short_dmiss.to_string(),
+                m.carryover.to_string(),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+/// The whole run as one flat CSV (a row per experiment × workload),
+/// for spreadsheet and scripting use. Model columns are empty for
+/// workloads without a model section.
+pub fn to_csv(docs: &[ExperimentMetrics]) -> String {
+    let mut out = String::from(
+        "experiment,workload,instructions,cycles,cpi,mispredicts,\
+         bmiss,il1,il2,dlong,resolution_total,refill_total,occupancy_total,mean_penalty,\
+         model_base,model_ilp,model_fu_latency,model_short_dmiss,model_carryover,model_cpi\n",
+    );
+    for doc in docs {
+        for w in &doc.workloads {
+            let (base, ilp, fu, sd, co, mcpi) = match &w.model {
+                Some(m) => (
+                    m.base.to_string(),
+                    m.ilp.to_string(),
+                    m.fu_latency.to_string(),
+                    m.short_dmiss.to_string(),
+                    m.carryover.to_string(),
+                    fmt3(m.cpi_stack.cpi()),
+                ),
+                None => Default::default(),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{base},{ilp},{fu},{sd},{co},{mcpi}\n",
+                doc.name,
+                w.workload,
+                w.instructions,
+                w.cycles,
+                if w.cycles == 0 {
+                    String::new()
+                } else {
+                    fmt3(w.measured_cpi())
+                },
+                w.mispredicts,
+                w.intervals.bmiss,
+                w.intervals.il1,
+                w.intervals.il2,
+                w.intervals.dlong,
+                w.resolution_total,
+                w.refill_total,
+                w.occupancy_total,
+                w.mean_penalty().map(fmt3).unwrap_or_default(),
+            ));
+        }
+    }
+    out
+}
+
+/// The outcome of comparing two metrics runs.
+#[derive(Debug, Default)]
+pub struct Diff {
+    /// One line per changed per-workload quantity
+    /// (`experiment/workload: field old -> new`).
+    pub changes: Vec<String>,
+    /// Experiments or workloads present only in the new run.
+    pub added: Vec<String>,
+    /// Experiments or workloads present only in the old run.
+    pub removed: Vec<String>,
+}
+
+impl Diff {
+    /// True when the runs are metrically identical.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty() && self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Renders the diff for the terminal: change lines, then
+    /// added/removed entries, then a one-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.changes {
+            out.push_str(c);
+            out.push('\n');
+        }
+        for a in &self.added {
+            out.push_str(&format!("added: {a}\n"));
+        }
+        for r in &self.removed {
+            out.push_str(&format!("removed: {r}\n"));
+        }
+        out.push_str(&format!(
+            "{} changed value(s), {} added, {} removed\n",
+            self.changes.len(),
+            self.added.len(),
+            self.removed.len()
+        ));
+        out
+    }
+}
+
+fn pct(old: f64, new: f64) -> String {
+    if old == 0.0 {
+        String::new()
+    } else {
+        format!(" ({:+.2}%)", (new - old) / old * 100.0)
+    }
+}
+
+fn diff_u64(changes: &mut Vec<String>, locus: &str, field: &str, old: u64, new: u64) {
+    if old != new {
+        changes.push(format!(
+            "{locus}: {field} {old} -> {new}{}",
+            pct(old as f64, new as f64)
+        ));
+    }
+}
+
+fn diff_workload(
+    changes: &mut Vec<String>,
+    locus: &str,
+    old: &WorkloadMetrics,
+    new: &WorkloadMetrics,
+) {
+    diff_u64(
+        changes,
+        locus,
+        "instructions",
+        old.instructions,
+        new.instructions,
+    );
+    diff_u64(changes, locus, "cycles", old.cycles, new.cycles);
+    diff_u64(
+        changes,
+        locus,
+        "mispredicts",
+        old.mispredicts,
+        new.mispredicts,
+    );
+    diff_u64(
+        changes,
+        locus,
+        "bmiss_intervals",
+        old.intervals.bmiss,
+        new.intervals.bmiss,
+    );
+    diff_u64(
+        changes,
+        locus,
+        "il1_intervals",
+        old.intervals.il1,
+        new.intervals.il1,
+    );
+    diff_u64(
+        changes,
+        locus,
+        "il2_intervals",
+        old.intervals.il2,
+        new.intervals.il2,
+    );
+    diff_u64(
+        changes,
+        locus,
+        "dlong_intervals",
+        old.intervals.dlong,
+        new.intervals.dlong,
+    );
+    diff_u64(
+        changes,
+        locus,
+        "resolution_total",
+        old.resolution_total,
+        new.resolution_total,
+    );
+    diff_u64(
+        changes,
+        locus,
+        "refill_total",
+        old.refill_total,
+        new.refill_total,
+    );
+    diff_u64(
+        changes,
+        locus,
+        "occupancy_total",
+        old.occupancy_total,
+        new.occupancy_total,
+    );
+    match (&old.model, &new.model) {
+        (Some(om), Some(nm)) => {
+            diff_u64(
+                changes,
+                locus,
+                "model.resolution",
+                om.resolution,
+                nm.resolution,
+            );
+            diff_u64(changes, locus, "model.base", om.base, nm.base);
+            diff_u64(changes, locus, "model.ilp", om.ilp, nm.ilp);
+            diff_u64(
+                changes,
+                locus,
+                "model.fu_latency",
+                om.fu_latency,
+                nm.fu_latency,
+            );
+            diff_u64(
+                changes,
+                locus,
+                "model.short_dmiss",
+                om.short_dmiss,
+                nm.short_dmiss,
+            );
+            if om.carryover != nm.carryover {
+                changes.push(format!(
+                    "{locus}: model.carryover {} -> {}",
+                    om.carryover, nm.carryover
+                ));
+            }
+            let (oc, nc) = (om.cpi_stack.cpi(), nm.cpi_stack.cpi());
+            if fmt3(oc) != fmt3(nc) {
+                changes.push(format!(
+                    "{locus}: model.cpi {} -> {}{}",
+                    fmt3(oc),
+                    fmt3(nc),
+                    pct(oc, nc)
+                ));
+            }
+        }
+        (None, Some(_)) => changes.push(format!("{locus}: model section appeared")),
+        (Some(_), None) => changes.push(format!("{locus}: model section disappeared")),
+        (None, None) => {}
+    }
+}
+
+/// Compares two metrics runs (each a set of per-experiment documents)
+/// workload by workload.
+pub fn diff(old: &[ExperimentMetrics], new: &[ExperimentMetrics]) -> Diff {
+    let mut d = Diff::default();
+    for o in old {
+        let Some(n) = new.iter().find(|n| n.name == o.name) else {
+            d.removed.push(o.name.clone());
+            continue;
+        };
+        if o.ops != n.ops || o.seed != n.seed {
+            d.changes.push(format!(
+                "{}: scale changed (ops {} seed {}) -> (ops {} seed {}); value diffs below \
+                 compare different runs",
+                o.name, o.ops, o.seed, n.ops, n.seed
+            ));
+        }
+        for ow in &o.workloads {
+            let locus = format!("{}/{}", o.name, ow.workload);
+            match n.workloads.iter().find(|nw| nw.workload == ow.workload) {
+                Some(nw) => diff_workload(&mut d.changes, &locus, ow, nw),
+                None => d.removed.push(locus),
+            }
+        }
+        for nw in &n.workloads {
+            if !o.workloads.iter().any(|ow| ow.workload == nw.workload) {
+                d.added.push(format!("{}/{}", n.name, nw.workload));
+            }
+        }
+    }
+    for n in new {
+        if !old.iter().any(|o| o.name == n.name) {
+            d.added.push(n.name.clone());
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_core::intervals::IntervalEventKind;
+    use bmp_core::metrics::HISTOGRAM_BUCKETS;
+    use bmp_core::IntervalRecord;
+    use bmp_core::WorkloadMetrics;
+
+    fn sample_doc(name: &str, cycles: u64) -> ExperimentMetrics {
+        let records = vec![
+            IntervalRecord {
+                kind: IntervalEventKind::BranchMispredict,
+                start: 0,
+                pos: 24,
+                commit_cycle: 30,
+                resolution: 11,
+                refill: 5,
+                occupancy: 17,
+                base: 0,
+                ilp: 0,
+                fu_latency: 0,
+                short_dmiss: 0,
+                carryover: 0,
+            },
+            IntervalRecord {
+                kind: IntervalEventKind::ICacheMiss,
+                start: 25,
+                pos: 99,
+                commit_cycle: 140,
+                resolution: 0,
+                refill: 0,
+                occupancy: 0,
+                base: 0,
+                ilp: 0,
+                fu_latency: 0,
+                short_dmiss: 0,
+                carryover: 0,
+            },
+        ];
+        let mut doc = ExperimentMetrics::new(name, 2_000, 42);
+        doc.workloads.push(WorkloadMetrics::from_records(
+            "gzip", 2_000, cycles, 5, 1, &records,
+        ));
+        doc
+    }
+
+    #[test]
+    fn summary_and_stack_tables_render() {
+        let doc = sample_doc("fig2_penalty_per_benchmark", 4_000);
+        let tables = summary_tables(&[doc.clone()]);
+        assert_eq!(tables.len(), 1);
+        let csv = tables[0].to_csv();
+        assert!(csv.contains("gzip"));
+        assert!(csv.contains("2.000"), "cpi column: {csv}");
+        // No model sections: no CPI-stack table.
+        assert!(cpi_stack_tables(&[doc]).is_empty());
+    }
+
+    #[test]
+    fn flat_csv_has_one_row_per_workload() {
+        let docs = [sample_doc("a", 100), sample_doc("b", 200)];
+        let csv = to_csv(&docs);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[1].starts_with("a,gzip,"));
+        assert!(lines[2].starts_with("b,gzip,"));
+    }
+
+    #[test]
+    fn identical_runs_diff_empty() {
+        let docs = [sample_doc("a", 100)];
+        let d = diff(&docs, &docs);
+        assert!(d.is_empty(), "{:?}", d);
+        assert!(d
+            .render()
+            .contains("0 changed value(s), 0 added, 0 removed"));
+    }
+
+    #[test]
+    fn changed_added_and_removed_are_reported() {
+        let old = [sample_doc("a", 100), sample_doc("gone", 50)];
+        let mut newer = sample_doc("a", 120);
+        newer.workloads[0].mispredicts += 1;
+        newer.workloads[0].intervals.bmiss += 1;
+        let new = [newer, sample_doc("fresh", 70)];
+        let d = diff(&old, &new);
+        assert!(!d.is_empty());
+        assert!(
+            d.changes
+                .iter()
+                .any(|c| c.contains("a/gzip: cycles 100 -> 120 (+20.00%)")),
+            "{:?}",
+            d.changes
+        );
+        assert!(d.changes.iter().any(|c| c.contains("mispredicts 1 -> 2")));
+        assert_eq!(d.removed, vec!["gone".to_string()]);
+        assert_eq!(d.added, vec!["fresh".to_string()]);
+    }
+
+    #[test]
+    fn histograms_do_not_drive_diffs_but_totals_do() {
+        // Two runs with identical totals diff empty even though the
+        // histogram vectors exist (HISTOGRAM_BUCKETS entries each) —
+        // the diff compares aggregate quantities, not bucket noise.
+        let doc = sample_doc("a", 100);
+        assert_eq!(doc.workloads[0].length_histogram.len(), HISTOGRAM_BUCKETS);
+        assert!(diff(&[doc.clone()], &[doc]).is_empty());
+    }
+}

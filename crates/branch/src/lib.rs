@@ -11,6 +11,11 @@
 //! the architected outcome so the oracle can be expressed in the same
 //! interface; real predictors must ignore it.
 //!
+//! Predictors set the *number* of branch intervals; what each one costs
+//! is the per-event accounting of `bmp-core` (the E-X1 study in
+//! `EXPERIMENTS.md` separates the two, and `docs/OBSERVABILITY.md`
+//! shows how to watch both in a live run).
+//!
 //! # Examples
 //!
 //! ```

@@ -11,6 +11,10 @@
 //!
 //! [`MemoryHierarchy`] resolves every access into one of these classes and
 //! a latency; [`SetAssocCache`] is the underlying single-level model.
+//! The class boundary matters downstream: short misses surface as the
+//! `short_dmiss` contributor term and long misses as `dlong` intervals
+//! in the accounting records of `bmp_core::accounting` (see
+//! `docs/THEORY.md` §the contributors, `docs/OBSERVABILITY.md` §schema).
 //!
 //! # Examples
 //!

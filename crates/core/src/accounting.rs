@@ -1,0 +1,500 @@
+//! Per-interval cycle accounting: the observability layer's data model.
+//!
+//! The simulators in `bmp-sim` historically emitted only end-of-run
+//! aggregates, which is enough to *validate* the interval model but not
+//! to *see* where cycles went inside a run. This module defines the
+//! record both engines emit at commit boundaries when
+//! `SimOptions::collect_intervals` is on (see `docs/OBSERVABILITY.md`):
+//! one [`IntervalRecord`] per interval, carrying the interval kind and
+//! extent, the branch-resolution timing observed by the pipeline, and —
+//! for records produced by the analytical model — the paper's five
+//! contributor terms.
+//!
+//! Three pieces live here:
+//!
+//! * [`IntervalRecord`] — the record itself, with the accounting
+//!   identities (`penalty = resolution + refill`, contributor sum) as
+//!   doc-tested methods;
+//! * [`CycleAccounting`] — the sink trait records are pushed into
+//!   (implemented for `Vec<IntervalRecord>`; custom sinks can stream);
+//! * [`IntervalAccountant`] — the bookkeeping both sim engines share so
+//!   their records are **bit-identical by construction**: each engine
+//!   feeds it the same event/mispredict/commit stream it already
+//!   records for [`SimResult`](../../bmp_sim/struct.SimResult.html)
+//!   equivalence, and the accountant does the rest.
+//!
+//! The model-side path ([`records_from_analysis`]) converts a
+//! [`PenaltyAnalysis`] into the same
+//! record shape with the contributor terms filled in, so measured and
+//! modeled accounting land in one schema.
+
+use crate::intervals::IntervalEventKind;
+use crate::penalty::PenaltyAnalysis;
+use serde::{Deserialize, Serialize};
+
+/// One interval's cycle accounting, emitted when the instruction
+/// carrying the interval's terminating event commits.
+///
+/// Intervals follow the semantics of [`segment`](crate::intervals::segment):
+/// the interval spans `[start, pos]` inclusive, where `pos` is the
+/// dynamic index of the instruction the terminating event is attached
+/// to. The trailing run of instructions after the last event has no
+/// terminating event and produces no record.
+///
+/// Two producers fill this struct differently:
+///
+/// * **Simulators** fill the timing fields (`commit_cycle`, and for
+///   branch intervals `resolution`, `refill`, `occupancy`) and leave
+///   the contributor terms zero — a pipeline observes *when* a branch
+///   resolved, not *why*.
+/// * **The analytical model** fills the contributor terms from the
+///   knock-out schedule and leaves `commit_cycle` zero — the model has
+///   no commit timeline.
+///
+/// # Examples
+///
+/// The paper's two accounting identities hold field-by-field. The
+/// penalty is the window-drain (resolution) component plus the
+/// frontend refill:
+///
+/// ```
+/// use bmp_core::accounting::IntervalRecord;
+/// use bmp_core::intervals::IntervalEventKind;
+///
+/// let r = IntervalRecord {
+///     kind: IntervalEventKind::BranchMispredict,
+///     start: 100,
+///     pos: 131,
+///     commit_cycle: 0,
+///     resolution: 14,
+///     refill: 5,
+///     occupancy: 32,
+///     base: 6,
+///     ilp: 4,
+///     fu_latency: 2,
+///     short_dmiss: 0,
+///     carryover: 2,
+/// };
+/// assert_eq!(r.penalty(), r.resolution + u64::from(r.refill));
+/// assert_eq!(r.penalty(), 19);
+/// assert_eq!(r.len(), 32);
+/// ```
+///
+/// And the four in-interval contributors sum to the *local* resolution,
+/// which differs from the observed resolution exactly by the cross-
+/// interval carryover term:
+///
+/// ```
+/// # use bmp_core::accounting::IntervalRecord;
+/// # use bmp_core::intervals::IntervalEventKind;
+/// # let r = IntervalRecord {
+/// #     kind: IntervalEventKind::BranchMispredict,
+/// #     start: 100, pos: 131, commit_cycle: 0,
+/// #     resolution: 14, refill: 5, occupancy: 32,
+/// #     base: 6, ilp: 4, fu_latency: 2, short_dmiss: 0, carryover: 2,
+/// # };
+/// assert_eq!(r.local_resolution(), r.base + r.ilp + r.fu_latency + r.short_dmiss);
+/// assert_eq!(r.resolution as i64, r.local_resolution() as i64 + r.carryover);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalRecord {
+    /// The terminating event's kind.
+    pub kind: IntervalEventKind,
+    /// Dynamic index of the interval's first instruction.
+    pub start: u64,
+    /// Dynamic index of the instruction carrying the terminating event
+    /// (inclusive end of the interval).
+    pub pos: u64,
+    /// Cycle at which the terminating instruction committed, rebased so
+    /// cycle 0 is the start of statistics collection (the warmup
+    /// boundary when `warmup_ops > 0`, otherwise the start of the run).
+    /// Zero for model-produced records.
+    pub commit_cycle: u64,
+    /// For branch intervals: dispatch-to-execute resolution time of the
+    /// mispredicted branch. Zero for other kinds.
+    pub resolution: u64,
+    /// For branch intervals: the frontend refill `c_fe` (the machine's
+    /// frontend depth). Zero for other kinds.
+    pub refill: u32,
+    /// For branch intervals: instructions in the window (the branch
+    /// included) when the branch dispatched — the window-occupancy
+    /// input to the paper's contributor (ii). Zero for other kinds.
+    pub occupancy: u32,
+    /// Contributor: the resolution floor (dispatch-to-issue plus the
+    /// branch's own execute latency). Model-filled; zero from the sims.
+    pub base: u64,
+    /// Contributor: dependence-chain (inherent ILP) share.
+    /// Model-filled; zero from the sims.
+    pub ilp: u64,
+    /// Contributor: functional-unit-latency share. Model-filled; zero
+    /// from the sims.
+    pub fu_latency: u64,
+    /// Contributor: short D-cache-miss share. Model-filled; zero from
+    /// the sims.
+    pub short_dmiss: u64,
+    /// Window/bandwidth state carried over from before the interval
+    /// (may be negative when prior stalls left the window emptier than
+    /// the isolated schedule assumes). Model-filled; zero from the sims.
+    pub carryover: i64,
+}
+
+impl IntervalRecord {
+    /// Instructions in the interval (terminating instruction included).
+    pub fn len(&self) -> u64 {
+        self.pos - self.start + 1
+    }
+
+    /// `true` when the interval holds a single instruction.
+    pub fn is_empty(&self) -> bool {
+        false // an interval always contains its terminating instruction
+    }
+
+    /// The full misprediction penalty under the paper's definition:
+    /// `resolution + refill`. Meaningful for branch intervals.
+    pub fn penalty(&self) -> u64 {
+        self.resolution + u64::from(self.refill)
+    }
+
+    /// The sum of the four in-interval contributor terms — equal to the
+    /// knock-out model's *local* resolution (the interval scheduled in
+    /// isolation). The observed `resolution` differs from this by
+    /// exactly `carryover`.
+    pub fn local_resolution(&self) -> u64 {
+        self.base + self.ilp + self.fu_latency + self.short_dmiss
+    }
+}
+
+/// A sink for per-interval records.
+///
+/// Both sim engines and the model-side emitter push records through
+/// this trait, so a custom sink (streaming aggregation, a ring buffer,
+/// a test probe) can replace the default `Vec` without touching the
+/// producers.
+pub trait CycleAccounting {
+    /// Accepts one finished interval.
+    fn record(&mut self, record: &IntervalRecord);
+}
+
+impl CycleAccounting for Vec<IntervalRecord> {
+    fn record(&mut self, record: &IntervalRecord) {
+        self.push(*record);
+    }
+}
+
+/// A pending interval-terminating event, noted when observed and
+/// resolved into a record when its instruction commits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Note {
+    idx: u64,
+    kind: IntervalEventKind,
+    resolution: u64,
+    refill: u32,
+    occupancy: u32,
+}
+
+/// Shared interval bookkeeping for the two sim engines.
+///
+/// Each engine calls the accountant at the same four points where it
+/// already records events for result equivalence:
+///
+/// * [`on_event`](Self::on_event) when an I-cache or long D-cache miss
+///   event is pushed (fetch/issue stages);
+/// * [`on_mispredict`](Self::on_mispredict) when a mispredicted
+///   branch's `MispredictRecord` is pushed (issue stage);
+/// * [`on_commit`](Self::on_commit) once per committed instruction;
+/// * [`reset`](Self::reset) at the warmup boundary.
+///
+/// Because both engines are bit-identical in the streams they feed in
+/// (that is the PR 3 equivalence contract), the records coming out are
+/// bit-identical too — the accountant adds no engine-specific state.
+///
+/// ### Divergence from `segment()` on coincident events
+///
+/// [`segment`](crate::intervals::segment) collapses coincident events
+/// keeping the *first* kind. The accountant instead lets a mispredict
+/// override a coincident cache-miss note, so the number of
+/// branch-kind records always equals the number of `MispredictRecord`s
+/// — the invariant the BMP502 lint checks. (Coincidence is rare: it
+/// requires an I-cache miss and a misprediction on the same dynamic
+/// instruction.)
+///
+/// ### Warmup
+///
+/// [`reset`](Self::reset) drops all pending notes, mirroring the
+/// engines clearing their event logs. A branch fetched before the
+/// boundary but issued after it re-enters via
+/// [`on_mispredict`](Self::on_mispredict), which creates the note if
+/// none exists — keeping record counts consistent with the
+/// post-warmup `mispredicts` log.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalAccountant {
+    start: u64,
+    notes: Vec<Note>,
+}
+
+impl IntervalAccountant {
+    /// A fresh accountant with the next interval starting at index 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes a cache-miss event at dynamic index `idx`. First kind wins
+    /// on coincidence (matching `segment()`).
+    pub fn on_event(&mut self, idx: u64, kind: IntervalEventKind) {
+        if idx < self.start {
+            return; // stale event for an already-closed interval
+        }
+        if !self.notes.iter().any(|n| n.idx == idx) {
+            self.notes.push(Note {
+                idx,
+                kind,
+                resolution: 0,
+                refill: 0,
+                occupancy: 0,
+            });
+        }
+    }
+
+    /// Notes a mispredicted branch at dynamic index `idx`, with its
+    /// observed resolution time, the machine's frontend refill, and the
+    /// window occupancy at dispatch. Overrides a coincident cache-miss
+    /// note and creates one if none exists.
+    pub fn on_mispredict(&mut self, idx: u64, resolution: u64, refill: u32, occupancy: u32) {
+        if idx < self.start {
+            return;
+        }
+        let note = Note {
+            idx,
+            kind: IntervalEventKind::BranchMispredict,
+            resolution,
+            refill,
+            occupancy,
+        };
+        match self.notes.iter_mut().find(|n| n.idx == idx) {
+            Some(slot) => *slot = note,
+            None => self.notes.push(note),
+        }
+    }
+
+    /// Called once per committed instruction with its dynamic index and
+    /// the commit cycle rebased to the statistics epoch. Emits a record
+    /// into `sink` when the instruction carries a noted event.
+    pub fn on_commit(&mut self, idx: u64, commit_cycle: u64, sink: &mut impl CycleAccounting) {
+        let Some(at) = self.notes.iter().position(|n| n.idx == idx) else {
+            return;
+        };
+        let note = self.notes.swap_remove(at);
+        sink.record(&IntervalRecord {
+            kind: note.kind,
+            start: self.start,
+            pos: idx,
+            commit_cycle,
+            resolution: note.resolution,
+            refill: note.refill,
+            occupancy: note.occupancy,
+            base: 0,
+            ilp: 0,
+            fu_latency: 0,
+            short_dmiss: 0,
+            carryover: 0,
+        });
+        self.start = idx + 1;
+    }
+
+    /// Statistics reset at the warmup boundary: pending notes are
+    /// dropped (the engines drop their event logs too) and the next
+    /// interval starts at `committed`, the index of the next
+    /// instruction to commit.
+    pub fn reset(&mut self, committed: u64) {
+        self.notes.clear();
+        self.start = committed;
+    }
+}
+
+/// Converts a finished penalty analysis into interval records with the
+/// five contributor terms filled in — the model-side producer for the
+/// metrics schema (`bmp-bench` aggregates these into the `model`
+/// section of each workload's metrics; see `docs/OBSERVABILITY.md`).
+///
+/// Non-branch intervals carry only their kind and extent. The trailing
+/// partial interval (no terminating event) is skipped, matching both
+/// the histogram and the simulator-side records.
+pub fn records_from_analysis(analysis: &PenaltyAnalysis) -> Vec<IntervalRecord> {
+    let mut records = Vec::with_capacity(analysis.intervals.len());
+    let mut breakdowns = analysis.breakdowns.iter().peekable();
+    for iv in &analysis.intervals {
+        let Some(kind) = iv.kind else { continue };
+        let mut record = IntervalRecord {
+            kind,
+            start: iv.start as u64,
+            pos: iv.end as u64,
+            commit_cycle: 0,
+            resolution: 0,
+            refill: 0,
+            occupancy: 0,
+            base: 0,
+            ilp: 0,
+            fu_latency: 0,
+            short_dmiss: 0,
+            carryover: 0,
+        };
+        if kind == IntervalEventKind::BranchMispredict {
+            // Breakdowns are in trace order, one per mispredicted
+            // branch; the terminating instruction of a branch interval
+            // is that branch.
+            if let Some(b) = breakdowns.peek() {
+                if b.branch_idx == iv.end {
+                    let b = breakdowns.next().expect("peeked");
+                    record.resolution = b.resolution;
+                    record.refill = b.frontend;
+                    record.base = b.base;
+                    record.ilp = b.ilp;
+                    record.fu_latency = b.fu_latency;
+                    record.short_dmiss = b.short_dmiss;
+                    record.carryover = b.carryover;
+                }
+            }
+        }
+        records.push(record);
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn commit_all(acct: &mut IntervalAccountant, upto: u64, out: &mut Vec<IntervalRecord>) {
+        for idx in 0..upto {
+            acct.on_commit(idx, idx, out);
+        }
+    }
+
+    #[test]
+    fn intervals_are_contiguous_and_inclusive() {
+        let mut acct = IntervalAccountant::new();
+        let mut out = Vec::new();
+        acct.on_event(9, IntervalEventKind::ICacheMiss);
+        acct.on_mispredict(29, 12, 5, 40);
+        commit_all(&mut acct, 40, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].start, out[0].pos), (0, 9));
+        assert_eq!(out[0].kind, IntervalEventKind::ICacheMiss);
+        assert_eq!((out[1].start, out[1].pos), (10, 29));
+        assert_eq!(out[1].len(), 20);
+        assert_eq!(out[1].penalty(), 17);
+        assert_eq!(out[1].occupancy, 40);
+        // Instructions 30..39 form the trailing partial interval: no record.
+    }
+
+    #[test]
+    fn mispredict_overrides_coincident_cache_miss() {
+        let mut acct = IntervalAccountant::new();
+        let mut out = Vec::new();
+        acct.on_event(5, IntervalEventKind::ICacheMiss);
+        acct.on_mispredict(5, 7, 5, 3);
+        commit_all(&mut acct, 6, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, IntervalEventKind::BranchMispredict);
+        assert_eq!(out[0].resolution, 7);
+    }
+
+    #[test]
+    fn first_cache_kind_wins_on_coincidence() {
+        let mut acct = IntervalAccountant::new();
+        let mut out = Vec::new();
+        acct.on_event(5, IntervalEventKind::ICacheMiss);
+        acct.on_event(5, IntervalEventKind::LongDCacheMiss);
+        commit_all(&mut acct, 6, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, IntervalEventKind::ICacheMiss);
+    }
+
+    #[test]
+    fn out_of_order_events_resolve_by_commit_order() {
+        // OoO issue pushes a dlong event for idx 20 before idx 10's
+        // event arrives; commits are in order, so records are too.
+        let mut acct = IntervalAccountant::new();
+        let mut out = Vec::new();
+        acct.on_event(20, IntervalEventKind::LongDCacheMiss);
+        acct.on_event(10, IntervalEventKind::ICacheMiss);
+        commit_all(&mut acct, 21, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].start, out[0].pos), (0, 10));
+        assert_eq!((out[1].start, out[1].pos), (11, 20));
+    }
+
+    #[test]
+    fn reset_drops_notes_and_rebases_start() {
+        let mut acct = IntervalAccountant::new();
+        let mut out = Vec::new();
+        acct.on_event(100, IntervalEventKind::ICacheMiss);
+        acct.reset(50);
+        // The pre-reset note is gone; a post-reset mispredict re-enters.
+        acct.on_mispredict(60, 9, 5, 8);
+        for idx in 50..70 {
+            acct.on_commit(idx, idx - 50, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        assert_eq!((out[0].start, out[0].pos), (50, 60));
+        assert_eq!(out[0].commit_cycle, 10);
+    }
+
+    #[test]
+    fn stale_events_below_start_are_ignored() {
+        let mut acct = IntervalAccountant::new();
+        let mut out = Vec::new();
+        acct.reset(10);
+        acct.on_event(5, IntervalEventKind::ICacheMiss);
+        acct.on_mispredict(7, 1, 5, 1);
+        commit_all(&mut acct, 20, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn model_records_fill_contributors() {
+        use bmp_uarch::presets;
+        use bmp_workloads::spec;
+
+        let trace = spec::by_name("gzip").unwrap().generate(20_000, 1);
+        let cfg = presets::baseline_4wide();
+        let analysis = crate::penalty::PenaltyModel::new(cfg).analyze(&trace);
+        let records = records_from_analysis(&analysis);
+        let n_branch = records
+            .iter()
+            .filter(|r| r.kind == IntervalEventKind::BranchMispredict)
+            .count();
+        assert_eq!(
+            n_branch,
+            analysis.breakdowns.len(),
+            "every breakdown must surface as a branch record"
+        );
+        let n_terminated = analysis
+            .intervals
+            .iter()
+            .filter(|i| i.kind.is_some())
+            .count();
+        assert_eq!(records.len(), n_terminated);
+        for r in &records {
+            if r.kind == IntervalEventKind::BranchMispredict {
+                assert_eq!(
+                    r.local_resolution(),
+                    r.base + r.ilp + r.fu_latency + r.short_dmiss
+                );
+                assert_eq!(
+                    r.resolution as i64,
+                    r.local_resolution() as i64 + r.carryover,
+                    "carryover closes the local/observed gap at branch {}",
+                    r.pos
+                );
+                assert_eq!(r.refill, analysis.frontend_depth);
+            } else {
+                assert_eq!(r.resolution, 0);
+            }
+        }
+        // Contiguity: each interval starts right after the previous one.
+        for pair in records.windows(2) {
+            assert_eq!(pair[1].start, pair[0].pos + 1);
+        }
+    }
+}

@@ -10,16 +10,23 @@
 //! whose record says *completed*, whose fingerprint matches the current
 //! configuration, and whose CSV is still on disk.
 //!
+//! When the observability layer is enabled (`BMP_METRICS=1`, see
+//! `docs/OBSERVABILITY.md`), completed records also carry the relative
+//! path of the experiment's metrics file under `results/` in the
+//! optional `metrics` field, tying each CSV to the accounting that
+//! produced it.
+//!
 //! The format is deliberately plain JSON so humans and the `bmp-lint
 //! --journal` checker (rule family BMP4xx in `bmp-analyze`) can read it.
 //! Serialization is hand-rolled like every other emitter in this
-//! workspace; parsing uses the minimal recursive-descent reader in this
-//! module — the workspace carries no JSON dependency.
+//! workspace; parsing uses the workspace's shared recursive-descent
+//! reader, [`crate::json`] — the workspace carries no JSON dependency.
 //!
 //! Fingerprints are 64-bit content hashes (see `cache_key` in the bench
 //! crate) and are stored as fixed-width hex *strings*: JSON tooling
 //! treats numbers as f64 and would silently corrupt the top bits.
 
+use crate::json::{self, JsonError, ObjectExt};
 use std::fmt;
 
 /// Journal format version written by this crate; readers reject others.
@@ -73,6 +80,10 @@ pub struct ExperimentRecord {
     pub attempts: u32,
     /// Human-readable error for failed records; `None` when completed.
     pub error: Option<String>,
+    /// Path of the experiment's metrics file, relative to `results/`
+    /// (e.g. `metrics/fig2_penalty_per_benchmark.json`). Present only
+    /// for completed records of runs made with `BMP_METRICS=1`.
+    pub metrics: Option<String>,
 }
 
 /// The whole journal: run-level configuration plus per-experiment records.
@@ -133,7 +144,10 @@ impl RunJournal {
                 out.push(',');
             }
             out.push_str("\n    {\n");
-            out.push_str(&format!("      \"name\": {},\n", json_string(&r.name)));
+            out.push_str(&format!(
+                "      \"name\": {},\n",
+                json::escape_string(&r.name)
+            ));
             out.push_str(&format!("      \"status\": \"{}\",\n", r.status));
             out.push_str(&format!(
                 "      \"fingerprint\": \"{:016x}\",\n",
@@ -141,7 +155,13 @@ impl RunJournal {
             ));
             out.push_str(&format!("      \"attempts\": {}", r.attempts));
             if let Some(err) = &r.error {
-                out.push_str(&format!(",\n      \"error\": {}", json_string(err)));
+                out.push_str(&format!(",\n      \"error\": {}", json::escape_string(err)));
+            }
+            if let Some(metrics) = &r.metrics {
+                out.push_str(&format!(
+                    ",\n      \"metrics\": {}",
+                    json::escape_string(metrics)
+                ));
             }
             out.push_str("\n    }");
         }
@@ -155,7 +175,7 @@ impl RunJournal {
     /// Parses a journal previously written by [`to_json`](Self::to_json)
     /// (or any JSON object with the same shape).
     pub fn parse(text: &str) -> Result<Self, JournalError> {
-        let value = Parser::new(text).parse_document()?;
+        let value = json::parse(text)?;
         let obj = value.as_object("journal root")?;
         let version = obj.get_u64("version")? as u32;
         if version != JOURNAL_VERSION {
@@ -182,12 +202,17 @@ impl RunJournal {
                 Some(v) => Some(v.as_string("error")?.to_string()),
                 None => None,
             };
+            let metrics = match rec.get("metrics") {
+                Some(v) => Some(v.as_string("metrics")?.to_string()),
+                None => None,
+            };
             experiments.push(ExperimentRecord {
                 name,
                 status,
                 fingerprint,
                 attempts,
                 error,
+                metrics,
             });
         }
         Ok(Self {
@@ -213,6 +238,12 @@ impl JournalError {
     }
 }
 
+impl From<JsonError> for JournalError {
+    fn from(err: JsonError) -> Self {
+        JournalError::new(err.message().to_string())
+    }
+}
+
 impl fmt::Display for JournalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid run journal: {}", self.message)
@@ -220,300 +251,6 @@ impl fmt::Display for JournalError {
 }
 
 impl std::error::Error for JournalError {}
-
-/// Escapes `s` as a JSON string literal (with surrounding quotes).
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-// ---------------------------------------------------------------------
-// Minimal JSON reader — just enough for the journal's shape: objects,
-// arrays, strings, unsigned integers, and the standard escapes. Strict
-// about structure, tolerant of whitespace.
-// ---------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Object(Vec<(String, Value)>),
-    Array(Vec<Value>),
-    String(String),
-    Number(u64),
-}
-
-impl Value {
-    fn as_object(&self, what: &str) -> Result<&Vec<(String, Value)>, JournalError> {
-        match self {
-            Value::Object(fields) => Ok(fields),
-            _ => Err(JournalError::new(format!("{what} is not a JSON object"))),
-        }
-    }
-
-    fn as_string(&self, what: &str) -> Result<&str, JournalError> {
-        match self {
-            Value::String(s) => Ok(s),
-            _ => Err(JournalError::new(format!("{what} is not a string"))),
-        }
-    }
-}
-
-trait ObjectExt {
-    fn get(&self, key: &str) -> Option<&Value>;
-    fn get_u64(&self, key: &str) -> Result<u64, JournalError>;
-    fn get_string(&self, key: &str) -> Result<&str, JournalError>;
-    fn get_array(&self, key: &str) -> Result<&Vec<Value>, JournalError>;
-}
-
-impl ObjectExt for Vec<(String, Value)> {
-    fn get(&self, key: &str) -> Option<&Value> {
-        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-    }
-
-    fn get_u64(&self, key: &str) -> Result<u64, JournalError> {
-        match self.get(key) {
-            Some(Value::Number(n)) => Ok(*n),
-            Some(_) => Err(JournalError::new(format!("{key:?} is not a number"))),
-            None => Err(JournalError::new(format!("missing field {key:?}"))),
-        }
-    }
-
-    fn get_string(&self, key: &str) -> Result<&str, JournalError> {
-        self.get(key)
-            .ok_or_else(|| JournalError::new(format!("missing field {key:?}")))?
-            .as_string(key)
-    }
-
-    fn get_array(&self, key: &str) -> Result<&Vec<Value>, JournalError> {
-        match self.get(key) {
-            Some(Value::Array(items)) => Ok(items),
-            Some(_) => Err(JournalError::new(format!("{key:?} is not an array"))),
-            None => Err(JournalError::new(format!("missing field {key:?}"))),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Self {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn parse_document(mut self) -> Result<Value, JournalError> {
-        let v = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(JournalError::new(format!(
-                "trailing garbage at byte {}",
-                self.pos
-            )));
-        }
-        Ok(v)
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, JournalError> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| JournalError::new("unexpected end of input"))
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JournalError> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(JournalError::new(format!(
-                "expected {:?} at byte {}",
-                b as char, self.pos
-            )))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Value, JournalError> {
-        match self.peek()? {
-            b'{' => self.parse_object(),
-            b'[' => self.parse_array(),
-            b'"' => Ok(Value::String(self.parse_string()?)),
-            b'0'..=b'9' => self.parse_number(),
-            other => Err(JournalError::new(format!(
-                "unexpected character {:?} at byte {}",
-                other as char, self.pos
-            ))),
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Value, JournalError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Value::Object(fields));
-        }
-        loop {
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Value::Object(fields));
-                }
-                other => {
-                    return Err(JournalError::new(format!(
-                        "expected ',' or '}}', found {:?} at byte {}",
-                        other as char, self.pos
-                    )))
-                }
-            }
-        }
-    }
-
-    fn parse_array(&mut self) -> Result<Value, JournalError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Value::Array(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Value::Array(items));
-                }
-                other => {
-                    return Err(JournalError::new(format!(
-                        "expected ',' or ']', found {:?} at byte {}",
-                        other as char, self.pos
-                    )))
-                }
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, JournalError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self
-                .bytes
-                .get(self.pos)
-                .ok_or_else(|| JournalError::new("unterminated string"))?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| JournalError::new("unterminated escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| JournalError::new("truncated \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| JournalError::new("bad \\u escape"))?;
-                            self.pos += 4;
-                            // The journal never emits surrogate pairs
-                            // (only control characters go through \u).
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| JournalError::new("bad \\u code point"))?,
-                            );
-                        }
-                        other => {
-                            return Err(JournalError::new(format!(
-                                "unknown escape \\{}",
-                                other as char
-                            )))
-                        }
-                    }
-                }
-                b => {
-                    // Reassemble multi-byte UTF-8 sequences: the input
-                    // came from a &str, so continuation bytes are valid.
-                    let start = self.pos - 1;
-                    let len = utf8_len(b);
-                    let slice = self
-                        .bytes
-                        .get(start..start + len)
-                        .ok_or_else(|| JournalError::new("truncated UTF-8 sequence"))?;
-                    let s = std::str::from_utf8(slice)
-                        .map_err(|_| JournalError::new("invalid UTF-8 in string"))?;
-                    out.push_str(s);
-                    self.pos = start + len;
-                }
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Value, JournalError> {
-        let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| JournalError::new("invalid number"))?;
-        text.parse::<u64>()
-            .map(Value::Number)
-            .map_err(|_| JournalError::new(format!("number out of range: {text}")))
-    }
-}
-
-/// Byte length of the UTF-8 sequence starting with `b`.
-fn utf8_len(b: u8) -> usize {
-    match b {
-        0x00..=0x7f => 1,
-        0xc0..=0xdf => 2,
-        0xe0..=0xef => 3,
-        _ => 4,
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -531,6 +268,7 @@ mod tests {
                     fingerprint: 0xdead_beef_0bad_f00d,
                     attempts: 1,
                     error: None,
+                    metrics: None,
                 },
                 ExperimentRecord {
                     name: "fig9_cpi".into(),
@@ -538,6 +276,7 @@ mod tests {
                     fingerprint: 3,
                     attempts: 2,
                     error: Some("cell \"fig9:gcc\" panicked:\n\tboom".into()),
+                    metrics: None,
                 },
             ],
         }
@@ -560,6 +299,29 @@ mod tests {
     }
 
     #[test]
+    fn metrics_path_round_trips_and_is_optional() {
+        let mut j = RunJournal::new(1_000, 7);
+        j.upsert(ExperimentRecord {
+            name: "fig2_penalty".into(),
+            status: RunStatus::Completed,
+            fingerprint: 42,
+            attempts: 1,
+            error: None,
+            metrics: Some("metrics/fig2_penalty.json".into()),
+        });
+        let text = j.to_json();
+        let back = RunJournal::parse(&text).unwrap();
+        assert_eq!(back, j);
+        assert_eq!(
+            back.find("fig2_penalty").unwrap().metrics.as_deref(),
+            Some("metrics/fig2_penalty.json")
+        );
+        // A metrics-off journal stays byte-for-byte free of the field.
+        let plain = sample().to_json();
+        assert!(!plain.contains("metrics"));
+    }
+
+    #[test]
     fn upsert_replaces_by_name() {
         let mut j = sample();
         j.upsert(ExperimentRecord {
@@ -568,6 +330,7 @@ mod tests {
             fingerprint: 3,
             attempts: 3,
             error: None,
+            metrics: None,
         });
         assert_eq!(j.experiments.len(), 2);
         let r = j.find("fig9_cpi").unwrap();
@@ -600,6 +363,7 @@ mod tests {
             fingerprint: u64::MAX - 1,
             attempts: 1,
             error: None,
+            metrics: None,
         });
         let back = RunJournal::parse(&j.to_json()).unwrap();
         assert_eq!(back.find("x").unwrap().fingerprint, u64::MAX - 1);

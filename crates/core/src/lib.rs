@@ -21,6 +21,13 @@
 //! * [`closed_form`] — the statistics-only penalty estimate built from
 //!   the `I_W(k)` ILP curve and the interval-length distribution;
 //! * [`cpi`] — the interval-model CPI stack built on the same machinery;
+//! * [`accounting`] — the observability layer's per-interval record and
+//!   the shared bookkeeping both sim engines use to emit it (see
+//!   `docs/OBSERVABILITY.md`);
+//! * [`metrics`] — the `results/metrics/*.json` schema aggregating those
+//!   records per experiment;
+//! * [`journal`] + [`json`] — the crash-safe run journal and the shared
+//!   hand-rolled JSON reader behind it;
 //! * [`report`] — markdown rendering of an analysis;
 //! * [`validate`] — error metrics for comparing the model against the
 //!   cycle-level simulator (experiment E-F10).
@@ -43,18 +50,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accounting;
 pub mod closed_form;
 pub mod cpi;
 pub mod drain;
 pub mod functional;
 pub mod intervals;
 pub mod journal;
+pub mod json;
+pub mod metrics;
 pub mod penalty;
 pub mod report;
 pub mod validate;
 
+pub use accounting::{CycleAccounting, IntervalAccountant, IntervalRecord};
 pub use functional::{FunctionalOutcome, LoadClass};
 pub use intervals::{
     segment, Interval, IntervalEvent, IntervalEventKind, IntervalLengthHistogram, LENGTH_BUCKETS,
 };
+pub use metrics::{ExperimentMetrics, ModelMetrics, WorkloadMetrics};
 pub use penalty::{PenaltyAnalysis, PenaltyBreakdown, PenaltyModel};

@@ -1,0 +1,536 @@
+//! The metrics-file schema: per-experiment observability artifacts.
+//!
+//! When `bmp-bench` runs with `BMP_METRICS=1` it writes one JSON file
+//! per experiment under `results/metrics/`, aggregating the
+//! per-interval records of [`crate::accounting`] into per-workload
+//! histograms plus the analytical model's contributor totals and CPI
+//! stack. This module is the *schema*: the struct definitions, the
+//! aggregation from raw records, and the hand-rolled JSON round-trip
+//! (the workspace carries no JSON dependency — see [`crate::json`]).
+//!
+//! The schema lives in `bmp-core` rather than the bench crate so
+//! `bmp-analyze` can lint metrics files (rule family BMP5xx) without
+//! depending on the harness, and `bmp-report` can render them without
+//! depending on the analyzer. Field-by-field documentation and the
+//! accounting identities the lints enforce are in
+//! `docs/OBSERVABILITY.md` — keep the two in sync.
+
+use crate::accounting::IntervalRecord;
+use crate::cpi::CpiStack;
+use crate::intervals::{IntervalEventKind, LENGTH_BUCKETS};
+use crate::json::{self, JsonError, ObjectExt, Value};
+use crate::penalty::PenaltyAnalysis;
+
+/// Metrics format version written by this crate; readers reject others.
+pub const METRICS_VERSION: u32 = 1;
+
+/// Number of histogram buckets: one per [`LENGTH_BUCKETS`] boundary
+/// plus the overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = LENGTH_BUCKETS.len() + 1;
+
+/// Bucket index for `value` under the [`LENGTH_BUCKETS`] scheme (the
+/// same power-of-two buckets the interval-length histogram uses;
+/// values at or past the last boundary land in the overflow bucket).
+pub fn bucket_index(value: u64) -> usize {
+    LENGTH_BUCKETS
+        .iter()
+        .position(|&b| value < b as u64)
+        .map(|p| p.saturating_sub(1))
+        .unwrap_or(LENGTH_BUCKETS.len())
+}
+
+/// Interval counts by terminating-event kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntervalCounts {
+    /// Branch-misprediction intervals.
+    pub bmiss: u64,
+    /// L1 I-cache-miss intervals.
+    pub il1: u64,
+    /// Long (memory) I-cache-miss intervals.
+    pub il2: u64,
+    /// Long D-cache-miss intervals.
+    pub dlong: u64,
+}
+
+impl IntervalCounts {
+    /// Total intervals across all kinds.
+    pub fn total(&self) -> u64 {
+        self.bmiss + self.il1 + self.il2 + self.dlong
+    }
+}
+
+/// The analytical model's aggregate accounting for one workload:
+/// contributor totals over every mispredicted branch plus the
+/// first-order CPI stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMetrics {
+    /// Branch intervals the model analyzed (breakdown count).
+    pub intervals: u64,
+    /// Sum of observed (whole-trace-schedule) resolution times.
+    pub resolution: u64,
+    /// Sum of isolated-schedule resolution times. Equals
+    /// `base + ilp + fu_latency + short_dmiss` — the BMP501 identity.
+    pub local_resolution: u64,
+    /// Contributor total: resolution floor.
+    pub base: u64,
+    /// Contributor total: dependence-chain (ILP) share.
+    pub ilp: u64,
+    /// Contributor total: functional-unit-latency share.
+    pub fu_latency: u64,
+    /// Contributor total: short D-miss share.
+    pub short_dmiss: u64,
+    /// Cross-interval carryover total; closes the gap between
+    /// `local_resolution` and `resolution` (may be negative).
+    pub carryover: i64,
+    /// Frontend refill total (`breakdown count × frontend depth`).
+    pub refill: u64,
+    /// The first-order CPI stack for the workload.
+    pub cpi_stack: CpiStack,
+}
+
+impl ModelMetrics {
+    /// Aggregates a finished penalty analysis plus its CPI stack.
+    pub fn from_analysis(analysis: &PenaltyAnalysis, cpi_stack: CpiStack) -> Self {
+        let mut m = Self {
+            intervals: analysis.breakdowns.len() as u64,
+            resolution: 0,
+            local_resolution: 0,
+            base: 0,
+            ilp: 0,
+            fu_latency: 0,
+            short_dmiss: 0,
+            carryover: 0,
+            refill: 0,
+            cpi_stack,
+        };
+        for b in &analysis.breakdowns {
+            m.resolution += b.resolution;
+            m.local_resolution += b.local_resolution;
+            m.base += b.base;
+            m.ilp += b.ilp;
+            m.fu_latency += b.fu_latency;
+            m.short_dmiss += b.short_dmiss;
+            m.carryover += b.carryover;
+            m.refill += u64::from(b.frontend);
+        }
+        m
+    }
+}
+
+/// One workload's aggregated accounting within an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadMetrics {
+    /// Workload name (e.g. `gzip`).
+    pub workload: String,
+    /// Instructions covered by the statistics epoch.
+    pub instructions: u64,
+    /// Cycles covered by the statistics epoch.
+    pub cycles: u64,
+    /// Frontend depth of the simulated machine (the refill term).
+    pub frontend_depth: u32,
+    /// Mispredicted branches recorded by the simulator. BMP502 checks
+    /// this equals `intervals.bmiss`.
+    pub mispredicts: u64,
+    /// Interval counts by kind, from the simulator's records.
+    pub intervals: IntervalCounts,
+    /// Sum of branch resolution times over all branch intervals.
+    pub resolution_total: u64,
+    /// Sum of frontend refills over all branch intervals.
+    pub refill_total: u64,
+    /// Sum of window occupancies at dispatch over all branch intervals.
+    pub occupancy_total: u64,
+    /// Interval lengths bucketed per [`LENGTH_BUCKETS`]
+    /// ([`HISTOGRAM_BUCKETS`] entries; all interval kinds). BMP504
+    /// checks the bucket sum equals `intervals.total()`.
+    pub length_histogram: Vec<u64>,
+    /// Branch resolution times bucketed per the same boundaries
+    /// (branch intervals only; bucket sum equals `intervals.bmiss`).
+    pub resolution_histogram: Vec<u64>,
+    /// The analytical model's view, when the experiment ran an
+    /// analysis cell for this workload.
+    pub model: Option<ModelMetrics>,
+}
+
+impl WorkloadMetrics {
+    /// Aggregates simulator-side interval records. `mispredicts` is the
+    /// simulator's own mispredict count, carried separately so the
+    /// BMP502 cross-check stays meaningful.
+    pub fn from_records(
+        workload: impl Into<String>,
+        instructions: u64,
+        cycles: u64,
+        frontend_depth: u32,
+        mispredicts: u64,
+        records: &[IntervalRecord],
+    ) -> Self {
+        let mut m = Self {
+            workload: workload.into(),
+            instructions,
+            cycles,
+            frontend_depth,
+            mispredicts,
+            intervals: IntervalCounts::default(),
+            resolution_total: 0,
+            refill_total: 0,
+            occupancy_total: 0,
+            length_histogram: vec![0; HISTOGRAM_BUCKETS],
+            resolution_histogram: vec![0; HISTOGRAM_BUCKETS],
+            model: None,
+        };
+        for r in records {
+            match r.kind {
+                IntervalEventKind::BranchMispredict => {
+                    m.intervals.bmiss += 1;
+                    m.resolution_total += r.resolution;
+                    m.refill_total += u64::from(r.refill);
+                    m.occupancy_total += u64::from(r.occupancy);
+                    m.resolution_histogram[bucket_index(r.resolution)] += 1;
+                }
+                IntervalEventKind::ICacheMiss => m.intervals.il1 += 1,
+                IntervalEventKind::ICacheLongMiss => m.intervals.il2 += 1,
+                IntervalEventKind::LongDCacheMiss => m.intervals.dlong += 1,
+            }
+            m.length_histogram[bucket_index(r.len())] += 1;
+        }
+        m
+    }
+
+    /// Measured cycles per instruction (0 for an empty epoch).
+    pub fn measured_cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Mean observed branch penalty (resolution + refill), if any
+    /// branch intervals were recorded.
+    pub fn mean_penalty(&self) -> Option<f64> {
+        if self.intervals.bmiss == 0 {
+            None
+        } else {
+            Some((self.resolution_total + self.refill_total) as f64 / self.intervals.bmiss as f64)
+        }
+    }
+}
+
+/// One experiment's metrics file: run identity plus per-workload
+/// aggregates, in cell order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentMetrics {
+    /// Experiment name (matches the registry and the CSV stem).
+    pub name: String,
+    /// Instruction budget of the run (`BMP_OPS`).
+    pub ops: u64,
+    /// Trace seed of the run (`BMP_SEED`).
+    pub seed: u64,
+    /// Per-workload aggregates.
+    pub workloads: Vec<WorkloadMetrics>,
+}
+
+impl ExperimentMetrics {
+    /// An empty metrics document for an experiment.
+    pub fn new(name: impl Into<String>, ops: u64, seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            ops,
+            seed,
+            workloads: Vec::new(),
+        }
+    }
+
+    /// Serializes the document as pretty-printed JSON (trailing
+    /// newline). Deterministic: same document, same bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", METRICS_VERSION));
+        out.push_str(&format!(
+            "  \"name\": {},\n",
+            json::escape_string(&self.name)
+        ));
+        out.push_str(&format!("  \"ops\": {},\n", self.ops));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"workloads\": [");
+        for (i, w) in self.workloads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!(
+                "      \"workload\": {},\n",
+                json::escape_string(&w.workload)
+            ));
+            out.push_str(&format!("      \"instructions\": {},\n", w.instructions));
+            out.push_str(&format!("      \"cycles\": {},\n", w.cycles));
+            out.push_str(&format!(
+                "      \"frontend_depth\": {},\n",
+                w.frontend_depth
+            ));
+            out.push_str(&format!("      \"mispredicts\": {},\n", w.mispredicts));
+            out.push_str(&format!(
+                "      \"intervals\": {{ \"bmiss\": {}, \"il1\": {}, \"il2\": {}, \"dlong\": {} }},\n",
+                w.intervals.bmiss, w.intervals.il1, w.intervals.il2, w.intervals.dlong
+            ));
+            out.push_str(&format!(
+                "      \"resolution_total\": {},\n",
+                w.resolution_total
+            ));
+            out.push_str(&format!("      \"refill_total\": {},\n", w.refill_total));
+            out.push_str(&format!(
+                "      \"occupancy_total\": {},\n",
+                w.occupancy_total
+            ));
+            out.push_str(&format!(
+                "      \"length_histogram\": {},\n",
+                fmt_u64_array(&w.length_histogram)
+            ));
+            out.push_str(&format!(
+                "      \"resolution_histogram\": {}",
+                fmt_u64_array(&w.resolution_histogram)
+            ));
+            if let Some(m) = &w.model {
+                out.push_str(",\n      \"model\": {\n");
+                out.push_str(&format!("        \"intervals\": {},\n", m.intervals));
+                out.push_str(&format!("        \"resolution\": {},\n", m.resolution));
+                out.push_str(&format!(
+                    "        \"local_resolution\": {},\n",
+                    m.local_resolution
+                ));
+                out.push_str(&format!("        \"base\": {},\n", m.base));
+                out.push_str(&format!("        \"ilp\": {},\n", m.ilp));
+                out.push_str(&format!("        \"fu_latency\": {},\n", m.fu_latency));
+                out.push_str(&format!("        \"short_dmiss\": {},\n", m.short_dmiss));
+                out.push_str(&format!("        \"carryover\": {},\n", m.carryover));
+                out.push_str(&format!("        \"refill\": {},\n", m.refill));
+                out.push_str(&format!(
+                    "        \"cpi_stack\": {{ \"instructions\": {}, \"base_cycles\": {}, \"branch_cycles\": {}, \"icache_cycles\": {}, \"long_dmiss_cycles\": {} }}\n",
+                    m.cpi_stack.instructions,
+                    json::fmt_f64(m.cpi_stack.base_cycles),
+                    json::fmt_f64(m.cpi_stack.branch_cycles),
+                    json::fmt_f64(m.cpi_stack.icache_cycles),
+                    json::fmt_f64(m.cpi_stack.long_dmiss_cycles)
+                ));
+                out.push_str("      }");
+            }
+            out.push_str("\n    }");
+        }
+        if !self.workloads.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a document previously written by
+    /// [`to_json`](Self::to_json) (or any JSON with the same shape).
+    pub fn parse(text: &str) -> Result<Self, JsonError> {
+        let value = json::parse(text)?;
+        let obj = value.as_object("metrics root")?;
+        let version = obj.get_u64("version")? as u32;
+        if version != METRICS_VERSION {
+            return Err(JsonError::new(format!(
+                "unsupported metrics version {version} (expected {METRICS_VERSION})"
+            )));
+        }
+        let mut doc = Self::new(
+            obj.get_string("name")?,
+            obj.get_u64("ops")?,
+            obj.get_u64("seed")?,
+        );
+        for item in obj.get_array("workloads")? {
+            let w = item.as_object("workload entry")?;
+            let counts = w.get_object("intervals")?;
+            let model = match w.get("model") {
+                None => None,
+                Some(v) => {
+                    let m = v.as_object("model")?;
+                    let stack = m.get_object("cpi_stack")?;
+                    Some(ModelMetrics {
+                        intervals: m.get_u64("intervals")?,
+                        resolution: m.get_u64("resolution")?,
+                        local_resolution: m.get_u64("local_resolution")?,
+                        base: m.get_u64("base")?,
+                        ilp: m.get_u64("ilp")?,
+                        fu_latency: m.get_u64("fu_latency")?,
+                        short_dmiss: m.get_u64("short_dmiss")?,
+                        carryover: m.get_i64("carryover")?,
+                        refill: m.get_u64("refill")?,
+                        cpi_stack: CpiStack {
+                            instructions: stack.get_u64("instructions")?,
+                            base_cycles: stack.get_f64("base_cycles")?,
+                            branch_cycles: stack.get_f64("branch_cycles")?,
+                            icache_cycles: stack.get_f64("icache_cycles")?,
+                            long_dmiss_cycles: stack.get_f64("long_dmiss_cycles")?,
+                        },
+                    })
+                }
+            };
+            doc.workloads.push(WorkloadMetrics {
+                workload: w.get_string("workload")?.to_string(),
+                instructions: w.get_u64("instructions")?,
+                cycles: w.get_u64("cycles")?,
+                frontend_depth: w.get_u64("frontend_depth")? as u32,
+                mispredicts: w.get_u64("mispredicts")?,
+                intervals: IntervalCounts {
+                    bmiss: counts.get_u64("bmiss")?,
+                    il1: counts.get_u64("il1")?,
+                    il2: counts.get_u64("il2")?,
+                    dlong: counts.get_u64("dlong")?,
+                },
+                resolution_total: w.get_u64("resolution_total")?,
+                refill_total: w.get_u64("refill_total")?,
+                occupancy_total: w.get_u64("occupancy_total")?,
+                length_histogram: parse_u64_array(w.get_array("length_histogram")?)?,
+                resolution_histogram: parse_u64_array(w.get_array("resolution_histogram")?)?,
+                model,
+            });
+        }
+        Ok(doc)
+    }
+}
+
+fn fmt_u64_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn parse_u64_array(items: &[Value]) -> Result<Vec<u64>, JsonError> {
+    items.iter().map(|v| v.as_u64("histogram bucket")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accounting::records_from_analysis;
+    use crate::penalty::PenaltyModel;
+    use bmp_uarch::presets;
+    use bmp_workloads::spec;
+
+    fn sample_records() -> Vec<IntervalRecord> {
+        let base = IntervalRecord {
+            kind: IntervalEventKind::ICacheMiss,
+            start: 0,
+            pos: 9,
+            commit_cycle: 12,
+            resolution: 0,
+            refill: 0,
+            occupancy: 0,
+            base: 0,
+            ilp: 0,
+            fu_latency: 0,
+            short_dmiss: 0,
+            carryover: 0,
+        };
+        vec![
+            base,
+            IntervalRecord {
+                kind: IntervalEventKind::BranchMispredict,
+                start: 10,
+                pos: 41,
+                commit_cycle: 40,
+                resolution: 14,
+                refill: 5,
+                occupancy: 30,
+                ..base
+            },
+            IntervalRecord {
+                kind: IntervalEventKind::LongDCacheMiss,
+                start: 42,
+                pos: 600,
+                commit_cycle: 900,
+                ..base
+            },
+        ]
+    }
+
+    #[test]
+    fn aggregation_counts_and_buckets() {
+        let m = WorkloadMetrics::from_records("gzip", 1_000, 2_500, 5, 1, &sample_records());
+        assert_eq!(m.intervals.bmiss, 1);
+        assert_eq!(m.intervals.il1, 1);
+        assert_eq!(m.intervals.dlong, 1);
+        assert_eq!(m.intervals.total(), 3);
+        assert_eq!(m.resolution_total, 14);
+        assert_eq!(m.refill_total, 5);
+        assert_eq!(m.occupancy_total, 30);
+        assert_eq!(m.length_histogram.iter().sum::<u64>(), 3);
+        assert_eq!(m.resolution_histogram.iter().sum::<u64>(), 1);
+        // Lengths 10, 32, 559: buckets for [8,16), [32,64), overflow.
+        assert_eq!(m.length_histogram[bucket_index(10)], 1);
+        assert_eq!(m.length_histogram[LENGTH_BUCKETS.len()], 1);
+        assert!((m.measured_cpi() - 2.5).abs() < 1e-12);
+        assert_eq!(m.mean_penalty(), Some(19.0));
+    }
+
+    #[test]
+    fn bucket_index_matches_histogram_boundaries() {
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(256), 8);
+        assert_eq!(bucket_index(511), 8);
+        assert_eq!(bucket_index(512), LENGTH_BUCKETS.len());
+        assert_eq!(bucket_index(u64::MAX), LENGTH_BUCKETS.len());
+        // Resolution 0 (non-branch) would land in bucket 0 — callers
+        // only bucket branch resolutions, but it must not panic.
+        assert_eq!(bucket_index(0), 0);
+    }
+
+    #[test]
+    fn json_round_trips_with_and_without_model() {
+        let trace = spec::by_name("gzip").unwrap().generate(20_000, 1);
+        let cfg = presets::baseline_4wide();
+        let analysis = PenaltyModel::new(cfg.clone()).analyze(&trace);
+        let stack = crate::cpi::predict(&trace, &cfg);
+        let records = records_from_analysis(&analysis);
+
+        let mut doc = ExperimentMetrics::new("fig2_penalty", 20_000, 1);
+        let mut w = WorkloadMetrics::from_records(
+            "gzip",
+            trace.len() as u64,
+            40_000,
+            analysis.frontend_depth,
+            analysis.breakdowns.len() as u64,
+            &records,
+        );
+        w.model = Some(ModelMetrics::from_analysis(&analysis, stack));
+        doc.workloads.push(w.clone());
+        w.workload = "plain".into();
+        w.model = None;
+        doc.workloads.push(w);
+
+        let text = doc.to_json();
+        let back = ExperimentMetrics::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        // Deterministic bytes.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn model_aggregates_preserve_the_identities() {
+        let trace = spec::by_name("gcc").unwrap().generate(20_000, 3);
+        let cfg = presets::baseline_4wide();
+        let analysis = PenaltyModel::new(cfg.clone()).analyze(&trace);
+        let stack = crate::cpi::predict(&trace, &cfg);
+        let m = ModelMetrics::from_analysis(&analysis, stack);
+        // The BMP501 identities, in aggregate.
+        assert_eq!(
+            m.local_resolution,
+            m.base + m.ilp + m.fu_latency + m.short_dmiss
+        );
+        assert_eq!(m.resolution as i64, m.local_resolution as i64 + m.carryover);
+        assert_eq!(m.refill, m.intervals * u64::from(analysis.frontend_depth));
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_garbage() {
+        let doc = ExperimentMetrics::new("x", 1, 1);
+        let wrong = doc.to_json().replace("\"version\": 1", "\"version\": 9");
+        assert!(ExperimentMetrics::parse(&wrong).is_err());
+        assert!(ExperimentMetrics::parse("not json").is_err());
+        assert!(ExperimentMetrics::parse("{\"version\": 1}").is_err());
+    }
+}

@@ -28,6 +28,8 @@
 
 use bmp_branch::{BranchStats, Btb, IndirectPredictor, InlinePredictor, ReturnAddressStack};
 use bmp_cache::{DataOutcome, MemoryHierarchy};
+use bmp_core::intervals::IntervalEventKind;
+use bmp_core::{IntervalAccountant, IntervalRecord};
 use bmp_trace::{BranchKind, CompiledTrace, Trace};
 use bmp_uarch::{MachineConfig, OpClass, FU_KINDS};
 use std::sync::OnceLock;
@@ -193,6 +195,7 @@ struct Scratch {
     sched: Option<WakeupScheduler>,
     events: Vec<MissEvent>,
     mispredicts: Vec<MispredictRecord>,
+    interval_records: Vec<IntervalRecord>,
 }
 
 thread_local! {
@@ -271,6 +274,10 @@ struct Engine<'a> {
     branch_stats: BranchStats,
     events: Vec<MissEvent>,
     mispredicts: Vec<MispredictRecord>,
+    // Per-interval accounting (None when `collect_intervals` is off, so
+    // the only cost on the default path is one branch per commit).
+    accountant: Option<IntervalAccountant>,
+    interval_records: Vec<IntervalRecord>,
     pending: Option<PendingMiss>,
     timeline: Option<Vec<u8>>,
     line_mask: u64,
@@ -341,6 +348,8 @@ impl<'a> Engine<'a> {
             branch_stats: BranchStats::new(),
             events: std::mem::take(&mut scratch.events),
             mispredicts: std::mem::take(&mut scratch.mispredicts),
+            accountant: opts.collect_intervals.then(IntervalAccountant::new),
+            interval_records: std::mem::take(&mut scratch.interval_records),
             pending: None,
             timeline: opts.record_dispatch_timeline.then(Vec::new),
             line_mask: !u64::from(cfg.caches.l1i().line_bytes() - 1),
@@ -362,6 +371,8 @@ impl<'a> Engine<'a> {
         scratch.events.clear();
         scratch.mispredicts = self.mispredicts;
         scratch.mispredicts.clear();
+        scratch.interval_records = self.interval_records;
+        scratch.interval_records.clear();
     }
 
     /// Current ROB occupancy (the ROB is the committed..dispatched range).
@@ -446,6 +457,7 @@ impl<'a> Engine<'a> {
             // while the grown buffer returns to the scratch pool.
             events: self.events.clone(),
             mispredicts: self.mispredicts.clone(),
+            interval_records: self.interval_records.clone(),
             dispatch_timeline: self.timeline.take(),
             frontend_depth: self.cfg.frontend_depth,
             slots: self.slots,
@@ -563,6 +575,10 @@ impl<'a> Engine<'a> {
         self.mem.reset_stats();
         self.events.clear();
         self.mispredicts.clear();
+        self.interval_records.clear();
+        if let Some(acct) = &mut self.accountant {
+            acct.reset(self.committed);
+        }
         self.slots = SlotAccounting::default();
         self.fetch_acct = FetchAccounting::default();
         self.rob_occupancy.iter_mut().for_each(|c| *c = 0);
@@ -578,9 +594,17 @@ impl<'a> Engine<'a> {
             && self.commit_head < self.dispatch_head
             && self.times[self.commit_head].done <= self.cycle
         {
+            let idx = self.commit_head;
             self.commit_head += 1;
             self.committed += 1;
             budget -= 1;
+            if let Some(acct) = &mut self.accountant {
+                acct.on_commit(
+                    idx as u64,
+                    self.cycle - self.stats_start_cycle,
+                    &mut self.interval_records,
+                );
+            }
         }
     }
 
@@ -628,6 +652,9 @@ impl<'a> Engine<'a> {
                             cycle: self.cycle,
                             kind: MissEventKind::LongDCacheMiss,
                         });
+                        if let Some(acct) = &mut self.accountant {
+                            acct.on_event(idx as u64, IntervalEventKind::LongDCacheMiss);
+                        }
                     }
                     u64::from(access.latency)
                 }
@@ -664,6 +691,14 @@ impl<'a> Engine<'a> {
                     resolve_cycle: self.times[idx].done,
                     window_occupancy: pending.window_occupancy,
                 });
+                if let Some(acct) = &mut self.accountant {
+                    acct.on_mispredict(
+                        idx as u64,
+                        self.times[idx].done.saturating_sub(pending.dispatch_cycle),
+                        self.cfg.frontend_depth,
+                        pending.window_occupancy,
+                    );
+                }
             }
         }
         self.sched.rearm_deferred();
@@ -740,6 +775,16 @@ impl<'a> Engine<'a> {
                             MissEventKind::ICacheMiss
                         },
                     });
+                    if let Some(acct) = &mut self.accountant {
+                        acct.on_event(
+                            idx as u64,
+                            if access.long_miss {
+                                IntervalEventKind::ICacheLongMiss
+                            } else {
+                                IntervalEventKind::ICacheMiss
+                            },
+                        );
+                    }
                     // The line arrives after the stall; the op is fetched
                     // on a later cycle.
                     return;
@@ -1427,7 +1472,10 @@ mod tests {
                 record_dispatch_timeline: true,
                 max_cycles: 2_000,
                 warmup_ops: 1_000,
+                collect_intervals: false,
             },
+            SimOptions::with_warmup(1_000).intervals(),
+            SimOptions::with_intervals(),
         ] {
             let sim = Simulator::with_options(presets::baseline_4wide(), opts);
             let fast = sim.try_run_compiled(&trace.compile());

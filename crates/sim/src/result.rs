@@ -168,6 +168,12 @@ pub struct SimResult {
     pub events: Vec<MissEvent>,
     /// One record per branch misprediction, in trace order.
     pub mispredicts: Vec<MispredictRecord>,
+    /// Per-interval cycle accounting, when requested via
+    /// [`SimOptions::collect_intervals`](crate::SimOptions): one record
+    /// per miss-event interval, emitted at commit boundaries, in commit
+    /// order. Empty when collection is off. Part of the engine
+    /// bit-equivalence contract (see `docs/OBSERVABILITY.md`).
+    pub interval_records: Vec<bmp_core::IntervalRecord>,
     /// Per-cycle dispatch counts, when requested via
     /// [`SimOptions::record_dispatch_timeline`](crate::SimOptions).
     pub dispatch_timeline: Option<Vec<u8>>,
@@ -279,6 +285,7 @@ mod tests {
             events: vec![],
             mispredicts: vec![record(10, 20), record(50, 54)],
             dispatch_timeline: None,
+            interval_records: vec![],
             frontend_depth: 5,
             slots: SlotAccounting::default(),
             fetch: FetchAccounting::default(),
@@ -301,6 +308,7 @@ mod tests {
             events: vec![],
             mispredicts: vec![],
             dispatch_timeline: None,
+            interval_records: vec![],
             frontend_depth: 5,
             slots: SlotAccounting::default(),
             fetch: FetchAccounting::default(),
@@ -323,6 +331,7 @@ mod tests {
             events: vec![],
             mispredicts: vec![],
             dispatch_timeline: None,
+            interval_records: vec![],
             frontend_depth: 5,
             slots: SlotAccounting::default(),
             fetch: FetchAccounting::default(),

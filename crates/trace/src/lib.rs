@@ -14,7 +14,9 @@
 //!
 //! Encoding dependences as distances makes traces position-independent and
 //! cheap to slice, which the interval model exploits when scheduling
-//! individual inter-miss intervals.
+//! individual inter-miss intervals (and the event-driven simulator
+//! un-does once, resolving distances to absolute producer indices in its
+//! compiled structure-of-arrays form — `docs/PERFORMANCE.md`).
 //!
 //! The [`dag`] module provides dependence-graph utilities — data-flow
 //! scheduling and critical-path extraction — and the `I_W(k)` window-ILP

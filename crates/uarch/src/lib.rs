@@ -11,6 +11,10 @@
 //! The baseline machine ([`presets::baseline_4wide`]) follows the 4-wide
 //! out-of-order configuration used throughout Eyerman, Smith & Eeckhout,
 //! *"Characterizing the branch misprediction penalty"* (ISPASS 2006).
+//! `frontend_depth` is the paper's `c_fe` — the refill term that every
+//! accounting identity in `docs/OBSERVABILITY.md` conserves exactly.
+//! `bmp-lint` (see `docs/ANALYZER.md`) checks a configuration against
+//! the balance premises the interval model assumes.
 //!
 //! # Examples
 //!

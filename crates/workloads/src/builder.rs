@@ -22,7 +22,7 @@
 
 use crate::profile::{ProfileError, WorkloadProfile};
 
-/// Builder for [`WorkloadProfile`]; see the [module docs](self).
+/// Builder for [`WorkloadProfile`]; see the module docs above.
 ///
 /// Starts from [`WorkloadProfile::default`] — every setter overrides one
 /// aspect, and [`build`](ProfileBuilder::build) validates.
