@@ -11,7 +11,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use bmp_analyze::{analyze, lint_sim_result, AnalysisReport, Severity};
+use bmp_analyze::{analyze, lint_sim_result, staticpass, walk_inputs, AnalysisReport, Severity};
 use bmp_sim::Simulator;
 use bmp_uarch::{presets, MachineConfig};
 use bmp_workloads::spec;
@@ -33,6 +33,12 @@ OPTIONS:
     --metrics PATH    lint a metrics document (results/metrics/*.json) or
                       a whole metrics directory with the BMP5xx rules;
                       given alone, skips the other passes too
+    --static PATH     cross-check simulated results against statically
+                      proven contributor bounds (BMP6xx). PATH is a
+                      results directory (lints its *.csv tables and its
+                      metrics/ subdirectory), a single CSV table, or a
+                      single metrics document; given alone, skips the
+                      other passes too
     --ops N           trace length per workload profile (default 2000)
     --no-traces       lint machine presets only; skip workload traces
     --list            list preset and profile names, then exit
@@ -69,6 +75,7 @@ struct Options {
     profile: Option<String>,
     journal: Option<String>,
     metrics: Option<String>,
+    statics: Option<String>,
     ops: usize,
     no_traces: bool,
     list: bool,
@@ -81,6 +88,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         profile: None,
         journal: None,
         metrics: None,
+        statics: None,
         ops: 2000,
         no_traces: false,
         list: false,
@@ -116,6 +124,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.metrics = Some(
                     it.next()
                         .ok_or_else(|| "--metrics needs a path".to_owned())?
+                        .clone(),
+                );
+            }
+            "--static" => {
+                opts.statics = Some(
+                    it.next()
+                        .ok_or_else(|| "--static needs a path".to_owned())?
                         .clone(),
                 );
             }
@@ -204,60 +219,81 @@ fn main() -> ExitCode {
     let mut report = AnalysisReport::default();
     let mut targets = 0usize;
 
-    // Pass 0: a run journal, when asked for. The file must exist — a
-    // missing journal is a usage error, not a lint finding.
+    // Pass 0: a run journal, when asked for. The path must be readable
+    // — a missing journal is a usage error, not a lint finding.
     if let Some(path) = &opts.journal {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
+        let files = match walk_inputs(path, "json") {
+            Ok(files) => files,
             Err(e) => {
-                eprintln!("bmp-lint: cannot read journal '{path}': {e}");
+                eprintln!("bmp-lint: {e}");
                 return ExitCode::from(2);
             }
         };
-        targets += 1;
-        report.merge(scoped(
-            &format!("journal {path}"),
-            AnalysisReport::new(bmp_analyze::lint_journal_text(&text)),
-        ));
+        for file in files {
+            targets += 1;
+            report.merge(scoped(
+                &format!("journal {}", file.path.display()),
+                AnalysisReport::new(bmp_analyze::lint_journal_text(&file.content)),
+            ));
+        }
     }
 
     // Pass 0b: metrics documents. `--metrics` accepts one file or a
-    // directory of them (`results/metrics/`); like the journal, a
-    // missing path is a usage error, not a finding.
+    // directory of them (`results/metrics/`).
     if let Some(path) = &opts.metrics {
-        let mut files: Vec<std::path::PathBuf> = Vec::new();
-        let p = std::path::Path::new(path);
-        if p.is_dir() {
-            match std::fs::read_dir(p) {
-                Ok(entries) => {
-                    files.extend(
-                        entries
-                            .filter_map(|e| e.ok().map(|e| e.path()))
-                            .filter(|p| p.extension().is_some_and(|x| x == "json")),
-                    );
-                    files.sort();
-                }
-                Err(e) => {
-                    eprintln!("bmp-lint: cannot read metrics directory '{path}': {e}");
-                    return ExitCode::from(2);
-                }
+        let files = match walk_inputs(path, "json") {
+            Ok(files) => files,
+            Err(e) => {
+                eprintln!("bmp-lint: {e}");
+                return ExitCode::from(2);
             }
-        } else {
-            files.push(p.to_path_buf());
-        }
+        };
         for file in files {
-            let text = match std::fs::read_to_string(&file) {
-                Ok(text) => text,
-                Err(e) => {
-                    eprintln!("bmp-lint: cannot read metrics '{}': {e}", file.display());
-                    return ExitCode::from(2);
-                }
-            };
             targets += 1;
             report.merge(scoped(
-                &format!("metrics {}", file.display()),
-                AnalysisReport::new(bmp_analyze::lint_metrics_text(&text)),
+                &format!("metrics {}", file.path.display()),
+                AnalysisReport::new(bmp_analyze::lint_metrics_text(&file.content)),
             ));
+        }
+    }
+
+    // Pass 0c: static cross-checks (BMP6xx). A directory is treated as
+    // a results tree: its CSV tables plus a `metrics/` subdirectory;
+    // single files route by extension.
+    if let Some(path) = &opts.statics {
+        let p = std::path::Path::new(path);
+        // (is_metrics, source) pairs: a results directory contributes
+        // its CSV tables and, when present, its metrics/ subdirectory.
+        let mut jobs: Vec<(bool, bmp_analyze::WalkedFile)> = Vec::new();
+        let mut collect = |is_metrics: bool, path: &str, ext: &str| match walk_inputs(path, ext) {
+            Ok(files) => {
+                jobs.extend(files.into_iter().map(|f| (is_metrics, f)));
+                true
+            }
+            Err(e) => {
+                eprintln!("bmp-lint: {e}");
+                false
+            }
+        };
+        let ok = if p.is_dir() {
+            let metrics_dir = p.join("metrics");
+            collect(false, path, "csv")
+                && (!metrics_dir.is_dir()
+                    || collect(true, &metrics_dir.display().to_string(), "json"))
+        } else {
+            collect(p.extension().is_some_and(|x| x == "json"), path, "")
+        };
+        if !ok {
+            return ExitCode::from(2);
+        }
+        for (is_metrics, file) in jobs {
+            let locus = file.path.display().to_string();
+            targets += 1;
+            report.merge(if is_metrics {
+                staticpass::lint_metrics_doc(&locus, &file.content)
+            } else {
+                staticpass::lint_csv(&locus, &file.content)
+            });
         }
     }
 
@@ -265,7 +301,10 @@ fn main() -> ExitCode {
     // `--profile` (or `--journal` / `--metrics`) request means "lint
     // this target", so the preset sweep only runs when presets were not
     // narrowed away.
-    let narrowed = opts.profile.is_some() || opts.journal.is_some() || opts.metrics.is_some();
+    let narrowed = opts.profile.is_some()
+        || opts.journal.is_some()
+        || opts.metrics.is_some()
+        || opts.statics.is_some();
     if !narrowed || opts.preset.is_some() {
         for (name, cfg) in &machines {
             targets += 1;
@@ -277,7 +316,8 @@ fn main() -> ExitCode {
     // then model- and simulator-side conservation on the reference
     // (baseline) machine.
     if !opts.no_traces
-        && ((opts.journal.is_none() && opts.metrics.is_none()) || opts.profile.is_some())
+        && ((opts.journal.is_none() && opts.metrics.is_none() && opts.statics.is_none())
+            || opts.profile.is_some())
     {
         let reference = presets::baseline_4wide();
         let simulator = Simulator::new(reference.clone());

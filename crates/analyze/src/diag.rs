@@ -5,8 +5,12 @@
 //! position, a human message, and (where a fix is mechanical) a
 //! suggestion. [`AnalysisReport`] aggregates them and renders either a
 //! compiler-style human listing or line-delimited JSON for tooling.
+//! [`walk_inputs`] is the shared file/directory collector behind every
+//! `bmp-lint` pass that reads artifacts from disk (`--journal`,
+//! `--metrics`, `--static`).
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// How bad a finding is.
 ///
@@ -220,6 +224,46 @@ impl AnalysisReport {
     }
 }
 
+/// One input file collected by [`walk_inputs`]: its path and contents.
+#[derive(Debug, Clone)]
+pub struct WalkedFile {
+    /// Where the file was found.
+    pub path: PathBuf,
+    /// Its full contents.
+    pub content: String,
+}
+
+/// Collects lintable input files from `path`.
+///
+/// A directory yields every direct child with extension `ext`, sorted
+/// by name for deterministic reports; a file path yields that one file
+/// regardless of extension (the caller asked for it explicitly). Any
+/// I/O failure is an `Err` — the CLI treats unreadable inputs as usage
+/// errors (exit 2), not lint findings.
+pub fn walk_inputs(path: &str, ext: &str) -> Result<Vec<WalkedFile>, String> {
+    let p = Path::new(path);
+    let mut files: Vec<PathBuf> = Vec::new();
+    if p.is_dir() {
+        let entries =
+            std::fs::read_dir(p).map_err(|e| format!("cannot read directory '{path}': {e}"))?;
+        files.extend(
+            entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == ext)),
+        );
+        files.sort();
+    } else {
+        files.push(p.to_path_buf());
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let content = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read '{}': {e}", path.display()))?;
+        out.push(WalkedFile { path, content });
+    }
+    Ok(out)
+}
+
 /// Appends `value` to `out` as a JSON string literal with full escaping.
 fn json_string(out: &mut String, value: &str) {
     out.push('"');
@@ -284,6 +328,31 @@ mod tests {
         let j = r.render_json();
         assert!(j.starts_with("{\"errors\":1,\"warnings\":0,\"diagnostics\":["));
         assert!(j.ends_with("]}"));
+    }
+
+    #[test]
+    fn walk_inputs_collects_sorted_matching_files() {
+        let dir = std::env::temp_dir().join(format!("bmp-diag-walk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("b.json"), "{}").unwrap();
+        std::fs::write(dir.join("a.json"), "{}").unwrap();
+        std::fs::write(dir.join("c.csv"), "x").unwrap();
+
+        let walked = walk_inputs(dir.to_str().unwrap(), "json").unwrap();
+        let names: Vec<_> = walked
+            .iter()
+            .map(|f| f.path.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["a.json", "b.json"]);
+
+        // A single file is returned as-is, whatever its extension.
+        let one = walk_inputs(dir.join("c.csv").to_str().unwrap(), "json").unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].content, "x");
+
+        // Missing paths are errors, not findings.
+        assert!(walk_inputs(dir.join("nope.json").to_str().unwrap(), "json").is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

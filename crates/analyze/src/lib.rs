@@ -36,13 +36,22 @@
 //!   contributor and carryover identities, count one branch interval
 //!   per mispredict, conserve refill cycles, keep their histograms
 //!   complete, and carry a CPI stack that tracks the measured CPI.
+//! * `BMP6xx` — static-bounds cross-checks ([`staticpass`]): the
+//!   dependence-graph static pass recomputes guaranteed lower/upper
+//!   bounds (and point estimates) for the five penalty contributors
+//!   directly from the workload recipe and machine configuration —
+//!   no simulation — and any simulated total outside its proven bound,
+//!   in a metrics document or a published CSV table, is a hard error.
 //!
 //! [`analyze`] is the one-call entry point; the `bmp-lint` binary runs it
 //! over presets, workload profiles, or both (plus `--journal` for run
-//! journals and `--metrics` for observability documents), and renders
-//! either a compiler-style listing or JSON (`bmp-lint --json`). The full
-//! code catalogue lives in `docs/ANALYZER.md`.
+//! journals, `--metrics` for observability documents and `--static` for
+//! bounds cross-checks), and renders either a compiler-style listing or
+//! JSON (`bmp-lint --json`). The `bmp-verify` binary renders the static
+//! bounds themselves. The full code catalogue lives in
+//! `docs/ANALYZER.md`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compiledlint;
@@ -51,14 +60,16 @@ pub mod diag;
 pub mod journal;
 pub mod machine;
 pub mod metrics;
+pub mod staticpass;
 pub mod tracelint;
 
 pub use compiledlint::{lint_compiled, lint_producer_table};
 pub use conserve::{lint_cpi_stack, lint_penalty_analysis, lint_sim_result};
-pub use diag::{AnalysisReport, Diagnostic, Severity};
+pub use diag::{walk_inputs, AnalysisReport, Diagnostic, Severity, WalkedFile};
 pub use journal::{lint_journal, lint_journal_text};
 pub use machine::{lint_fu_coverage, lint_machine};
 pub use metrics::{lint_metrics, lint_metrics_text};
+pub use staticpass::{StaticAnalysis, StaticBounds};
 pub use tracelint::{lint_dag_edges, lint_measured_pairs, lint_trace};
 
 use bmp_core::PenaltyModel;

@@ -1,0 +1,686 @@
+//! The BMP6xx rule family: cross-checking simulator outputs against
+//! statically proven bounds.
+//!
+//! Every other lint family in this crate checks *internal* consistency
+//! of one artifact. BMP6xx is different: it recomputes, from nothing
+//! but the workload recipe and the machine configuration, hard bounds
+//! on the five penalty contributors (see
+//! [`super::bounds`] and `docs/STATIC_ANALYSIS.md`), then demands that
+//! simulated results — metrics documents under `results/metrics/` and
+//! the published CSV tables under `results/` — fall inside them. A
+//! simulated contributor total outside its proven bound is a hard
+//! error: either the simulator, the model, or the static pass is
+//! wrong, and all three claim to describe the same machine.
+//!
+//! | code   | severity | meaning                                         |
+//! |--------|----------|-------------------------------------------------|
+//! | BMP601 | error    | model contributor total differs from the static recomputation (must be cycle-exact) |
+//! | BMP602 | error    | model resolution/carryover total outside the proven envelope |
+//! | BMP603 | error    | simulator resolution/refill totals violate the envelope or the refill identity |
+//! | BMP604 | info     | workload/config not statically reproducible — bounds not checked |
+//! | BMP605 | error    | published CSV value violates a static identity or bound |
+//! | BMP606 | error    | input not parseable in the documented shape     |
+//!
+//! CSV checks are keyed on the exact header line, so renaming a column
+//! is loud (the file silently stops being checked only if the header
+//! no longer matches any registered experiment — `bmp-verify` reports
+//! coverage). All CSV checks are scale-free: they hold at any
+//! `BMP_OPS`/`BMP_SEED`, because they are identities and bounds, not
+//! golden values.
+
+use bmp_core::metrics::ExperimentMetrics;
+use bmp_uarch::{presets, MachineConfig};
+use bmp_workloads::spec;
+
+use super::bounds::{self, StaticBounds};
+use crate::diag::{AnalysisReport, Diagnostic};
+
+/// Tolerance for a single CSV value printed with two decimals.
+const EPS_VAL: f64 = 0.011;
+/// Tolerance for a sum of up to seven two-decimal CSV values.
+const EPS_SUM: f64 = 0.051;
+/// Slack for one-sided (`>=`) bound checks on two-decimal values.
+const EPS_GE: f64 = 0.006;
+
+/// Recomputes static bounds for one workload of a metrics document, if
+/// the workload is reproducible from the registry (same generator,
+/// `ops` and `seed` as the run that wrote the document; the metrics
+/// contract pins the machine to `cfg`).
+pub fn static_bounds_for(
+    workload: &str,
+    ops: u64,
+    seed: u64,
+    cfg: &MachineConfig,
+) -> Option<StaticBounds> {
+    let profile = spec::by_name(workload)?;
+    let trace = profile.generate(ops as usize, seed);
+    Some(bounds::compute(cfg, &trace))
+}
+
+/// Lints one metrics document (the JSON written under
+/// `results/metrics/`) against statically proven bounds.
+///
+/// `locus` is the path shown in diagnostics. The machine is assumed to
+/// be the baseline preset (the metrics contract in
+/// `docs/OBSERVABILITY.md`); workloads recorded with a different
+/// frontend depth are visibly skipped via BMP604 rather than checked
+/// against the wrong envelope.
+pub fn lint_metrics_doc(locus: &str, content: &str) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+    let doc = match ExperimentMetrics::parse(content) {
+        Ok(doc) => doc,
+        Err(e) => {
+            report.diagnostics.push(Diagnostic::error(
+                "BMP606",
+                locus,
+                format!("not a parseable metrics document: {e}"),
+            ));
+            return report;
+        }
+    };
+    let cfg = presets::baseline_4wide();
+    let (per_lo, per_hi) = bounds::per_branch_resolution_bounds(&cfg);
+    for w in &doc.workloads {
+        let locus = format!("{locus}: workload {}", w.workload);
+        // Simulator side: the refill identity is internal to the
+        // document (count × recorded depth) and always checked.
+        let n = w.intervals.bmiss;
+        if w.refill_total != n * u64::from(w.frontend_depth) {
+            report.diagnostics.push(Diagnostic::error(
+                "BMP603",
+                &locus,
+                format!(
+                    "sim refill total {} != {} branch intervals × frontend depth {}",
+                    w.refill_total, n, w.frontend_depth
+                ),
+            ));
+        }
+        // The resolution envelope is per-machine; only apply it when
+        // the recorded depth matches the contract's baseline preset.
+        if w.frontend_depth == cfg.frontend_depth {
+            let (lo, hi) = (n * per_lo, n * per_hi);
+            if w.resolution_total < lo || w.resolution_total > hi {
+                report.diagnostics.push(Diagnostic::error(
+                    "BMP603",
+                    &locus,
+                    format!(
+                        "sim resolution total {} outside proven envelope \
+                         [{lo}, {hi}] for {n} branch intervals",
+                        w.resolution_total
+                    ),
+                ));
+            }
+        } else {
+            report.diagnostics.push(
+                Diagnostic::info(
+                    "BMP604",
+                    &locus,
+                    format!(
+                        "recorded frontend depth {} differs from the baseline \
+                         preset ({}) — sim resolution envelope not checked",
+                        w.frontend_depth, cfg.frontend_depth
+                    ),
+                )
+                .with_suggestion("non-baseline runs are outside the metrics contract"),
+            );
+        }
+        // Model side: regenerate the trace and demand cycle-exact
+        // agreement on the local contributors, envelopes on the rest.
+        let Some(m) = &w.model else { continue };
+        match static_bounds_for(&w.workload, doc.ops, doc.seed, &cfg) {
+            None => report.diagnostics.push(
+                Diagnostic::info(
+                    "BMP604",
+                    &locus,
+                    format!(
+                        "workload {:?} is not in the registry — model totals \
+                         not statically checked",
+                        w.workload
+                    ),
+                )
+                .with_suggestion("register the workload in bmp-workloads::spec"),
+            ),
+            Some(b) => {
+                for msg in b.check_model_exact(m) {
+                    report
+                        .diagnostics
+                        .push(Diagnostic::error("BMP601", &locus, msg));
+                }
+                if m.intervals == b.intervals {
+                    for msg in b.check_model_envelope(m) {
+                        report
+                            .diagnostics
+                            .push(Diagnostic::error("BMP602", &locus, msg));
+                    }
+                }
+            }
+        }
+    }
+    report
+}
+
+/// The CSV experiments with registered static checks, keyed by their
+/// exact header line.
+enum CsvChecks {
+    /// `fig2_penalty_per_benchmark.csv`.
+    Fig2,
+    /// `fig3_penalty_vs_interval.csv`.
+    Fig3,
+    /// `fig5_contributor_breakdown.csv`.
+    Fig5,
+    /// `fig6_pipeline_depth.csv`.
+    Fig6,
+    /// `fig7_fu_latency.csv`.
+    Fig7,
+    /// `fig8_ilp.csv`.
+    Fig8,
+    /// `fig9_l1d_misses.csv`.
+    Fig9,
+    /// `fig10_model_validation.csv`.
+    Fig10,
+    /// `ex2_window_sweep.csv`.
+    Ex2,
+    /// `ex3_closed_form.csv`.
+    Ex3,
+}
+
+impl CsvChecks {
+    fn from_header(header: &str) -> Option<(Self, usize)> {
+        Some(match header {
+            "benchmark,measured-penalty,two-run-penalty,model-penalty,frontend-depth,measured-resolution" => (Self::Fig2, 6),
+            "benchmark,interval-bucket-lo,n-measured,measured-resolution,model-local-resolution,model-effective-resolution" => (Self::Fig3, 6),
+            "benchmark,frontend(i),base,ilp(iii),fu-latency(iv),short-dmiss(v),carryover(ii),total-penalty" => (Self::Fig5, 8),
+            "benchmark,frontend-depth,measured-penalty,measured-resolution,model-penalty,IPC" => (Self::Fig6, 6),
+            "workload,latency-scale,measured-resolution,model-resolution,model-fu-share(iv)" => (Self::Fig7, 5),
+            "chain-length,measured-resolution,model-resolution,model-ilp-share(iii)" => (Self::Fig8, 4),
+            "l1d-size-KiB,l1d-miss-rate,measured-resolution,model-resolution,model-short-dmiss-share(v)" => (Self::Fig9, 5),
+            "benchmark,events-agree,sim-resolution,model-resolution,resolution-err,correlation,sim-CPI,stack-CPI,sched-CPI" => (Self::Fig10, 9),
+            "benchmark,window,rob,measured-resolution,model-resolution,IPC" => (Self::Ex2, 6),
+            "benchmark,sim-effective,model-effective,model-local,closed-form,closed-form-err-vs-local" => (Self::Ex3, 6),
+            _ => return None,
+        })
+    }
+}
+
+/// One CSV row under scrutiny; accumulates diagnostics for its line.
+struct Row<'a> {
+    locus: String,
+    cells: &'a [&'a str],
+    diags: &'a mut Vec<Diagnostic>,
+}
+
+impl Row<'_> {
+    /// Numeric value of column `i`, or `None` with a BMP606 emitted.
+    fn num(&mut self, i: usize) -> Option<f64> {
+        match self.cells[i].trim().parse::<f64>() {
+            Ok(v) if v.is_finite() => Some(v),
+            _ => {
+                self.diags.push(Diagnostic::error(
+                    "BMP606",
+                    &self.locus,
+                    format!(
+                        "column {} is not a finite number: {:?}",
+                        i + 1,
+                        self.cells[i]
+                    ),
+                ));
+                None
+            }
+        }
+    }
+
+    fn violation(&mut self, message: String) {
+        self.diags
+            .push(Diagnostic::error("BMP605", &self.locus, message));
+    }
+
+    /// `value >= bound - EPS_GE`, else a BMP605 naming the rule.
+    fn check_ge(&mut self, name: &str, value: f64, bound: f64, rule: &str) {
+        if value < bound - EPS_GE {
+            self.violation(format!(
+                "{name} = {value} violates {name} >= {bound} ({rule})"
+            ));
+        }
+    }
+
+    /// `value` within `[lo, hi]` (small slack), else a BMP605.
+    fn check_range(&mut self, name: &str, value: f64, lo: f64, hi: f64) {
+        if value < lo - 1e-3 || value > hi + 1e-3 {
+            self.violation(format!("{name} = {value} outside [{lo}, {hi}]"));
+        }
+    }
+
+    /// `|got - want| <= eps`, else a BMP605 naming the identity.
+    fn check_eq(&mut self, got: f64, want: f64, eps: f64, rule: &str) {
+        if (got - want).abs() > eps {
+            self.violation(format!(
+                "{rule}: got {got}, expected {want} (tolerance {eps})"
+            ));
+        }
+    }
+}
+
+/// Mean per-branch resolution lower bound: dispatch-to-issue plus
+/// issue-to-done is at least one cycle each (`docs/STATIC_ANALYSIS.md`).
+const MIN_RESOLUTION: f64 = 2.0;
+
+fn check_row(kind: &CsvChecks, row: &mut Row<'_>) -> Option<()> {
+    match kind {
+        CsvChecks::Fig2 => {
+            let mp = row.num(1)?;
+            let model = row.num(3)?;
+            let depth = row.num(4)?;
+            let mr = row.num(5)?;
+            row.check_eq(
+                mp - mr,
+                depth,
+                EPS_VAL,
+                "measured penalty − resolution == frontend depth",
+            );
+            row.check_ge("measured-resolution", mr, MIN_RESOLUTION, "r >= 2");
+            row.check_ge(
+                "model-penalty",
+                model,
+                depth + MIN_RESOLUTION,
+                "penalty >= depth + 2",
+            );
+        }
+        CsvChecks::Fig6 => {
+            let depth = row.num(1)?;
+            let mp = row.num(2)?;
+            let mr = row.num(3)?;
+            let model = row.num(4)?;
+            let ipc = row.num(5)?;
+            row.check_eq(
+                mp - mr,
+                depth,
+                EPS_VAL,
+                "measured penalty − resolution == frontend depth",
+            );
+            row.check_ge("measured-resolution", mr, MIN_RESOLUTION, "r >= 2");
+            row.check_ge(
+                "model-penalty",
+                model,
+                depth + MIN_RESOLUTION,
+                "penalty >= depth + 2",
+            );
+            row.check_range("IPC", ipc, 1e-6, f64::INFINITY);
+        }
+        CsvChecks::Fig5 => {
+            let fe = row.num(1)?;
+            let base = row.num(2)?;
+            let ilp = row.num(3)?;
+            let fu = row.num(4)?;
+            let sd = row.num(5)?;
+            let co = row.num(6)?;
+            let total = row.num(7)?;
+            row.check_eq(base, 2.0, EPS_VAL, "mean base contribution == 2 cycles");
+            row.check_ge("frontend(i)", fe, 1.0, "refill >= 1");
+            row.check_ge("ilp(iii)", ilp, 0.0, "knock-out terms are non-negative");
+            row.check_ge(
+                "fu-latency(iv)",
+                fu,
+                0.0,
+                "knock-out terms are non-negative",
+            );
+            row.check_ge(
+                "short-dmiss(v)",
+                sd,
+                0.0,
+                "knock-out terms are non-negative",
+            );
+            row.check_eq(
+                fe + base + ilp + fu + sd + co,
+                total,
+                EPS_SUM,
+                "contributors sum to total penalty",
+            );
+            if total < fe + MIN_RESOLUTION - EPS_SUM {
+                row.violation(format!(
+                    "total-penalty = {total} below frontend + 2 = {}",
+                    fe + MIN_RESOLUTION
+                ));
+            }
+        }
+        CsvChecks::Fig10 => {
+            let agree = row.num(1)?;
+            let sim_r = row.num(2)?;
+            let model_r = row.num(3)?;
+            let corr = row.num(5)?;
+            let sim_cpi = row.num(6)?;
+            let stack_cpi = row.num(7)?;
+            let sched_cpi = row.num(8)?;
+            row.check_range("events-agree", agree, 0.0, 1.0);
+            row.check_range("correlation", corr, -1.0, 1.0);
+            row.check_ge("sim-resolution", sim_r, MIN_RESOLUTION, "r >= 2");
+            row.check_ge("model-resolution", model_r, MIN_RESOLUTION, "r >= 2");
+            for (name, v) in [
+                ("sim-CPI", sim_cpi),
+                ("stack-CPI", stack_cpi),
+                ("sched-CPI", sched_cpi),
+            ] {
+                row.check_range(name, v, 1e-6, f64::INFINITY);
+            }
+        }
+        CsvChecks::Ex3 => {
+            let sim = row.num(1)?;
+            let model = row.num(2)?;
+            let local = row.num(3)?;
+            let closed = row.num(4)?;
+            row.check_ge("sim-effective", sim, MIN_RESOLUTION, "r >= 2");
+            row.check_ge("model-effective", model, MIN_RESOLUTION, "r >= 2");
+            row.check_ge("model-local", local, MIN_RESOLUTION, "r >= 2");
+            row.check_range("closed-form", closed, 1e-6, f64::INFINITY);
+        }
+        CsvChecks::Fig3 => {
+            let n = row.num(2)?;
+            row.check_ge("n-measured", n, 0.0, "counts are non-negative");
+            for (name, col) in [
+                ("measured-resolution", 3),
+                ("model-local-resolution", 4),
+                ("model-effective-resolution", 5),
+            ] {
+                let v = row.num(col)?;
+                // An empty bucket legitimately reports 0; a populated
+                // one must respect the per-branch floor.
+                if v > EPS_GE && v < MIN_RESOLUTION - EPS_GE {
+                    row.violation(format!(
+                        "{name} = {v} in (0, 2): below the resolution floor"
+                    ));
+                }
+            }
+        }
+        CsvChecks::Ex2 => {
+            let window = row.num(1)?;
+            let rob = row.num(2)?;
+            let mr = row.num(3)?;
+            let model = row.num(4)?;
+            let ipc = row.num(5)?;
+            row.check_ge("window", window, 1.0, "sizes are positive");
+            row.check_ge("rob", rob, 1.0, "sizes are positive");
+            row.check_ge("measured-resolution", mr, MIN_RESOLUTION, "r >= 2");
+            row.check_ge("model-resolution", model, MIN_RESOLUTION, "r >= 2");
+            row.check_range("IPC", ipc, 1e-6, f64::INFINITY);
+        }
+        CsvChecks::Fig7 => {
+            let scale = row.num(1)?;
+            let mr = row.num(2)?;
+            let model = row.num(3)?;
+            let share = row.num(4)?;
+            row.check_range("latency-scale", scale, 1e-6, f64::INFINITY);
+            row.check_ge("measured-resolution", mr, MIN_RESOLUTION, "r >= 2");
+            row.check_ge("model-resolution", model, MIN_RESOLUTION, "r >= 2");
+            row.check_ge(
+                "model-fu-share(iv)",
+                share,
+                0.0,
+                "knock-out terms are non-negative",
+            );
+        }
+        CsvChecks::Fig8 => {
+            let chain = row.num(0)?;
+            let mr = row.num(1)?;
+            let model = row.num(2)?;
+            let ilp = row.num(3)?;
+            row.check_ge("chain-length", chain, 1.0, "chains have at least one op");
+            row.check_ge("measured-resolution", mr, MIN_RESOLUTION, "r >= 2");
+            row.check_ge("model-resolution", model, MIN_RESOLUTION, "r >= 2");
+            row.check_ge(
+                "model-ilp-share(iii)",
+                ilp,
+                0.0,
+                "knock-out terms are non-negative",
+            );
+            row.check_ge(
+                "model-resolution",
+                model,
+                ilp + MIN_RESOLUTION - EPS_SUM,
+                "resolution >= ilp share + 2",
+            );
+        }
+        CsvChecks::Fig9 => {
+            let rate = row.num(1)?;
+            let mr = row.num(2)?;
+            let model = row.num(3)?;
+            let share = row.num(4)?;
+            row.check_range("l1d-miss-rate", rate, 0.0, 1.0);
+            row.check_ge("measured-resolution", mr, MIN_RESOLUTION, "r >= 2");
+            row.check_ge("model-resolution", model, MIN_RESOLUTION, "r >= 2");
+            row.check_ge(
+                "model-short-dmiss-share(v)",
+                share,
+                0.0,
+                "knock-out terms are non-negative",
+            );
+        }
+    }
+    Some(())
+}
+
+/// Lints one published CSV table against the registered static checks
+/// for its header. Unregistered headers (tables whose columns carry no
+/// statically checkable identity, e.g. `table1_config.csv`) produce a
+/// clean report.
+pub fn lint_csv(locus: &str, content: &str) -> AnalysisReport {
+    let mut report = AnalysisReport::default();
+    let mut lines = content.lines();
+    let Some(header) = lines.next() else {
+        return report;
+    };
+    let Some((kind, cols)) = CsvChecks::from_header(header.trim()) else {
+        return report;
+    };
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').collect();
+        let locus = format!("{locus}:{}", i + 2);
+        if cells.len() != cols {
+            report.diagnostics.push(Diagnostic::error(
+                "BMP606",
+                &locus,
+                format!("expected {cols} columns, found {}", cells.len()),
+            ));
+            continue;
+        }
+        let mut row = Row {
+            locus,
+            cells: &cells,
+            diags: &mut report.diagnostics,
+        };
+        check_row(&kind, &mut row);
+    }
+    report
+}
+
+/// Whether a CSV header line has registered BMP6xx checks — used by
+/// `bmp-verify` to report coverage.
+pub fn csv_header_registered(header: &str) -> bool {
+    CsvChecks::from_header(header.trim()).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use bmp_core::metrics::{ModelMetrics, WorkloadMetrics};
+    use bmp_core::penalty::PenaltyModel;
+
+    fn codes(report: &AnalysisReport) -> Vec<&'static str> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    /// A metrics document whose model section is the real analysis of
+    /// the regenerable `gzip` trace and whose sim section satisfies
+    /// the envelope.
+    fn consistent_doc() -> ExperimentMetrics {
+        let cfg = presets::baseline_4wide();
+        let ops = 6_000u64;
+        let seed = 7u64;
+        let trace = spec::by_name("gzip").unwrap().generate(ops as usize, seed);
+        let analysis = PenaltyModel::new(cfg.clone()).analyze(&trace);
+        let stack = bmp_core::cpi::predict(&trace, &cfg);
+        let records = bmp_core::accounting::records_from_analysis(&analysis);
+        let mut w = WorkloadMetrics::from_records(
+            "gzip",
+            trace.len() as u64,
+            10_000,
+            analysis.frontend_depth,
+            analysis.breakdowns.len() as u64,
+            &records,
+        );
+        w.model = Some(ModelMetrics::from_analysis(&analysis, stack));
+        let mut doc = ExperimentMetrics::new("test", ops, seed);
+        doc.workloads.push(w);
+        doc
+    }
+
+    #[test]
+    fn consistent_metrics_doc_is_clean() {
+        let doc = consistent_doc();
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        assert!(report.is_clean(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn corrupted_model_total_is_bmp601() {
+        let mut doc = consistent_doc();
+        doc.workloads[0].model.as_mut().unwrap().ilp += 1;
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        assert!(
+            codes(&report).contains(&"BMP601"),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn out_of_envelope_model_resolution_is_bmp602() {
+        let mut doc = consistent_doc();
+        let m = doc.workloads[0].model.as_mut().unwrap();
+        // Push resolution far past the per-branch upper bound while
+        // keeping the exact (local) totals untouched.
+        m.resolution += m.intervals * 1_000_000;
+        m.carryover += (m.intervals * 1_000_000) as i64;
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        let c = codes(&report);
+        assert!(c.contains(&"BMP602"), "{}", report.render_human());
+        assert!(!c.contains(&"BMP601"), "{}", report.render_human());
+    }
+
+    #[test]
+    fn broken_sim_refill_and_envelope_are_bmp603() {
+        let mut doc = consistent_doc();
+        doc.workloads[0].refill_total += 3;
+        doc.workloads[0].resolution_total = 1; // below n × per-branch lo
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        let c = codes(&report);
+        assert_eq!(
+            c.iter().filter(|&&c| c == "BMP603").count(),
+            2,
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_bmp604_info_only() {
+        let mut doc = consistent_doc();
+        doc.workloads[0].workload = "no-such-workload".into();
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        assert!(codes(&report).contains(&"BMP604"));
+        assert_eq!(report.error_count(), 0, "{}", report.render_human());
+        assert_eq!(report.worst(), Some(Severity::Info));
+    }
+
+    #[test]
+    fn non_baseline_depth_skips_envelope_with_bmp604() {
+        let mut doc = consistent_doc();
+        let w = &mut doc.workloads[0];
+        w.model = None;
+        w.frontend_depth += 1; // refill identity updated to stay internally consistent
+        w.refill_total = w.intervals.bmiss * u64::from(w.frontend_depth);
+        w.resolution_total = 1; // would violate the envelope if checked
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        let c = codes(&report);
+        assert!(c.contains(&"BMP604"));
+        assert!(!c.contains(&"BMP603"), "{}", report.render_human());
+    }
+
+    #[test]
+    fn garbage_metrics_is_bmp606() {
+        let report = lint_metrics_doc("m.json", "{ not json");
+        assert_eq!(codes(&report), vec!["BMP606"]);
+    }
+
+    #[test]
+    fn real_result_csvs_pass() {
+        // The seed repo's published tables must satisfy every
+        // registered static check.
+        for name in [
+            "fig2_penalty_per_benchmark",
+            "fig5_contributor_breakdown",
+            "fig8_ilp",
+        ] {
+            let path = format!("{}/../../results/{name}.csv", env!("CARGO_MANIFEST_DIR"));
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                let report = lint_csv(&format!("{name}.csv"), &text);
+                assert!(report.is_clean(), "{name}: {}", report.render_human());
+            }
+        }
+    }
+
+    #[test]
+    fn fig5_base_violation_is_bmp605() {
+        let csv = "benchmark,frontend(i),base,ilp(iii),fu-latency(iv),short-dmiss(v),carryover(ii),total-penalty\n\
+                   gzip,5.00,3.00,0.94,1.02,1.35,9.39,20.70\n";
+        let report = lint_csv("fig5.csv", csv);
+        assert!(
+            codes(&report).contains(&"BMP605"),
+            "{}",
+            report.render_human()
+        );
+        assert!(report.render_human().contains("base"));
+    }
+
+    #[test]
+    fn fig5_sum_violation_is_bmp605() {
+        let csv = "benchmark,frontend(i),base,ilp(iii),fu-latency(iv),short-dmiss(v),carryover(ii),total-penalty\n\
+                   gzip,5.00,2.00,0.94,1.02,1.35,10.38,25.00\n";
+        let report = lint_csv("fig5.csv", csv);
+        assert!(codes(&report).contains(&"BMP605"));
+    }
+
+    #[test]
+    fn fig2_depth_identity_violation_is_bmp605() {
+        let csv = "benchmark,measured-penalty,two-run-penalty,model-penalty,frontend-depth,measured-resolution\n\
+                   gzip,21.00,11.30,20.70,5,15.00\n";
+        let report = lint_csv("fig2.csv", csv);
+        assert!(codes(&report).contains(&"BMP605"));
+    }
+
+    #[test]
+    fn malformed_row_is_bmp606() {
+        let csv = "benchmark,window,rob,measured-resolution,model-resolution,IPC\n\
+                   twolf,16,32,eleven,10.61,0.534\n\
+                   twolf,16,32\n";
+        let report = lint_csv("ex2.csv", csv);
+        assert_eq!(
+            codes(&report).iter().filter(|&&c| c == "BMP606").count(),
+            2,
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn unknown_header_is_skipped_silently() {
+        let report = lint_csv("x.csv", "a,b,c\n1,2,oops\n");
+        assert!(report.is_clean());
+        assert!(!csv_header_registered("a,b,c"));
+        assert!(csv_header_registered(
+            "chain-length,measured-resolution,model-resolution,model-ilp-share(iii)"
+        ));
+    }
+}

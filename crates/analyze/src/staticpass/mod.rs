@@ -1,0 +1,102 @@
+//! Static interval analysis: proven bounds on the five penalty
+//! contributors, computed without simulation.
+//!
+//! The rest of this crate lints artifacts the simulator or the model
+//! already produced. This module goes the other way: starting from a
+//! trace and a [`MachineConfig`] it *derives* what the five
+//! contributors of the Eyerman/Smeets/Eeckhout decomposition are
+//! allowed to be —
+//!
+//! * [`bounds`] walks the dependence graph of every inter-misprediction
+//!   interval (the same closed-form interval schedule the analytical
+//!   model uses, so the four knock-out terms and the refill come out
+//!   *cycle-exact*) and derives a proven per-branch envelope for the
+//!   whole-trace effective resolution, yielding a guaranteed
+//!   lower/upper bound plus a point estimate per contributor;
+//! * [`classify`] profiles every static branch site (taken-rate
+//!   entropy, ideal-history accuracy at 0 and [`HISTORY_BITS`] bits of
+//!   history, H2P flagging) and attributes the per-interval penalty
+//!   terms to branch classes;
+//! * [`lint`] packages both as the BMP6xx rule family: simulated
+//!   contributor totals outside their statically proven bounds are
+//!   hard lint errors.
+//!
+//! The derivations, the `base == 2` theorem and the envelope induction
+//! are written out in `docs/STATIC_ANALYSIS.md`; the rule catalogue is
+//! in `docs/ANALYZER.md`. The `bmp-verify` binary and
+//! `bmp-lint --static` are the command-line entry points.
+//!
+//! # Examples
+//!
+//! ```
+//! use bmp_analyze::staticpass;
+//! use bmp_uarch::presets;
+//! use bmp_workloads::spec;
+//!
+//! let trace = spec::by_name("gzip").unwrap().generate(4_000, 7);
+//! let cfg = presets::baseline_4wide();
+//! let a = staticpass::analyze_trace(&cfg, &trace);
+//! // The four local knock-out terms are exact; the effective
+//! // resolution carries a proven envelope around its point estimate.
+//! assert!(a.bounds.base.is_exact());
+//! assert!(a.bounds.resolution.lo <= a.bounds.resolution.point);
+//! assert!(!a.sites.is_empty());
+//! ```
+
+pub mod bounds;
+pub mod classify;
+pub mod lint;
+
+pub use bounds::{per_branch_resolution_bounds, Bound, StaticBounds};
+pub use classify::{BranchClass, ClassAttribution, SiteProfile, HISTORY_BITS};
+pub use lint::{lint_csv, lint_metrics_doc};
+
+use bmp_trace::Trace;
+use bmp_uarch::MachineConfig;
+
+/// The combined static view of one (config, trace) pair.
+#[derive(Debug, Clone)]
+pub struct StaticAnalysis {
+    /// Bounds and point estimates for the five contributors.
+    pub bounds: StaticBounds,
+    /// Per-static-branch predictability profiles, by PC.
+    pub sites: Vec<SiteProfile>,
+    /// Penalty attribution per branch class.
+    pub classes: Vec<ClassAttribution>,
+}
+
+/// Runs the full static pass: contributor bounds, per-site
+/// classification, and per-class penalty attribution.
+pub fn analyze_trace(cfg: &MachineConfig, trace: &Trace) -> StaticAnalysis {
+    let bounds = bounds::compute(cfg, trace);
+    let compiled = trace.compile();
+    let sites = classify::classify(&compiled);
+    let classes = classify::attribute(&sites, &bounds.interval_terms, cfg.frontend_depth);
+    StaticAnalysis {
+        bounds,
+        sites,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bmp_uarch::presets;
+    use bmp_workloads::spec;
+
+    #[test]
+    fn full_pass_is_self_consistent() {
+        let trace = spec::by_name("twolf").unwrap().generate(6_000, 3);
+        let cfg = presets::baseline_4wide();
+        let a = analyze_trace(&cfg, &trace);
+        // Every interval's local resolution is attributed to exactly
+        // one class.
+        let attributed: u64 = a.classes.iter().map(|c| c.intervals).sum();
+        assert_eq!(attributed, a.bounds.intervals);
+        let local: u64 = a.classes.iter().map(|c| c.local_resolution).sum();
+        assert_eq!(local as i64, a.bounds.local_resolution.point);
+        let refill: u64 = a.classes.iter().map(|c| c.refill).sum();
+        assert_eq!(refill as i64, a.bounds.refill.point);
+    }
+}

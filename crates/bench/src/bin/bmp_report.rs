@@ -7,6 +7,7 @@
 //! bmp-report                         # tables from results/metrics/
 //! bmp-report path/to/metrics         # explicit metrics directory
 //! bmp-report --csv                   # one flat CSV on stdout
+//! bmp-report --json                  # one JSON document on stdout
 //! bmp-report --diff old/metrics      # compare against a prior run
 //! ```
 //!
@@ -27,7 +28,7 @@ fn out(text: &str) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: bmp-report [DIR] [--csv] [--diff OLD_DIR]");
+    eprintln!("usage: bmp-report [DIR] [--csv] [--json] [--diff OLD_DIR]");
     eprintln!("  DIR defaults to results/metrics");
     ExitCode::from(bmp_bench::EXIT_WRITE_FAILED)
 }
@@ -35,11 +36,13 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut dir: Option<PathBuf> = None;
     let mut csv = false;
+    let mut json = false;
     let mut diff_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--csv" => csv = true,
+            "--json" => json = true,
             "--diff" => match args.next() {
                 Some(d) => diff_dir = Some(PathBuf::from(d)),
                 None => return usage(),
@@ -84,6 +87,11 @@ fn main() -> ExitCode {
 
     if csv {
         out(&report::to_csv(&docs));
+        return ExitCode::from(bmp_bench::EXIT_OK);
+    }
+
+    if json {
+        out(&report::to_json(&docs));
         return ExitCode::from(bmp_bench::EXIT_OK);
     }
 

@@ -190,7 +190,10 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = engine.run_all_tolerant(scale, &policy, &on_done);
+    let mut report = engine.run_all_tolerant(scale, &policy, &on_done);
+    // Sim-vs-static surrogate comparison, computed entirely from the
+    // run's warm cache (only the static pass itself is new work).
+    report.surrogate = bmp_bench::surrogate::collect(engine.ctx(), scale);
 
     // Tables in stable registry order, exactly like the strict path —
     // printed after the run so worker threads never interleave output.

@@ -29,6 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use bmp_analyze::StaticBounds;
 use bmp_core::{PenaltyAnalysis, PenaltyModel};
 use bmp_sim::{SimOptions, SimResult, Simulator};
 use bmp_uarch::{presets, MachineConfig, OpClass, PredictorConfig};
@@ -123,6 +124,7 @@ pub struct Ctx {
     compiled: Memo<CompiledTrace>,
     sims: Memo<SimResult>,
     analyses: Memo<PenaltyAnalysis>,
+    statics: Memo<StaticBounds>,
     engine: EngineChoice,
     metrics: bool,
     phases: PhaseNanos,
@@ -164,6 +166,7 @@ impl Ctx {
             compiled: Memo::default(),
             sims: Memo::default(),
             analyses: Memo::default(),
+            statics: Memo::default(),
             engine,
             metrics,
             phases: PhaseNanos::default(),
@@ -314,6 +317,20 @@ impl Ctx {
         })
     }
 
+    /// The dependence-graph static bounds of `trace` under `cfg` (see
+    /// `bmp_analyze::staticpass`), cached by `(config fingerprint,
+    /// trace key)`. The pass replays the interval model's schedule, so
+    /// its time is attributed to the analysis phase.
+    pub fn static_bounds(&self, cfg: &MachineConfig, trace: &TraceHandle) -> Arc<StaticBounds> {
+        let key = cache_key("static", &[cfg.fingerprint(), trace.key]);
+        self.statics.get_or_compute(key, || {
+            let t0 = Instant::now();
+            let b = bmp_analyze::staticpass::bounds::compute(cfg, trace);
+            PhaseNanos::add(&self.phases.analysis, t0);
+            b
+        })
+    }
+
     /// Cache statistics, for the timing report.
     pub fn cache_stats(&self) -> CacheReport {
         CacheReport {
@@ -325,6 +342,8 @@ impl Ctx {
             sim_misses: self.sims.stats().misses(),
             analysis_hits: self.analyses.stats().hits(),
             analysis_misses: self.analyses.stats().misses(),
+            static_hits: self.statics.stats().hits(),
+            static_misses: self.statics.stats().misses(),
         }
     }
 }
@@ -612,17 +631,26 @@ pub struct CacheReport {
     pub analysis_hits: u64,
     /// Interval-model analysis computations.
     pub analysis_misses: u64,
+    /// Static-bounds lookups served from the cache.
+    pub static_hits: u64,
+    /// Static-bounds (dependence-graph pass) computations.
+    pub static_misses: u64,
 }
 
 impl CacheReport {
     /// Overall hit fraction across all artifact kinds.
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.trace_hits + self.compiled_hits + self.sim_hits + self.analysis_hits;
+        let hits = self.trace_hits
+            + self.compiled_hits
+            + self.sim_hits
+            + self.analysis_hits
+            + self.static_hits;
         let total = hits
             + self.trace_misses
             + self.compiled_misses
             + self.sim_misses
-            + self.analysis_misses;
+            + self.analysis_misses
+            + self.static_misses;
         if total == 0 {
             0.0
         } else {
@@ -668,7 +696,7 @@ impl EngineReport {
         let c = &self.cache;
         out.push_str(&format!(
             "cache: traces {}/{} hits, compiled {}/{} hits, sims {}/{} hits, \
-             analyses {}/{} hits ({:.0}% overall hit rate)\n",
+             analyses {}/{} hits, statics {}/{} hits ({:.0}% overall hit rate)\n",
             c.trace_hits,
             c.trace_hits + c.trace_misses,
             c.compiled_hits,
@@ -677,6 +705,8 @@ impl EngineReport {
             c.sim_hits + c.sim_misses,
             c.analysis_hits,
             c.analysis_hits + c.analysis_misses,
+            c.static_hits,
+            c.static_hits + c.static_misses,
             c.hit_rate() * 100.0
         ));
         out
@@ -702,7 +732,8 @@ impl EngineReport {
             "  \"cache\": {{ \"trace_hits\": {}, \"trace_misses\": {}, \
              \"compiled_hits\": {}, \"compiled_misses\": {}, \
              \"sim_hits\": {}, \"sim_misses\": {}, \
-             \"analysis_hits\": {}, \"analysis_misses\": {} }},\n",
+             \"analysis_hits\": {}, \"analysis_misses\": {}, \
+             \"static_hits\": {}, \"static_misses\": {} }},\n",
             c.trace_hits,
             c.trace_misses,
             c.compiled_hits,
@@ -710,7 +741,9 @@ impl EngineReport {
             c.sim_hits,
             c.sim_misses,
             c.analysis_hits,
-            c.analysis_misses
+            c.analysis_misses,
+            c.static_hits,
+            c.static_misses
         ));
         out.push_str("  \"experiments\": [\n");
         for (i, t) in self.timings.iter().enumerate() {
@@ -834,6 +867,9 @@ pub struct TolerantReport {
     pub threads: usize,
     /// Cache accounting at the end of the run.
     pub cache: CacheReport,
+    /// Per-workload sim-vs-static surrogate comparison (empty unless
+    /// filled in by `run_all` after the run; see [`crate::surrogate`]).
+    pub surrogate: Vec<crate::surrogate::SurrogateRow>,
 }
 
 impl TolerantReport {
@@ -886,6 +922,29 @@ impl TolerantReport {
         for e in &self.cell_errors {
             out.push_str(&format!("  cell {e} (recovered by owning experiment)\n"));
         }
+        if !self.surrogate.is_empty() {
+            out.push_str(
+                "\n## Static surrogate (mean penalty per misprediction, baseline machine)\n\n",
+            );
+            out.push_str(&format!(
+                "  {:<10} {:>12} {:>10} {:>10} {:>8}  bounds\n",
+                "workload", "mispredicts", "simulated", "static", "err"
+            ));
+            for r in &self.surrogate {
+                out.push_str(&format!(
+                    "  {:<10} {:>12} {:>10.2} {:>10.2} {:>7.1}%  {}\n",
+                    r.workload,
+                    r.mispredicts,
+                    r.sim_mean_penalty,
+                    r.static_mean_penalty,
+                    r.rel_err * 100.0,
+                    if r.within_bounds { "ok" } else { "VIOLATED" }
+                ));
+            }
+            if let Some(m) = crate::surrogate::median_rel_err(&self.surrogate) {
+                out.push_str(&format!("  median error {:.1}%\n", m * 100.0));
+            }
+        }
         out
     }
 
@@ -909,7 +968,8 @@ impl TolerantReport {
             "  \"cache\": {{ \"trace_hits\": {}, \"trace_misses\": {}, \
              \"compiled_hits\": {}, \"compiled_misses\": {}, \
              \"sim_hits\": {}, \"sim_misses\": {}, \
-             \"analysis_hits\": {}, \"analysis_misses\": {} }},\n",
+             \"analysis_hits\": {}, \"analysis_misses\": {}, \
+             \"static_hits\": {}, \"static_misses\": {} }},\n",
             c.trace_hits,
             c.trace_misses,
             c.compiled_hits,
@@ -917,8 +977,31 @@ impl TolerantReport {
             c.sim_hits,
             c.sim_misses,
             c.analysis_hits,
-            c.analysis_misses
+            c.analysis_misses,
+            c.static_hits,
+            c.static_misses
         ));
+        out.push_str("  \"surrogate\": [\n");
+        for (i, r) in self.surrogate.iter().enumerate() {
+            let comma = if i + 1 == self.surrogate.len() {
+                ""
+            } else {
+                ","
+            };
+            out.push_str(&format!(
+                "    {{ \"workload\": \"{}\", \"mispredicts\": {}, \
+                 \"sim_mean_penalty\": {:.4}, \"static_mean_penalty\": {:.4}, \
+                 \"rel_err\": {:.4}, \"within_bounds\": {} }}{}\n",
+                r.workload,
+                r.mispredicts,
+                r.sim_mean_penalty,
+                r.static_mean_penalty,
+                r.rel_err,
+                r.within_bounds,
+                comma
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"experiments\": [\n");
         for (i, o) in self.outcomes.iter().enumerate() {
             let comma = if i + 1 == self.outcomes.len() {
@@ -1182,6 +1265,7 @@ impl Engine {
             total_millis: start.elapsed().as_millis(),
             threads,
             cache: self.ctx.cache_stats(),
+            surrogate: Vec::new(),
         }
     }
 }

@@ -23,6 +23,8 @@
 //! the `bmp-report` binary, and `docs/OBSERVABILITY.md`). Off by default;
 //! when off the CSV outputs are byte-identical either way.
 
+#![forbid(unsafe_code)]
+
 pub mod artifacts;
 pub mod convert;
 pub mod engine;
@@ -33,6 +35,7 @@ pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod scale;
+pub mod surrogate;
 pub mod table;
 
 pub use engine::{Ctx, Engine, EngineChoice, PhaseReport};

@@ -192,6 +192,108 @@ pub fn to_csv(docs: &[ExperimentMetrics]) -> String {
     out
 }
 
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt3(v: Option<f64>) -> String {
+    v.map(fmt3).unwrap_or_else(|| "null".into())
+}
+
+/// The whole run as one JSON document mirroring the rendered tables:
+/// per experiment, the per-workload summary quantities
+/// ([`summary_tables`]) plus, when present, the model's CPI stack and
+/// contributor totals ([`cpi_stack_tables`]). Key order and float
+/// formatting are fixed, so two renders of the same files are
+/// byte-identical. The schema is documented in `docs/OBSERVABILITY.md`.
+pub fn to_json(docs: &[ExperimentMetrics]) -> String {
+    let mut out = String::from("{\n  \"experiments\": [");
+    for (di, doc) in docs.iter().enumerate() {
+        if di > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{ \"experiment\": {}, \"ops\": {}, \"seed\": {}, \"workloads\": [",
+            json_str(&doc.name),
+            doc.ops,
+            doc.seed
+        ));
+        for (wi, w) in doc.workloads.iter().enumerate() {
+            if wi > 0 {
+                out.push(',');
+            }
+            let cpi = if w.cycles == 0 {
+                "null".into() // model-only entry: no measured epoch
+            } else {
+                fmt3(w.measured_cpi())
+            };
+            out.push_str(&format!(
+                "\n      {{ \"workload\": {}, \"instructions\": {}, \"cycles\": {}, \
+                 \"cpi\": {cpi}, \"mispredicts\": {}, \"frontend_depth\": {}, \
+                 \"intervals\": {{ \"bmiss\": {}, \"il1\": {}, \"il2\": {}, \"dlong\": {} }}, \
+                 \"resolution_total\": {}, \"refill_total\": {}, \"occupancy_total\": {}, \
+                 \"mean_penalty\": {}",
+                json_str(&w.workload),
+                w.instructions,
+                w.cycles,
+                w.mispredicts,
+                w.frontend_depth,
+                w.intervals.bmiss,
+                w.intervals.il1,
+                w.intervals.il2,
+                w.intervals.dlong,
+                w.resolution_total,
+                w.refill_total,
+                w.occupancy_total,
+                json_opt3(w.mean_penalty())
+            ));
+            match &w.model {
+                Some(m) => {
+                    let s = &m.cpi_stack;
+                    let n = s.instructions.max(1) as f64;
+                    out.push_str(&format!(
+                        ", \"model\": {{ \"intervals\": {}, \
+                         \"cpi_stack\": {{ \"base\": {}, \"branch\": {}, \"icache\": {}, \
+                         \"dmiss\": {}, \"total\": {} }}, \
+                         \"contributors\": {{ \"base\": {}, \"ilp\": {}, \"fu_latency\": {}, \
+                         \"short_dmiss\": {}, \"carryover\": {}, \"resolution\": {}, \
+                         \"refill\": {} }} }} }}",
+                        m.intervals,
+                        fmt3(s.base_cycles / n),
+                        fmt3(s.branch_cycles / n),
+                        fmt3(s.icache_cycles / n),
+                        fmt3(s.long_dmiss_cycles / n),
+                        fmt3(s.cpi()),
+                        m.base,
+                        m.ilp,
+                        m.fu_latency,
+                        m.short_dmiss,
+                        m.carryover,
+                        m.resolution,
+                        m.refill
+                    ));
+                }
+                None => out.push_str(", \"model\": null }"),
+            }
+        }
+        out.push_str("\n    ] }");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
 /// The outcome of comparing two metrics runs.
 #[derive(Debug, Default)]
 pub struct Diff {
@@ -471,6 +573,23 @@ mod tests {
         assert_eq!(lines.len(), 3, "header + 2 rows");
         assert!(lines[1].starts_with("a,gzip,"));
         assert!(lines[2].starts_with("b,gzip,"));
+    }
+
+    #[test]
+    fn json_mirrors_the_tables_and_is_deterministic() {
+        let docs = [sample_doc("a", 4_000), sample_doc("b", 200)];
+        let j = to_json(&docs);
+        assert_eq!(j, to_json(&docs), "byte-identical renders");
+        assert!(j.contains("\"experiment\": \"a\""));
+        assert!(j.contains("\"workload\": \"gzip\""));
+        // Same derived cpi value as the summary table.
+        assert!(j.contains("\"cpi\": 2.000"), "{j}");
+        // No model sections in the sample docs.
+        assert!(j.contains("\"model\": null"));
+        assert!(!j.contains("cpi_stack"));
+        // Totals surfaced with interval counts.
+        assert!(j.contains("\"resolution_total\": 11"));
+        assert!(j.contains("\"intervals\": { \"bmiss\": 1, \"il1\": 1, \"il2\": 0, \"dlong\": 0 }"));
     }
 
     #[test]

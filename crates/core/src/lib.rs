@@ -26,6 +26,9 @@
 //!   `docs/OBSERVABILITY.md`);
 //! * [`metrics`] — the `results/metrics/*.json` schema aggregating those
 //!   records per experiment;
+//! * [`identities`] — the accounting identities above as checkable
+//!   predicates, shared by the model's debug assertions and the
+//!   BMP2xx/BMP6xx lints (see `docs/STATIC_ANALYSIS.md`);
 //! * [`journal`] + [`json`] — the crash-safe run journal and the shared
 //!   hand-rolled JSON reader behind it;
 //! * [`report`] — markdown rendering of an analysis;
@@ -55,6 +58,7 @@ pub mod closed_form;
 pub mod cpi;
 pub mod drain;
 pub mod functional;
+pub mod identities;
 pub mod intervals;
 pub mod journal;
 pub mod json;

@@ -405,17 +405,13 @@ impl PenaltyModel {
                 short_dmiss: r_local - r_l1,
                 carryover: resolution as i64 - r_local as i64,
             };
-            // Conservation identities, mirrored by lint BMP202.
-            debug_assert_eq!(
-                b.base + b.ilp + b.fu_latency + b.short_dmiss,
-                b.local_resolution,
-                "knock-out terms must sum to the local resolution (BMP202)"
-            );
-            debug_assert_eq!(
-                b.local_resolution as i64 + b.carryover,
-                b.resolution as i64,
-                "local resolution plus carryover must equal the effective \
-                 resolution (BMP202)"
+            // Conservation identities, mirrored by lint BMP202 and the
+            // static-bounds checks (`crate::identities`).
+            debug_assert!(
+                crate::identities::breakdown_consistent(&b),
+                "knock-out terms must sum to the local resolution and \
+                 carryover must reconcile it with the effective resolution \
+                 (BMP202): {b:?}"
             );
             breakdowns.push(b);
         }

@@ -229,6 +229,20 @@ impl SimResult {
             .map(|r| r + f64::from(self.frontend_depth))
     }
 
+    /// Summed branch resolution time over all mispredictions — the exact
+    /// integer total the static-bounds envelope brackets (see
+    /// `docs/STATIC_ANALYSIS.md`).
+    pub fn resolution_total(&self) -> u64 {
+        self.mispredicts.iter().map(|m| m.resolution()).sum()
+    }
+
+    /// Summed frontend-refill cycles over all mispredictions. Exactly
+    /// `mispredicts × frontend_depth` — every redirect refills the full
+    /// pipe.
+    pub fn refill_total(&self) -> u64 {
+        self.mispredicts.len() as u64 * u64::from(self.frontend_depth)
+    }
+
     /// Mean ROB occupancy over all simulated cycles (0 for an empty run).
     pub fn mean_rob_occupancy(&self) -> f64 {
         let cycles: u64 = self.rob_occupancy.iter().sum();

@@ -20,7 +20,9 @@
 //!
 //! The [`dag`] module provides dependence-graph utilities — data-flow
 //! scheduling and critical-path extraction — and the `I_W(k)` window-ILP
-//! characterization from the interval-analysis literature.
+//! characterization from the interval-analysis literature. The [`sites`]
+//! module adds the *static* view: per-branch-PC execution/direction
+//! statistics for the predictability classifier.
 //!
 //! # Examples
 //!
@@ -43,10 +45,12 @@ pub mod compiled;
 pub mod dag;
 pub mod io;
 mod op;
+pub mod sites;
 mod stats;
 mod trace;
 
 pub use compiled::CompiledTrace;
 pub use op::{BranchInfo, BranchKind, MicroOp};
+pub use sites::BranchSiteStats;
 pub use stats::{DepDistanceHistogram, TraceStats};
 pub use trace::{Trace, TraceBuilder, TraceError};
