@@ -240,9 +240,10 @@ mod tests {
         let d = lint_metrics_text("{ nope");
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].code, "BMP500");
-        let wrong = healthy_doc()
-            .to_json()
-            .replace("\"version\": 1", "\"version\": 99");
+        let wrong = healthy_doc().to_json().replace(
+            &format!("\"version\": {METRICS_VERSION}"),
+            "\"version\": 99",
+        );
         assert_eq!(lint_metrics_text(&wrong)[0].code, "BMP500");
     }
 

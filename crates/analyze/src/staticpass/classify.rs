@@ -95,39 +95,9 @@ impl SiteProfile {
     }
 }
 
-/// Binary entropy of a probability.
-fn binary_entropy(p: f64) -> f64 {
-    if p <= 0.0 || p >= 1.0 {
-        return 0.0;
-    }
-    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
-}
-
-/// Ideal accuracy of a per-history majority table over `outcomes` with
-/// `bits` outcomes of local history: every history context predicts its
-/// most frequent successor. This upper-bounds any real predictor with
-/// the same history length, which is exactly what a *static* sensitivity
-/// probe needs.
-fn ideal_history_accuracy(outcomes: &[bool], bits: u32) -> f64 {
-    if outcomes.is_empty() {
-        return 1.0;
-    }
-    let mask: u64 = (1u64 << bits) - 1;
-    // counts[history] = (taken, not taken)
-    let mut counts: HashMap<u64, (u64, u64)> = HashMap::new();
-    let mut hist = 0u64;
-    for &taken in outcomes {
-        let e = counts.entry(hist).or_default();
-        if taken {
-            e.0 += 1;
-        } else {
-            e.1 += 1;
-        }
-        hist = ((hist << 1) | u64::from(taken)) & mask;
-    }
-    let correct: u64 = counts.values().map(|&(t, n)| t.max(n)).sum();
-    correct as f64 / outcomes.len() as f64
-}
+// Entropy and the ideal-history probe live in `bmp_trace::sites` (shared
+// with the H2P scoring sweep); re-imported here for the classifier.
+use bmp_trace::sites::{binary_entropy, ideal_history_accuracy};
 
 /// Classifies every branch site of `trace`.
 ///

@@ -20,6 +20,19 @@
 //! | BMP604 | info     | workload/config not statically reproducible — bounds not checked |
 //! | BMP605 | error    | published CSV value violates a static identity or bound |
 //! | BMP606 | error    | input not parseable in the documented shape     |
+//! | BMP700 | error    | unknown branch-class or predictor label         |
+//! | BMP701 | error    | per-class attribution violates an exact integer identity |
+//!
+//! Workloads recorded under a non-baseline predictor (the metrics v2
+//! `predictor` field) are checked against bounds recomputed for *that*
+//! predictor when the name is one of the registered generations
+//! ([`bmp_uarch::presets::generation_machine`]); any other name is
+//! visibly skipped via BMP604. The BMP70x rules check the v2 per-class
+//! penalty attribution (`branch_classes` and the
+//! `ex_h2p_contributors.csv` table): class labels must come from the
+//! classifier's closed set, and the per-class cycle columns are exact
+//! integers, so their additive identities are checked with zero
+//! tolerance.
 //!
 //! CSV checks are keyed on the exact header line, so renaming a column
 //! is loud (the file silently stops being checked only if the header
@@ -28,12 +41,27 @@
 //! `BMP_OPS`/`BMP_SEED`, because they are identities and bounds, not
 //! golden values.
 
-use bmp_core::metrics::ExperimentMetrics;
+use bmp_core::metrics::{ExperimentMetrics, WorkloadMetrics};
 use bmp_uarch::{presets, MachineConfig};
 use bmp_workloads::spec;
 
 use super::bounds::{self, StaticBounds};
+use super::classify::BranchClass;
 use crate::diag::{AnalysisReport, Diagnostic};
+
+/// The classifier's closed label set; anything else in a `class` column
+/// or `branch_classes` entry is a BMP700.
+const CLASS_LABELS: [BranchClass; 5] = [
+    BranchClass::Biased,
+    BranchClass::Patterned,
+    BranchClass::Mixed,
+    BranchClass::HardToPredict,
+    BranchClass::Indirect,
+];
+
+fn known_class_label(label: &str) -> bool {
+    CLASS_LABELS.iter().any(|c| c.label() == label)
+}
 
 /// Tolerance for a single CSV value printed with two decimals.
 const EPS_VAL: f64 = 0.011;
@@ -79,9 +107,23 @@ pub fn lint_metrics_doc(locus: &str, content: &str) -> AnalysisReport {
         }
     };
     let cfg = presets::baseline_4wide();
-    let (per_lo, per_hi) = bounds::per_branch_resolution_bounds(&cfg);
     for w in &doc.workloads {
-        let locus = format!("{locus}: workload {}", w.workload);
+        let locus = if w.predictor.is_empty() {
+            format!("{locus}: workload {}", w.workload)
+        } else {
+            format!("{locus}: workload {}[{}]", w.workload, w.predictor)
+        };
+        // Resolve the machine the entry was recorded under: the
+        // baseline preset (v1 documents leave `predictor` empty; the
+        // baseline's own name is also accepted), or the baseline with a
+        // registered generation predictor swapped in. Anything else is
+        // outside the static pass's vocabulary and is skipped loudly.
+        let wcfg = if w.predictor.is_empty() || w.predictor == cfg.predictor.name() {
+            Some(cfg.clone())
+        } else {
+            presets::generation_machine(&w.predictor)
+        };
+        lint_class_attribution(&mut report, &locus, w);
         // Simulator side: the refill identity is internal to the
         // document (count × recorded depth) and always checked.
         let n = w.intervals.bmiss;
@@ -95,9 +137,25 @@ pub fn lint_metrics_doc(locus: &str, content: &str) -> AnalysisReport {
                 ),
             ));
         }
+        let Some(wcfg) = wcfg else {
+            report.diagnostics.push(
+                Diagnostic::info(
+                    "BMP604",
+                    &locus,
+                    format!(
+                        "recorded predictor {:?} is neither the baseline nor a \
+                         registered generation — static bounds not checked",
+                        w.predictor
+                    ),
+                )
+                .with_suggestion("register the predictor in bmp_uarch::presets::GENERATIONS"),
+            );
+            continue;
+        };
         // The resolution envelope is per-machine; only apply it when
-        // the recorded depth matches the contract's baseline preset.
-        if w.frontend_depth == cfg.frontend_depth {
+        // the recorded depth matches the reconstructed machine's.
+        if w.frontend_depth == wcfg.frontend_depth {
+            let (per_lo, per_hi) = bounds::per_branch_resolution_bounds(&wcfg);
             let (lo, hi) = (n * per_lo, n * per_hi);
             if w.resolution_total < lo || w.resolution_total > hi {
                 report.diagnostics.push(Diagnostic::error(
@@ -118,7 +176,7 @@ pub fn lint_metrics_doc(locus: &str, content: &str) -> AnalysisReport {
                     format!(
                         "recorded frontend depth {} differs from the baseline \
                          preset ({}) — sim resolution envelope not checked",
-                        w.frontend_depth, cfg.frontend_depth
+                        w.frontend_depth, wcfg.frontend_depth
                     ),
                 )
                 .with_suggestion("non-baseline runs are outside the metrics contract"),
@@ -127,7 +185,7 @@ pub fn lint_metrics_doc(locus: &str, content: &str) -> AnalysisReport {
         // Model side: regenerate the trace and demand cycle-exact
         // agreement on the local contributors, envelopes on the rest.
         let Some(m) = &w.model else { continue };
-        match static_bounds_for(&w.workload, doc.ops, doc.seed, &cfg) {
+        match static_bounds_for(&w.workload, doc.ops, doc.seed, &wcfg) {
             None => report.diagnostics.push(
                 Diagnostic::info(
                     "BMP604",
@@ -159,6 +217,78 @@ pub fn lint_metrics_doc(locus: &str, content: &str) -> AnalysisReport {
     report
 }
 
+/// BMP70x checks on one workload entry's per-class penalty attribution
+/// (metrics v2 `branch_classes`): labels from the classifier's closed
+/// set, the per-class refill identity, and — when a model section is
+/// present — exact agreement between the class totals and the model's
+/// interval/local-resolution/refill totals.
+fn lint_class_attribution(report: &mut AnalysisReport, locus: &str, w: &WorkloadMetrics) {
+    if w.branch_classes.is_empty() {
+        return;
+    }
+    let mut seen: Vec<&str> = Vec::new();
+    for c in &w.branch_classes {
+        if !known_class_label(&c.class) {
+            report.diagnostics.push(Diagnostic::error(
+                "BMP700",
+                locus,
+                format!("unknown branch class label {:?}", c.class),
+            ));
+        }
+        if seen.contains(&c.class.as_str()) {
+            report.diagnostics.push(Diagnostic::error(
+                "BMP701",
+                locus,
+                format!("branch class {:?} attributed twice", c.class),
+            ));
+        }
+        seen.push(&c.class);
+        let want = c.intervals * u64::from(w.frontend_depth);
+        if c.refill != want {
+            report.diagnostics.push(Diagnostic::error(
+                "BMP701",
+                locus,
+                format!(
+                    "class {:?} refill {} != {} intervals × frontend depth {}",
+                    c.class, c.refill, c.intervals, w.frontend_depth
+                ),
+            ));
+        }
+    }
+    let Some(m) = &w.model else { return };
+    for (name, got, want) in [
+        (
+            "intervals",
+            w.branch_classes.iter().map(|c| c.intervals).sum::<u64>(),
+            m.intervals,
+        ),
+        (
+            "local resolution",
+            w.branch_classes
+                .iter()
+                .map(|c| c.local_resolution)
+                .sum::<u64>(),
+            m.local_resolution,
+        ),
+        (
+            "refill",
+            w.branch_classes.iter().map(|c| c.refill).sum::<u64>(),
+            m.refill,
+        ),
+    ] {
+        if got != want {
+            report.diagnostics.push(Diagnostic::error(
+                "BMP701",
+                locus,
+                format!(
+                    "class attribution {name} total {got} != model {name} total \
+                     {want} (the attribution must partition the model exactly)"
+                ),
+            ));
+        }
+    }
+}
+
 /// The CSV experiments with registered static checks, keyed by their
 /// exact header line.
 enum CsvChecks {
@@ -182,6 +312,10 @@ enum CsvChecks {
     Ex2,
     /// `ex3_closed_form.csv`.
     Ex3,
+    /// `ex_predictor_generations.csv`.
+    ExGenerations,
+    /// `ex_h2p_contributors.csv`.
+    ExH2p,
 }
 
 impl CsvChecks {
@@ -197,6 +331,8 @@ impl CsvChecks {
             "benchmark,events-agree,sim-resolution,model-resolution,resolution-err,correlation,sim-CPI,stack-CPI,sched-CPI" => (Self::Fig10, 9),
             "benchmark,window,rob,measured-resolution,model-resolution,IPC" => (Self::Ex2, 6),
             "benchmark,sim-effective,model-effective,model-local,closed-form,closed-form-err-vs-local" => (Self::Ex3, 6),
+            "benchmark,predictor,br-miss-rate,br-MPKI,mean-penalty,mean-base,mean-ilp,mean-fu,mean-dmiss,IPC" => (Self::ExGenerations, 10),
+            "benchmark,class,sites,intervals,base,ilp,fu,dmiss,local,refill,total" => (Self::ExH2p, 11),
             _ => return None,
         })
     }
@@ -229,9 +365,34 @@ impl Row<'_> {
         }
     }
 
+    /// Integer value of column `i` (the exact-identity columns of the
+    /// per-class table), or `None` with a BMP606 emitted.
+    fn int(&mut self, i: usize) -> Option<u64> {
+        match self.cells[i].trim().parse::<u64>() {
+            Ok(v) => Some(v),
+            _ => {
+                self.diags.push(Diagnostic::error(
+                    "BMP606",
+                    &self.locus,
+                    format!(
+                        "column {} is not a non-negative integer: {:?}",
+                        i + 1,
+                        self.cells[i]
+                    ),
+                ));
+                None
+            }
+        }
+    }
+
     fn violation(&mut self, message: String) {
         self.diags
             .push(Diagnostic::error("BMP605", &self.locus, message));
+    }
+
+    fn push(&mut self, code: &'static str, message: String) {
+        self.diags
+            .push(Diagnostic::error(code, &self.locus, message));
     }
 
     /// `value >= bound - EPS_GE`, else a BMP605 naming the rule.
@@ -438,6 +599,86 @@ fn check_row(kind: &CsvChecks, row: &mut Row<'_>) -> Option<()> {
                 "resolution >= ilp share + 2",
             );
         }
+        CsvChecks::ExGenerations => {
+            if !presets::GENERATIONS.contains(&row.cells[1].trim()) {
+                row.push(
+                    "BMP700",
+                    format!("unknown predictor generation {:?}", row.cells[1]),
+                );
+            }
+            let rate = row.num(2)?;
+            let mpki = row.num(3)?;
+            let mp = row.num(4)?;
+            let base = row.num(5)?;
+            let ilp = row.num(6)?;
+            let fu = row.num(7)?;
+            let dmiss = row.num(8)?;
+            let ipc = row.num(9)?;
+            row.check_range("br-miss-rate", rate, 0.0, 1.0);
+            row.check_ge("br-MPKI", mpki, 0.0, "counts are non-negative");
+            row.check_range("IPC", ipc, 1e-6, f64::INFINITY);
+            // Penalty statistics are means over mispredictions; with
+            // none recorded they legitimately print as zeros.
+            if mpki > EPS_GE {
+                let depth = f64::from(presets::baseline_4wide().frontend_depth);
+                row.check_ge(
+                    "mean-penalty",
+                    mp,
+                    depth + MIN_RESOLUTION,
+                    "penalty >= depth + 2 (generations share the baseline frontend)",
+                );
+                row.check_eq(base, 2.0, EPS_VAL, "mean base contribution == 2 cycles");
+                row.check_ge("mean-ilp", ilp, 0.0, "knock-out terms are non-negative");
+                row.check_ge("mean-fu", fu, 0.0, "knock-out terms are non-negative");
+                row.check_ge("mean-dmiss", dmiss, 0.0, "knock-out terms are non-negative");
+            }
+        }
+        CsvChecks::ExH2p => {
+            if !known_class_label(row.cells[1].trim()) {
+                row.push(
+                    "BMP700",
+                    format!("unknown branch class label {:?}", row.cells[1]),
+                );
+            }
+            row.int(2)?; // sites: a non-negative integer
+            let intervals = row.int(3)?;
+            let base = row.int(4)?;
+            let ilp = row.int(5)?;
+            let fu = row.int(6)?;
+            let dmiss = row.int(7)?;
+            let local = row.int(8)?;
+            let refill = row.int(9)?;
+            let total = row.int(10)?;
+            // The table is produced under the baseline machine, so the
+            // refill charge per interval is the baseline frontend depth.
+            let depth = u64::from(presets::baseline_4wide().frontend_depth);
+            if refill != intervals * depth {
+                row.push(
+                    "BMP701",
+                    format!(
+                        "refill {refill} != {intervals} intervals × frontend \
+                         depth {depth}"
+                    ),
+                );
+            }
+            // Integer cycle columns: the identities hold exactly.
+            if base + ilp + fu + dmiss != local {
+                row.push(
+                    "BMP701",
+                    format!(
+                        "base {base} + ilp {ilp} + fu {fu} + dmiss {dmiss} != \
+                         local {local} (knock-out terms partition the local \
+                         resolution exactly)"
+                    ),
+                );
+            }
+            if local + refill != total {
+                row.push(
+                    "BMP701",
+                    format!("local {local} + refill {refill} != total {total}"),
+                );
+            }
+        }
         CsvChecks::Fig9 => {
             let rate = row.num(1)?;
             let mr = row.num(2)?;
@@ -622,6 +863,8 @@ mod tests {
             "fig2_penalty_per_benchmark",
             "fig5_contributor_breakdown",
             "fig8_ilp",
+            "ex_predictor_generations",
+            "ex_h2p_contributors",
         ] {
             let path = format!("{}/../../results/{name}.csv", env!("CARGO_MANIFEST_DIR"));
             if let Ok(text) = std::fs::read_to_string(&path) {
@@ -682,5 +925,183 @@ mod tests {
         assert!(csv_header_registered(
             "chain-length,measured-resolution,model-resolution,model-ilp-share(iii)"
         ));
+        assert!(csv_header_registered(
+            "benchmark,predictor,br-miss-rate,br-MPKI,mean-penalty,mean-base,\
+             mean-ilp,mean-fu,mean-dmiss,IPC"
+        ));
+        assert!(csv_header_registered(
+            "benchmark,class,sites,intervals,base,ilp,fu,dmiss,local,refill,total"
+        ));
+    }
+
+    const H2P_HEADER: &str =
+        "benchmark,class,sites,intervals,base,ilp,fu,dmiss,local,refill,total\n";
+
+    #[test]
+    fn h2p_csv_identity_violations_are_bmp701() {
+        // base+ilp+fu+dmiss = 24 != local 25.
+        let csv = format!("{H2P_HEADER}gzip,h2p,3,10,20,2,1,1,25,50,75\n");
+        let report = lint_csv("h2p.csv", &csv);
+        assert_eq!(codes(&report), vec!["BMP701"], "{}", report.render_human());
+
+        // local 24 + refill 50 = 74 != total 80.
+        let csv = format!("{H2P_HEADER}gzip,h2p,3,10,20,2,1,1,24,50,80\n");
+        let report = lint_csv("h2p.csv", &csv);
+        assert_eq!(codes(&report), vec!["BMP701"], "{}", report.render_human());
+
+        // refill 49 != 10 intervals × baseline depth 5.
+        let csv = format!("{H2P_HEADER}gzip,h2p,3,10,20,2,1,1,24,49,73\n");
+        let report = lint_csv("h2p.csv", &csv);
+        assert_eq!(codes(&report), vec!["BMP701"], "{}", report.render_human());
+
+        // A consistent row is clean.
+        let csv = format!("{H2P_HEADER}gzip,h2p,3,10,20,2,1,1,24,50,74\n");
+        assert!(lint_csv("h2p.csv", &csv).is_clean());
+    }
+
+    #[test]
+    fn h2p_csv_unknown_class_is_bmp700() {
+        let csv = format!("{H2P_HEADER}gzip,spicy,3,10,20,2,1,1,24,50,74\n");
+        let report = lint_csv("h2p.csv", &csv);
+        assert_eq!(codes(&report), vec!["BMP700"], "{}", report.render_human());
+    }
+
+    #[test]
+    fn generations_csv_unknown_predictor_is_bmp700() {
+        let header = "benchmark,predictor,br-miss-rate,br-MPKI,mean-penalty,\
+                      mean-base,mean-ilp,mean-fu,mean-dmiss,IPC\n";
+        let csv = format!("{header}gzip,crystal-ball,0.050,8.00,21.00,2.00,1.00,1.00,2.00,1.100\n");
+        let report = lint_csv("gen.csv", &csv);
+        assert_eq!(codes(&report), vec!["BMP700"], "{}", report.render_human());
+
+        let good = format!("{header}gzip,tage,0.050,8.00,21.00,2.00,1.00,1.00,2.00,1.100\n");
+        assert!(lint_csv("gen.csv", &good).is_clean());
+
+        // A zero-MPKI row skips the penalty-mean checks: there is no
+        // misprediction to average over.
+        let cold = format!("{header}gzip,tage,0.000,0.00,0.00,0.00,0.00,0.00,0.00,1.500\n");
+        assert!(lint_csv("gen.csv", &cold).is_clean());
+    }
+
+    /// `consistent_doc` with a class attribution that exactly
+    /// partitions the model: all of it charged to one `h2p` class.
+    fn classed_doc() -> ExperimentMetrics {
+        let mut doc = consistent_doc();
+        let w = &mut doc.workloads[0];
+        let m = w.model.as_ref().unwrap();
+        w.branch_classes = vec![bmp_core::metrics::ClassPenalty {
+            class: "h2p".into(),
+            sites: 4,
+            intervals: m.intervals,
+            local_resolution: m.local_resolution,
+            refill: m.refill,
+        }];
+        doc
+    }
+
+    #[test]
+    fn doc_class_attribution_partitioning_the_model_is_clean() {
+        let doc = classed_doc();
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        assert!(report.is_clean(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn doc_unknown_class_label_is_bmp700() {
+        let mut doc = classed_doc();
+        doc.workloads[0].branch_classes[0].class = "spicy".into();
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        assert!(
+            codes(&report).contains(&"BMP700"),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn doc_class_totals_not_partitioning_the_model_is_bmp701() {
+        let mut doc = classed_doc();
+        // Steal one interval (and its refill charge, keeping the
+        // per-class refill identity intact) so the totals no longer
+        // cover the model.
+        let depth = u64::from(doc.workloads[0].frontend_depth);
+        let c = &mut doc.workloads[0].branch_classes[0];
+        c.intervals -= 1;
+        c.refill -= depth;
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        let n = codes(&report).iter().filter(|&&c| c == "BMP701").count();
+        assert_eq!(n, 2, "{}", report.render_human()); // intervals + refill totals
+    }
+
+    #[test]
+    fn doc_duplicate_class_and_broken_class_refill_are_bmp701() {
+        let mut doc = classed_doc();
+        let dup = doc.workloads[0].branch_classes[0].clone();
+        doc.workloads[0].branch_classes.push(dup);
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        assert!(
+            codes(&report).contains(&"BMP701"),
+            "{}",
+            report.render_human()
+        );
+
+        let mut doc = classed_doc();
+        doc.workloads[0].branch_classes[0].refill += 1;
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        assert!(
+            codes(&report).contains(&"BMP701"),
+            "{}",
+            report.render_human()
+        );
+    }
+
+    #[test]
+    fn unregistered_predictor_skips_bounds_with_bmp604() {
+        let mut doc = consistent_doc();
+        doc.workloads[0].predictor = "crystal-ball".into();
+        // Would trip BMP601/603 if the baseline bounds were applied.
+        doc.workloads[0].resolution_total = 1;
+        doc.workloads[0].model.as_mut().unwrap().ilp += 1;
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        let c = codes(&report);
+        assert!(c.contains(&"BMP604"), "{}", report.render_human());
+        assert_eq!(report.error_count(), 0, "{}", report.render_human());
+    }
+
+    #[test]
+    fn generation_predictor_doc_is_checked_under_its_own_machine() {
+        // A document recorded under the TAGE generation: the lint must
+        // rebuild that machine (not the baseline tournament) for its
+        // exact model checks.
+        let cfg = presets::generation_machine("tage").unwrap();
+        let ops = 6_000u64;
+        let seed = 7u64;
+        let trace = spec::by_name("gzip").unwrap().generate(ops as usize, seed);
+        let analysis = PenaltyModel::new(cfg.clone()).analyze(&trace);
+        let stack = bmp_core::cpi::predict(&trace, &cfg);
+        let records = bmp_core::accounting::records_from_analysis(&analysis);
+        let mut w = WorkloadMetrics::from_records(
+            "gzip",
+            trace.len() as u64,
+            10_000,
+            analysis.frontend_depth,
+            analysis.breakdowns.len() as u64,
+            &records,
+        );
+        w.predictor = "tage".into();
+        w.model = Some(ModelMetrics::from_analysis(&analysis, stack));
+        let mut doc = ExperimentMetrics::new("test", ops, seed);
+        doc.workloads.push(w);
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        assert!(report.is_clean(), "{}", report.render_human());
+
+        // Corrupting the model is still caught under that machine.
+        doc.workloads[0].model.as_mut().unwrap().ilp += 1;
+        let report = lint_metrics_doc("m.json", &doc.to_json());
+        assert!(
+            codes(&report).contains(&"BMP601"),
+            "{}",
+            report.render_human()
+        );
     }
 }

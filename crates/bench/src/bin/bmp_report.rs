@@ -108,5 +108,8 @@ fn main() -> ExitCode {
     for t in report::cpi_stack_tables(&docs) {
         out(&format!("{}\n", t.to_markdown()));
     }
+    for t in report::class_stack_tables(&docs) {
+        out(&format!("{}\n", t.to_markdown()));
+    }
     ExitCode::from(bmp_bench::EXIT_OK)
 }

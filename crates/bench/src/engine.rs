@@ -10,7 +10,7 @@
 //!    oracle / warmup simulations, interval-model analyses). The engine
 //!    deduplicates them by content key and computes each exactly once,
 //!    spread across the pool, into the shared [`Ctx`] cache.
-//! 2. **Experiments** — the 21 experiment functions run on the pool,
+//! 2. **Experiments** — the 23 experiment functions run on the pool,
 //!    hitting the warm cache for the shared work and computing only their
 //!    experiment-specific sweeps.
 //!
@@ -436,6 +436,61 @@ impl Cell {
         }
     }
 
+    /// Simulation of the named workload with one of the predictor
+    /// generations swapped into the baseline machine (see
+    /// [`experiments::generation_machine`]); `pred` must be a name from
+    /// [`experiments::GENERATIONS`].
+    pub fn predictor_sim(workload: &'static str, pred: &'static str) -> Self {
+        Self {
+            label: format!("{workload}/sim-pred-{pred}"),
+            work: Box::new(move |ctx, scale| {
+                let cfg = experiments::generation_machine(pred).unwrap_or_else(|| {
+                    std::panic::panic_any(CellError::invalid_config(
+                        format!("{workload}/sim-pred-{pred}"),
+                        format!("unknown predictor generation `{pred}`"),
+                    ))
+                });
+                let th = ctx.named_trace(workload, scale);
+                ctx.sim(&Simulator::new(cfg), &th);
+            }),
+        }
+    }
+
+    /// Interval-model analysis of the named workload under a predictor
+    /// generation, plus the static-bounds/classification artifacts the
+    /// metrics collector reads for the per-class penalty attribution.
+    pub fn predictor_analysis(workload: &'static str, pred: &'static str) -> Self {
+        Self {
+            label: format!("{workload}/analysis-pred-{pred}"),
+            work: Box::new(move |ctx, scale| {
+                let cfg = experiments::generation_machine(pred).unwrap_or_else(|| {
+                    std::panic::panic_any(CellError::invalid_config(
+                        format!("{workload}/analysis-pred-{pred}"),
+                        format!("unknown predictor generation `{pred}`"),
+                    ))
+                });
+                let th = ctx.named_trace(workload, scale);
+                ctx.analyze(&cfg, &th);
+                ctx.static_bounds(&cfg, &th);
+                ctx.compiled(&th);
+            }),
+        }
+    }
+
+    /// Baseline static-bounds pass plus trace compilation for the named
+    /// workload: the artifacts behind the per-class penalty attribution
+    /// (`bmp_analyze::staticpass::classify`).
+    pub fn class_analysis(workload: &'static str) -> Self {
+        Self {
+            label: format!("{workload}/classes-baseline"),
+            work: Box::new(move |ctx, scale| {
+                let th = ctx.named_trace(workload, scale);
+                ctx.static_bounds(&presets::baseline_4wide(), &th);
+                ctx.compiled(&th);
+            }),
+        }
+    }
+
     /// Runs the cell's work against the shared context.
     pub fn run(&self, ctx: &Ctx, scale: Scale) {
         (self.work)(ctx, scale);
@@ -595,6 +650,32 @@ pub fn experiment_defs() -> Vec<ExperimentDef> {
                 for w in ["gzip", "gcc", "mcf", "crafty"] {
                     cells.push(Cell::baseline_sim(w));
                     cells.push(Cell::warmup_sim(w));
+                }
+                cells
+            },
+        },
+        ExperimentDef {
+            name: "ex_predictor_generations",
+            run: ex::ex_predictor_generations,
+            cells: || {
+                let mut cells = Vec::new();
+                for w in ex::GENERATION_WORKLOADS {
+                    for p in ex::GENERATIONS {
+                        cells.push(Cell::predictor_sim(w, p));
+                        cells.push(Cell::predictor_analysis(w, p));
+                    }
+                }
+                cells
+            },
+        },
+        ExperimentDef {
+            name: "ex_h2p_contributors",
+            run: ex::ex_h2p_contributors,
+            cells: || {
+                let mut cells = Vec::new();
+                for w in ex::GENERATION_WORKLOADS {
+                    cells.push(Cell::analysis(w));
+                    cells.push(Cell::class_analysis(w));
                 }
                 cells
             },
@@ -1305,11 +1386,11 @@ mod tests {
     #[test]
     fn registry_covers_all_experiments_once() {
         let defs = experiment_defs();
-        assert_eq!(defs.len(), 21);
+        assert_eq!(defs.len(), 23);
         let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 21, "registry names must be unique");
+        assert_eq!(names.len(), 23, "registry names must be unique");
     }
 
     #[test]

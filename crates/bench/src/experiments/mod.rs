@@ -1,9 +1,10 @@
 //! The experiment implementations, one function per table/figure of the
 //! reconstructed evaluation and its extensions (DESIGN.md, E-T1 … E-F11,
-//! E-X1 … E-X8).
+//! E-X1 … E-X10).
 
 mod characterize;
 mod extensions;
+mod generations;
 mod sensitivity;
 mod tables;
 mod validation;
@@ -15,6 +16,10 @@ pub use characterize::{
 pub use extensions::{
     ex1_predictor_study, ex2_window_sweep, ex3_closed_form, ex4_prefetch_study,
     ex5_occupancy_study, ex6_replacement_study, ex7_indirect_study, ex8_warmup_study,
+};
+pub use generations::{
+    ex_h2p_contributors, ex_predictor_generations, generation_machine, generation_predictor,
+    GENERATIONS, GENERATION_WORKLOADS,
 };
 pub use sensitivity::{fig6_pipeline_depth, fig7_fu_latency, fig8_ilp, fig9_l1d_misses};
 pub use tables::{table1_config, table2_benchmarks};
@@ -39,7 +44,7 @@ mod tests {
             ops: 5_000,
             seed: 3,
         });
-        assert_eq!(tables.len(), 21);
+        assert_eq!(tables.len(), 23);
         for t in &tables {
             assert!(!t.rows.is_empty(), "table {} is empty", t.id);
             assert!(!t.headers.is_empty());

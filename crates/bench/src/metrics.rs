@@ -20,12 +20,15 @@
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
+use bmp_analyze::staticpass::classify;
 use bmp_core::accounting::records_from_analysis;
+use bmp_core::metrics::ClassPenalty;
 use bmp_core::{cpi, ExperimentMetrics, ModelMetrics, PenaltyAnalysis, WorkloadMetrics};
 use bmp_sim::{SimOptions, SimResult, Simulator};
-use bmp_uarch::presets;
+use bmp_uarch::{presets, MachineConfig};
 
-use crate::engine::{Ctx, ExperimentDef};
+use crate::engine::{Ctx, ExperimentDef, TraceHandle};
+use crate::experiments::generation_machine;
 use crate::{write_atomic, Scale};
 
 /// Whether metrics collection is on for this process: `BMP_METRICS=1`.
@@ -54,35 +57,37 @@ impl MetricsRecorder {
         }
     }
 
-    /// Aggregates a simulation's interval records into a workload entry.
-    pub fn record_sim(&mut self, workload: &str, result: &SimResult) {
-        self.doc.workloads.push(WorkloadMetrics::from_records(
+    /// Aggregates a simulation's interval records into a workload entry
+    /// tagged with the direction predictor it ran under (the v2
+    /// `predictor` field; per-predictor entries of the same workload
+    /// coexist and are told apart by this tag).
+    pub fn record_sim(&mut self, workload: &str, predictor: &str, result: &SimResult) {
+        let mut w = WorkloadMetrics::from_records(
             workload,
             result.instructions,
             result.cycles,
             result.frontend_depth,
             result.mispredicts.len() as u64,
             &result.interval_records,
-        ));
+        );
+        w.predictor = predictor.to_string();
+        self.doc.workloads.push(w);
     }
 
-    /// Attaches the analytical model's view to the workload's entry. A
-    /// workload no simulation cell covered gets a model-only entry
-    /// built from the analysis' own interval records, with `cycles`
-    /// left 0 (the documented "no measured epoch" marker).
+    /// Attaches the analytical model's view to the matching
+    /// `(workload, predictor)` entry. A pair no simulation cell covered
+    /// gets a model-only entry built from the analysis' own interval
+    /// records, with `cycles` left 0 (the documented "no measured
+    /// epoch" marker).
     pub fn record_model(
         &mut self,
         workload: &str,
+        predictor: &str,
         analysis: &PenaltyAnalysis,
         stack: cpi::CpiStack,
     ) {
         let model = ModelMetrics::from_analysis(analysis, stack);
-        if let Some(w) = self
-            .doc
-            .workloads
-            .iter_mut()
-            .find(|w| w.workload == workload)
-        {
+        if let Some(w) = self.entry_mut(workload, predictor) {
             w.model = Some(model);
             return;
         }
@@ -95,18 +100,62 @@ impl MetricsRecorder {
             analysis.breakdowns.len() as u64,
             &records,
         );
+        w.predictor = predictor.to_string();
         w.model = Some(model);
         self.doc.workloads.push(w);
     }
 
-    /// The finished document, workloads in name order (deterministic
-    /// bytes regardless of cell declaration order).
+    /// Attaches a per-branch-class penalty attribution (the v2
+    /// `branch_classes` field) to the matching `(workload, predictor)`
+    /// entry; a pair without one gets a minimal entry carrying only the
+    /// attribution.
+    pub fn record_classes(&mut self, workload: &str, predictor: &str, classes: Vec<ClassPenalty>) {
+        if let Some(w) = self.entry_mut(workload, predictor) {
+            w.branch_classes = classes;
+            return;
+        }
+        let mut w = WorkloadMetrics::from_records(workload, 0, 0, 0, 0, &[]);
+        w.predictor = predictor.to_string();
+        w.branch_classes = classes;
+        self.doc.workloads.push(w);
+    }
+
+    fn entry_mut(&mut self, workload: &str, predictor: &str) -> Option<&mut WorkloadMetrics> {
+        self.doc
+            .workloads
+            .iter_mut()
+            .find(|w| w.workload == workload && w.predictor == predictor)
+    }
+
+    /// The finished document, workloads in `(name, predictor)` order
+    /// (deterministic bytes regardless of cell declaration order).
     pub fn finish(mut self) -> ExperimentMetrics {
         self.doc
             .workloads
-            .sort_by(|a, b| a.workload.cmp(&b.workload));
+            .sort_by(|a, b| (&a.workload, &a.predictor).cmp(&(&b.workload, &b.predictor)));
         self.doc
     }
+}
+
+/// The per-branch-class penalty attribution of `trace` under `cfg`:
+/// classifies every static site from the compiled trace and charges the
+/// static pass's per-interval local resolutions (plus refills) to the
+/// terminating site's class. Pure cache lookups when a
+/// `classes-baseline` / `analysis-pred-*` cell warmed the context.
+fn class_penalties(ctx: &Ctx, cfg: &MachineConfig, trace: &TraceHandle) -> Vec<ClassPenalty> {
+    let bounds = ctx.static_bounds(cfg, trace);
+    let compiled = ctx.compiled(trace);
+    let profiles = classify::classify(&compiled);
+    classify::attribute(&profiles, &bounds.interval_terms, cfg.frontend_depth)
+        .into_iter()
+        .map(|a| ClassPenalty {
+            class: a.class.label().to_string(),
+            sites: a.sites,
+            intervals: a.intervals,
+            local_resolution: a.local_resolution,
+            refill: a.refill,
+        })
+        .collect()
 }
 
 /// Builds the metrics document for one settled experiment by replaying
@@ -116,7 +165,9 @@ impl MetricsRecorder {
 /// did — the same `(simulator fingerprint, trace key)` addresses — so
 /// collection adds no simulation time. Workloads are recognized from
 /// the cell labels (`{workload}/sim-baseline`, `{workload}/sim-warmup`,
-/// `{workload}/analysis-baseline`); trace-only and oracle cells carry
+/// `{workload}/analysis-baseline`, and the predictor-generation family
+/// `{workload}/sim-pred-{p}` / `{workload}/analysis-pred-{p}` /
+/// `{workload}/classes-baseline`); trace-only and oracle cells carry
 /// no accounting and are skipped, as are experiments whose sweeps use
 /// no shared cells at all (their metrics file has an empty `workloads`
 /// array).
@@ -133,6 +184,8 @@ pub fn collect_experiment(ctx: &Ctx, def: &ExperimentDef, scale: Scale) -> Exper
             }
         }
     }
+    let baseline = presets::baseline_4wide();
+    let baseline_pred = baseline.predictor.name();
     for (workload, kinds) in &per_workload {
         let Ok(trace) = ctx.try_named_trace(workload, scale) else {
             continue;
@@ -140,10 +193,10 @@ pub fn collect_experiment(ctx: &Ctx, def: &ExperimentDef, scale: Scale) -> Exper
         // Prefer the plain baseline simulation; ex8 pairs it with a
         // warmup run and the baseline is the comparable epoch.
         let sim = if kinds.iter().any(|k| k == "sim-baseline") {
-            Some(Simulator::new(presets::baseline_4wide()))
+            Some(Simulator::new(baseline.clone()))
         } else if kinds.iter().any(|k| k == "sim-warmup") {
             Some(Simulator::with_options(
-                presets::baseline_4wide(),
+                baseline.clone(),
                 SimOptions::with_warmup(scale.ops as u64 / 5),
             ))
         } else {
@@ -151,13 +204,38 @@ pub fn collect_experiment(ctx: &Ctx, def: &ExperimentDef, scale: Scale) -> Exper
         };
         if let Some(sim) = sim {
             let result = ctx.sim(&sim, &trace);
-            recorder.record_sim(workload, &result);
+            recorder.record_sim(workload, baseline_pred, &result);
         }
         if kinds.iter().any(|k| k == "analysis-baseline") {
-            let cfg = presets::baseline_4wide();
-            let analysis = ctx.analyze(&cfg, &trace);
-            let stack = cpi::predict(&trace, &cfg);
-            recorder.record_model(workload, &analysis, stack);
+            let analysis = ctx.analyze(&baseline, &trace);
+            let stack = cpi::predict(&trace, &baseline);
+            recorder.record_model(workload, baseline_pred, &analysis, stack);
+        }
+        if kinds.iter().any(|k| k == "classes-baseline") {
+            recorder.record_classes(
+                workload,
+                baseline_pred,
+                class_penalties(ctx, &baseline, &trace),
+            );
+        }
+        // Predictor-generation cells: one entry per (workload, predictor),
+        // with the model and the per-class attribution attached when the
+        // matching analysis cell warmed the caches.
+        for kind in kinds {
+            let Some(pred) = kind.strip_prefix("sim-pred-") else {
+                continue;
+            };
+            let Some(cfg) = generation_machine(pred) else {
+                continue;
+            };
+            let result = ctx.sim(&Simulator::new(cfg.clone()), &trace);
+            recorder.record_sim(workload, pred, &result);
+            if kinds.iter().any(|k| k == &format!("analysis-pred-{pred}")) {
+                let analysis = ctx.analyze(&cfg, &trace);
+                let stack = cpi::predict(&trace, &cfg);
+                recorder.record_model(workload, pred, &analysis, stack);
+                recorder.record_classes(workload, pred, class_penalties(ctx, &cfg, &trace));
+            }
         }
     }
     recorder.finish()

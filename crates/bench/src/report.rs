@@ -59,6 +59,7 @@ pub fn summary_tables(docs: &[ExperimentMetrics]) -> Vec<Table> {
             &format!("Metrics: {} (ops={}, seed={})", doc.name, doc.ops, doc.seed),
             &[
                 "workload",
+                "predictor",
                 "instructions",
                 "cycles",
                 "cpi",
@@ -73,6 +74,11 @@ pub fn summary_tables(docs: &[ExperimentMetrics]) -> Vec<Table> {
         for w in &doc.workloads {
             t.push_row(vec![
                 w.workload.clone(),
+                if w.predictor.is_empty() {
+                    "-".into() // v1 document: predictor unrecorded
+                } else {
+                    w.predictor.clone()
+                },
                 w.instructions.to_string(),
                 w.cycles.to_string(),
                 if w.cycles == 0 {
@@ -126,7 +132,7 @@ pub fn cpi_stack_tables(docs: &[ExperimentMetrics]) -> Vec<Table> {
             let s = &m.cpi_stack;
             let n = s.instructions.max(1) as f64;
             t.push_row(vec![
-                w.workload.clone(),
+                workload_key(w),
                 fmt3(s.base_cycles / n),
                 fmt3(s.branch_cycles / n),
                 fmt3(s.icache_cycles / n),
@@ -144,12 +150,76 @@ pub fn cpi_stack_tables(docs: &[ExperimentMetrics]) -> Vec<Table> {
     tables
 }
 
+/// The `workload[predictor]` display key telling per-predictor entries
+/// of the same workload apart; plain workload name for v1 documents
+/// (empty `predictor`).
+fn workload_key(w: &WorkloadMetrics) -> String {
+    if w.predictor.is_empty() {
+        w.workload.clone()
+    } else {
+        format!("{}[{}]", w.workload, w.predictor)
+    }
+}
+
+/// One per-branch-class CPI-stack table per experiment that carries
+/// `branch_classes` attributions (metrics schema v2): for each
+/// `(workload, predictor)` entry, the static sites, charged intervals,
+/// and exact local-resolution/refill cycles of every branch class —
+/// the H2P-vs-easy split of the misprediction penalty.
+pub fn class_stack_tables(docs: &[ExperimentMetrics]) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for doc in docs {
+        let classed: Vec<&WorkloadMetrics> = doc
+            .workloads
+            .iter()
+            .filter(|w| !w.branch_classes.is_empty())
+            .collect();
+        if classed.is_empty() {
+            continue;
+        }
+        let mut t = Table::new(
+            &format!("class_stack_{}", doc.name),
+            &format!("Per-class penalty: {}", doc.name),
+            &[
+                "workload",
+                "predictor",
+                "class",
+                "sites",
+                "intervals",
+                "local_resolution",
+                "refill",
+                "total",
+            ],
+        );
+        for w in classed {
+            for c in &w.branch_classes {
+                t.push_row(vec![
+                    w.workload.clone(),
+                    if w.predictor.is_empty() {
+                        "-".into()
+                    } else {
+                        w.predictor.clone()
+                    },
+                    c.class.clone(),
+                    c.sites.to_string(),
+                    c.intervals.to_string(),
+                    c.local_resolution.to_string(),
+                    c.refill.to_string(),
+                    c.total().to_string(),
+                ]);
+            }
+        }
+        tables.push(t);
+    }
+    tables
+}
+
 /// The whole run as one flat CSV (a row per experiment × workload),
 /// for spreadsheet and scripting use. Model columns are empty for
 /// workloads without a model section.
 pub fn to_csv(docs: &[ExperimentMetrics]) -> String {
     let mut out = String::from(
-        "experiment,workload,instructions,cycles,cpi,mispredicts,\
+        "experiment,workload,predictor,instructions,cycles,cpi,mispredicts,\
          bmiss,il1,il2,dlong,resolution_total,refill_total,occupancy_total,mean_penalty,\
          model_base,model_ilp,model_fu_latency,model_short_dmiss,model_carryover,model_cpi\n",
     );
@@ -167,9 +237,10 @@ pub fn to_csv(docs: &[ExperimentMetrics]) -> String {
                 None => Default::default(),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{base},{ilp},{fu},{sd},{co},{mcpi}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{base},{ilp},{fu},{sd},{co},{mcpi}\n",
                 doc.name,
                 w.workload,
+                w.predictor,
                 w.instructions,
                 w.cycles,
                 if w.cycles == 0 {
@@ -240,12 +311,14 @@ pub fn to_json(docs: &[ExperimentMetrics]) -> String {
                 fmt3(w.measured_cpi())
             };
             out.push_str(&format!(
-                "\n      {{ \"workload\": {}, \"instructions\": {}, \"cycles\": {}, \
+                "\n      {{ \"workload\": {}, \"predictor\": {}, \"instructions\": {}, \
+                 \"cycles\": {}, \
                  \"cpi\": {cpi}, \"mispredicts\": {}, \"frontend_depth\": {}, \
                  \"intervals\": {{ \"bmiss\": {}, \"il1\": {}, \"il2\": {}, \"dlong\": {} }}, \
                  \"resolution_total\": {}, \"refill_total\": {}, \"occupancy_total\": {}, \
                  \"mean_penalty\": {}",
                 json_str(&w.workload),
+                json_str(&w.predictor),
                 w.instructions,
                 w.cycles,
                 w.mispredicts,
@@ -259,6 +332,23 @@ pub fn to_json(docs: &[ExperimentMetrics]) -> String {
                 w.occupancy_total,
                 json_opt3(w.mean_penalty())
             ));
+            out.push_str(", \"branch_classes\": [");
+            for (ci, c) in w.branch_classes.iter().enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{ \"class\": {}, \"sites\": {}, \"intervals\": {}, \
+                     \"local_resolution\": {}, \"refill\": {}, \"total\": {} }}",
+                    json_str(&c.class),
+                    c.sites,
+                    c.intervals,
+                    c.local_resolution,
+                    c.refill,
+                    c.total()
+                ));
+            }
+            out.push(']');
             match &w.model {
                 Some(m) => {
                     let s = &m.cpi_stack;
@@ -423,6 +513,31 @@ fn diff_workload(
         old.occupancy_total,
         new.occupancy_total,
     );
+    // Per-class attributions: compare class rows by label; a class
+    // gained or lost between runs is itself a reportable change.
+    for oc in &old.branch_classes {
+        match new.branch_classes.iter().find(|nc| nc.class == oc.class) {
+            Some(nc) => {
+                let f = |name: &str| format!("class.{}.{name}", oc.class);
+                diff_u64(changes, locus, &f("sites"), oc.sites, nc.sites);
+                diff_u64(changes, locus, &f("intervals"), oc.intervals, nc.intervals);
+                diff_u64(
+                    changes,
+                    locus,
+                    &f("local_resolution"),
+                    oc.local_resolution,
+                    nc.local_resolution,
+                );
+                diff_u64(changes, locus, &f("refill"), oc.refill, nc.refill);
+            }
+            None => changes.push(format!("{locus}: class {} disappeared", oc.class)),
+        }
+    }
+    for nc in &new.branch_classes {
+        if !old.branch_classes.iter().any(|oc| oc.class == nc.class) {
+            changes.push(format!("{locus}: class {} appeared", nc.class));
+        }
+    }
     match (&old.model, &new.model) {
         (Some(om), Some(nm)) => {
             diff_u64(
@@ -486,16 +601,28 @@ pub fn diff(old: &[ExperimentMetrics], new: &[ExperimentMetrics]) -> Diff {
                 o.name, o.ops, o.seed, n.ops, n.seed
             ));
         }
+        // Entries are keyed `(workload, predictor)`: per-predictor runs
+        // of the same workload are distinct loci, and a v1→v2 rerun
+        // (predictor newly recorded) reads as removed + added rather
+        // than a spurious value diff.
         for ow in &o.workloads {
-            let locus = format!("{}/{}", o.name, ow.workload);
-            match n.workloads.iter().find(|nw| nw.workload == ow.workload) {
+            let locus = format!("{}/{}", o.name, workload_key(ow));
+            match n
+                .workloads
+                .iter()
+                .find(|nw| nw.workload == ow.workload && nw.predictor == ow.predictor)
+            {
                 Some(nw) => diff_workload(&mut d.changes, &locus, ow, nw),
                 None => d.removed.push(locus),
             }
         }
         for nw in &n.workloads {
-            if !o.workloads.iter().any(|ow| ow.workload == nw.workload) {
-                d.added.push(format!("{}/{}", n.name, nw.workload));
+            if !o
+                .workloads
+                .iter()
+                .any(|ow| ow.workload == nw.workload && ow.predictor == nw.predictor)
+            {
+                d.added.push(format!("{}/{}", n.name, workload_key(nw)));
             }
         }
     }
@@ -590,6 +717,87 @@ mod tests {
         // Totals surfaced with interval counts.
         assert!(j.contains("\"resolution_total\": 11"));
         assert!(j.contains("\"intervals\": { \"bmiss\": 1, \"il1\": 1, \"il2\": 0, \"dlong\": 0 }"));
+    }
+
+    fn classed_doc(name: &str) -> ExperimentMetrics {
+        use bmp_core::metrics::ClassPenalty;
+        let mut doc = sample_doc(name, 4_000);
+        doc.workloads[0].predictor = "tage".into();
+        doc.workloads[0].branch_classes = vec![
+            ClassPenalty {
+                class: "h2p".into(),
+                sites: 2,
+                intervals: 9,
+                local_resolution: 90,
+                refill: 45,
+            },
+            ClassPenalty {
+                class: "biased".into(),
+                sites: 7,
+                intervals: 1,
+                local_resolution: 4,
+                refill: 5,
+            },
+        ];
+        doc
+    }
+
+    #[test]
+    fn class_stack_table_and_json_mirror_the_v2_fields() {
+        let doc = classed_doc("ex_h2p_contributors");
+        let tables = class_stack_tables(&[doc.clone()]);
+        assert_eq!(tables.len(), 1);
+        let csv = tables[0].to_csv();
+        assert!(csv.contains("gzip,tage,h2p,2,9,90,45,135"), "{csv}");
+        assert!(csv.contains("gzip,tage,biased,7,1,4,5,9"), "{csv}");
+        // The summary table shows the predictor; the JSON mirrors both
+        // v2 fields.
+        let summary = summary_tables(&[doc.clone()])[0].to_csv();
+        assert!(summary.contains("gzip,tage,"), "{summary}");
+        let j = to_json(&[doc.clone()]);
+        assert!(j.contains("\"predictor\": \"tage\""), "{j}");
+        assert!(
+            j.contains(
+                "{ \"class\": \"h2p\", \"sites\": 2, \"intervals\": 9, \
+                 \"local_resolution\": 90, \"refill\": 45, \"total\": 135 }"
+            ),
+            "{j}"
+        );
+        // No attributions → no class table, and an empty JSON array.
+        let plain = sample_doc("a", 100);
+        assert!(class_stack_tables(&[plain.clone()]).is_empty());
+        assert!(to_json(&[plain]).contains("\"branch_classes\": []"));
+    }
+
+    #[test]
+    fn diff_tells_predictors_apart_and_reports_class_changes() {
+        let old = [classed_doc("a")];
+        let mut newer = classed_doc("a");
+        newer.workloads[0].branch_classes[0].intervals = 11;
+        newer.workloads[0].branch_classes.remove(1);
+        let d = diff(&old, &[newer]);
+        assert!(
+            d.changes
+                .iter()
+                .any(|c| c.contains("a/gzip[tage]: class.h2p.intervals 9 -> 11")),
+            "{:?}",
+            d.changes
+        );
+        assert!(
+            d.changes
+                .iter()
+                .any(|c| c.contains("class biased disappeared")),
+            "{:?}",
+            d.changes
+        );
+        // A different predictor under the same workload name is a
+        // distinct entry, not a value diff.
+        let mut other = classed_doc("a");
+        other.workloads[0].predictor = "bimodal".into();
+        let d = diff(&old, &[other]);
+        assert!(d.changes.is_empty(), "{:?}", d.changes);
+        assert_eq!(d.removed, vec!["a/gzip[tage]".to_string()]);
+        assert_eq!(d.added, vec!["a/gzip[bimodal]".to_string()]);
     }
 
     #[test]

@@ -17,6 +17,8 @@ const SUBSET: &[&str] = &[
     "fig10_model_validation",
     "ex5_occupancy_study",
     "ex8_warmup_study",
+    "ex_predictor_generations",
+    "ex_h2p_contributors",
 ];
 
 #[test]

@@ -1,4 +1,4 @@
-//! Golden-table regression tests: three experiments' CSVs at a small,
+//! Golden-table regression tests: five experiments' CSVs at a small,
 //! fixed scale (`BMP_OPS=2000`, `BMP_SEED=42`) are committed under
 //! `tests/golden/` and must reproduce exactly. Any change to trace
 //! synthesis, the simulator, the interval model or the experiment
@@ -61,5 +61,21 @@ fn fig10_matches_golden() {
     check(
         "fig10_model_validation",
         bmp_bench::experiments::fig10_model_validation,
+    );
+}
+
+#[test]
+fn predictor_generations_match_golden() {
+    check(
+        "ex_predictor_generations",
+        bmp_bench::experiments::ex_predictor_generations,
+    );
+}
+
+#[test]
+fn h2p_contributors_match_golden() {
+    check(
+        "ex_h2p_contributors",
+        bmp_bench::experiments::ex_h2p_contributors,
     );
 }

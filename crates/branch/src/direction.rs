@@ -9,6 +9,7 @@
 use bmp_uarch::PredictorConfig;
 
 use crate::counter::SaturatingCounter;
+use crate::tage::Tage;
 
 /// A conditional-branch direction predictor.
 ///
@@ -74,6 +75,21 @@ pub fn build_predictor(cfg: &PredictorConfig) -> Box<dyn DirectionPredictor> {
             entries,
             history_bits,
         } => Box::new(Perceptron::new(entries, history_bits)),
+        PredictorConfig::Tage {
+            base_entries,
+            tagged_entries,
+            tag_bits,
+            num_tables,
+            min_history,
+            max_history,
+        } => Box::new(Tage::new(
+            base_entries,
+            tagged_entries,
+            tag_bits,
+            num_tables,
+            min_history,
+            max_history,
+        )),
         PredictorConfig::Perfect => Box::new(Perfect),
     }
 }
@@ -100,6 +116,8 @@ pub enum InlinePredictor {
     Tournament(Tournament),
     /// Perceptron over global history.
     Perceptron(Perceptron),
+    /// Tagged geometric-history tables.
+    Tage(Tage),
 }
 
 impl InlinePredictor {
@@ -137,6 +155,21 @@ impl InlinePredictor {
                 entries,
                 history_bits,
             } => Self::Perceptron(Perceptron::new(entries, history_bits)),
+            PredictorConfig::Tage {
+                base_entries,
+                tagged_entries,
+                tag_bits,
+                num_tables,
+                min_history,
+                max_history,
+            } => Self::Tage(Tage::new(
+                base_entries,
+                tagged_entries,
+                tag_bits,
+                num_tables,
+                min_history,
+                max_history,
+            )),
             PredictorConfig::Perfect => Self::Perfect(Perfect),
         }
     }
@@ -152,6 +185,7 @@ impl InlinePredictor {
             Self::Local(p) => p.predict(pc, actual),
             Self::Tournament(p) => p.predict(pc, actual),
             Self::Perceptron(p) => p.predict(pc, actual),
+            Self::Tage(p) => p.predict(pc, actual),
         }
     }
 
@@ -166,6 +200,7 @@ impl InlinePredictor {
             Self::Local(p) => p.update(pc, taken),
             Self::Tournament(p) => p.update(pc, taken),
             Self::Perceptron(p) => p.update(pc, taken),
+            Self::Tage(p) => p.update(pc, taken),
         }
     }
 
@@ -179,6 +214,7 @@ impl InlinePredictor {
             Self::Local(p) => p.name(),
             Self::Tournament(p) => p.name(),
             Self::Perceptron(p) => p.name(),
+            Self::Tage(p) => p.name(),
         }
     }
 }
@@ -660,6 +696,17 @@ mod tests {
                     history_bits: 16,
                 },
                 "perceptron",
+            ),
+            (
+                PredictorConfig::Tage {
+                    base_entries: 64,
+                    tagged_entries: 64,
+                    tag_bits: 8,
+                    num_tables: 4,
+                    min_history: 2,
+                    max_history: 16,
+                },
+                "tage",
             ),
             (PredictorConfig::Perfect, "perfect"),
         ] {

@@ -2,6 +2,9 @@
 
 use bmp_uarch::IndirectPredictorConfig;
 
+use crate::counter::SaturatingCounter;
+use crate::tage::{fold_history, geometric_lengths, U_AGING_PERIOD, U_MAX};
+
 /// A history-hashed indirect-target cache ("gtarget", an ITTAGE
 /// ancestor): tagged entries indexed by the branch PC xor a register of
 /// recent indirect-target history.
@@ -78,9 +81,244 @@ impl GTarget {
     }
 }
 
+/// One ITTAGE tagged-table entry: a partial tag, the cached target, a
+/// 2-bit confidence counter gating its use, and a 2-bit useful counter
+/// gating its replacement.
+#[derive(Debug, Clone, Copy)]
+struct IttageEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    conf: SaturatingCounter,
+    u: u8,
+}
+
+impl IttageEntry {
+    fn empty() -> Self {
+        Self {
+            valid: false,
+            tag: 0,
+            target: 0,
+            conf: SaturatingCounter::new(2, 1),
+            u: 0,
+        }
+    }
+}
+
+/// ITTAGE (Seznec, CBP-3 2011): the indirect-target sibling of TAGE.
+///
+/// `num_tables` tagged tables indexed by geometrically growing lengths of
+/// a *path history* built from resolved indirect targets (two bits,
+/// `((target >> 2) ^ (target >> 4) ^ (target >> 8)) & 0b11`, shifted in
+/// per update — the XOR keeps targets that differ only in upper bits
+/// distinguishable). The provider is the
+/// longest-history tag match; its target is used when its confidence
+/// counter is non-zero, otherwise the next matching table (then the BTB)
+/// takes over. The exact update rules, pinned by
+/// `crates/branch/tests/conformance.rs`:
+///
+/// 1. `predict_target` is pure: the first matching table (longest
+///    history first) with non-zero confidence supplies the target;
+///    `None` means "fall back to the BTB".
+/// 2. `update` recomputes provider/altpred from pre-update state. A
+///    correct provider trains confidence up; a wrong provider with zero
+///    confidence is re-targeted (confidence reset weak), otherwise
+///    trains confidence down. When an altpred target exists and differs
+///    from the provider's, the provider's `u` moves up if the provider
+///    was right and down if the altpred was right.
+/// 3. When the tagged prediction (ignoring the BTB fallback) was not the
+///    resolved target, one entry is allocated first-fit in a
+///    longer-history table with `u == 0` (weak confidence, `u = 0`); if
+///    all candidates are useful their `u` counters are decremented
+///    instead.
+/// 4. Path history then shifts in the two folded target bits
+///    (`h' = (h << 2) | fold2(target)`), and every [`U_AGING_PERIOD`]
+///    updates all `u` counters are halved.
+///
+/// Index/tag hashes mirror TAGE: `index = ((pc >> 2) ^ fold(h, L_i,
+/// log2(entries))) % entries`, `tag = ((pc >> 2) ^ fold(h, L_i,
+/// tag_bits)) % 2^tag_bits`.
+///
+/// [`U_AGING_PERIOD`]: crate::U_AGING_PERIOD
+#[derive(Debug, Clone)]
+pub struct Ittage {
+    tables: Vec<Vec<IttageEntry>>,
+    tagged_entries: u32,
+    tag_mask: u64,
+    index_bits: u32,
+    tag_bits: u32,
+    hist_lens: Vec<u32>,
+    history: u64,
+    updates: u64,
+}
+
+impl Ittage {
+    /// Creates an ITTAGE predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on parameters the [`IndirectPredictorConfig::Ittage`]
+    /// validation would reject.
+    pub fn new(
+        tagged_entries: u32,
+        tag_bits: u32,
+        num_tables: u32,
+        min_history: u32,
+        max_history: u32,
+    ) -> Self {
+        assert!(tagged_entries.is_power_of_two() && tagged_entries > 0);
+        assert!((4..=16).contains(&tag_bits));
+        assert!((1..=8).contains(&num_tables));
+        assert!(min_history >= 1 && min_history <= max_history && max_history <= 64);
+        assert!(max_history - min_history + 1 >= num_tables);
+        Self {
+            tables: vec![vec![IttageEntry::empty(); tagged_entries as usize]; num_tables as usize],
+            tagged_entries,
+            tag_mask: (1u64 << tag_bits) - 1,
+            index_bits: tagged_entries.trailing_zeros(),
+            tag_bits,
+            hist_lens: geometric_lengths(num_tables, min_history, max_history),
+            history: 0,
+            updates: 0,
+        }
+    }
+
+    fn index(&self, level: usize, pc: u64) -> usize {
+        let folded = fold_history(self.history, self.hist_lens[level], self.index_bits);
+        (((pc >> 2) ^ folded) & u64::from(self.tagged_entries - 1)) as usize
+    }
+
+    fn tag(&self, level: usize, pc: u64) -> u64 {
+        let folded = fold_history(self.history, self.hist_lens[level], self.tag_bits);
+        ((pc >> 2) ^ folded) & self.tag_mask
+    }
+
+    /// The provider level (longest tag match) and the altpred level (the
+    /// next match below it), pre-update.
+    fn matches(&self, pc: u64) -> (Option<usize>, Option<usize>) {
+        let mut provider = None;
+        let mut alt = None;
+        for level in (0..self.tables.len()).rev() {
+            let e = &self.tables[level][self.index(level, pc)];
+            if e.valid && e.tag == self.tag(level, pc) {
+                if provider.is_none() {
+                    provider = Some(level);
+                } else {
+                    alt = Some(level);
+                    break;
+                }
+            }
+        }
+        (provider, alt)
+    }
+
+    fn entry(&self, level: usize, pc: u64) -> &IttageEntry {
+        &self.tables[level][self.index(level, pc)]
+    }
+
+    /// Predicted target for `pc`, or `None` to fall back to the BTB. A
+    /// pure function of the predictor state.
+    pub fn predict_target(&self, pc: u64) -> Option<u64> {
+        let (provider, alt) = self.matches(pc);
+        for level in [provider, alt].into_iter().flatten() {
+            let e = self.entry(level, pc);
+            if e.conf.value() > 0 {
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// The provider's table level for `pc` (0 = shortest history), or
+    /// `None` when no tag matches.
+    pub fn provider_level(&self, pc: u64) -> Option<usize> {
+        self.matches(pc).0
+    }
+
+    /// Sum of all useful counters — the quantity drained by `u` aging.
+    pub fn useful_total(&self) -> u64 {
+        self.tables.iter().flatten().map(|e| u64::from(e.u)).sum()
+    }
+
+    /// Number of `update` calls so far (drives the aging schedule).
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Trains on the resolved target; see the type docs for the exact
+    /// confidence/u-bit/allocation/aging schedule.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let (provider, alt) = self.matches(pc);
+        let predicted = self.predict_target(pc);
+        if let Some(level) = provider {
+            let alt_target = alt.map(|l| self.entry(l, pc).target);
+            let idx = self.index(level, pc);
+            let e = &mut self.tables[level][idx];
+            let provider_correct = e.target == target;
+            if let Some(at) = alt_target {
+                if at != e.target {
+                    if provider_correct {
+                        e.u = (e.u + 1).min(U_MAX);
+                    } else if at == target {
+                        e.u = e.u.saturating_sub(1);
+                    }
+                }
+            }
+            if provider_correct {
+                e.conf.train(true);
+            } else if e.conf.value() == 0 {
+                e.target = target;
+                e.conf = SaturatingCounter::new(2, 1);
+            } else {
+                e.conf.train(false);
+            }
+        }
+        if predicted != Some(target) {
+            self.allocate(pc, provider, target);
+        }
+        self.history =
+            (self.history << 2) | (((target >> 2) ^ (target >> 4) ^ (target >> 8)) & 0b11);
+        self.updates += 1;
+        if self.updates.is_multiple_of(U_AGING_PERIOD) {
+            for t in &mut self.tables {
+                for e in t {
+                    e.u >>= 1;
+                }
+            }
+        }
+    }
+
+    /// First-fit allocation into a longer-history table (see rule 3).
+    fn allocate(&mut self, pc: u64, provider_level: Option<usize>, target: u64) {
+        let start = provider_level.map_or(0, |l| l + 1);
+        if start >= self.tables.len() {
+            return;
+        }
+        for level in start..self.tables.len() {
+            let idx = self.index(level, pc);
+            if self.tables[level][idx].u == 0 {
+                let tag = self.tag(level, pc);
+                self.tables[level][idx] = IttageEntry {
+                    valid: true,
+                    tag,
+                    target,
+                    conf: SaturatingCounter::new(2, 1),
+                    u: 0,
+                };
+                return;
+            }
+        }
+        for level in start..self.tables.len() {
+            let idx = self.index(level, pc);
+            let e = &mut self.tables[level][idx];
+            e.u = e.u.saturating_sub(1);
+        }
+    }
+}
+
 /// An indirect-target predictor assembled from configuration: either the
 /// plain BTB-last-target policy (in which case this struct is inert and
-/// the caller consults its BTB) or a [`GTarget`] overriding it.
+/// the caller consults its BTB) or a [`GTarget`]/[`Ittage`] overriding it.
 #[derive(Debug, Clone)]
 pub enum IndirectPredictor {
     /// Fall back entirely to the BTB.
@@ -88,6 +326,9 @@ pub enum IndirectPredictor {
     /// History-hashed target cache; the BTB remains the fallback for
     /// cold/tag-missing entries.
     GTarget(GTarget),
+    /// Tagged geometric path-history tables; the BTB remains the
+    /// fallback for cold/unconfident entries.
+    Ittage(Ittage),
 }
 
 impl IndirectPredictor {
@@ -105,6 +346,19 @@ impl IndirectPredictor {
                 entries,
                 history_bits,
             } => IndirectPredictor::GTarget(GTarget::new(entries, history_bits)),
+            IndirectPredictorConfig::Ittage {
+                tagged_entries,
+                tag_bits,
+                num_tables,
+                min_history,
+                max_history,
+            } => IndirectPredictor::Ittage(Ittage::new(
+                tagged_entries,
+                tag_bits,
+                num_tables,
+                min_history,
+                max_history,
+            )),
         }
     }
 
@@ -114,13 +368,16 @@ impl IndirectPredictor {
         match self {
             IndirectPredictor::BtbOnly => btb_target,
             IndirectPredictor::GTarget(g) => g.predict(pc).or(btb_target),
+            IndirectPredictor::Ittage(t) => t.predict_target(pc).or(btb_target),
         }
     }
 
     /// Trains on the resolved target.
     pub fn update(&mut self, pc: u64, target: u64) {
-        if let IndirectPredictor::GTarget(g) = self {
-            g.update(pc, target);
+        match self {
+            IndirectPredictor::BtbOnly => {}
+            IndirectPredictor::GTarget(g) => g.update(pc, target),
+            IndirectPredictor::Ittage(t) => t.update(pc, target),
         }
     }
 }
@@ -183,5 +440,75 @@ mod tests {
     #[should_panic]
     fn rejects_bad_geometry() {
         let _ = GTarget::new(100, 4);
+    }
+
+    #[test]
+    fn ittage_cold_falls_back_to_btb() {
+        let p = IndirectPredictor::build(&IndirectPredictorConfig::Ittage {
+            tagged_entries: 64,
+            tag_bits: 8,
+            num_tables: 3,
+            min_history: 2,
+            max_history: 8,
+        });
+        assert_eq!(p.predict(0x40, Some(9)), Some(9), "cold entry uses BTB");
+        assert_eq!(p.predict(0x40, None), None);
+    }
+
+    #[test]
+    fn ittage_learns_constant_target() {
+        let mut t = Ittage::new(64, 8, 3, 2, 8);
+        for _ in 0..8 {
+            t.update(0x10, 0x999);
+        }
+        assert_eq!(t.predict_target(0x10), Some(0x999));
+    }
+
+    #[test]
+    fn ittage_learns_target_cycle_btb_cannot() {
+        let targets = [0x100u64, 0x200, 0x300];
+        let mut t = Ittage::new(512, 10, 4, 2, 16);
+        let mut wrong = 0;
+        for i in 0..600 {
+            let actual = targets[i % 3];
+            if i > 100 && t.predict_target(0x80) != Some(actual) {
+                wrong += 1;
+            }
+            t.update(0x80, actual);
+        }
+        assert!(wrong < 25, "3-cycle should be learned, {wrong} wrong");
+    }
+
+    #[test]
+    fn ittage_predict_is_pure() {
+        let mut t = Ittage::new(64, 8, 3, 2, 8);
+        for i in 0..50u64 {
+            t.update(0x40 + (i % 3) * 4, 0x1000 + (i % 5) * 0x100);
+        }
+        let u = t.useful_total();
+        let n = t.update_count();
+        let p1 = t.predict_target(0x44);
+        for _ in 0..10 {
+            assert_eq!(t.predict_target(0x44), p1);
+        }
+        assert_eq!(t.useful_total(), u);
+        assert_eq!(t.update_count(), n);
+    }
+
+    #[test]
+    fn ittage_mispredict_allocates_first_fit() {
+        let mut t = Ittage::new(64, 8, 3, 2, 8);
+        t.update(0x20, 0x500);
+        let allocated: usize = t
+            .tables
+            .iter()
+            .map(|tbl| tbl.iter().filter(|e| e.valid).count())
+            .sum();
+        assert_eq!(allocated, 1);
+        assert_eq!(
+            t.tables[0].iter().filter(|e| e.valid).count(),
+            1,
+            "first-fit lands in the shortest-history table"
+        );
     }
 }

@@ -40,10 +40,12 @@ pub mod direction;
 mod indirect;
 mod ras;
 mod stats;
+pub mod tage;
 
 pub use btb::Btb;
 pub use counter::SaturatingCounter;
 pub use direction::{build_predictor, DirectionPredictor, InlinePredictor};
-pub use indirect::{GTarget, IndirectPredictor};
+pub use indirect::{GTarget, IndirectPredictor, Ittage};
 pub use ras::ReturnAddressStack;
 pub use stats::BranchStats;
+pub use tage::{Tage, U_AGING_PERIOD};

@@ -2,7 +2,7 @@
 //! arbitrary branch streams, plus the semantic guarantees each predictor
 //! kind makes.
 
-use bmp_branch::{build_predictor, BranchStats};
+use bmp_branch::{build_predictor, BranchStats, Ittage, Tage, U_AGING_PERIOD};
 use bmp_uarch::PredictorConfig;
 use proptest::prelude::*;
 
@@ -28,8 +28,47 @@ fn all_configs() -> Vec<PredictorConfig> {
             entries: 32,
             history_bits: 12,
         },
+        PredictorConfig::Tage {
+            base_entries: 64,
+            tagged_entries: 64,
+            tag_bits: 8,
+            num_tables: 4,
+            min_history: 2,
+            max_history: 16,
+        },
         PredictorConfig::Perfect,
     ]
+}
+
+/// A strategy over valid TAGE geometries: power-of-two tables, 1..=8
+/// tagged tables, and a history span wide enough for the table count.
+fn arb_tage() -> impl Strategy<Value = Tage> {
+    (
+        prop::sample::select(vec![16u32, 64, 256]),
+        prop::sample::select(vec![16u32, 64, 256]),
+        4u32..=12,
+        1u32..=6,
+        1u32..=4,
+        16u32..=48,
+    )
+        .prop_map(|(base, tagged, tag_bits, tables, min_h, max_h)| {
+            Tage::new(base, tagged, tag_bits, tables, min_h, max_h)
+        })
+}
+
+/// Same over ITTAGE geometries, plus a small target alphabet so tagged
+/// entries actually get exercised (allocation, confidence, u bits).
+fn arb_ittage() -> impl Strategy<Value = Ittage> {
+    (
+        prop::sample::select(vec![16u32, 64, 256]),
+        4u32..=12,
+        1u32..=6,
+        1u32..=4,
+        16u32..=48,
+    )
+        .prop_map(|(tagged, tag_bits, tables, min_h, max_h)| {
+            Ittage::new(tagged, tag_bits, tables, min_h, max_h)
+        })
 }
 
 proptest! {
@@ -126,5 +165,89 @@ proptest! {
                 b.update(pc, taken);
             }
         }
+    }
+
+    /// TAGE predictions are pure functions of `(history, tables)` for
+    /// any geometry: after arbitrary training, repeated queries at any
+    /// pc return the same answer and leave every observable piece of
+    /// state untouched.
+    #[test]
+    fn tage_predict_is_pure_for_random_configs(
+        tage in arb_tage(),
+        stream in prop::collection::vec((0u64..1 << 20, any::<bool>()), 0..300),
+        probes in prop::collection::vec(0u64..1 << 20, 1..20),
+    ) {
+        let mut t = tage;
+        for &(pc, taken) in &stream {
+            t.train(pc, taken);
+        }
+        let (h, u, n) = (t.history(), t.useful_total(), t.update_count());
+        for &pc in &probes {
+            let first = (t.predict_taken(pc), t.altpred_taken(pc), t.provider_level(pc));
+            for _ in 0..3 {
+                let again = (t.predict_taken(pc), t.altpred_taken(pc), t.provider_level(pc));
+                prop_assert_eq!(again, first);
+            }
+        }
+        prop_assert_eq!(t.history(), h);
+        prop_assert_eq!(t.useful_total(), u);
+        prop_assert_eq!(t.update_count(), n);
+    }
+
+    /// TAGE useful counters age only on the [`U_AGING_PERIOD`] schedule:
+    /// away from a boundary, an update changes the useful total by at
+    /// most ±1 (one provider's counter moving one step); at a boundary,
+    /// the post-halving total is bounded by half the pre-update total
+    /// plus that same single step.
+    #[test]
+    fn tage_u_bits_age_only_on_schedule(
+        tage in arb_tage(),
+        stream in prop::collection::vec((0u64..1 << 16, any::<bool>()), 1..400),
+    ) {
+        let mut t = tage;
+        // Advance to just short of an aging boundary so the random
+        // stream always straddles one (its last update lands exactly on
+        // `U_AGING_PERIOD`).
+        for _ in 0..U_AGING_PERIOD - stream.len() as u64 {
+            t.train(0x1C, false);
+        }
+        for &(pc, taken) in &stream {
+            let before = t.useful_total();
+            t.train(pc, taken);
+            let after = t.useful_total();
+            if t.update_count() % U_AGING_PERIOD == 0 {
+                prop_assert!(after <= (before + 1).div_ceil(2));
+            } else {
+                // One update moves at most one u counter by one, or
+                // decays one allocation column by one each.
+                prop_assert!(after <= before + 1);
+            }
+        }
+    }
+
+    /// ITTAGE target predictions are pure for any geometry.
+    #[test]
+    fn ittage_predict_is_pure_for_random_configs(
+        ittage in arb_ittage(),
+        stream in prop::collection::vec(
+            (0u64..1 << 12, prop::sample::select(vec![0x100u64, 0x204, 0x30C, 0x8010])),
+            0..300,
+        ),
+        probes in prop::collection::vec(0u64..1 << 12, 1..20),
+    ) {
+        let mut t = ittage;
+        for &(pc, target) in &stream {
+            t.update(pc, target);
+        }
+        let (u, n) = (t.useful_total(), t.update_count());
+        for &pc in &probes {
+            let first = (t.predict_target(pc), t.provider_level(pc));
+            for _ in 0..3 {
+                let again = (t.predict_target(pc), t.provider_level(pc));
+                prop_assert_eq!(again, first);
+            }
+        }
+        prop_assert_eq!(t.useful_total(), u);
+        prop_assert_eq!(t.update_count(), n);
     }
 }

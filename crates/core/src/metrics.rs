@@ -21,8 +21,11 @@ use crate::intervals::{IntervalEventKind, LENGTH_BUCKETS};
 use crate::json::{self, JsonError, ObjectExt, Value};
 use crate::penalty::PenaltyAnalysis;
 
-/// Metrics format version written by this crate; readers reject others.
-pub const METRICS_VERSION: u32 = 1;
+/// Metrics format version written by this crate. Version 2 added the
+/// per-workload `predictor` name and `branch_classes` attribution rows;
+/// readers still accept version-1 documents (the new fields default to
+/// empty) and reject anything newer.
+pub const METRICS_VERSION: u32 = 2;
 
 /// Number of histogram buckets: one per [`LENGTH_BUCKETS`] boundary
 /// plus the overflow bucket.
@@ -117,11 +120,45 @@ impl ModelMetrics {
     }
 }
 
+/// Penalty attribution for one branch predictability class (schema v2).
+///
+/// The class labels are the static analyzer's
+/// (`biased`/`patterned`/`mixed`/`h2p`/`indirect`); the cycle totals are
+/// the exact static-pass local resolutions plus the refill identity, so
+/// `local_resolution + refill` sums charged cycles per class (lint
+/// BMP700 checks the labels, BMP701 the interval sum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassPenalty {
+    /// Class label (`biased`, `patterned`, `mixed`, `h2p`, `indirect`).
+    pub class: String,
+    /// Static branch sites in the class.
+    pub sites: u64,
+    /// Mispredicted-branch intervals terminated by a site of this class.
+    pub intervals: u64,
+    /// Local-resolution cycles charged to the class.
+    pub local_resolution: u64,
+    /// Frontend-refill cycles charged (`intervals × depth`).
+    pub refill: u64,
+}
+
+impl ClassPenalty {
+    /// Total cycles charged (local resolution + refill).
+    pub fn total(&self) -> u64 {
+        self.local_resolution + self.refill
+    }
+}
+
 /// One workload's aggregated accounting within an experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadMetrics {
     /// Workload name (e.g. `gzip`).
     pub workload: String,
+    /// Direction-predictor name of the simulated machine (schema v2;
+    /// empty for version-1 documents, which implied the baseline).
+    pub predictor: String,
+    /// Per-branch-class penalty attribution (schema v2; empty when the
+    /// experiment recorded no classifier pass).
+    pub branch_classes: Vec<ClassPenalty>,
     /// Instructions covered by the statistics epoch.
     pub instructions: u64,
     /// Cycles covered by the statistics epoch.
@@ -165,6 +202,8 @@ impl WorkloadMetrics {
     ) -> Self {
         let mut m = Self {
             workload: workload.into(),
+            predictor: String::new(),
+            branch_classes: Vec::new(),
             instructions,
             cycles,
             frontend_depth,
@@ -262,6 +301,10 @@ impl ExperimentMetrics {
                 "      \"workload\": {},\n",
                 json::escape_string(&w.workload)
             ));
+            out.push_str(&format!(
+                "      \"predictor\": {},\n",
+                json::escape_string(&w.predictor)
+            ));
             out.push_str(&format!("      \"instructions\": {},\n", w.instructions));
             out.push_str(&format!("      \"cycles\": {},\n", w.cycles));
             out.push_str(&format!(
@@ -290,6 +333,24 @@ impl ExperimentMetrics {
                 "      \"resolution_histogram\": {}",
                 fmt_u64_array(&w.resolution_histogram)
             ));
+            if !w.branch_classes.is_empty() {
+                out.push_str(",\n      \"branch_classes\": [");
+                for (ci, c) in w.branch_classes.iter().enumerate() {
+                    if ci > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n        {{ \"class\": {}, \"sites\": {}, \"intervals\": {}, \
+                         \"local_resolution\": {}, \"refill\": {} }}",
+                        json::escape_string(&c.class),
+                        c.sites,
+                        c.intervals,
+                        c.local_resolution,
+                        c.refill
+                    ));
+                }
+                out.push_str("\n      ]");
+            }
             if let Some(m) = &w.model {
                 out.push_str(",\n      \"model\": {\n");
                 out.push_str(&format!("        \"intervals\": {},\n", m.intervals));
@@ -329,9 +390,9 @@ impl ExperimentMetrics {
         let value = json::parse(text)?;
         let obj = value.as_object("metrics root")?;
         let version = obj.get_u64("version")? as u32;
-        if version != METRICS_VERSION {
+        if version == 0 || version > METRICS_VERSION {
             return Err(JsonError::new(format!(
-                "unsupported metrics version {version} (expected {METRICS_VERSION})"
+                "unsupported metrics version {version} (expected 1..={METRICS_VERSION})"
             )));
         }
         let mut doc = Self::new(
@@ -367,8 +428,32 @@ impl ExperimentMetrics {
                     })
                 }
             };
+            // Schema-v2 fields; absent from version-1 documents.
+            let predictor = match w.get("predictor") {
+                Some(v) => v.as_string("predictor")?.to_string(),
+                None => String::new(),
+            };
+            let branch_classes = match w.get("branch_classes") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_array("branch_classes")?
+                    .iter()
+                    .map(|item| {
+                        let c = item.as_object("branch class entry")?;
+                        Ok(ClassPenalty {
+                            class: c.get_string("class")?.to_string(),
+                            sites: c.get_u64("sites")?,
+                            intervals: c.get_u64("intervals")?,
+                            local_resolution: c.get_u64("local_resolution")?,
+                            refill: c.get_u64("refill")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, JsonError>>()?,
+            };
             doc.workloads.push(WorkloadMetrics {
                 workload: w.get_string("workload")?.to_string(),
+                predictor,
+                branch_classes,
                 instructions: w.get_u64("instructions")?,
                 cycles: w.get_u64("cycles")?,
                 frontend_depth: w.get_u64("frontend_depth")? as u32,
@@ -528,9 +613,63 @@ mod tests {
     #[test]
     fn rejects_wrong_version_and_garbage() {
         let doc = ExperimentMetrics::new("x", 1, 1);
-        let wrong = doc.to_json().replace("\"version\": 1", "\"version\": 9");
+        let wrong = doc.to_json().replace("\"version\": 2", "\"version\": 9");
         assert!(ExperimentMetrics::parse(&wrong).is_err());
+        let zero = doc.to_json().replace("\"version\": 2", "\"version\": 0");
+        assert!(ExperimentMetrics::parse(&zero).is_err());
         assert!(ExperimentMetrics::parse("not json").is_err());
-        assert!(ExperimentMetrics::parse("{\"version\": 1}").is_err());
+        assert!(ExperimentMetrics::parse("{\"version\": 2}").is_err());
+    }
+
+    #[test]
+    fn v2_fields_round_trip() {
+        let mut doc = ExperimentMetrics::new("ex_predictor_generations", 2_000, 42);
+        let mut w = WorkloadMetrics::from_records("gcc", 2_000, 4_100, 5, 1, &sample_records());
+        w.predictor = "tage".into();
+        w.branch_classes = vec![
+            ClassPenalty {
+                class: "biased".into(),
+                sites: 12,
+                intervals: 3,
+                local_resolution: 40,
+                refill: 15,
+            },
+            ClassPenalty {
+                class: "h2p".into(),
+                sites: 2,
+                intervals: 9,
+                local_resolution: 170,
+                refill: 45,
+            },
+        ];
+        doc.workloads.push(w);
+        let text = doc.to_json();
+        let back = ExperimentMetrics::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.to_json(), text, "deterministic bytes");
+        assert_eq!(back.workloads[0].predictor, "tage");
+        assert_eq!(back.workloads[0].branch_classes[1].total(), 215);
+    }
+
+    #[test]
+    fn version_1_documents_still_parse_with_empty_v2_fields() {
+        let mut doc = ExperimentMetrics::new("legacy", 1_000, 7);
+        doc.workloads.push(WorkloadMetrics::from_records(
+            "gzip",
+            1_000,
+            2_000,
+            5,
+            1,
+            &sample_records(),
+        ));
+        // A v1 writer emitted no predictor/branch_classes fields.
+        let v1 = doc
+            .to_json()
+            .replace("\"version\": 2", "\"version\": 1")
+            .replace("      \"predictor\": \"\",\n", "");
+        let back = ExperimentMetrics::parse(&v1).unwrap();
+        assert_eq!(back.workloads[0].predictor, "");
+        assert!(back.workloads[0].branch_classes.is_empty());
+        assert_eq!(back.workloads[0].intervals.bmiss, 1);
     }
 }

@@ -13,7 +13,10 @@
 //! minimal counterexample.
 
 use bmp_sim::{SimOptions, Simulator};
-use bmp_uarch::{presets, LatencyTable, MachineConfig, MachineConfigBuilder, PredictorConfig};
+use bmp_uarch::{
+    presets, IndirectPredictorConfig, LatencyTable, MachineConfig, MachineConfigBuilder,
+    PredictorConfig,
+};
 use bmp_workloads::WorkloadProfile;
 use proptest::prelude::*;
 
@@ -50,25 +53,72 @@ fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
 }
 
 /// A strategy over direction predictors, covering every dispatch arm of
-/// the engine's inline predictor.
+/// the engine's inline predictor — including TAGE geometries with
+/// varying table counts and history spans, so the tagged-table
+/// allocation and u-aging paths run under both engines.
 fn arb_predictor() -> impl Strategy<Value = PredictorConfig> {
     (
-        prop::sample::select((0usize..6).collect::<Vec<_>>()),
+        prop::sample::select((0usize..9).collect::<Vec<_>>()),
         prop::sample::select(vec![256u32, 1024]),
         2u32..=8,
+        prop::sample::select(vec![1u32, 3, 5]), // TAGE tagged-table count
+        8u32..=32,                              // TAGE max history
     )
-        .prop_map(|(kind, entries, history_bits)| match kind {
-            0 => PredictorConfig::AlwaysTaken,
-            1 => PredictorConfig::AlwaysNotTaken,
-            2 => PredictorConfig::Perfect,
-            3 => PredictorConfig::Bimodal { entries },
-            4 => PredictorConfig::GShare {
-                entries,
-                history_bits,
+        .prop_map(
+            |(kind, entries, history_bits, num_tables, max_history)| match kind {
+                0 => PredictorConfig::AlwaysTaken,
+                1 => PredictorConfig::AlwaysNotTaken,
+                2 => PredictorConfig::Perfect,
+                3 => PredictorConfig::Bimodal { entries },
+                4 => PredictorConfig::GShare {
+                    entries,
+                    history_bits,
+                },
+                5 => PredictorConfig::Local {
+                    history_entries: entries,
+                    history_bits,
+                    pattern_entries: entries,
+                },
+                6 => PredictorConfig::Perceptron {
+                    entries: 256,
+                    history_bits: history_bits * 3,
+                },
+                7 => PredictorConfig::Tage {
+                    base_entries: entries,
+                    tagged_entries: 256,
+                    tag_bits: 8,
+                    num_tables,
+                    min_history: 2,
+                    max_history,
+                },
+                _ => PredictorConfig::Tournament {
+                    entries,
+                    history_bits,
+                },
             },
-            _ => PredictorConfig::Tournament {
+        )
+}
+
+/// A strategy over indirect-target predictors: the plain BTB policy,
+/// the gtarget cache, and ITTAGE geometries.
+fn arb_indirect() -> impl Strategy<Value = IndirectPredictorConfig> {
+    (
+        prop::sample::select((0usize..3).collect::<Vec<_>>()),
+        prop::sample::select(vec![64u32, 256]),
+        prop::sample::select(vec![1u32, 2, 4]), // ITTAGE table count
+    )
+        .prop_map(|(kind, entries, num_tables)| match kind {
+            0 => IndirectPredictorConfig::BtbLastTarget,
+            1 => IndirectPredictorConfig::GTarget {
                 entries,
-                history_bits,
+                history_bits: 8,
+            },
+            _ => IndirectPredictorConfig::Ittage {
+                tagged_entries: entries,
+                tag_bits: 8,
+                num_tables,
+                min_history: 2,
+                max_history: 16,
             },
         })
 }
@@ -85,8 +135,9 @@ fn arb_config() -> impl Strategy<Value = MachineConfig> {
         prop::sample::select(vec![1u32, 5, 12, 30]),    // frontend depth
         prop::sample::select(vec![1.0f64, 2.0, 5.0]),   // latency scale
         arb_predictor(),
+        arb_indirect(),
     )
-        .prop_map(|(width, window, depth, lat, predictor)| {
+        .prop_map(|(width, window, depth, lat, predictor, indirect)| {
             MachineConfigBuilder::new()
                 .width(width)
                 .window_size(window)
@@ -94,6 +145,7 @@ fn arb_config() -> impl Strategy<Value = MachineConfig> {
                 .frontend_depth(depth)
                 .latencies(LatencyTable::default().scaled(lat))
                 .predictor(predictor)
+                .indirect_predictor(indirect)
                 .build()
                 .expect("strategy only emits valid configs")
         })

@@ -61,6 +61,24 @@ pub enum PredictorConfig {
         /// Global history length in bits (1..=48).
         history_bits: u32,
     },
+    /// TAGE predictor (Seznec & Michaud, JILP 2006): a bimodal base table
+    /// plus `num_tables` tagged tables indexed by geometrically growing
+    /// global-history lengths, with useful-bit replacement control.
+    Tage {
+        /// Counters in the bimodal base table (power of two).
+        base_entries: u32,
+        /// Entries in each tagged table (power of two).
+        tagged_entries: u32,
+        /// Tag width in bits (4..=16).
+        tag_bits: u32,
+        /// Number of tagged tables (1..=8).
+        num_tables: u32,
+        /// History length of the shortest tagged table (1..=64).
+        min_history: u32,
+        /// History length of the longest tagged table
+        /// (`min_history..=64`).
+        max_history: u32,
+    },
     /// Oracle predictor: never mispredicts. Used to isolate other miss
     /// events in knock-out experiments.
     Perfect,
@@ -139,6 +157,32 @@ impl PredictorConfig {
                 }
                 Ok(())
             }
+            PredictorConfig::Tage {
+                base_entries,
+                tagged_entries,
+                tag_bits,
+                num_tables,
+                min_history,
+                max_history,
+            } => {
+                pow2("tage base entries", base_entries)?;
+                pow2("tage tagged entries", tagged_entries)?;
+                if !(4..=16).contains(&tag_bits) {
+                    return Err(ConfigError::HistoryLength(tag_bits));
+                }
+                if num_tables == 0 || num_tables > 8 {
+                    return Err(ConfigError::ZeroResource("tage tagged tables"));
+                }
+                if min_history == 0 || max_history > 64 || min_history > max_history {
+                    return Err(ConfigError::HistoryLength(max_history));
+                }
+                // Each tagged table needs a distinct integer history
+                // length between min and max.
+                if max_history - min_history + 1 < num_tables {
+                    return Err(ConfigError::HistoryLength(max_history));
+                }
+                Ok(())
+            }
         }
     }
 
@@ -152,6 +196,7 @@ impl PredictorConfig {
             PredictorConfig::Local { .. } => "local",
             PredictorConfig::Tournament { .. } => "tournament",
             PredictorConfig::Perceptron { .. } => "perceptron",
+            PredictorConfig::Tage { .. } => "tage",
             PredictorConfig::Perfect => "perfect",
         }
     }
@@ -192,6 +237,18 @@ impl std::fmt::Display for PredictorConfig {
                 entries,
                 history_bits,
             } => write!(f, "perceptron({entries},h{history_bits})"),
+            PredictorConfig::Tage {
+                base_entries,
+                tagged_entries,
+                tag_bits,
+                num_tables,
+                min_history,
+                max_history,
+            } => write!(
+                f,
+                "tage({base_entries},{num_tables}x{tagged_entries},t{tag_bits},\
+                 h{min_history}..{max_history})"
+            ),
             other => f.write_str(other.name()),
         }
     }
@@ -272,6 +329,73 @@ mod tests {
             .to_string()
             .starts_with("tournament"));
     }
+
+    fn small_tage() -> PredictorConfig {
+        PredictorConfig::Tage {
+            base_entries: 1024,
+            tagged_entries: 256,
+            tag_bits: 8,
+            num_tables: 4,
+            min_history: 4,
+            max_history: 32,
+        }
+    }
+
+    #[test]
+    fn tage_validation() {
+        assert!(small_tage().validate().is_ok());
+        let with = |f: &dyn Fn(&mut PredictorConfig)| {
+            let mut c = small_tage();
+            f(&mut c);
+            c
+        };
+        for bad in [
+            with(&|c| {
+                if let PredictorConfig::Tage { base_entries, .. } = c {
+                    *base_entries = 1000;
+                }
+            }),
+            with(&|c| {
+                if let PredictorConfig::Tage { tagged_entries, .. } = c {
+                    *tagged_entries = 0;
+                }
+            }),
+            with(&|c| {
+                if let PredictorConfig::Tage { tag_bits, .. } = c {
+                    *tag_bits = 3;
+                }
+            }),
+            with(&|c| {
+                if let PredictorConfig::Tage { num_tables, .. } = c {
+                    *num_tables = 9;
+                }
+            }),
+            with(&|c| {
+                if let PredictorConfig::Tage { min_history, .. } = c {
+                    *min_history = 0;
+                }
+            }),
+            with(&|c| {
+                if let PredictorConfig::Tage { min_history, .. } = c {
+                    *min_history = 40;
+                }
+            }),
+            with(&|c| {
+                if let PredictorConfig::Tage { max_history, .. } = c {
+                    *max_history = 65;
+                }
+            }),
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn tage_name_and_display() {
+        let c = small_tage();
+        assert_eq!(c.name(), "tage");
+        assert_eq!(c.to_string(), "tage(1024,4x256,t8,h4..32)");
+    }
 }
 
 /// Selects the indirect-branch *target* predictor.
@@ -294,6 +418,22 @@ pub enum IndirectPredictorConfig {
         entries: u32,
         /// Target-history length in hashed bits (1..=16).
         history_bits: u32,
+    },
+    /// ITTAGE (Seznec, CBP-3 2011): the indirect-target sibling of TAGE.
+    /// Tagged target tables over geometric path-history lengths, with
+    /// confidence and useful bits; the BTB stays the cold-path fallback.
+    Ittage {
+        /// Entries in each tagged table (power of two).
+        tagged_entries: u32,
+        /// Tag width in bits (4..=16).
+        tag_bits: u32,
+        /// Number of tagged tables (1..=8).
+        num_tables: u32,
+        /// Path-history length of the shortest table (1..=64).
+        min_history: u32,
+        /// Path-history length of the longest table
+        /// (`min_history..=64`).
+        max_history: u32,
     },
 }
 
@@ -325,6 +465,38 @@ impl IndirectPredictorConfig {
                 }
                 Ok(())
             }
+            IndirectPredictorConfig::Ittage {
+                tagged_entries,
+                tag_bits,
+                num_tables,
+                min_history,
+                max_history,
+            } => {
+                if tagged_entries == 0 {
+                    return Err(ConfigError::ZeroResource("ittage tagged entries"));
+                }
+                if !tagged_entries.is_power_of_two() {
+                    return Err(ConfigError::NotPowerOfTwo(
+                        "ittage tagged entries",
+                        u64::from(tagged_entries),
+                    ));
+                }
+                if !(4..=16).contains(&tag_bits) {
+                    return Err(ConfigError::HistoryLength(tag_bits));
+                }
+                if num_tables == 0 || num_tables > 8 {
+                    return Err(ConfigError::ZeroResource("ittage tagged tables"));
+                }
+                if min_history == 0 || max_history > 64 || min_history > max_history {
+                    return Err(ConfigError::HistoryLength(max_history));
+                }
+                // Each tagged table needs a distinct integer history
+                // length between min and max.
+                if max_history - min_history + 1 < num_tables {
+                    return Err(ConfigError::HistoryLength(max_history));
+                }
+                Ok(())
+            }
         }
     }
 
@@ -333,6 +505,7 @@ impl IndirectPredictorConfig {
         match self {
             IndirectPredictorConfig::BtbLastTarget => "btb-last-target",
             IndirectPredictorConfig::GTarget { .. } => "gtarget",
+            IndirectPredictorConfig::Ittage { .. } => "ittage",
         }
     }
 }
@@ -366,5 +539,35 @@ mod indirect_tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn ittage_validation_and_name() {
+        let good = IndirectPredictorConfig::Ittage {
+            tagged_entries: 256,
+            tag_bits: 8,
+            num_tables: 3,
+            min_history: 2,
+            max_history: 16,
+        };
+        assert!(good.validate().is_ok());
+        assert_eq!(good.name(), "ittage");
+        for (tagged_entries, tag_bits, num_tables, min_history, max_history) in [
+            (200, 8, 3, 2, 16),  // not a power of two
+            (256, 2, 3, 2, 16),  // tag too narrow
+            (256, 8, 0, 2, 16),  // no tables
+            (256, 8, 3, 0, 16),  // zero history
+            (256, 8, 3, 20, 16), // min > max
+            (256, 8, 3, 2, 100), // history too long
+        ] {
+            let bad = IndirectPredictorConfig::Ittage {
+                tagged_entries,
+                tag_bits,
+                num_tables,
+                min_history,
+                max_history,
+            };
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
     }
 }

@@ -93,6 +93,53 @@ pub fn l1d_sized(size_bytes: u64) -> Result<MachineConfig, crate::ConfigError> {
     baseline_4wide().to_builder().caches(caches).build()
 }
 
+/// The predictor generations swept by the `ex_predictor_generations`
+/// experiment family, oldest first: bimodal (mid-80s) → gshare (1993) →
+/// perceptron (2001) → TAGE (2006). The names key the shared cell
+/// labels in `bmp-bench`, the `predictor` field of metrics documents,
+/// and the BMP6xx lints' per-predictor machine reconstruction.
+pub const GENERATIONS: [&str; 4] = ["bimodal", "gshare", "perceptron", "tage"];
+
+/// The fixed configuration each named generation runs with, or `None`
+/// for an unknown name. Storage budgets are deliberately comparable
+/// (4K-entry main tables) so the sweep measures algorithmic progress,
+/// not capacity.
+pub fn generation_predictor(name: &str) -> Option<PredictorConfig> {
+    match name {
+        "bimodal" => Some(PredictorConfig::Bimodal { entries: 4096 }),
+        "gshare" => Some(PredictorConfig::GShare {
+            entries: 4096,
+            history_bits: 12,
+        }),
+        "perceptron" => Some(PredictorConfig::Perceptron {
+            entries: 512,
+            history_bits: 24,
+        }),
+        "tage" => Some(PredictorConfig::Tage {
+            base_entries: 4096,
+            tagged_entries: 1024,
+            tag_bits: 8,
+            num_tables: 4,
+            min_history: 4,
+            max_history: 32,
+        }),
+        _ => None,
+    }
+}
+
+/// The baseline machine with the named generation's predictor swapped
+/// in, or `None` for an unknown name.
+pub fn generation_machine(name: &str) -> Option<MachineConfig> {
+    let pcfg = generation_predictor(name)?;
+    Some(
+        baseline_4wide()
+            .to_builder()
+            .predictor(pcfg)
+            .build()
+            .expect("generation configs are valid"),
+    )
+}
+
 /// The baseline machine with a perfect branch predictor; isolates the other
 /// miss events in knock-out runs.
 pub fn perfect_branches() -> MachineConfig {
@@ -193,6 +240,21 @@ mod tests {
     #[test]
     fn perfect_branches_uses_oracle() {
         assert_eq!(perfect_branches().predictor, PredictorConfig::Perfect);
+    }
+
+    #[test]
+    fn generation_lookup_is_total_over_the_list() {
+        for name in GENERATIONS {
+            assert!(generation_predictor(name).is_some(), "{name}");
+            let cfg = generation_machine(name).unwrap();
+            assert_eq!(cfg.predictor.name(), name);
+            assert!(cfg.validate().is_ok());
+            // All generations share the baseline frontend, so the
+            // metrics refill identity is predictor-independent.
+            assert_eq!(cfg.frontend_depth, baseline_4wide().frontend_depth);
+        }
+        assert!(generation_predictor("oracle-of-delphi").is_none());
+        assert!(generation_machine("tournament").is_none());
     }
 
     #[test]

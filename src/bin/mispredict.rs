@@ -24,8 +24,8 @@ usage:
   mispredict analyze --trace FILE [machine flags as for run]
       Analyze a previously saved trace.
 
-predictors: bimodal, gshare, local, tournament, perceptron, perfect,
-            taken, not-taken
+predictors: bimodal, gshare, local, tournament, perceptron, tage,
+            perfect, taken, not-taken
 ";
 
 fn main() -> ExitCode {

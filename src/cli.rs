@@ -61,7 +61,7 @@ impl std::fmt::Display for CliError {
             CliError::UnknownPredictor(p) => write!(
                 f,
                 "unknown predictor {p:?}; expected one of bimodal, gshare, local, \
-                 tournament, perceptron, perfect, taken, not-taken"
+                 tournament, perceptron, tage, perfect, taken, not-taken"
             ),
             CliError::Config(e) => write!(f, "invalid machine configuration: {e}"),
             CliError::TraceIo(e) => write!(f, "trace file error: {e}"),
@@ -185,6 +185,14 @@ fn parse_predictor(name: &str) -> Result<PredictorConfig, CliError> {
         "perceptron" => PredictorConfig::Perceptron {
             entries: 512,
             history_bits: 24,
+        },
+        "tage" => PredictorConfig::Tage {
+            base_entries: 4096,
+            tagged_entries: 1024,
+            tag_bits: 8,
+            num_tables: 4,
+            min_history: 4,
+            max_history: 32,
         },
         "perfect" => PredictorConfig::Perfect,
         "taken" => PredictorConfig::AlwaysTaken,
@@ -577,6 +585,20 @@ mod tests {
         assert_eq!(cfg.rob_size, 256);
         assert_eq!(cfg.dispatch_width, 8);
         assert_eq!(cfg.predictor.name(), "perceptron");
+    }
+
+    #[test]
+    fn tage_predictor_parses_to_the_generation_config() {
+        let m = MachineArgs {
+            predictor: Some("tage".into()),
+            ..MachineArgs::default()
+        };
+        let cfg = m.build().unwrap();
+        assert_eq!(cfg.predictor.name(), "tage");
+        assert_eq!(
+            cfg.predictor,
+            bmp_uarch::presets::generation_predictor("tage").unwrap()
+        );
     }
 
     #[test]
