@@ -21,10 +21,16 @@
 //!   components do not sum to the CPI, penalty breakdowns whose five
 //!   contributors do not sum to the resolution they explain, and
 //!   simulator results that leak dispatch slots or ROB samples.
-//! * `BMP3xx` — compiled-trace structure ([`compiledlint`]): producer
+//! * `BMP30x` — compiled-trace structure ([`compiledlint`]): producer
 //!   indices in the structure-of-arrays form the event-driven simulator
 //!   consumes must be in bounds and strictly precede their consumers —
 //!   the invariants the wakeup scheduler trusts without checking.
+//! * `BMP31x` — superblock-map structure ([`superblocklint`]): the
+//!   precomputed fetch segmentation must match the trace it claims to
+//!   describe — `run_len` zero exactly on branches and counting down
+//!   inside runs, no run crossing an I-cache line, `is_line_start`
+//!   agreeing with the dynamic line compare — the invariants the batched
+//!   fetch stage trusts without checking.
 //! * `BMP4xx` — run-journal consistency ([`journal`]): the
 //!   `results/run_journal.json` manifest `run_all` maintains and
 //!   `--resume` trusts must parse, carry a supported version, and keep
@@ -61,6 +67,7 @@ pub mod journal;
 pub mod machine;
 pub mod metrics;
 pub mod staticpass;
+pub mod superblocklint;
 pub mod tracelint;
 
 pub use compiledlint::{lint_compiled, lint_producer_table};
@@ -70,6 +77,7 @@ pub use journal::{lint_journal, lint_journal_text};
 pub use machine::{lint_fu_coverage, lint_machine};
 pub use metrics::{lint_metrics, lint_metrics_text};
 pub use staticpass::{StaticAnalysis, StaticBounds};
+pub use superblocklint::lint_superblock;
 pub use tracelint::{lint_dag_edges, lint_measured_pairs, lint_trace};
 
 use bmp_core::PenaltyModel;
@@ -92,7 +100,10 @@ pub fn analyze(cfg: &MachineConfig, trace: Option<&Trace>) -> AnalysisReport {
 
     if let Some(trace) = trace {
         report.merge(AnalysisReport::new(lint_trace(trace)));
-        report.merge(AnalysisReport::new(lint_compiled(&trace.compile())));
+        let compiled = trace.compile();
+        report.merge(AnalysisReport::new(lint_compiled(&compiled)));
+        let sb = bmp_trace::SuperblockMap::build(&compiled, cfg.caches.l1i().line_bytes());
+        report.merge(AnalysisReport::new(lint_superblock(&compiled, &sb)));
 
         // The model constructors reject invalid configs by panicking;
         // BMP000 has already reported that case, so stop short of it.

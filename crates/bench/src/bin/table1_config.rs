@@ -1,5 +1,5 @@
 //! Regenerates "E-T1: baseline machine configuration" — see DESIGN.md.
 
 fn main() -> std::process::ExitCode {
-    bmp_bench::run_bin(|| bmp_bench::experiments::table1_config())
+    bmp_bench::run_bin(bmp_bench::experiments::table1_config)
 }

@@ -87,6 +87,7 @@ use bmp_trace::CompiledTrace;
 struct PhaseNanos {
     trace: AtomicU64,
     compile: AtomicU64,
+    superblock: AtomicU64,
     sim: AtomicU64,
     analysis: AtomicU64,
 }
@@ -106,6 +107,8 @@ pub struct PhaseReport {
     pub trace_nanos: u64,
     /// Nanoseconds compiling traces to structure-of-arrays form.
     pub compile_nanos: u64,
+    /// Nanoseconds in the superblock segmentation pass.
+    pub superblock_nanos: u64,
     /// Nanoseconds simulating.
     pub sim_nanos: u64,
     /// Nanoseconds in interval-model analysis.
@@ -122,6 +125,7 @@ pub struct PhaseReport {
 pub struct Ctx {
     traces: Memo<bmp_trace::Trace>,
     compiled: Memo<CompiledTrace>,
+    superblocks: Memo<bmp_trace::SuperblockMap>,
     sims: Memo<SimResult>,
     analyses: Memo<PenaltyAnalysis>,
     statics: Memo<StaticBounds>,
@@ -164,6 +168,7 @@ impl Ctx {
         Self {
             traces: Memo::default(),
             compiled: Memo::default(),
+            superblocks: Memo::default(),
             sims: Memo::default(),
             analyses: Memo::default(),
             statics: Memo::default(),
@@ -188,6 +193,7 @@ impl Ctx {
         PhaseReport {
             trace_nanos: self.phases.trace.load(Ordering::Relaxed),
             compile_nanos: self.phases.compile.load(Ordering::Relaxed),
+            superblock_nanos: self.phases.superblock.load(Ordering::Relaxed),
             sim_nanos: self.phases.sim.load(Ordering::Relaxed),
             analysis_nanos: self.phases.analysis.load(Ordering::Relaxed),
         }
@@ -259,6 +265,27 @@ impl Ctx {
         })
     }
 
+    /// The superblock segmentation of `trace`'s compiled form for an
+    /// L1I line of `line_bytes`, cached by `(trace key, line_bytes)`.
+    /// The map is config-*family* dependent only through the line size,
+    /// so one artifact serves every machine sharing an I-cache geometry
+    /// — across the experiment registry that collapses hundreds of
+    /// per-config builds into one per `(workload, line size)`.
+    pub fn superblock(
+        &self,
+        trace: &TraceHandle,
+        line_bytes: u32,
+    ) -> Arc<bmp_trace::SuperblockMap> {
+        let key = cache_key("superblock", &[trace.key, u64::from(line_bytes)]);
+        self.superblocks.get_or_compute(key, || {
+            let ct = self.compiled(trace);
+            let t0 = Instant::now();
+            let sb = bmp_trace::SuperblockMap::build(&ct, line_bytes);
+            PhaseNanos::add(&self.phases.superblock, t0);
+            sb
+        })
+    }
+
     /// The result of running `sim` over `trace`, cached by
     /// `(config + options fingerprint, trace key)` and routed through
     /// this context's [`EngineChoice`]: the event-driven engine reuses the
@@ -285,13 +312,16 @@ impl Ctx {
         let key = cache_key("sim", &[sim.fingerprint(), trace.key]);
         match self.engine {
             EngineChoice::EventDriven => {
-                // Resolve the compiled trace *outside* the sim timer so
-                // a first-touch compile is attributed to the compile
-                // phase, not the simulation phase.
+                // Resolve the compiled trace and superblock map *outside*
+                // the sim timer so first-touch compilation and
+                // segmentation are attributed to their own phases, not
+                // the simulation phase — and so every later config
+                // sharing the artifacts pays nothing at all.
                 self.sims.get_or_compute(key, || {
                     let ct = self.compiled(trace);
+                    let sb = self.superblock(trace, sim.config().caches.l1i().line_bytes());
                     let t0 = Instant::now();
-                    let res = sim.run_compiled(&ct);
+                    let res = sim.run_compiled_with(&ct, &sb);
                     PhaseNanos::add(&self.phases.sim, t0);
                     res
                 })
@@ -338,6 +368,8 @@ impl Ctx {
             trace_misses: self.traces.stats().misses(),
             compiled_hits: self.compiled.stats().hits(),
             compiled_misses: self.compiled.stats().misses(),
+            superblock_hits: self.superblocks.stats().hits(),
+            superblock_misses: self.superblocks.stats().misses(),
             sim_hits: self.sims.stats().hits(),
             sim_misses: self.sims.stats().misses(),
             analysis_hits: self.analyses.stats().hits(),
@@ -704,6 +736,10 @@ pub struct CacheReport {
     pub compiled_hits: u64,
     /// Trace compilations (structure-of-arrays transform).
     pub compiled_misses: u64,
+    /// Superblock-map lookups served from the cache.
+    pub superblock_hits: u64,
+    /// Superblock segmentation passes.
+    pub superblock_misses: u64,
     /// Simulation lookups served from the cache.
     pub sim_hits: u64,
     /// Simulation runs.
@@ -723,12 +759,14 @@ impl CacheReport {
     pub fn hit_rate(&self) -> f64 {
         let hits = self.trace_hits
             + self.compiled_hits
+            + self.superblock_hits
             + self.sim_hits
             + self.analysis_hits
             + self.static_hits;
         let total = hits
             + self.trace_misses
             + self.compiled_misses
+            + self.superblock_misses
             + self.sim_misses
             + self.analysis_misses
             + self.static_misses;
@@ -776,12 +814,15 @@ impl EngineReport {
         }
         let c = &self.cache;
         out.push_str(&format!(
-            "cache: traces {}/{} hits, compiled {}/{} hits, sims {}/{} hits, \
-             analyses {}/{} hits, statics {}/{} hits ({:.0}% overall hit rate)\n",
+            "cache: traces {}/{} hits, compiled {}/{} hits, superblocks {}/{} hits, \
+             sims {}/{} hits, analyses {}/{} hits, statics {}/{} hits \
+             ({:.0}% overall hit rate)\n",
             c.trace_hits,
             c.trace_hits + c.trace_misses,
             c.compiled_hits,
             c.compiled_hits + c.compiled_misses,
+            c.superblock_hits,
+            c.superblock_hits + c.superblock_misses,
             c.sim_hits,
             c.sim_hits + c.sim_misses,
             c.analysis_hits,
@@ -812,6 +853,7 @@ impl EngineReport {
         out.push_str(&format!(
             "  \"cache\": {{ \"trace_hits\": {}, \"trace_misses\": {}, \
              \"compiled_hits\": {}, \"compiled_misses\": {}, \
+             \"superblock_hits\": {}, \"superblock_misses\": {}, \
              \"sim_hits\": {}, \"sim_misses\": {}, \
              \"analysis_hits\": {}, \"analysis_misses\": {}, \
              \"static_hits\": {}, \"static_misses\": {} }},\n",
@@ -819,6 +861,8 @@ impl EngineReport {
             c.trace_misses,
             c.compiled_hits,
             c.compiled_misses,
+            c.superblock_hits,
+            c.superblock_misses,
             c.sim_hits,
             c.sim_misses,
             c.analysis_hits,
@@ -1048,6 +1092,7 @@ impl TolerantReport {
         out.push_str(&format!(
             "  \"cache\": {{ \"trace_hits\": {}, \"trace_misses\": {}, \
              \"compiled_hits\": {}, \"compiled_misses\": {}, \
+             \"superblock_hits\": {}, \"superblock_misses\": {}, \
              \"sim_hits\": {}, \"sim_misses\": {}, \
              \"analysis_hits\": {}, \"analysis_misses\": {}, \
              \"static_hits\": {}, \"static_misses\": {} }},\n",
@@ -1055,6 +1100,8 @@ impl TolerantReport {
             c.trace_misses,
             c.compiled_hits,
             c.compiled_misses,
+            c.superblock_hits,
+            c.superblock_misses,
             c.sim_hits,
             c.sim_misses,
             c.analysis_hits,

@@ -683,7 +683,7 @@ mod tests {
     #[test]
     fn summary_and_stack_tables_render() {
         let doc = sample_doc("fig2_penalty_per_benchmark", 4_000);
-        let tables = summary_tables(&[doc.clone()]);
+        let tables = summary_tables(std::slice::from_ref(&doc));
         assert_eq!(tables.len(), 1);
         let csv = tables[0].to_csv();
         assert!(csv.contains("gzip"));
@@ -745,16 +745,16 @@ mod tests {
     #[test]
     fn class_stack_table_and_json_mirror_the_v2_fields() {
         let doc = classed_doc("ex_h2p_contributors");
-        let tables = class_stack_tables(&[doc.clone()]);
+        let tables = class_stack_tables(std::slice::from_ref(&doc));
         assert_eq!(tables.len(), 1);
         let csv = tables[0].to_csv();
         assert!(csv.contains("gzip,tage,h2p,2,9,90,45,135"), "{csv}");
         assert!(csv.contains("gzip,tage,biased,7,1,4,5,9"), "{csv}");
         // The summary table shows the predictor; the JSON mirrors both
         // v2 fields.
-        let summary = summary_tables(&[doc.clone()])[0].to_csv();
+        let summary = summary_tables(std::slice::from_ref(&doc))[0].to_csv();
         assert!(summary.contains("gzip,tage,"), "{summary}");
-        let j = to_json(&[doc.clone()]);
+        let j = to_json(std::slice::from_ref(&doc));
         assert!(j.contains("\"predictor\": \"tage\""), "{j}");
         assert!(
             j.contains(
@@ -765,7 +765,7 @@ mod tests {
         );
         // No attributions → no class table, and an empty JSON array.
         let plain = sample_doc("a", 100);
-        assert!(class_stack_tables(&[plain.clone()]).is_empty());
+        assert!(class_stack_tables(std::slice::from_ref(&plain)).is_empty());
         assert!(to_json(&[plain]).contains("\"branch_classes\": []"));
     }
 
@@ -838,6 +838,6 @@ mod tests {
         // the diff compares aggregate quantities, not bucket noise.
         let doc = sample_doc("a", 100);
         assert_eq!(doc.workloads[0].length_histogram.len(), HISTOGRAM_BUCKETS);
-        assert!(diff(&[doc.clone()], &[doc]).is_empty());
+        assert!(diff(std::slice::from_ref(&doc), std::slice::from_ref(&doc)).is_empty());
     }
 }

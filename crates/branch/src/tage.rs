@@ -483,7 +483,7 @@ mod tests {
         for _ in 0..4 {
             t.train(0x9000, false);
         }
-        while t.update_count() % U_AGING_PERIOD != 0 {
+        while !t.update_count().is_multiple_of(U_AGING_PERIOD) {
             t.train(0x9000, false);
         }
         assert!(

@@ -7,7 +7,10 @@ use crate::stats::CacheStats;
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u64,
-    valid: bool,
+    /// Epoch the line was filled in; valid iff it matches the cache's
+    /// current epoch. Bumping the cache epoch invalidates every line in
+    /// O(1) — `flush` and `reset` cost nothing regardless of capacity.
+    epoch: u64,
     /// LRU timestamp.
     last_use: u64,
     /// FIFO timestamp (set at fill, untouched by hits).
@@ -40,10 +43,18 @@ pub struct SetAssocCache {
     ways: usize,
     line_shift: u32,
     set_mask: u64,
+    /// Current validity epoch; lines are resident iff their epoch
+    /// matches. Starts at 1 so default (zeroed) lines are invalid.
+    epoch: u64,
     tick: u64,
     rng_state: u64,
     stats: CacheStats,
 }
+
+/// Seed of the xorshift64* stream behind [`ReplacementKind::Random`];
+/// `reset` restores it so a reused cache replays the exact victim
+/// sequence of a freshly built one.
+const RNG_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
 
 impl SetAssocCache {
     /// Creates an empty (all-invalid) cache with the given geometry.
@@ -57,10 +68,23 @@ impl SetAssocCache {
             ways,
             line_shift: geometry.line_bytes().trailing_zeros(),
             set_mask: geometry.sets() - 1,
+            epoch: 1,
             tick: 0,
-            rng_state: 0x9e37_79b9_7f4a_7c15,
+            rng_state: RNG_SEED,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Restores the exact just-built state — empty cache, zeroed
+    /// statistics, pristine replacement stream — without touching the
+    /// line array (stale lines die by epoch). O(1), so run harnesses can
+    /// reuse one allocation across simulations and still get results
+    /// bit-identical to a fresh [`SetAssocCache::new`].
+    pub fn reset(&mut self) {
+        self.epoch += 1;
+        self.tick = 0;
+        self.rng_state = RNG_SEED;
+        self.stats.reset();
     }
 
     /// The configured geometry.
@@ -95,7 +119,7 @@ impl SetAssocCache {
         let base = set * self.ways;
         self.lines[base..base + self.ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .any(|l| l.epoch == self.epoch && l.tag == tag)
     }
 
     /// Accesses `addr`: returns `true` on hit. On miss the line is filled,
@@ -105,8 +129,9 @@ impl SetAssocCache {
         let (set, tag) = self.set_and_tag(addr);
         let base = set * self.ways;
         // Hit path.
+        let epoch = self.epoch;
         for line in &mut self.lines[base..base + self.ways] {
-            if line.valid && line.tag == tag {
+            if line.epoch == epoch && line.tag == tag {
                 line.last_use = self.tick;
                 self.stats.record(true);
                 return true;
@@ -117,7 +142,7 @@ impl SetAssocCache {
         let tick = self.tick;
         let line = &mut self.lines[base + victim];
         line.tag = tag;
-        line.valid = true;
+        line.epoch = epoch;
         line.last_use = tick;
         line.inserted = tick;
         self.stats.record(false);
@@ -127,7 +152,7 @@ impl SetAssocCache {
     fn pick_victim(&mut self, base: usize) -> usize {
         // Prefer an invalid way.
         for (i, line) in self.lines[base..base + self.ways].iter().enumerate() {
-            if !line.valid {
+            if line.epoch != self.epoch {
                 return i;
             }
         }
@@ -164,8 +189,9 @@ impl SetAssocCache {
         self.tick += 1;
         let (set, tag) = self.set_and_tag(addr);
         let base = set * self.ways;
+        let epoch = self.epoch;
         for line in &mut self.lines[base..base + self.ways] {
-            if line.valid && line.tag == tag {
+            if line.epoch == epoch && line.tag == tag {
                 line.last_use = self.tick;
                 return;
             }
@@ -174,16 +200,15 @@ impl SetAssocCache {
         let tick = self.tick;
         let line = &mut self.lines[base + victim];
         line.tag = tag;
-        line.valid = true;
+        line.epoch = epoch;
         line.last_use = tick;
         line.inserted = tick;
     }
 
-    /// Invalidates every line and resets the tick (statistics are kept).
+    /// Invalidates every line (statistics are kept). O(1): bumps the
+    /// validity epoch instead of walking the line array.
     pub fn flush(&mut self) {
-        for line in &mut self.lines {
-            line.valid = false;
-        }
+        self.epoch += 1;
     }
 }
 
@@ -289,6 +314,29 @@ mod tests {
         c.flush();
         assert!(!c.probe(0x0));
         assert_eq!(c.stats().accesses(), 1);
+    }
+
+    #[test]
+    fn reset_replays_exactly_like_fresh() {
+        for kind in [
+            ReplacementKind::Lru,
+            ReplacementKind::Fifo,
+            ReplacementKind::Random,
+        ] {
+            let g = geom(1024, 64, 2).with_replacement(kind);
+            let mut reused = SetAssocCache::new(g);
+            // Dirty the cache thoroughly, then reset.
+            for i in 0..257u64 {
+                reused.access(i * 192);
+            }
+            reused.reset();
+            let mut fresh = SetAssocCache::new(g);
+            for i in 0..257u64 {
+                let a = i.wrapping_mul(0x9e37) % 4096;
+                assert_eq!(reused.access(a), fresh.access(a), "{kind:?} access {i}");
+            }
+            assert_eq!(reused.stats(), fresh.stats(), "{kind:?}");
+        }
     }
 
     #[test]

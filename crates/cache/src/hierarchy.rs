@@ -233,6 +233,25 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Restores the exact just-built state of the whole hierarchy —
+    /// empty caches, zeroed statistics and counters, pristine
+    /// prefetcher — without reallocating the line arrays. A reused
+    /// hierarchy behaves bit-identically to a fresh
+    /// [`MemoryHierarchy::new`] over the same configuration.
+    pub fn reset(&mut self) {
+        self.l1i.reset();
+        self.l1d.reset();
+        if let Some(l2) = &mut self.l2 {
+            l2.reset();
+        }
+        self.short_dmisses = 0;
+        self.long_dmisses = 0;
+        self.iprefetches = 0;
+        if let Some(p) = &mut self.stride_prefetcher {
+            p.reset();
+        }
+    }
+
     /// Invalidates every level (statistics are kept).
     pub fn flush(&mut self) {
         self.l1i.flush();
@@ -393,6 +412,31 @@ mod tests {
             assert_eq!(x, y);
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn hierarchy_reset_replays_exactly_like_fresh() {
+        let l1 = CacheGeometry::new(1024, 64, 2, 2).unwrap();
+        let l2 = CacheGeometry::new(8192, 64, 4, 10).unwrap();
+        let cfg = HierarchyConfig::new(l1, l1, Some(l2), 100)
+            .unwrap()
+            .with_prefetch(bmp_uarch::PrefetchConfig::aggressive())
+            .unwrap();
+        let mut reused = MemoryHierarchy::new(&cfg);
+        for i in 0..512u64 {
+            reused.data_access_at(i % 7 * 4, i * 48);
+            reused.fetch_access(i * 32);
+        }
+        reused.reset();
+        let mut fresh = MemoryHierarchy::new(&cfg);
+        for i in 0..512u64 {
+            assert_eq!(
+                reused.data_access_at(i % 5 * 4, i * 80),
+                fresh.data_access_at(i % 5 * 4, i * 80)
+            );
+            assert_eq!(reused.fetch_access(i * 56), fresh.fetch_access(i * 56));
+        }
+        assert_eq!(reused.stats(), fresh.stats());
     }
 
     #[test]

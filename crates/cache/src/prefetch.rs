@@ -103,6 +103,14 @@ impl StridePrefetcher {
         }
     }
 
+    /// Restores the just-built state: an empty table and a zeroed issue
+    /// counter. The table is a few hundred entries at most, so this is
+    /// cheap enough for per-run reuse.
+    pub fn reset(&mut self) {
+        self.table.fill(RptEntry::default());
+        self.issued = 0;
+    }
+
     /// Observes a data access by the instruction at `pc` to `addr` and
     /// returns the addresses to prefetch (possibly empty).
     pub fn observe(&mut self, pc: u64, addr: u64) -> PrefetchBatch {

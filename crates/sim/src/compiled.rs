@@ -8,40 +8,147 @@
 //! 9-entry arrays, built once per run, indexed by
 //! [`OpClass::index`].
 
-use bmp_uarch::{MachineConfig, OpClass, OP_CLASSES};
+use bmp_uarch::{MachineConfig, OpClass, FU_KINDS, OP_CLASSES};
 
-/// Per-class latency/FU/divide tables derived from a [`MachineConfig`].
-#[derive(Debug, Clone)]
-pub(crate) struct ClassTables {
-    /// Execution latency per class (`>= 1`, enforced by config
-    /// validation — the scheduler's "consumers wake strictly later"
-    /// invariant rests on this).
-    pub latency: [u64; 9],
-    /// Functional-unit pool index (`FuKind::index`) per class.
-    pub fu: [usize; 9],
+/// One class's issue-time facts, packed so the issue stage pays a single
+/// indexed load (one bounds check, one or two adjacent cache lines for
+/// the whole table) instead of four scattered array lookups per op.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ClassEntry {
+    /// Execution latency (`>= 1`, enforced by config validation — the
+    /// scheduler's "consumers wake strictly later" invariant rests on
+    /// this).
+    pub latency: u64,
     /// FU occupancy per issue: divides hold their unit for the full
     /// latency, everything else is pipelined (one cycle).
-    pub occupancy: [u64; 9],
+    pub occupancy: u64,
+    /// Functional-unit pool index (`FuKind::index`).
+    pub fu: u8,
+    /// `true` when arbitration for this class can never reject: the pool
+    /// is fully pipelined (no class sharing it holds a unit across
+    /// cycles) and at least `issue_width` wide, so even a cycle that
+    /// issues nothing but this pool's classes cannot exhaust it. The
+    /// issue stage skips [`FuPools::take`] outright for such classes —
+    /// for a balanced config that is the ALU pool, i.e. most ops.
+    pub unconstrained: bool,
+}
+
+/// Per-class latency/FU/divide tables derived from a [`MachineConfig`],
+/// indexed by [`OpClass::index`].
+#[derive(Debug, Clone)]
+pub(crate) struct ClassTables {
+    pub entries: [ClassEntry; 9],
 }
 
 impl ClassTables {
     pub(crate) fn new(cfg: &MachineConfig) -> Self {
         let mut t = Self {
-            latency: [0; 9],
-            fu: [0; 9],
-            occupancy: [0; 9],
+            entries: [ClassEntry::default(); 9],
         };
         for class in OP_CLASSES {
             let i = class.index();
             let lat = u64::from(cfg.latencies.latency(class));
-            t.latency[i] = lat;
-            t.fu[i] = class.fu_kind().index();
-            t.occupancy[i] = match class {
+            t.entries[i].latency = lat;
+            t.entries[i].fu = class.fu_kind().index() as u8;
+            t.entries[i].occupancy = match class {
                 OpClass::IntDiv | OpClass::FpDiv => lat,
                 _ => 1,
             };
         }
+        for class in OP_CLASSES {
+            let i = class.index();
+            let pool_pipelined = OP_CLASSES
+                .iter()
+                .filter(|c| c.fu_kind() == class.fu_kind())
+                .all(|c| t.entries[c.index()].occupancy == 1);
+            t.entries[i].unconstrained =
+                pool_pipelined && u32::from(cfg.fus.count(class.fu_kind())) >= cfg.issue_width;
+        }
         t
+    }
+}
+
+/// Counting functional-unit arbitration, replacing the per-unit
+/// busy-scan of the original engine.
+///
+/// Only the number of free units in a pool ever matters for an
+/// accept/reject decision — *which* unit an op lands on is unobservable.
+/// So instead of a `busy_until` slot per unit, each pool keeps a lazily
+/// refreshed count of units busy in the current cycle plus the expiry
+/// times of multi-cycle occupations (divides); everything else occupies
+/// its unit only for the remainder of the issuing cycle and is released
+/// implicitly by the next cycle's refresh. This turns the common case —
+/// pipelined op on a multi-unit pool — into one compare and one
+/// increment, independent of pool size.
+#[derive(Debug, Clone)]
+pub(crate) struct FuPools {
+    pools: [FuPool; 5],
+}
+
+#[derive(Debug, Clone)]
+struct FuPool {
+    /// Units in the pool.
+    size: u32,
+    /// Cycle `used`/`holds` were last refreshed for.
+    stamp: u64,
+    /// Units busy during `stamp` (multi-cycle holds + same-cycle takes).
+    used: u32,
+    /// Expiry times (`busy_until`) of multi-cycle occupations; a unit
+    /// with expiry `e` is busy through cycle `e - 1`. Bounded by pool
+    /// size, so the refresh scan is a handful of elements at most.
+    holds: Vec<u64>,
+}
+
+impl FuPools {
+    pub(crate) fn new(cfg: &MachineConfig) -> Self {
+        Self {
+            pools: std::array::from_fn(|i| FuPool {
+                size: u32::from(cfg.fus.count(FU_KINDS[i])),
+                stamp: 0,
+                used: 0,
+                holds: Vec::new(),
+            }),
+        }
+    }
+
+    /// Claims a unit in pool `kind_idx` for `occupancy` cycles starting
+    /// at `cycle`. Returns `false` when every unit is busy this cycle.
+    /// `cycle` must be non-decreasing across calls (it is the engine
+    /// clock).
+    #[inline]
+    pub(crate) fn take(&mut self, kind_idx: usize, cycle: u64, occupancy: u64) -> bool {
+        let pool = &mut self.pools[kind_idx];
+        if pool.stamp != cycle {
+            pool.stamp = cycle;
+            pool.holds.retain(|&e| e > cycle);
+            pool.used = pool.holds.len() as u32;
+        }
+        if pool.used >= pool.size {
+            return false;
+        }
+        pool.used += 1;
+        if occupancy > 1 {
+            pool.holds.push(cycle + occupancy);
+        }
+        true
+    }
+
+    /// Earliest cycle at which a `take` rejected at `cycle` could
+    /// possibly succeed. Usually `cycle + 1` (some unit was only held by
+    /// a pipelined op and frees at the cycle boundary) — but when every
+    /// unit is occupied by a multi-cycle hold, nothing can free before
+    /// the earliest hold expiry, so every retry up to that cycle is
+    /// guaranteed to reject too. Must be called in the same cycle as the
+    /// rejecting `take` (the lazily refreshed state is what makes the
+    /// bound exact).
+    pub(crate) fn retry_at(&self, kind_idx: usize, cycle: u64) -> u64 {
+        let pool = &self.pools[kind_idx];
+        debug_assert_eq!(pool.stamp, cycle, "retry_at follows a same-cycle take");
+        if pool.holds.len() >= pool.size as usize {
+            pool.holds.iter().copied().min().unwrap_or(cycle + 1)
+        } else {
+            cycle + 1
+        }
     }
 }
 
@@ -51,17 +158,48 @@ mod tests {
     use bmp_uarch::presets;
 
     #[test]
+    fn fu_pools_count_like_unit_scans() {
+        let cfg = presets::baseline_4wide();
+        let mut pools = FuPools::new(&cfg);
+        let alu = OpClass::IntAlu.fu_kind().index();
+        let n = u32::from(cfg.fus.count(OpClass::IntAlu.fu_kind()));
+        // Pipelined ops: exactly `n` grants per cycle.
+        for _ in 0..n {
+            assert!(pools.take(alu, 5, 1));
+        }
+        assert!(!pools.take(alu, 5, 1), "pool exhausted this cycle");
+        assert!(pools.take(alu, 6, 1), "pipelined units free next cycle");
+
+        // A divide holds its unit for the full latency.
+        let div = OpClass::IntDiv.fu_kind().index();
+        let div_units = u32::from(cfg.fus.count(OpClass::IntDiv.fu_kind()));
+        assert!(pools.take(div, 10, 8));
+        for c in 11..18 {
+            let mut free = 0;
+            while pools.take(div, c, 1) {
+                free += 1;
+            }
+            assert_eq!(free, div_units - 1, "cycle {c}: divide still holds");
+        }
+        let mut free = 0;
+        while pools.take(div, 18, 1) {
+            free += 1;
+        }
+        assert_eq!(free, div_units, "divide released at its expiry");
+    }
+
+    #[test]
     fn tables_match_config() {
         let cfg = presets::baseline_4wide();
         let t = ClassTables::new(&cfg);
         for class in OP_CLASSES {
-            let i = class.index();
-            assert_eq!(t.latency[i], u64::from(cfg.latencies.latency(class)));
-            assert_eq!(t.fu[i], class.fu_kind().index());
-            assert!(t.latency[i] >= 1, "validated configs have nonzero latency");
+            let e = t.entries[class.index()];
+            assert_eq!(e.latency, u64::from(cfg.latencies.latency(class)));
+            assert_eq!(usize::from(e.fu), class.fu_kind().index());
+            assert!(e.latency >= 1, "validated configs have nonzero latency");
             match class {
-                OpClass::IntDiv | OpClass::FpDiv => assert_eq!(t.occupancy[i], t.latency[i]),
-                _ => assert_eq!(t.occupancy[i], 1),
+                OpClass::IntDiv | OpClass::FpDiv => assert_eq!(e.occupancy, e.latency),
+                _ => assert_eq!(e.occupancy, 1),
             }
         }
     }

@@ -8,43 +8,64 @@
 //!
 //! This engine computes bit-identical [`SimResult`]s to the retained
 //! reference implementation in [`crate::reference`] (the original
-//! scan-everything loop), but restructures the hot path three ways:
+//! scan-everything loop), but restructures the hot path five ways:
 //!
 //! 1. it runs over a [`CompiledTrace`] — flat structure-of-arrays op
 //!    storage with producer indices pre-resolved (built once per trace,
 //!    cacheable across machine configurations);
 //! 2. issue selection is event-driven through the
 //!    [`WakeupScheduler`](crate::sched::WakeupScheduler) instead of
-//!    scanning the whole ROB every cycle; and
+//!    scanning the whole ROB every cycle, with the per-op wait state
+//!    merged into one [`OpSlot`] record per op so dispatch and wakeup
+//!    touch a single cache line each;
 //! 3. provably inert cycles — frontend stalled or starved, nothing
 //!    completing, nothing issueable — are *skipped in bulk* by advancing
 //!    the clock straight to the next event time while replicating the
 //!    per-cycle accounting (see `idle_gap`/`skip` and
-//!    `docs/PERFORMANCE.md` for the invariant argument).
+//!    `docs/PERFORMANCE.md` for the invariant argument);
+//! 4. fetch and dispatch run *batched over superblock regions*: a
+//!    [`SuperblockMap`] precomputed from the trace marks where branches
+//!    and I-cache line boundaries fall, so the fetch stage admits a whole
+//!    branch-free same-line run with one bulk fill (no per-op flag loads
+//!    or line compares) and dispatch moves a ready prefix with one scan
+//!    (dispatch-ready times are monotone in trace order);
+//! 5. the entire engine is *monomorphized per predictor kind*: the run
+//!    entry point matches the configured [`PredictorConfig`] once and
+//!    selects a copy of the cycle loop with the concrete predictor type
+//!    (and its `predict`/`update` pair) baked in — the
+//!    config-specialized execution closures extending the
+//!    `InlinePredictor` devirtualization, with dispatch/issue widths and
+//!    FU latencies hoisted into plain engine fields at construction.
 //!
 //! `Simulator::run` picks the engine: the event-driven one by default,
 //! the reference one when `BMP_REFERENCE_ENGINE=1` is set (used by CI to
 //! diff full experiment-suite outputs across both).
 
-use bmp_branch::{BranchStats, Btb, IndirectPredictor, InlinePredictor, ReturnAddressStack};
+use bmp_branch::{
+    BranchStats, Btb, DirectionPredictor, IndirectPredictor, InlinePredictor, ReturnAddressStack,
+};
 use bmp_cache::{DataOutcome, MemoryHierarchy};
 use bmp_core::intervals::IntervalEventKind;
 use bmp_core::{IntervalAccountant, IntervalRecord};
-use bmp_trace::{BranchKind, CompiledTrace, Trace};
-use bmp_uarch::{MachineConfig, OpClass, FU_KINDS};
+use bmp_trace::{BranchKind, CompiledTrace, SuperblockMap, Trace};
+use bmp_uarch::MachineConfig;
 use std::sync::OnceLock;
+use std::time::Instant;
 
-use crate::compiled::ClassTables;
+use crate::compiled::{ClassTables, FuPools};
 use crate::error::{BudgetForensics, SimError};
 use crate::options::SimOptions;
 use crate::result::{
     ClassIssueStats, FetchAccounting, MispredictRecord, MissEvent, MissEventKind, SimResult,
     SlotAccounting,
 };
-use crate::sched::WakeupScheduler;
+use crate::sched::{WakeupScheduler, NO_EDGE};
 
 /// Sentinel for "not yet executed".
 const NOT_DONE: u64 = u64::MAX;
+
+/// Sentinel for "no I-cache access performed for this op yet".
+const NO_LINE_DONE: usize = usize::MAX;
 
 /// `true` when `BMP_REFERENCE_ENGINE=1` forces every [`Simulator::run`]
 /// through the retained reference engine instead of the event-driven one.
@@ -52,6 +73,18 @@ const NOT_DONE: u64 = u64::MAX;
 pub fn reference_engine_forced() -> bool {
     static FORCED: OnceLock<bool> = OnceLock::new();
     *FORCED.get_or_init(|| std::env::var("BMP_REFERENCE_ENGINE").is_ok_and(|v| v == "1"))
+}
+
+/// Wall-clock attribution of one event-driven run, reported by
+/// `bmp-profile`'s per-phase breakdown. Nanosecond granularity; the two
+/// timestamps cost two `Instant` reads per run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunPhases {
+    /// Time in the cycle loop proper (fetch/dispatch/issue/commit).
+    pub execute_ns: u64,
+    /// Time assembling the [`SimResult`] — cloning the event logs and
+    /// accounting vectors out of the reusable scratch buffers.
+    pub assemble_ns: u64,
 }
 
 /// A configured simulator, ready to run traces.
@@ -136,12 +169,11 @@ impl Simulator {
         }
     }
 
-    /// Simulates an already-compiled trace on the event-driven engine.
-    ///
-    /// The big per-op arrays (completion times, dispatch times, scheduler
-    /// wait records) are reused from a per-thread scratch pool: short
-    /// runs are dominated by page-faulting a fresh ~10 MB of zeroed
-    /// memory otherwise, and the harness runs many sims per thread.
+    /// Simulates an already-compiled trace on the event-driven engine,
+    /// building the superblock map on the fly. Callers that cache
+    /// artifacts per trace (the experiment harness) should build the
+    /// [`SuperblockMap`] once and use
+    /// [`run_compiled_with`](Simulator::run_compiled_with).
     ///
     /// # Panics
     ///
@@ -154,13 +186,82 @@ impl Simulator {
 
     /// Fallible form of [`run_compiled`](Simulator::run_compiled).
     pub fn try_run_compiled(&self, trace: &CompiledTrace) -> Result<SimResult, SimError> {
+        let sb = SuperblockMap::build(trace, self.config.caches.l1i().line_bytes());
+        self.try_run_compiled_with(trace, &sb)
+    }
+
+    /// Simulates a compiled trace with a prebuilt superblock map (keyed
+    /// by the trace and the L1I line size — one map serves every machine
+    /// configuration sharing a line size).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sb` was built for a different trace length or L1I line
+    /// size than this simulator's configuration, or when the cycle-budget
+    /// watchdog fires.
+    pub fn run_compiled_with(&self, trace: &CompiledTrace, sb: &SuperblockMap) -> SimResult {
+        self.try_run_compiled_with(trace, sb)
+            .unwrap_or_else(|e| panic!("simulation aborted: {e}"))
+    }
+
+    /// Fallible form of [`run_compiled_with`](Simulator::run_compiled_with).
+    pub fn try_run_compiled_with(
+        &self,
+        trace: &CompiledTrace,
+        sb: &SuperblockMap,
+    ) -> Result<SimResult, SimError> {
+        self.try_run_compiled_phased(trace, sb).map(|(r, _)| r)
+    }
+
+    /// Like [`try_run_compiled_with`](Simulator::try_run_compiled_with),
+    /// additionally reporting the wall-clock split between the cycle loop
+    /// and result assembly (consumed by `bmp-profile`).
+    pub fn try_run_compiled_phased(
+        &self,
+        trace: &CompiledTrace,
+        sb: &SuperblockMap,
+    ) -> Result<(SimResult, RunPhases), SimError> {
+        assert_eq!(
+            sb.line_bytes(),
+            self.config.caches.l1i().line_bytes(),
+            "superblock map was built for a different L1I line size"
+        );
+        assert_eq!(
+            sb.len(),
+            trace.len(),
+            "superblock map was built for a different trace"
+        );
         SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
-            let mut engine = Engine::new(&self.config, self.options, trace, &mut scratch);
-            let result = engine.run();
-            engine.recycle(&mut scratch);
-            result
+            // One monomorphized copy of the engine per predictor kind:
+            // the concrete type (and everything `Engine::new` hoists out
+            // of the config) is selected here, once per run, instead of
+            // being re-dispatched per branch in the hot loop.
+            match InlinePredictor::build(&self.config.predictor) {
+                InlinePredictor::Static(p) => self.run_specialized(trace, sb, p, &mut scratch),
+                InlinePredictor::Perfect(p) => self.run_specialized(trace, sb, p, &mut scratch),
+                InlinePredictor::Bimodal(p) => self.run_specialized(trace, sb, p, &mut scratch),
+                InlinePredictor::GShare(p) => self.run_specialized(trace, sb, p, &mut scratch),
+                InlinePredictor::Local(p) => self.run_specialized(trace, sb, p, &mut scratch),
+                InlinePredictor::Tournament(p) => self.run_specialized(trace, sb, p, &mut scratch),
+                InlinePredictor::Perceptron(p) => self.run_specialized(trace, sb, p, &mut scratch),
+                InlinePredictor::Tage(p) => self.run_specialized(trace, sb, p, &mut scratch),
+            }
         })
+    }
+
+    fn run_specialized<P: DirectionPredictor>(
+        &self,
+        trace: &CompiledTrace,
+        sb: &SuperblockMap,
+        predictor: P,
+        scratch: &mut Scratch,
+    ) -> Result<(SimResult, RunPhases), SimError> {
+        let mut engine = Engine::new(&self.config, self.options, trace, sb, predictor, scratch);
+        let result = engine.run();
+        let phases = engine.phases;
+        engine.recycle(scratch);
+        result.map(|r| (r, phases))
     }
 
     /// Simulates the trace on the retained reference engine (the original
@@ -185,14 +286,19 @@ impl Simulator {
     }
 }
 
-/// Per-thread reusable buffers for [`Engine`] runs. `times` keeps
-/// whatever the previous run left in it: every slot is written before it
-/// is read (both fields at fetch) within a run, so no re-initialization
-/// pass is needed.
+/// Per-thread reusable buffers for [`Engine`] runs. `slots` keeps
+/// whatever the previous run left in it: every field of a slot is written
+/// before it is read (`done`/`disp` at fetch, the wait fields at
+/// dispatch) within a run, so no re-initialization pass is needed.
 #[derive(Default)]
 struct Scratch {
-    times: Vec<OpTimes>,
+    slots: Vec<OpSlot>,
     sched: Option<WakeupScheduler>,
+    /// The previous run's memory hierarchy, keyed by its configuration
+    /// fingerprint: building one allocates the full line arrays (the
+    /// single most expensive piece of per-run setup), while `reset` is
+    /// O(1) thanks to epoch invalidation.
+    mem: Option<(u64, MemoryHierarchy)>,
     events: Vec<MissEvent>,
     mispredicts: Vec<MispredictRecord>,
     interval_records: Vec<IntervalRecord>,
@@ -202,16 +308,24 @@ thread_local! {
     static SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::default());
 }
 
-/// Completion and dispatch time of one op, interleaved so the stages
-/// that touch both (fetch initializes them, issue writes `done` and
-/// reads `disp`) hit a single cache line per op.
+/// The complete per-op record: completion and dispatch times (engine)
+/// merged with the scheduler's wait state, interleaved so every stage
+/// that touches an op — fetch initializes, dispatch registers, wakeup
+/// accumulates, issue completes — hits a *single* 32-byte record instead
+/// of streaming two parallel arrays through the cache.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct OpTimes {
+pub(crate) struct OpSlot {
     /// Completion time ([`NOT_DONE`] until executed).
     pub(crate) done: u64,
     /// Dispatch cycle once dispatched; before that, the cycle the op
     /// clears the frontend pipe and becomes dispatchable.
     pub(crate) disp: u64,
+    /// Earliest issue cycle accumulated so far (scheduler).
+    pub(crate) ready_at: u64,
+    /// Head of the intrusive waiter-edge chain (scheduler).
+    pub(crate) waiter_head: u32,
+    /// Count of producers not yet executed, set at dispatch (scheduler).
+    pub(crate) pending: u32,
 }
 
 /// Per-misprediction bookkeeping while the branch is in flight.
@@ -223,10 +337,11 @@ struct PendingMiss {
     dispatched: bool,
 }
 
-struct Engine<'a> {
+struct Engine<'a, P> {
     cfg: &'a MachineConfig,
     opts: SimOptions,
     ct: &'a CompiledTrace,
+    sb: &'a SuperblockMap,
     tables: ClassTables,
 
     /// Watchdog cutoff: `opts.cycle_budget(trace len)`, resolved once.
@@ -234,8 +349,8 @@ struct Engine<'a> {
     cycle: u64,
     committed: u64,
 
-    // Completion and dispatch time per trace index (see [`OpTimes`]).
-    times: Vec<OpTimes>,
+    // The merged per-op records (see [`OpSlot`]).
+    slots: Vec<OpSlot>,
 
     // Frontend. Because the trace is correct-path-only and fetch,
     // dispatch and commit all proceed in trace order, the frontend queue
@@ -248,23 +363,34 @@ struct Engine<'a> {
     fetch_idx: usize,
     fetch_stall_until: u64,
     blocked_on: Option<usize>,
-    current_fetch_line: u64,
+    /// Index of the op whose I-cache line access already happened (set
+    /// when the access missed and fetch must resume at the same op after
+    /// the stall without re-accessing). [`NO_LINE_DONE`] otherwise.
+    line_done_for: usize,
     frontend_cap: usize,
     // Hoisted per-run constants, so the per-cycle stages touch plain
     // fields instead of re-deriving them through the config.
     n_ops: usize,
     fetch_width: u32,
+    dispatch_width: u32,
+    issue_width: u32,
+    commit_width: u32,
+    rob_size: usize,
+    window_size: u32,
+    frontend_depth: u64,
 
     // Backend: `issued` is implied by `done[idx] != NOT_DONE`, and issue
     // selection lives in the scheduler.
     commit_head: usize,
     dispatch_head: usize,
     unissued: u32,
-    fu_busy: [Vec<u64>; 5],
+    fu: FuPools,
     sched: WakeupScheduler,
 
-    // Helpers.
-    predictor: InlinePredictor,
+    // Helpers. The direction predictor is a concrete type parameter —
+    // its `predict`/`update` pair is statically dispatched and inlined
+    // into this engine instantiation.
+    predictor: P,
     btb: Btb,
     indirect: IndirectPredictor,
     ras: ReturnAddressStack,
@@ -280,8 +406,7 @@ struct Engine<'a> {
     interval_records: Vec<IntervalRecord>,
     pending: Option<PendingMiss>,
     timeline: Option<Vec<u8>>,
-    line_mask: u64,
-    slots: SlotAccounting,
+    slots_acct: SlotAccounting,
     fetch_acct: FetchAccounting,
     rob_occupancy: Vec<u64>,
     class_issue: [ClassIssueStats; 9],
@@ -290,27 +415,36 @@ struct Engine<'a> {
     warmed: bool,
     stats_start_cycle: u64,
     stats_start_committed: u64,
+    phases: RunPhases,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, P: DirectionPredictor> Engine<'a, P> {
     fn new(
         cfg: &'a MachineConfig,
         opts: SimOptions,
         ct: &'a CompiledTrace,
+        sb: &'a SuperblockMap,
+        predictor: P,
         scratch: &mut Scratch,
     ) -> Self {
-        let fu_busy = std::array::from_fn(|i| vec![0u64; usize::from(cfg.fus.count(FU_KINDS[i]))]);
         let n = ct.len();
-        let mut times = std::mem::take(&mut scratch.times);
-        if times.len() < n {
-            times.resize(
-                n,
-                OpTimes {
-                    done: NOT_DONE,
-                    disp: 0,
-                },
-            );
-        }
+        let mut slots = std::mem::take(&mut scratch.slots);
+        // Exactly `n` op records plus the trailing dummy the scheduler
+        // clamps empty producer slots onto (see
+        // `WakeupScheduler::on_dispatch`); its `done` must read as
+        // "complete since forever" and nothing else about it is ever
+        // read or written.
+        slots.resize(
+            n + 1,
+            OpSlot {
+                done: NOT_DONE,
+                disp: 0,
+                ready_at: 0,
+                waiter_head: NO_EDGE,
+                pending: 0,
+            },
+        );
+        slots[n].done = 0;
         let sched = match scratch.sched.take() {
             Some(mut s) => {
                 s.reset(n);
@@ -318,33 +452,48 @@ impl<'a> Engine<'a> {
             }
             None => WakeupScheduler::new(n),
         };
+        let mem_key = bmp_uarch::fp::fingerprint_debug(&cfg.caches);
+        let mem = match scratch.mem.take() {
+            Some((k, mut m)) if k == mem_key => {
+                m.reset();
+                m
+            }
+            _ => MemoryHierarchy::new(&cfg.caches),
+        };
         Self {
             cfg,
             opts,
             ct,
+            sb,
             tables: ClassTables::new(cfg),
             budget: opts.cycle_budget(n as u64),
             cycle: 0,
             committed: 0,
-            times,
+            slots,
             fetch_idx: 0,
             fetch_stall_until: 0,
             blocked_on: None,
-            current_fetch_line: u64::MAX,
+            line_done_for: NO_LINE_DONE,
             n_ops: n,
             fetch_width: cfg.effective_fetch_width(),
+            dispatch_width: cfg.dispatch_width,
+            issue_width: cfg.issue_width,
+            commit_width: cfg.commit_width,
+            rob_size: cfg.rob_size as usize,
+            window_size: cfg.window_size,
+            frontend_depth: u64::from(cfg.frontend_depth),
             frontend_cap: (cfg.frontend_depth as usize * cfg.dispatch_width as usize)
                 .max(cfg.fetch_width as usize),
             commit_head: 0,
             dispatch_head: 0,
             unissued: 0,
-            fu_busy,
+            fu: FuPools::new(cfg),
             sched,
-            predictor: InlinePredictor::build(&cfg.predictor),
+            predictor,
             btb: Btb::new(cfg.btb_entries),
             indirect: IndirectPredictor::build(&cfg.indirect_predictor),
             ras: ReturnAddressStack::new(cfg.ras_entries),
-            mem: MemoryHierarchy::new(&cfg.caches),
+            mem,
             branch_stats: BranchStats::new(),
             events: std::mem::take(&mut scratch.events),
             mispredicts: std::mem::take(&mut scratch.mispredicts),
@@ -352,21 +501,22 @@ impl<'a> Engine<'a> {
             interval_records: std::mem::take(&mut scratch.interval_records),
             pending: None,
             timeline: opts.record_dispatch_timeline.then(Vec::new),
-            line_mask: !u64::from(cfg.caches.l1i().line_bytes() - 1),
-            slots: SlotAccounting::default(),
+            slots_acct: SlotAccounting::default(),
             fetch_acct: FetchAccounting::default(),
             rob_occupancy: vec![0; cfg.rob_size as usize + 1],
             class_issue: [ClassIssueStats::default(); 9],
             warmed: opts.warmup_ops == 0,
             stats_start_cycle: 0,
             stats_start_committed: 0,
+            phases: RunPhases::default(),
         }
     }
 
     /// Returns the reusable buffers to the per-thread scratch pool.
     fn recycle(self, scratch: &mut Scratch) {
-        scratch.times = self.times;
+        scratch.slots = self.slots;
         scratch.sched = Some(self.sched);
+        scratch.mem = Some((bmp_uarch::fp::fingerprint_debug(&self.cfg.caches), self.mem));
         scratch.events = self.events;
         scratch.events.clear();
         scratch.mispredicts = self.mispredicts;
@@ -382,6 +532,17 @@ impl<'a> Engine<'a> {
     }
 
     fn run(&mut self) -> Result<SimResult, SimError> {
+        let t0 = Instant::now();
+        let looped = self.run_loop();
+        let t1 = Instant::now();
+        self.phases.execute_ns = t1.duration_since(t0).as_nanos() as u64;
+        looped?;
+        let result = self.assemble();
+        self.phases.assemble_ns = t1.elapsed().as_nanos() as u64;
+        Ok(result)
+    }
+
+    fn run_loop(&mut self) -> Result<(), SimError> {
         let n = self.n_ops as u64;
         // `idle_gap` is ~a dozen loads and branches; on dense cycles it is
         // pure overhead. It is only consulted after a cycle in which no
@@ -434,13 +595,17 @@ impl<'a> Engine<'a> {
                 window_occupancy: self.rob_len() as u32,
             }));
         }
+        Ok(())
+    }
+
+    fn assemble(&mut self) -> SimResult {
         // Accounting conservation, mirrored by lint BMP203: every offered
         // dispatch slot is attributed to exactly one cause, and the ROB
         // histogram samples every measured cycle.
         let cycles = self.cycle - self.stats_start_cycle;
         debug_assert_eq!(
-            self.slots.total(),
-            cycles * u64::from(self.cfg.dispatch_width),
+            self.slots_acct.total(),
+            cycles * u64::from(self.dispatch_width),
             "dispatch-slot accounting leaked slots (BMP203)"
         );
         debug_assert_eq!(
@@ -448,8 +613,8 @@ impl<'a> Engine<'a> {
             cycles,
             "ROB-occupancy histogram missed cycles (BMP203)"
         );
-        Ok(SimResult {
-            cycles: self.cycle - self.stats_start_cycle,
+        SimResult {
+            cycles,
             instructions: self.committed - self.stats_start_committed,
             branch_stats: self.branch_stats,
             hierarchy: self.mem.stats(),
@@ -460,11 +625,11 @@ impl<'a> Engine<'a> {
             interval_records: self.interval_records.clone(),
             dispatch_timeline: self.timeline.take(),
             frontend_depth: self.cfg.frontend_depth,
-            slots: self.slots,
+            slots: self.slots_acct,
             fetch: self.fetch_acct,
             rob_occupancy: std::mem::take(&mut self.rob_occupancy),
             class_issue: self.class_issue,
-        })
+        }
     }
 
     /// Length of the inert stretch starting at the current cycle: the
@@ -501,7 +666,7 @@ impl<'a> Engine<'a> {
             next = next.min(w);
         }
         if self.commit_head < self.dispatch_head {
-            let d = self.times[self.commit_head].done;
+            let d = self.slots[self.commit_head].done;
             if d != NOT_DONE {
                 if d <= c {
                     return 0;
@@ -509,10 +674,10 @@ impl<'a> Engine<'a> {
                 next = next.min(d);
             }
         }
-        let rob_full = self.rob_len() >= self.cfg.rob_size as usize;
-        let window_full = self.unissued >= self.cfg.window_size;
+        let rob_full = self.rob_len() >= self.rob_size;
+        let window_full = self.unissued >= self.window_size;
         if !rob_full && !window_full && self.dispatch_head < self.fetch_idx {
-            let ready = self.times[self.dispatch_head].disp;
+            let ready = self.slots[self.dispatch_head].disp;
             if ready <= c {
                 return 0;
             }
@@ -549,13 +714,13 @@ impl<'a> Engine<'a> {
         }
         // Dispatch charges its full width to the first blocking cause,
         // with the same precedence as `dispatch`.
-        let width = u64::from(self.cfg.dispatch_width);
-        if self.rob_len() >= self.cfg.rob_size as usize {
-            self.slots.rob_full += k * width;
-        } else if self.unissued >= self.cfg.window_size {
-            self.slots.window_full += k * width;
+        let width = u64::from(self.dispatch_width);
+        if self.rob_len() >= self.rob_size {
+            self.slots_acct.rob_full += k * width;
+        } else if self.unissued >= self.window_size {
+            self.slots_acct.window_full += k * width;
         } else {
-            self.slots.frontend_starved += k * width;
+            self.slots_acct.frontend_starved += k * width;
         }
         if self.blocked_on.is_some() {
             self.fetch_acct.redirect_wait += k;
@@ -579,7 +744,7 @@ impl<'a> Engine<'a> {
         if let Some(acct) = &mut self.accountant {
             acct.reset(self.committed);
         }
-        self.slots = SlotAccounting::default();
+        self.slots_acct = SlotAccounting::default();
         self.fetch_acct = FetchAccounting::default();
         self.rob_occupancy.iter_mut().for_each(|c| *c = 0);
         self.class_issue = [ClassIssueStats::default(); 9];
@@ -589,16 +754,18 @@ impl<'a> Engine<'a> {
     }
 
     fn commit(&mut self) {
-        let mut budget = self.cfg.commit_width;
-        while budget > 0
-            && self.commit_head < self.dispatch_head
-            && self.times[self.commit_head].done <= self.cycle
-        {
-            let idx = self.commit_head;
-            self.commit_head += 1;
-            self.committed += 1;
-            budget -= 1;
-            if let Some(acct) = &mut self.accountant {
+        // One bounds check for the whole window: the committable span is
+        // the done-prefix of the ROB head, found with a borrow-free scan.
+        let span = (self.dispatch_head - self.commit_head).min(self.commit_width as usize);
+        let mut k = 0usize;
+        for s in &self.slots[self.commit_head..self.commit_head + span] {
+            if s.done > self.cycle {
+                break;
+            }
+            k += 1;
+        }
+        if let Some(acct) = &mut self.accountant {
+            for idx in self.commit_head..self.commit_head + k {
                 acct.on_commit(
                     idx as u64,
                     self.cycle - self.stats_start_cycle,
@@ -606,26 +773,14 @@ impl<'a> Engine<'a> {
                 );
             }
         }
-    }
-
-    /// Finds a free unit in pool `kind_idx` and occupies it for
-    /// `occupancy` cycles. Returns `false` when every unit is busy this
-    /// cycle.
-    fn take_fu(&mut self, kind_idx: usize, occupancy: u64) -> bool {
-        let units = &mut self.fu_busy[kind_idx];
-        for busy_until in units.iter_mut() {
-            if *busy_until <= self.cycle {
-                *busy_until = self.cycle + occupancy;
-                return true;
-            }
-        }
-        false
+        self.commit_head += k;
+        self.committed += k as u64;
     }
 
     /// Returns `true` when at least one op issued this cycle.
     fn issue(&mut self) -> bool {
         self.sched.drain(self.cycle);
-        let mut budget = self.cfg.issue_width;
+        let mut budget = self.issue_width;
         // The ready set pops oldest-first (ascending trace index == ROB
         // order), replicating the reference engine's scan order.
         while budget > 0 {
@@ -633,19 +788,34 @@ impl<'a> Engine<'a> {
                 break;
             };
             let idx = idx32 as usize;
-            let class = self.ct.class(idx);
-            let ci = class.index();
-            if !self.take_fu(self.tables.fu[ci], self.tables.occupancy[ci]) {
+            let ci = self.ct.class(idx).index();
+            let entry = self.tables.entries[ci];
+            if !entry.unconstrained
+                && !self
+                    .fu
+                    .take(usize::from(entry.fu), self.cycle, entry.occupancy)
+            {
                 // Lost FU arbitration: retry next cycle, exactly like the
-                // reference scan skipping past a busy unit.
-                self.sched.defer(idx32);
+                // reference scan skipping past a busy unit — except when
+                // every unit is held across cycles (divides), where all
+                // retries up to the earliest hold expiry are guaranteed
+                // losses and the op goes to the calendar instead of
+                // churning through the ready set every cycle.
+                let at = self.fu.retry_at(usize::from(entry.fu), self.cycle);
+                if at > self.cycle + 1 {
+                    self.sched.schedule(idx32, at);
+                } else {
+                    self.sched.defer(idx32);
+                }
                 continue;
             }
-            let base_lat = self.tables.latency[ci];
-            let latency = match class {
-                OpClass::Load => {
-                    let addr = self.ct.mem_addr(idx).expect("loads carry addresses");
-                    let access = self.mem.data_access_at(self.ct.pc(idx), addr);
+            let base_lat = entry.latency;
+            // One data-dependent branch (the memory bit) instead of a
+            // 9-way class match: only loads and stores leave this path.
+            let latency = if self.ct.flags(idx) & bmp_trace::compiled::FLAG_MEM != 0 {
+                let addr = self.ct.mem_addr(idx).expect("memory ops carry addresses");
+                let access = self.mem.data_access_at(self.ct.pc(idx), addr);
+                if ci == bmp_uarch::OpClass::Load.index() {
                     if access.outcome == DataOutcome::LongMiss {
                         self.events.push(MissEvent {
                             trace_idx: idx,
@@ -657,28 +827,34 @@ impl<'a> Engine<'a> {
                         }
                     }
                     u64::from(access.latency)
-                }
-                OpClass::Store => {
+                } else {
                     // Stores retire through a write buffer: the cache sees
                     // the access (write-allocate) but the pipeline is not
                     // held up by the miss.
-                    let addr = self.ct.mem_addr(idx).expect("stores carry addresses");
-                    let _ = self.mem.data_access_at(self.ct.pc(idx), addr);
                     base_lat
                 }
-                _ => base_lat,
+            } else {
+                base_lat
             };
-            self.times[idx].done = self.cycle + latency;
+            // One borrow of the slot record for the whole issue: write
+            // the completion time, read the dispatch cycle, and detach
+            // the waiter chain, which `wake_waiters` then walks without
+            // reloading this record.
+            let done = self.cycle + latency;
+            let s = &mut self.slots[idx];
+            s.done = done;
+            let disp = s.disp;
+            let waiters = std::mem::replace(&mut s.waiter_head, NO_EDGE);
             self.unissued -= 1;
             budget -= 1;
             let cs = &mut self.class_issue[ci];
             cs.issued += 1;
-            cs.wait_cycles += self.cycle - self.times[idx].disp;
-            self.sched.on_issue(idx32, &self.times);
+            cs.wait_cycles += self.cycle - disp;
+            self.sched.wake_waiters(waiters, done, &mut self.slots);
             // A mispredicted branch redirects fetch when it resolves.
             if self.blocked_on == Some(idx) {
                 self.blocked_on = None;
-                self.fetch_stall_until = self.fetch_stall_until.max(self.times[idx].done);
+                self.fetch_stall_until = self.fetch_stall_until.max(done);
                 let pending = self
                     .pending
                     .take()
@@ -688,13 +864,13 @@ impl<'a> Engine<'a> {
                     branch_idx: idx,
                     fetch_cycle: pending.fetch_cycle,
                     dispatch_cycle: pending.dispatch_cycle,
-                    resolve_cycle: self.times[idx].done,
+                    resolve_cycle: done,
                     window_occupancy: pending.window_occupancy,
                 });
                 if let Some(acct) = &mut self.accountant {
                     acct.on_mispredict(
                         idx as u64,
-                        self.times[idx].done.saturating_sub(pending.dispatch_cycle),
+                        done.saturating_sub(pending.dispatch_cycle),
                         self.cfg.frontend_depth,
                         pending.window_occupancy,
                     );
@@ -702,45 +878,79 @@ impl<'a> Engine<'a> {
             }
         }
         self.sched.rearm_deferred();
-        budget < self.cfg.issue_width
+        budget < self.issue_width
     }
 
+    /// Moves the dispatchable prefix of the frontend queue into the ROB
+    /// in one batch.
+    ///
+    /// The batch length is the minimum of the dispatch width, ROB space,
+    /// window space and the *ready prefix* of the queue — dispatch-ready
+    /// times are monotone non-decreasing in trace order (fetch cycles
+    /// are), so a single forward scan finds every op that has cleared the
+    /// frontend pipe. Leftover slots are attributed to the first blocking
+    /// cause with the same precedence as the reference engine's per-slot
+    /// loop: ROB full, then window full, then frontend starvation.
     fn dispatch(&mut self) -> u8 {
-        let mut dispatched = 0u8;
-        while u32::from(dispatched) < self.cfg.dispatch_width {
-            if self.rob_len() >= self.cfg.rob_size as usize {
-                self.slots.rob_full += u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
-                break;
-            }
-            if self.unissued >= self.cfg.window_size {
-                self.slots.window_full +=
-                    u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
-                break;
-            }
-            let idx = self.dispatch_head;
-            // `disp` holds the dispatch-ready time until the op actually
-            // dispatches (see the cursor comment on the struct).
-            if idx >= self.fetch_idx || self.times[idx].disp > self.cycle {
-                self.slots.frontend_starved +=
-                    u64::from(self.cfg.dispatch_width) - u64::from(dispatched);
-                break;
-            }
-            self.dispatch_head += 1;
-            self.times[idx].disp = self.cycle;
-            self.sched
-                .on_dispatch(idx as u32, self.cycle, self.ct.producers(idx), &self.times);
-            self.unissued += 1;
-            dispatched += 1;
-            self.slots.used += 1;
-            if let Some(p) = &mut self.pending {
-                if p.branch_idx == idx {
-                    p.dispatched = true;
-                    p.dispatch_cycle = self.cycle;
-                    p.window_occupancy = (self.dispatch_head - self.commit_head) as u32;
-                }
+        let width = self.dispatch_width as usize;
+        let start = self.dispatch_head;
+        let limit = width
+            .min(self.rob_size - self.rob_len())
+            .min((self.window_size - self.unissued) as usize)
+            .min(self.fetch_idx - start);
+        let mut k = 0usize;
+        while k < limit && self.slots[start + k].disp <= self.cycle {
+            self.slots[start + k].disp = self.cycle;
+            self.dispatch_op(start + k);
+            k += 1;
+        }
+        self.dispatch_head = start + k;
+        self.unissued += k as u32;
+        self.slots_acct.used += k as u64;
+        if let Some(p) = &mut self.pending {
+            if !p.dispatched && p.branch_idx >= start && p.branch_idx < start + k {
+                p.dispatched = true;
+                p.dispatch_cycle = self.cycle;
+                p.window_occupancy = (p.branch_idx + 1 - self.commit_head) as u32;
             }
         }
-        dispatched
+        if k < width {
+            let rest = (width - k) as u64;
+            if self.rob_len() >= self.rob_size {
+                self.slots_acct.rob_full += rest;
+            } else if self.unissued >= self.window_size {
+                self.slots_acct.window_full += rest;
+            } else {
+                self.slots_acct.frontend_starved += rest;
+            }
+        }
+        k as u8
+    }
+
+    /// Registers one dispatched op with the scheduler.
+    ///
+    /// Fast path: a producer index `p` satisfies
+    /// `p.wrapping_add(1) <= commit_head` iff the slot is empty
+    /// ([`NO_PRODUCER`](bmp_trace::compiled::NO_PRODUCER) wraps to 0) or
+    /// the producer has already *committed* — and a committed producer's
+    /// completion time is necessarily `<= cycle`, so the op is ready at
+    /// `cycle + 1` without loading either producer's record. This skips
+    /// the two data-dependent loads (often far behind the cursor, i.e.
+    /// cache-cold) for the common case of long-since-resolved producers.
+    #[inline]
+    fn dispatch_op(&mut self, idx: usize) {
+        let prods = self.ct.producers(idx);
+        let ch = self.commit_head as u32;
+        if prods[0].wrapping_add(1) <= ch && prods[1].wrapping_add(1) <= ch {
+            let s = &mut self.slots[idx];
+            s.ready_at = self.cycle + 1;
+            s.waiter_head = NO_EDGE;
+            s.pending = 0;
+            self.sched.push_ready(idx as u32);
+        } else {
+            self.sched
+                .on_dispatch(idx as u32, self.cycle, prods, &mut self.slots);
+        }
     }
 
     fn fetch(&mut self) {
@@ -752,18 +962,23 @@ impl<'a> Engine<'a> {
             self.fetch_acct.stall += 1;
             return;
         }
-        let mut budget = self.fetch_width;
-        while budget > 0
-            && self.fetch_idx < self.n_ops
-            && self.fetch_idx - self.dispatch_head < self.frontend_cap
-        {
+        let mut budget = self.fetch_width as usize;
+        while budget > 0 && self.fetch_idx < self.n_ops {
+            let cap_space = self.frontend_cap - (self.fetch_idx - self.dispatch_head);
+            if cap_space == 0 {
+                break;
+            }
             let idx = self.fetch_idx;
-            let pc = self.ct.pc(idx);
-            let line = pc & self.line_mask;
-            if line != self.current_fetch_line {
-                let access = self.mem.fetch_access(pc);
-                self.current_fetch_line = line;
+            // The superblock map statically knows where fetch crosses an
+            // I-cache line: fetch examines ops strictly in trace order,
+            // so "line differs from the previous op's" is exactly the
+            // reference engine's dynamic current-line compare.
+            if self.sb.is_line_start(idx) && self.line_done_for != idx {
+                let access = self.mem.fetch_access(self.ct.pc(idx));
                 if access.l1i_miss {
+                    // The access happened; when fetch resumes at this op
+                    // after the stall it must not repeat it.
+                    self.line_done_for = idx;
                     let extra = u64::from(access.latency - self.cfg.caches.l1i().hit_latency());
                     self.fetch_stall_until = self.cycle + 1 + extra;
                     self.events.push(MissEvent {
@@ -790,20 +1005,23 @@ impl<'a> Engine<'a> {
                     return;
                 }
             }
-            // The op is fetched this cycle; it can dispatch once it has
-            // traversed the frontend pipe (`disp` parks the ready time).
-            // `done` is initialized lazily here — the buffers come from
-            // the scratch pool with a previous run's contents, and no
-            // stage reads either array past `fetch_idx`.
-            self.times[idx] = OpTimes {
-                done: NOT_DONE,
-                disp: self.cycle + u64::from(self.cfg.frontend_depth),
-            };
-            self.fetch_idx += 1;
-            budget -= 1;
-            if let Some(info) = self.ct.branch_info(idx) {
-                let mispredicted = self.handle_branch(pc, info);
-                if mispredicted {
+            let disp = self.cycle + self.frontend_depth;
+            let run = self.sb.run_len(idx) as usize;
+            if run == 0 {
+                // A branch is always its own superblock region. `done` is
+                // initialized lazily here — the buffers come from the
+                // scratch pool with a previous run's contents, and no
+                // stage reads a slot past `fetch_idx`.
+                self.slots[idx].done = NOT_DONE;
+                self.slots[idx].disp = disp;
+                self.fetch_idx += 1;
+                budget -= 1;
+                let pc = self.ct.pc(idx);
+                let info = self
+                    .ct
+                    .branch_info(idx)
+                    .expect("zero-run-length ops are branches");
+                if self.handle_branch(pc, info) {
                     self.blocked_on = Some(idx);
                     self.pending = Some(PendingMiss {
                         branch_idx: idx,
@@ -823,6 +1041,18 @@ impl<'a> Engine<'a> {
                     // Redirect through the BTB/RAS: the fetch group ends.
                     return;
                 }
+            } else {
+                // A branch-free same-line run: admit as much of it as the
+                // fetch budget and the frontend queue allow with one bulk
+                // fill — no per-op flag loads, line compares or branch
+                // tests.
+                let k = run.min(budget).min(cap_space);
+                for s in &mut self.slots[idx..idx + k] {
+                    s.done = NOT_DONE;
+                    s.disp = disp;
+                }
+                self.fetch_idx += k;
+                budget -= k;
             }
         }
     }
@@ -889,7 +1119,7 @@ impl<'a> Engine<'a> {
 mod tests {
     use super::*;
     use bmp_trace::{MicroOp, TraceBuilder};
-    use bmp_uarch::{presets, PredictorConfig};
+    use bmp_uarch::{presets, OpClass, PredictorConfig};
     use bmp_workloads::micro;
 
     fn perfect_tiny() -> MachineConfig {
@@ -1482,6 +1712,35 @@ mod tests {
             let slow = sim.try_run_reference(&trace);
             assert_eq!(fast, slow, "engines diverged with {opts:?}");
         }
+    }
+
+    /// A prebuilt superblock map produces the same result as the on-the-
+    /// fly path, and the phased API reports non-degenerate timings.
+    #[test]
+    fn prebuilt_superblock_map_matches() {
+        let trace = micro::branch_resolution_kernel(10_000, 4, 0.5, 3);
+        let ct = trace.compile();
+        let sim = Simulator::new(presets::baseline_4wide());
+        let sb = SuperblockMap::build(&ct, sim.config().caches.l1i().line_bytes());
+        let plain = sim.run_compiled(&ct);
+        let with_map = sim.run_compiled_with(&ct, &sb);
+        assert_eq!(plain, with_map);
+        let (phased, phases) = sim.try_run_compiled_phased(&ct, &sb).unwrap();
+        assert_eq!(plain, phased);
+        assert!(phases.execute_ns > 0, "cycle loop took measurable time");
+    }
+
+    /// Handing a map built for a different line size is a programming
+    /// error and must fail loudly, not corrupt timing silently.
+    #[test]
+    #[should_panic(expected = "different L1I line size")]
+    fn mismatched_superblock_map_panics() {
+        let trace = micro::chain_kernel(100, 2, 16, OpClass::IntAlu);
+        let ct = trace.compile();
+        let sim = Simulator::new(presets::baseline_4wide());
+        let wrong_line = sim.config().caches.l1i().line_bytes() * 2;
+        let sb = SuperblockMap::build(&ct, wrong_line);
+        let _ = sim.run_compiled_with(&ct, &sb);
     }
 
     /// Idle-cycle skipping must stop exactly at the budget cutoff even

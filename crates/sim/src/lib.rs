@@ -45,7 +45,7 @@ mod reference;
 mod result;
 mod sched;
 
-pub use engine::{reference_engine_forced, Simulator};
+pub use engine::{reference_engine_forced, RunPhases, Simulator};
 pub use error::{BudgetForensics, SimError};
 pub use options::SimOptions;
 pub use result::{

@@ -20,6 +20,14 @@
 //!   `rob_size` indices and find-first-set is a short word scan — cheaper
 //!   than heap sifts and branch-free in the common case.
 //!
+//! Per-op wait state (earliest issue cycle, pending-producer count,
+//! waiter-list head) does not live here: it is merged into the engine's
+//! [`OpSlot`] record alongside the completion and dispatch times, so the
+//! dispatch and wakeup paths touch *one* cache line per op instead of
+//! two parallel arrays. The scheduler owns only the calendar, the ready
+//! bitmap and the intrusive edge links; every method that walks op state
+//! borrows the engine's slot array.
+//!
 //! The calendar is a [timer wheel]: a power-of-two ring of reusable
 //! buckets indexed by `cycle & mask`, with an occupancy bitmap so the
 //! next due cycle is found with a word scan instead of a tree walk. A
@@ -27,9 +35,11 @@
 //! the wheel for every realistic configuration; the rare wakeup beyond
 //! the horizon (e.g. an extreme memory latency) spills into a `BTreeMap`
 //! overflow that migrates back as the wheel advances. Buckets keep their
-//! capacity across reuse, so steady-state scheduling performs no heap
-//! allocation at all — this is what makes the event-driven engine faster
-//! per *op* than the reference engine is per *scan step*.
+//! capacity across reuse — and drained overflow buckets return to a
+//! freelist that survives runs through the per-thread scratch pool — so
+//! steady-state scheduling performs no heap allocation at all. This is
+//! what makes the event-driven engine faster per *op* than the reference
+//! engine is per *scan step*.
 //!
 //! [timer wheel]: https://dl.acm.org/doi/10.1109/90.650142
 //!
@@ -48,10 +58,10 @@ use std::collections::BTreeMap;
 
 use bmp_trace::compiled::NO_PRODUCER;
 
-use crate::engine::OpTimes;
+use crate::engine::OpSlot;
 
 /// Sentinel terminating a waiter-edge chain.
-const NO_EDGE: u32 = u32::MAX;
+pub(crate) const NO_EDGE: u32 = u32::MAX;
 
 /// Completion-time sentinel shared with the engine ("not yet executed").
 const NOT_DONE: u64 = u64::MAX;
@@ -76,9 +86,16 @@ pub(crate) struct WakeupScheduler {
     /// empty set; after pops it trails the last popped index, which is
     /// within `rob_size` of every remaining ready op, so scans stay short.
     ready_min: u32,
-    /// Timer-wheel bucket per cycle slot (`cycle & WHEEL_MASK`). Buckets
-    /// are cleared, never dropped, so their capacity is reused.
-    buckets: Vec<Vec<u32>>,
+    /// Intrusive timer-wheel bucket heads, one per cycle slot
+    /// (`cycle & WHEEL_MASK`): the index of the first op filed for that
+    /// slot, chained through `cal_next`. An op sits in at most one
+    /// calendar bucket at a time, so one link word per op replaces the
+    /// per-bucket `Vec`s — no heap traffic, and the whole head array is
+    /// 4 KiB of permanently hot cache.
+    bucket_head: Vec<u32>,
+    /// Calendar chain link per op (`bucket_head` chains, and the `soon`
+    /// list reuses it).
+    cal_next: Vec<u32>,
     /// One bit per bucket: set iff the bucket is non-empty.
     bitmap: [u64; WHEEL_WORDS],
     /// Cycles `< base` have been fully drained; the wheel window is
@@ -87,29 +104,20 @@ pub(crate) struct WakeupScheduler {
     /// Earliest cycle with a wheel entry (`u64::MAX` when the wheel is
     /// empty). Kept exact: `schedule` lowers it, draining rescans.
     next_due: u64,
-    /// Wakeups due exactly at `base` (the next cycle): the overwhelmingly
-    /// common case — ALU latency is 1 and dispatch wakes at `cycle + 1` —
-    /// bypasses the wheel entirely.
-    soon: Vec<u32>,
+    /// Head of the chain of wakeups due exactly at `base` (the next
+    /// cycle): the overwhelmingly common case — ALU latency is 1 and
+    /// dispatch wakes at `cycle + 1` — bypasses the wheel entirely.
+    soon_head: u32,
     /// Wakeups beyond the wheel horizon, migrated in as `base` advances.
     overflow: BTreeMap<u64, Vec<u32>>,
-    /// Per-op wait state, one cache-friendly record per trace index.
-    ops: Vec<OpWait>,
+    /// Drained overflow buckets, reused for later insertions so the
+    /// overflow path stops allocating a fresh `Vec` per entry. Retained
+    /// across runs via the scratch pool.
+    overflow_spares: Vec<Vec<u32>>,
     /// Next pointer per edge; edge id is `2 * consumer + slot`.
     edge_next: Vec<u32>,
     /// Ops that lost FU arbitration this cycle; re-armed after the scan.
     deferred: Vec<u32>,
-}
-
-/// Per-op scheduler state, packed so dispatch and wakeup touch one line.
-#[derive(Debug, Clone, Copy)]
-struct OpWait {
-    /// Earliest issue cycle accumulated so far.
-    ready_at: u64,
-    /// Head of the intrusive waiter-edge chain.
-    waiter_head: u32,
-    /// Count of producers not yet executed (set at dispatch).
-    pending: u32,
 }
 
 impl WakeupScheduler {
@@ -118,13 +126,14 @@ impl WakeupScheduler {
             ready_bits: Vec::new(),
             ready_n: 0,
             ready_min: 0,
-            buckets: vec![Vec::new(); WHEEL_SIZE],
+            bucket_head: vec![NO_EDGE; WHEEL_SIZE],
+            cal_next: Vec::new(),
             bitmap: [0; WHEEL_WORDS],
             base: 0,
             next_due: u64::MAX,
-            soon: Vec::new(),
+            soon_head: NO_EDGE,
             overflow: BTreeMap::new(),
-            ops: Vec::new(),
+            overflow_spares: Vec::new(),
             edge_next: Vec::new(),
             deferred: Vec::new(),
         };
@@ -133,9 +142,9 @@ impl WakeupScheduler {
     }
 
     /// Rewinds the scheduler for a fresh run over `n` ops, keeping every
-    /// allocation. `ops` and `edge_next` are *not* re-initialized: both
-    /// are fully written at an op's dispatch before any read (see
-    /// [`on_dispatch`](Self::on_dispatch)), so stale records from a
+    /// allocation. `edge_next` is *not* re-initialized: an op's edges are
+    /// written at its dispatch before any read (see
+    /// [`on_dispatch`](Self::on_dispatch)), so stale links from a
     /// previous run are unreachable. Only buckets left occupied by a
     /// `max_cycles` cutoff and the ready bitmap need clearing.
     pub(crate) fn reset(&mut self, n: usize) {
@@ -147,24 +156,20 @@ impl WakeupScheduler {
             let mut w = *word;
             while w != 0 {
                 let pos = (wi << 6) + w.trailing_zeros() as usize;
-                self.buckets[pos].clear();
+                self.bucket_head[pos] = NO_EDGE;
                 w &= w - 1;
             }
             *word = 0;
         }
+        if self.cal_next.len() < n {
+            self.cal_next.resize(n, NO_EDGE);
+        }
         self.base = 0;
         self.next_due = u64::MAX;
-        self.soon.clear();
-        self.overflow.clear();
-        if self.ops.len() < n {
-            self.ops.resize(
-                n,
-                OpWait {
-                    ready_at: 0,
-                    waiter_head: NO_EDGE,
-                    pending: 0,
-                },
-            );
+        self.soon_head = NO_EDGE;
+        while let Some((_, mut v)) = self.overflow.pop_first() {
+            v.clear();
+            self.overflow_spares.push(v);
         }
         if self.edge_next.len() < 2 * n {
             self.edge_next.resize(2 * n, NO_EDGE);
@@ -174,7 +179,7 @@ impl WakeupScheduler {
 
     /// Marks `idx` issueable right now.
     #[inline]
-    fn push_ready(&mut self, idx: u32) {
+    pub(crate) fn push_ready(&mut self, idx: u32) {
         debug_assert_eq!(self.ready_bits[(idx >> 6) as usize] >> (idx & 63) & 1, 0);
         self.ready_bits[(idx >> 6) as usize] |= 1 << (idx & 63);
         if self.ready_n == 0 || idx < self.ready_min {
@@ -184,19 +189,24 @@ impl WakeupScheduler {
     }
 
     #[inline]
-    fn schedule(&mut self, idx: u32, at: u64) {
+    pub(crate) fn schedule(&mut self, idx: u32, at: u64) {
         debug_assert!(at >= self.base, "wakeups are always strictly future");
         if at == self.base {
-            self.soon.push(idx);
+            self.cal_next[idx as usize] = self.soon_head;
+            self.soon_head = idx;
         } else if at - self.base < WHEEL_SIZE as u64 {
             let pos = (at & WHEEL_MASK) as usize;
-            self.buckets[pos].push(idx);
+            self.cal_next[idx as usize] = self.bucket_head[pos];
+            self.bucket_head[pos] = idx;
             self.bitmap[pos >> 6] |= 1 << (pos & 63);
             if at < self.next_due {
                 self.next_due = at;
             }
         } else {
-            self.overflow.entry(at).or_default().push(idx);
+            self.overflow
+                .entry(at)
+                .or_insert_with(|| self.overflow_spares.pop().unwrap_or_default())
+                .push(idx);
         }
     }
 
@@ -221,70 +231,109 @@ impl WakeupScheduler {
     }
 
     /// Registers a newly dispatched op. `producers` are absolute indices
-    /// ([`NO_PRODUCER`] for empty slots); `times` is the engine's per-op
-    /// completion/dispatch-time array.
+    /// ([`NO_PRODUCER`] for empty slots); `slots` is the engine's per-op
+    /// record array, which must carry one trailing *dummy* record with
+    /// `done == 0` — [`NO_PRODUCER`] clamps onto it, so both producer
+    /// completion times load unconditionally (the dummy is permanently
+    /// hot and its `done` can never look in-flight or raise `at`). That
+    /// leaves exactly one data-dependent branch — "is any producer still
+    /// in flight?" — on the fast path instead of up to four.
     ///
     /// An op whose earliest issue cycle is exactly `cycle + 1` (all
     /// producers complete, no latency beyond the dispatch bubble — the
     /// dominant case) goes straight into the ready set: the engine issues
     /// *before* it dispatches within a cycle, so the first pop that can
     /// see the op happens at `cycle + 1`, exactly when it is due.
-    #[inline]
+    #[inline(always)]
     pub(crate) fn on_dispatch(
         &mut self,
         idx: u32,
         cycle: u64,
         producers: [u32; 2],
-        times: &[OpTimes],
+        slots: &mut [OpSlot],
     ) {
-        // Dispatch at `cycle` issues at `cycle + 1` the earliest.
+        let dummy = (slots.len() - 1) as u32;
+        let d0 = slots[producers[0].min(dummy) as usize].done;
+        let d1 = slots[producers[1].min(dummy) as usize].done;
+        if d0 != NOT_DONE && d1 != NOT_DONE {
+            // Dispatch at `cycle` issues at `cycle + 1` the earliest.
+            let at = (cycle + 1).max(d0).max(d1);
+            // Full write of the wait fields (including the waiter-list
+            // head): this is what lets `reset` skip re-initializing slot
+            // records between runs. Consumers chain onto `idx` only
+            // after this dispatch.
+            let s = &mut slots[idx as usize];
+            s.ready_at = at;
+            s.waiter_head = NO_EDGE;
+            s.pending = 0;
+            if at == cycle + 1 {
+                self.push_ready(idx);
+            } else {
+                self.schedule(idx, at);
+            }
+            return;
+        }
+        self.on_dispatch_waiting(idx, cycle, producers, slots);
+    }
+
+    /// Out-of-line slow half of [`on_dispatch`](Self::on_dispatch): at
+    /// least one producer is still in flight, so chain onto its waiter
+    /// list. (In-order dispatch guarantees producers are dispatched.)
+    fn on_dispatch_waiting(
+        &mut self,
+        idx: u32,
+        cycle: u64,
+        producers: [u32; 2],
+        slots: &mut [OpSlot],
+    ) {
         let mut at = cycle + 1;
         let mut pend = 0u32;
         for (slot, &p) in producers.iter().enumerate() {
             if p == NO_PRODUCER {
                 continue;
             }
-            let d = times[p as usize].done;
+            let d = slots[p as usize].done;
             if d == NOT_DONE {
-                // Producer still in flight: chain onto its waiter list.
-                // (In-order dispatch guarantees it has been dispatched.)
                 let e = 2 * idx + slot as u32;
-                self.edge_next[e as usize] = self.ops[p as usize].waiter_head;
-                self.ops[p as usize].waiter_head = e;
+                self.edge_next[e as usize] = slots[p as usize].waiter_head;
+                slots[p as usize].waiter_head = e;
                 pend += 1;
             } else if d > at {
                 at = d;
             }
         }
-        // Full write of the op record (including the waiter-list head):
-        // this is what lets `reset` skip re-initializing `ops` between
-        // runs. Consumers chain onto `idx` only after this dispatch.
-        self.ops[idx as usize] = OpWait {
-            ready_at: at,
-            waiter_head: NO_EDGE,
-            pending: pend,
-        };
-        if pend == 0 {
-            debug_assert!(at > cycle);
-            if at == cycle + 1 {
-                self.push_ready(idx);
-            } else {
-                self.schedule(idx, at);
-            }
-        }
+        debug_assert!(pend > 0);
+        let s = &mut slots[idx as usize];
+        s.ready_at = at;
+        s.waiter_head = NO_EDGE;
+        s.pending = pend;
     }
 
     /// Wakes the waiters of `idx`, which just issued with completion time
-    /// `times[idx].done`.
+    /// `slots[idx].done`.
     #[inline]
-    pub(crate) fn on_issue(&mut self, idx: u32, times: &[OpTimes]) {
-        let t = times[idx as usize].done;
+    #[cfg(test)]
+    pub(crate) fn on_issue(&mut self, idx: u32, slots: &mut [OpSlot]) {
+        let t = slots[idx as usize].done;
         debug_assert_ne!(t, NOT_DONE);
-        let mut e = std::mem::replace(&mut self.ops[idx as usize].waiter_head, NO_EDGE);
+        let head = std::mem::replace(&mut slots[idx as usize].waiter_head, NO_EDGE);
+        self.wake_waiters(head, t, slots);
+    }
+
+    /// Walks a detached waiter chain (`head`, as unhooked from the
+    /// producer's slot by the caller), propagating the producer's
+    /// completion time `t` into each consumer and scheduling those whose
+    /// last producer this was. Split from [`Self::on_issue`] so the issue
+    /// stage can fold the producer-slot writes into its own single borrow
+    /// of the slot record.
+    #[inline]
+    pub(crate) fn wake_waiters(&mut self, head: u32, t: u64, slots: &mut [OpSlot]) {
+        debug_assert_ne!(t, NOT_DONE);
+        let mut e = head;
         while e != NO_EDGE {
             let next = self.edge_next[e as usize];
             let c = (e / 2) as usize;
-            let op = &mut self.ops[c];
+            let op = &mut slots[c];
             if t > op.ready_at {
                 op.ready_at = t;
             }
@@ -306,9 +355,11 @@ impl WakeupScheduler {
     pub(crate) fn drain(&mut self, cycle: u64) {
         // The fast path: wakeups filed for `base` (== cycle on the usual
         // one-cycle advance) go straight into the ready set.
-        if cycle >= self.base && !self.soon.is_empty() {
-            while let Some(idx) = self.soon.pop() {
-                self.push_ready(idx);
+        if cycle >= self.base && self.soon_head != NO_EDGE {
+            let mut e = std::mem::replace(&mut self.soon_head, NO_EDGE);
+            while e != NO_EDGE {
+                self.push_ready(e);
+                e = self.cal_next[e as usize];
             }
         }
         if self.next_due <= cycle || !self.overflow.is_empty() {
@@ -328,19 +379,21 @@ impl WakeupScheduler {
             if *entry.key() > cycle {
                 break;
             }
-            for idx in entry.remove() {
-                self.push_ready(idx);
-            }
-        }
-        // Due wheel buckets, earliest first via the exact `next_due`.
-        while self.next_due <= cycle {
-            let pos = (self.next_due & WHEEL_MASK) as usize;
-            let mut bucket = std::mem::take(&mut self.buckets[pos]);
+            let mut bucket = entry.remove();
             for &idx in &bucket {
                 self.push_ready(idx);
             }
             bucket.clear();
-            self.buckets[pos] = bucket;
+            self.overflow_spares.push(bucket);
+        }
+        // Due wheel buckets, earliest first via the exact `next_due`.
+        while self.next_due <= cycle {
+            let pos = (self.next_due & WHEEL_MASK) as usize;
+            let mut e = std::mem::replace(&mut self.bucket_head[pos], NO_EDGE);
+            while e != NO_EDGE {
+                self.push_ready(e);
+                e = self.cal_next[e as usize];
+            }
             self.bitmap[pos >> 6] &= !(1 << (pos & 63));
             self.next_due = self.scan_from(self.next_due + 1);
         }
@@ -353,9 +406,13 @@ impl WakeupScheduler {
                 break;
             }
             let pos = (at & WHEEL_MASK) as usize;
-            for idx in entry.remove() {
-                self.buckets[pos].push(idx);
+            let mut bucket = entry.remove();
+            for &idx in &bucket {
+                self.cal_next[idx as usize] = self.bucket_head[pos];
+                self.bucket_head[pos] = idx;
             }
+            bucket.clear();
+            self.overflow_spares.push(bucket);
             self.bitmap[pos >> 6] |= 1 << (pos & 63);
             if at < self.next_due {
                 self.next_due = at;
@@ -407,7 +464,7 @@ impl WakeupScheduler {
     #[inline]
     pub(crate) fn next_wakeup(&self) -> Option<u64> {
         let mut next = self.next_due;
-        if !self.soon.is_empty() {
+        if self.soon_head != NO_EDGE {
             next = next.min(self.base);
         }
         if let Some((&k, _)) = self.overflow.first_key_value() {
@@ -421,22 +478,29 @@ impl WakeupScheduler {
 mod tests {
     use super::*;
 
-    /// Fresh per-op time records, all still in flight.
-    fn in_flight(n: usize) -> Vec<OpTimes> {
-        vec![
-            OpTimes {
+    /// Fresh per-op slot records, all still in flight, plus the trailing
+    /// dummy record (`done == 0`) `on_dispatch` clamps [`NO_PRODUCER`]
+    /// onto.
+    fn in_flight(n: usize) -> Vec<OpSlot> {
+        let mut slots = vec![
+            OpSlot {
                 done: NOT_DONE,
                 disp: 0,
+                ready_at: 0,
+                waiter_head: NO_EDGE,
+                pending: 0,
             };
-            n
-        ]
+            n + 1
+        ];
+        slots[n].done = 0;
+        slots
     }
 
     #[test]
     fn independent_op_is_poppable_right_after_dispatch() {
-        let done = in_flight(4);
+        let mut slots = in_flight(4);
         let mut s = WakeupScheduler::new(4);
-        s.on_dispatch(0, 10, [NO_PRODUCER, NO_PRODUCER], &done);
+        s.on_dispatch(0, 10, [NO_PRODUCER, NO_PRODUCER], &mut slots);
         // Straight into the ready set: the engine's issue-before-dispatch
         // stage order means the first pop that can observe this happens
         // at cycle 11, exactly the op's due time.
@@ -448,17 +512,17 @@ mod tests {
 
     #[test]
     fn waits_for_in_flight_producer() {
-        let mut done = in_flight(4);
+        let mut slots = in_flight(4);
         let mut s = WakeupScheduler::new(4);
-        s.on_dispatch(0, 5, [NO_PRODUCER, NO_PRODUCER], &done);
-        s.on_dispatch(1, 5, [0, NO_PRODUCER], &done);
+        s.on_dispatch(0, 5, [NO_PRODUCER, NO_PRODUCER], &mut slots);
+        s.on_dispatch(1, 5, [0, NO_PRODUCER], &mut slots);
         // Producer 0 not issued yet: nothing scheduled for op 1.
         s.drain(6);
         assert_eq!(s.pop_ready(), Some(0));
         assert_eq!(s.pop_ready(), None);
         // Op 0 issues at cycle 6 with latency 3.
-        done[0].done = 9;
-        s.on_issue(0, &done);
+        slots[0].done = 9;
+        s.on_issue(0, &mut slots);
         assert_eq!(s.next_wakeup(), Some(9));
         s.drain(9);
         assert_eq!(s.pop_ready(), Some(1));
@@ -466,25 +530,25 @@ mod tests {
 
     #[test]
     fn finished_producer_sets_ready_time_at_dispatch() {
-        let mut done = in_flight(4);
-        done[0].done = 20;
+        let mut slots = in_flight(4);
+        slots[0].done = 20;
         let mut s = WakeupScheduler::new(4);
         // Consumer dispatched at cycle 7; producer completes at 20.
-        s.on_dispatch(1, 7, [0, NO_PRODUCER], &done);
+        s.on_dispatch(1, 7, [0, NO_PRODUCER], &mut slots);
         assert_eq!(s.next_wakeup(), Some(20));
         // A producer that completed long ago leaves dispatch+1 in charge.
-        done[2].done = 3;
-        s.on_dispatch(3, 7, [2, NO_PRODUCER], &done);
+        slots[2].done = 3;
+        s.on_dispatch(3, 7, [2, NO_PRODUCER], &mut slots);
         s.drain(8);
         assert_eq!(s.pop_ready(), Some(3));
     }
 
     #[test]
     fn ready_set_pops_oldest_first() {
-        let done = in_flight(8);
+        let mut slots = in_flight(8);
         let mut s = WakeupScheduler::new(8);
         for idx in [5u32, 2, 7, 3] {
-            s.on_dispatch(idx, 0, [NO_PRODUCER, NO_PRODUCER], &done);
+            s.on_dispatch(idx, 0, [NO_PRODUCER, NO_PRODUCER], &mut slots);
         }
         s.drain(1);
         assert_eq!(s.pop_ready(), Some(2));
@@ -495,16 +559,16 @@ mod tests {
 
     #[test]
     fn two_pending_producers_need_both_wakeups() {
-        let mut done = in_flight(4);
+        let mut slots = in_flight(4);
         let mut s = WakeupScheduler::new(4);
-        s.on_dispatch(0, 0, [NO_PRODUCER, NO_PRODUCER], &done);
-        s.on_dispatch(1, 0, [NO_PRODUCER, NO_PRODUCER], &done);
-        s.on_dispatch(2, 0, [1, 0], &done);
-        done[0].done = 4;
-        s.on_issue(0, &done);
+        s.on_dispatch(0, 0, [NO_PRODUCER, NO_PRODUCER], &mut slots);
+        s.on_dispatch(1, 0, [NO_PRODUCER, NO_PRODUCER], &mut slots);
+        s.on_dispatch(2, 0, [1, 0], &mut slots);
+        slots[0].done = 4;
+        s.on_issue(0, &mut slots);
         assert_eq!(s.next_wakeup(), None, "op 2 still has a pending producer");
-        done[1].done = 9;
-        s.on_issue(1, &done);
+        slots[1].done = 9;
+        s.on_issue(1, &mut slots);
         s.drain(8);
         // 0 and 1 drained at their dispatch+1 slots; op 2 still waiting.
         s.pop_ready();
@@ -516,39 +580,62 @@ mod tests {
 
     #[test]
     fn wakeups_beyond_the_wheel_horizon_take_the_overflow_path() {
-        let mut done = in_flight(4);
+        let mut slots = in_flight(4);
         // Producer completes far beyond WHEEL_SIZE: consumer overflows.
-        done[0].done = 5 * WHEEL_SIZE as u64;
+        slots[0].done = 5 * WHEEL_SIZE as u64;
         let mut s = WakeupScheduler::new(4);
-        s.on_dispatch(1, 0, [0, NO_PRODUCER], &done);
-        assert_eq!(s.next_wakeup(), Some(done[0].done));
-        s.drain(done[0].done - 1);
+        s.on_dispatch(1, 0, [0, NO_PRODUCER], &mut slots);
+        assert_eq!(s.next_wakeup(), Some(slots[0].done));
+        s.drain(slots[0].done - 1);
         assert!(!s.has_ready());
-        s.drain(done[0].done);
+        s.drain(slots[0].done);
         assert_eq!(s.pop_ready(), Some(1));
         assert_eq!(s.next_wakeup(), None);
     }
 
     #[test]
     fn overflow_migrates_into_the_wheel_as_the_window_advances() {
-        let mut done = in_flight(4);
-        done[0].done = WHEEL_SIZE as u64 + 100;
+        let mut slots = in_flight(4);
+        slots[0].done = WHEEL_SIZE as u64 + 100;
         let mut s = WakeupScheduler::new(4);
-        s.on_dispatch(1, 0, [0, NO_PRODUCER], &done);
+        s.on_dispatch(1, 0, [0, NO_PRODUCER], &mut slots);
         // Advancing the window pulls the wakeup out of overflow; it still
         // fires at exactly the right cycle.
         s.drain(500);
         assert!(s.overflow.is_empty(), "entry should have migrated");
-        assert_eq!(s.next_wakeup(), Some(done[0].done));
-        s.drain(done[0].done);
+        assert_eq!(s.next_wakeup(), Some(slots[0].done));
+        s.drain(slots[0].done);
         assert_eq!(s.pop_ready(), Some(1));
     }
 
     #[test]
+    fn overflow_buckets_recycle_through_the_freelist() {
+        let mut slots = in_flight(6);
+        slots[0].done = 5 * WHEEL_SIZE as u64;
+        let mut s = WakeupScheduler::new(6);
+        s.on_dispatch(1, 0, [0, NO_PRODUCER], &mut slots);
+        s.drain(slots[0].done);
+        assert_eq!(s.pop_ready(), Some(1));
+        assert_eq!(
+            s.overflow_spares.len(),
+            1,
+            "drained overflow bucket returns to the freelist"
+        );
+        // The next overflow insertion reuses it instead of allocating.
+        slots[2].done = 9 * WHEEL_SIZE as u64;
+        s.on_dispatch(3, slots[0].done, [2, NO_PRODUCER], &mut slots);
+        assert!(s.overflow_spares.is_empty(), "spare bucket was reused");
+        // Buckets stranded by a budget cutoff are reclaimed at reset.
+        s.reset(6);
+        assert_eq!(s.overflow_spares.len(), 1);
+        assert!(s.overflow.is_empty());
+    }
+
+    #[test]
     fn deferred_ops_rearm() {
-        let done = in_flight(2);
+        let mut slots = in_flight(2);
         let mut s = WakeupScheduler::new(2);
-        s.on_dispatch(0, 0, [NO_PRODUCER, NO_PRODUCER], &done);
+        s.on_dispatch(0, 0, [NO_PRODUCER, NO_PRODUCER], &mut slots);
         s.drain(1);
         let idx = s.pop_ready().unwrap();
         s.defer(idx);

@@ -14,8 +14,8 @@
 
 use bmp_sim::{SimOptions, Simulator};
 use bmp_uarch::{
-    presets, IndirectPredictorConfig, LatencyTable, MachineConfig, MachineConfigBuilder,
-    PredictorConfig,
+    presets, CacheGeometry, HierarchyConfig, IndirectPredictorConfig, LatencyTable, MachineConfig,
+    MachineConfigBuilder, PredictorConfig,
 };
 use bmp_workloads::WorkloadProfile;
 use proptest::prelude::*;
@@ -126,24 +126,37 @@ fn arb_indirect() -> impl Strategy<Value = IndirectPredictorConfig> {
 /// A strategy over machine configurations stressing the event core's
 /// moving parts: narrow and wide pipelines, windows from tiny (frequent
 /// dispatch stalls) to large (deep wakeup wheels), shallow and deep
-/// frontends (idle-gap lengths), and scaled latencies (timer-wheel
-/// overflow paths).
+/// frontends (idle-gap lengths), scaled latencies (timer-wheel overflow
+/// paths), and varying L1I line sizes (superblock segmentation — region
+/// boundaries and batched fetch fills move with the line size).
 fn arb_config() -> impl Strategy<Value = MachineConfig> {
     (
         prop::sample::select(vec![1u32, 2, 4, 8]),      // width
         prop::sample::select(vec![16u32, 32, 64, 256]), // window
         prop::sample::select(vec![1u32, 5, 12, 30]),    // frontend depth
         prop::sample::select(vec![1.0f64, 2.0, 5.0]),   // latency scale
+        prop::sample::select(vec![16u32, 32, 64, 128]), // L1I line bytes
         arb_predictor(),
         arb_indirect(),
     )
-        .prop_map(|(width, window, depth, lat, predictor, indirect)| {
+        .prop_map(|(width, window, depth, lat, line, predictor, indirect)| {
+            let d = HierarchyConfig::default();
+            let l1i = CacheGeometry::new(
+                d.l1i().size_bytes(),
+                line,
+                d.l1i().ways(),
+                d.l1i().hit_latency(),
+            )
+            .expect("power-of-two line sizes keep the geometry valid");
+            let caches = HierarchyConfig::new(l1i, d.l1d(), d.l2(), d.mem_latency())
+                .expect("only the L1I line size changed");
             MachineConfigBuilder::new()
                 .width(width)
                 .window_size(window)
                 .rob_size(window * 2)
                 .frontend_depth(depth)
                 .latencies(LatencyTable::default().scaled(lat))
+                .caches(caches)
                 .predictor(predictor)
                 .indirect_predictor(indirect)
                 .build()

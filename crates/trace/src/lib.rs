@@ -47,10 +47,12 @@ pub mod io;
 mod op;
 pub mod sites;
 mod stats;
+pub mod superblock;
 mod trace;
 
 pub use compiled::CompiledTrace;
 pub use op::{BranchInfo, BranchKind, MicroOp};
 pub use sites::BranchSiteStats;
 pub use stats::{DepDistanceHistogram, TraceStats};
+pub use superblock::{Region, RegionEnd, SuperblockMap, SuperblockStats};
 pub use trace::{Trace, TraceBuilder, TraceError};

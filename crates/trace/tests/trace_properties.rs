@@ -1,7 +1,9 @@
-//! Property tests on traces: serialization roundtrips and
-//! dependence-graph invariants, over arbitrary op streams.
+//! Property tests on traces: serialization roundtrips,
+//! dependence-graph invariants and superblock-segmentation invariants,
+//! over arbitrary op streams.
 
-use bmp_trace::{dag, io, BranchKind, MicroOp, Trace};
+use bmp_trace::compiled::FLAG_BRANCH;
+use bmp_trace::{dag, io, BranchKind, MicroOp, RegionEnd, SuperblockMap, Trace};
 use bmp_uarch::OpClass;
 use proptest::prelude::*;
 
@@ -112,5 +114,157 @@ proptest! {
         prop_assert_eq!(s.count(OpClass::Load) as usize, loads);
         let conds = trace.conditional_branch_indices().len();
         prop_assert_eq!(s.conditional_branches() as usize, conds);
+    }
+}
+
+/// Power-of-two L1I line sizes spanning the configurable range.
+fn arb_line_bytes() -> impl Strategy<Value = u32> {
+    prop::sample::select(vec![16u32, 32, 64, 128])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Superblock invariant 1 (module docs): the region list tiles the
+    /// trace exactly — in order, no gaps, no overlap.
+    #[test]
+    fn superblock_regions_tile_exactly(trace in arb_trace(), lb in arb_line_bytes()) {
+        let ct = trace.compile();
+        let sb = SuperblockMap::build(&ct, lb);
+        let regions = sb.regions(&ct);
+        let mut next = 0u32;
+        for r in &regions {
+            prop_assert_eq!(r.start, next, "region starts where the last ended");
+            prop_assert!(r.len >= 1);
+            next += r.len;
+        }
+        prop_assert_eq!(next as usize, ct.len(), "regions cover the whole trace");
+    }
+
+    /// Superblock invariants 2 and 3: a branch is always a single-op
+    /// region, and no region spans an I-cache line boundary.
+    #[test]
+    fn superblock_regions_respect_branches_and_lines(
+        trace in arb_trace(),
+        lb in arb_line_bytes(),
+    ) {
+        let ct = trace.compile();
+        let sb = SuperblockMap::build(&ct, lb);
+        let mask = !u64::from(lb - 1);
+        for r in sb.regions(&ct) {
+            let start = r.start as usize;
+            let len = r.len as usize;
+            let has_branch = (start..start + len)
+                .any(|i| ct.flags(i) & FLAG_BRANCH != 0);
+            if has_branch {
+                prop_assert_eq!(r.len, 1, "branches are single-op regions");
+                prop_assert_eq!(r.end, RegionEnd::Branch);
+            } else {
+                let line = ct.pc(start) & mask;
+                for i in start..start + len {
+                    prop_assert_eq!(
+                        ct.pc(i) & mask, line,
+                        "region {start}+{len} spans a line boundary at op {i}"
+                    );
+                }
+            }
+            // The end reason is consistent with what follows the region.
+            match r.end {
+                RegionEnd::Branch => {}
+                RegionEnd::TraceEnd => {
+                    prop_assert_eq!(start + len, ct.len());
+                }
+                RegionEnd::LineBreak => {
+                    let next = start + len;
+                    prop_assert!(next < ct.len());
+                    prop_assert!(sb.is_line_start(next), "LineBreak implies a new line");
+                }
+            }
+        }
+    }
+
+    /// Superblock invariant 4: `run_len(i)` is 0 exactly on branches and
+    /// otherwise counts the ops from `i` to the end of `i`'s region —
+    /// i.e. it decreases by one per op inside a region.
+    #[test]
+    fn superblock_run_len_semantics(trace in arb_trace(), lb in arb_line_bytes()) {
+        let ct = trace.compile();
+        let sb = SuperblockMap::build(&ct, lb);
+        for i in 0..ct.len() {
+            let is_branch = ct.flags(i) & FLAG_BRANCH != 0;
+            prop_assert_eq!(sb.run_len(i) == 0, is_branch, "run_len is 0 iff branch (op {i})");
+        }
+        for r in sb.regions(&ct) {
+            // A branch region itself has run_len 0, checked above. A
+            // non-branch region can also end as `Branch` (it stopped at a
+            // same-line branch) and still obeys the countdown.
+            if ct.flags(r.start as usize) & FLAG_BRANCH != 0 {
+                continue;
+            }
+            for k in 0..r.len {
+                prop_assert_eq!(
+                    sb.run_len((r.start + k) as usize),
+                    r.len - k,
+                    "run_len counts the rest of the region"
+                );
+            }
+        }
+    }
+
+    /// `is_line_start` matches the dynamic compare the reference fetch
+    /// stage performs: set iff the op's line differs from its
+    /// predecessor's (op 0 always starts a line).
+    #[test]
+    fn superblock_line_starts_match_dynamic_compare(
+        trace in arb_trace(),
+        lb in arb_line_bytes(),
+    ) {
+        let ct = trace.compile();
+        let sb = SuperblockMap::build(&ct, lb);
+        let mask = !u64::from(lb - 1);
+        for i in 0..ct.len() {
+            let expect = i == 0 || (ct.pc(i) & mask) != (ct.pc(i - 1) & mask);
+            prop_assert_eq!(sb.is_line_start(i), expect, "op {i}");
+        }
+    }
+
+    /// Aggregate stats agree with the materialized region list, and the
+    /// per-region metadata is internally consistent: FU demand sums to
+    /// the region length, and reach/critical-depth respect their bounds.
+    #[test]
+    fn superblock_stats_and_metadata_consistent(
+        trace in arb_trace(),
+        lb in arb_line_bytes(),
+    ) {
+        let ct = trace.compile();
+        let sb = SuperblockMap::build(&ct, lb);
+        let regions = sb.regions(&ct);
+        let stats = sb.stats();
+        prop_assert_eq!(stats.regions as usize, regions.len());
+        let max_len = regions.iter().map(|r| r.len).max().unwrap_or(0);
+        prop_assert_eq!(stats.max_len, max_len);
+        if !regions.is_empty() {
+            let mean = ct.len() as f64 / regions.len() as f64;
+            prop_assert!((stats.mean_len - mean).abs() < 1e-9);
+        }
+        let line_starts = (0..ct.len()).filter(|&i| sb.is_line_start(i)).count();
+        prop_assert_eq!(stats.line_starts as usize, line_starts);
+        for r in &regions {
+            prop_assert_eq!(
+                r.fu_demand.iter().sum::<u32>(), r.len,
+                "every op lands in exactly one FU pool"
+            );
+            prop_assert!(r.crit_depth >= 1 && r.crit_depth <= r.len);
+            // Reach is measured from an op to its producer, which may sit
+            // before the region but never past the trace start.
+            for k in 0..r.len {
+                let i = (r.start + k) as usize;
+                for p in ct.producers(i) {
+                    if p != u32::MAX {
+                        prop_assert!(u64::from(r.max_reach) >= (i as u64) - u64::from(p));
+                    }
+                }
+            }
+        }
     }
 }
