@@ -39,6 +39,11 @@ OPTIONS:
                       metrics/ subdirectory), a single CSV table, or a
                       single metrics document; given alone, skips the
                       other passes too
+    --store PATH      audit a persistent artifact store directory
+                      (BMP_STORE) with the BMP8xx rules: corrupt or
+                      misplaced records, quarantine backlog, stale
+                      locks, foreign files; given alone, skips the
+                      other passes too
     --ops N           trace length per workload profile (default 2000)
     --no-traces       lint machine presets only; skip workload traces
     --list            list preset and profile names, then exit
@@ -76,6 +81,7 @@ struct Options {
     journal: Option<String>,
     metrics: Option<String>,
     statics: Option<String>,
+    store: Option<String>,
     ops: usize,
     no_traces: bool,
     list: bool,
@@ -89,6 +95,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         journal: None,
         metrics: None,
         statics: None,
+        store: None,
         ops: 2000,
         no_traces: false,
         list: false,
@@ -131,6 +138,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.statics = Some(
                     it.next()
                         .ok_or_else(|| "--static needs a path".to_owned())?
+                        .clone(),
+                );
+            }
+            "--store" => {
+                opts.store = Some(
+                    it.next()
+                        .ok_or_else(|| "--store needs a path".to_owned())?
                         .clone(),
                 );
             }
@@ -297,6 +311,18 @@ fn main() -> ExitCode {
         }
     }
 
+    // Pass 0d: a persistent artifact store (BMP8xx). The path must be a
+    // directory — a missing store is a usage error, not a lint finding.
+    if let Some(path) = &opts.store {
+        let p = std::path::Path::new(path);
+        if !p.is_dir() {
+            eprintln!("bmp-lint: --store {path}: not a directory");
+            return ExitCode::from(2);
+        }
+        targets += 1;
+        report.merge(AnalysisReport::new(bmp_analyze::lint_store(p)));
+    }
+
     // Pass 1: every selected machine preset on its own. A bare
     // `--profile` (or `--journal` / `--metrics`) request means "lint
     // this target", so the preset sweep only runs when presets were not
@@ -304,7 +330,8 @@ fn main() -> ExitCode {
     let narrowed = opts.profile.is_some()
         || opts.journal.is_some()
         || opts.metrics.is_some()
-        || opts.statics.is_some();
+        || opts.statics.is_some()
+        || opts.store.is_some();
     if !narrowed || opts.preset.is_some() {
         for (name, cfg) in &machines {
             targets += 1;
@@ -316,7 +343,10 @@ fn main() -> ExitCode {
     // then model- and simulator-side conservation on the reference
     // (baseline) machine.
     if !opts.no_traces
-        && ((opts.journal.is_none() && opts.metrics.is_none() && opts.statics.is_none())
+        && ((opts.journal.is_none()
+            && opts.metrics.is_none()
+            && opts.statics.is_none()
+            && opts.store.is_none())
             || opts.profile.is_some())
     {
         let reference = presets::baseline_4wide();

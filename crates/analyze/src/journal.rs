@@ -160,6 +160,7 @@ mod tests {
                 RunStatus::Failed => Some("boom".to_owned()),
             },
             metrics: None,
+            csv_fnv: None,
         }
     }
 
@@ -202,6 +203,7 @@ mod tests {
                 attempts: 0,
                 error: None,
                 metrics: None,
+                csv_fnv: None,
             },
             ExperimentRecord {
                 name: "c_exp".to_owned(),
@@ -210,6 +212,7 @@ mod tests {
                 attempts: 1,
                 error: Some("leftover".to_owned()),
                 metrics: None,
+                csv_fnv: None,
             },
         ];
         let codes: Vec<_> = lint_journal(&j).iter().map(|d| d.code).collect();

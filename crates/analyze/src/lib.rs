@@ -48,12 +48,17 @@
 //!   directly from the workload recipe and machine configuration —
 //!   no simulation — and any simulated total outside its proven bound,
 //!   in a metrics document or a published CSV table, is a hard error.
+//! * `BMP8xx` — persistent-store consistency ([`storelint`]): an
+//!   offline audit of a `BMP_STORE` tree — corrupt or misplaced
+//!   records, pending quarantine entries, stale locks, foreign files —
+//!   so operators see damage the store would otherwise just silently
+//!   recompute around.
 //!
 //! [`analyze`] is the one-call entry point; the `bmp-lint` binary runs it
 //! over presets, workload profiles, or both (plus `--journal` for run
-//! journals, `--metrics` for observability documents and `--static` for
-//! bounds cross-checks), and renders either a compiler-style listing or
-//! JSON (`bmp-lint --json`). The `bmp-verify` binary renders the static
+//! journals, `--metrics` for observability documents, `--static` for
+//! bounds cross-checks and `--store` for persistent-store audits), and
+//! renders either a compiler-style listing or JSON (`bmp-lint --json`). The `bmp-verify` binary renders the static
 //! bounds themselves. The full code catalogue lives in
 //! `docs/ANALYZER.md`.
 
@@ -67,6 +72,7 @@ pub mod journal;
 pub mod machine;
 pub mod metrics;
 pub mod staticpass;
+pub mod storelint;
 pub mod superblocklint;
 pub mod tracelint;
 
@@ -77,6 +83,7 @@ pub use journal::{lint_journal, lint_journal_text};
 pub use machine::{lint_fu_coverage, lint_machine};
 pub use metrics::{lint_metrics, lint_metrics_text};
 pub use staticpass::{StaticAnalysis, StaticBounds};
+pub use storelint::lint_store;
 pub use superblocklint::lint_superblock;
 pub use tracelint::{lint_dag_edges, lint_measured_pairs, lint_trace};
 

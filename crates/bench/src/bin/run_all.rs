@@ -13,9 +13,21 @@
 //!
 //! * `--resume` — skip experiments whose journal record is completed,
 //!   fingerprint-matches the current `BMP_OPS`/`BMP_SEED`, and whose
-//!   CSV still exists; re-run only failed/missing ones.
+//!   CSV still exists *with the journalled content hash*: a deleted,
+//!   truncated or otherwise altered CSV triggers a recompute, never a
+//!   silent skip. (Legacy journals without a hash fall back to the
+//!   existence check.)
 //! * `--inject <spec>` — deterministic fault injection (overrides the
 //!   `BMP_FAULT` environment variable); see `docs/ROBUSTNESS.md`.
+//!
+//! `BMP_STORE=<dir>` adds the crash-safe persistent artifact tier: the
+//! content-addressed on-disk store (`bmp_core::store`) is opened —
+//! running its recovery scan, which quarantines any corrupt records —
+//! and attached under the in-memory cache, so simulation results
+//! survive process death and a restarted run resumes from disk instead
+//! of recomputing. `BMP_STORE_MAX_BYTES` bounds its size (LRU
+//! eviction). `torn-write`/`corrupt` fault kinds target its writes; see
+//! `docs/ROBUSTNESS.md` and `docs/SERVING.md`.
 //!
 //! Scale with `BMP_OPS` / `BMP_SEED`; pick the worker count with
 //! `BMP_THREADS` (default: available parallelism, `1` = sequential).
@@ -32,7 +44,7 @@
 use std::collections::HashSet;
 use std::path::Path;
 use std::process::ExitCode;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use bmp_bench::engine::{
     attempts_from_env, experiment_defs, experiment_fingerprint, threads_from_env,
@@ -40,6 +52,14 @@ use bmp_bench::engine::{
 };
 use bmp_bench::{metrics, save_under_with, write_atomic, FaultPlan};
 use bmp_core::journal::{ExperimentRecord, RunJournal, RunStatus};
+use bmp_core::store::fnv1a;
+use bmp_core::{DiskStore, StoreConfig};
+
+/// The journalled content hash of a CSV body: 16 lowercase hex digits
+/// of its FNV-1a, the format `--resume` validates against.
+fn csv_hash(bytes: &[u8]) -> String {
+    format!("{:016x}", fnv1a(bytes))
+}
 
 fn usage() -> ExitCode {
     eprintln!("usage: run_all [--resume] [--inject <fault-spec>]");
@@ -63,7 +83,7 @@ fn main() -> ExitCode {
         }
     }
     let faults = match inject.map_or_else(FaultPlan::from_env, |s| FaultPlan::parse(&s)) {
-        Ok(plan) => plan,
+        Ok(plan) => Arc::new(plan),
         Err(e) => {
             eprintln!("error: bad fault spec: {e}");
             return usage();
@@ -85,10 +105,30 @@ fn main() -> ExitCode {
                     for rec in prior.experiments {
                         let current_fp = experiment_fingerprint(&rec.name, scale);
                         let csv = results_dir.join(format!("{}.csv", rec.name));
-                        if rec.status == RunStatus::Completed
-                            && rec.fingerprint == current_fp
-                            && csv.is_file()
-                        {
+                        if rec.status != RunStatus::Completed || rec.fingerprint != current_fp {
+                            continue;
+                        }
+                        // The journal's content hash is the real check:
+                        // a CSV that was deleted, truncated or edited
+                        // since the journal was written recomputes.
+                        // Records from older journals carry no hash and
+                        // resume on existence alone.
+                        let intact = match (&rec.csv_fnv, std::fs::read(&csv)) {
+                            (Some(want), Ok(bytes)) => {
+                                let ok = csv_hash(&bytes) == *want;
+                                if !ok {
+                                    eprintln!(
+                                        "warning: {} no longer matches its journalled \
+                                         hash; recomputing",
+                                        csv.display()
+                                    );
+                                }
+                                ok
+                            }
+                            (None, Ok(_)) => true,
+                            (_, Err(_)) => false,
+                        };
+                        if intact {
                             skip.insert(rec.name.clone());
                             journal.upsert(rec);
                         }
@@ -108,6 +148,39 @@ fn main() -> ExitCode {
     }
 
     let engine = bmp_bench::Engine::from_env();
+
+    // Optional crash-safe persistent tier: BMP_STORE=<dir> opens the
+    // content-addressed on-disk store (running its recovery scan) and
+    // attaches it under the in-memory cache, so simulation results
+    // survive process death. Failure to open degrades gracefully to an
+    // in-memory-only run — persistence is never worth failing a run.
+    if let Ok(dir) = std::env::var("BMP_STORE") {
+        if !dir.is_empty() {
+            let config = StoreConfig {
+                max_bytes: std::env::var("BMP_STORE_MAX_BYTES")
+                    .ok()
+                    .and_then(|v| v.parse().ok()),
+            };
+            match DiskStore::open(Path::new(&dir), config) {
+                Ok((store, recovery)) => {
+                    eprintln!(
+                        "store {dir}: {} valid record(s), {} quarantined, \
+                         {} temp file(s) swept, {} live byte(s)",
+                        recovery.valid,
+                        recovery.quarantined,
+                        recovery.temps_removed,
+                        recovery.live_bytes
+                    );
+                    store.set_fault_hook(FaultPlan::store_hook(Arc::clone(&faults)));
+                    engine.ctx().set_store(Arc::new(store));
+                }
+                Err(e) => {
+                    eprintln!("warning: cannot open store {dir}: {e}; running without persistence")
+                }
+            }
+        }
+    }
+
     eprintln!(
         "running all experiments at {} ops per workload on {} threads \
          (BMP_OPS / BMP_THREADS to change)",
@@ -134,6 +207,7 @@ fn main() -> ExitCode {
             attempts: outcome.attempts,
             error: None,
             metrics: None,
+            csv_fnv: None,
         };
         match &outcome.kind {
             // Skipped experiments keep their carried-over record.
@@ -145,7 +219,13 @@ fn main() -> ExitCode {
                     write_errors.lock().expect("write log poisoned").push(msg);
                     record.status = RunStatus::Failed;
                     record.error = Some(format!("write failed: {e}"));
-                } else if metrics::metrics_enabled() {
+                } else {
+                    // Journal the content hash of what was just
+                    // persisted, so a later --resume can tell "still
+                    // the bytes I wrote" from "deleted or corrupted".
+                    record.csv_fnv = Some(csv_hash(table.to_csv().as_bytes()));
+                }
+                if record.status == RunStatus::Completed && metrics::metrics_enabled() {
                     // Aggregate this experiment's per-interval records
                     // out of the warm cache and persist them next to
                     // the CSV. Metrics are advisory like the journal: a

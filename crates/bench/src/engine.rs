@@ -26,10 +26,11 @@ use std::collections::HashSet;
 use std::ops::Deref;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use bmp_analyze::StaticBounds;
+use bmp_core::store::DiskStore;
 use bmp_core::{PenaltyAnalysis, PenaltyModel};
 use bmp_sim::{SimOptions, SimResult, Simulator};
 use bmp_uarch::{presets, MachineConfig, OpClass, PredictorConfig};
@@ -132,6 +133,14 @@ pub struct Ctx {
     engine: EngineChoice,
     metrics: bool,
     phases: PhaseNanos,
+    /// Optional persistent tier under the `sims` memo (see
+    /// `bmp_core::store` and `docs/SERVING.md`): set once after
+    /// construction, consulted before computing and written after. The
+    /// in-memory memo stays the first tier, so in-flight collapse and
+    /// determinism are untouched.
+    store: OnceLock<Arc<DiskStore>>,
+    /// Simulations served from the persistent tier (decode included).
+    store_hits: AtomicU64,
 }
 
 impl Default for Ctx {
@@ -175,7 +184,27 @@ impl Ctx {
             engine,
             metrics,
             phases: PhaseNanos::default(),
+            store: OnceLock::new(),
+            store_hits: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches the persistent artifact store (first call wins; later
+    /// calls are ignored so a shared `Ctx` can be wired defensively).
+    /// From then on every simulation consults the store before
+    /// computing and persists its result after.
+    pub fn set_store(&self, store: Arc<DiskStore>) {
+        let _ = self.store.set(store);
+    }
+
+    /// The attached persistent store, when one is set.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.get()
+    }
+
+    /// Simulations served from the persistent tier so far.
+    pub fn store_hits(&self) -> u64 {
+        self.store_hits.load(Ordering::Relaxed)
     }
 
     /// The engine this context routes simulations through.
@@ -318,21 +347,53 @@ impl Ctx {
                 // the simulation phase — and so every later config
                 // sharing the artifacts pays nothing at all.
                 self.sims.get_or_compute(key, || {
-                    let ct = self.compiled(trace);
-                    let sb = self.superblock(trace, sim.config().caches.l1i().line_bytes());
-                    let t0 = Instant::now();
-                    let res = sim.run_compiled_with(&ct, &sb);
-                    PhaseNanos::add(&self.phases.sim, t0);
-                    res
+                    self.stored_sim(key, || {
+                        let ct = self.compiled(trace);
+                        let sb = self.superblock(trace, sim.config().caches.l1i().line_bytes());
+                        let t0 = Instant::now();
+                        let res = sim.run_compiled_with(&ct, &sb);
+                        PhaseNanos::add(&self.phases.sim, t0);
+                        res
+                    })
                 })
             }
             EngineChoice::Reference => self.sims.get_or_compute(key, || {
-                let t0 = Instant::now();
-                let res = sim.run_reference(trace);
-                PhaseNanos::add(&self.phases.sim, t0);
-                res
+                self.stored_sim(key, || {
+                    let t0 = Instant::now();
+                    let res = sim.run_reference(trace);
+                    PhaseNanos::add(&self.phases.sim, t0);
+                    res
+                })
             }),
         }
+    }
+
+    /// The persistent tier around one simulation: consult the store for
+    /// a verified record of `key` first; on a miss (or a codec-skewed
+    /// record, which is retired so it is never consulted again) compute
+    /// and persist. Runs inside the memo's in-flight collapse, so per
+    /// process each key is read/written at most once. A failed `put` is
+    /// deliberately non-fatal — the store degrades to a recompute cache,
+    /// results stay correct.
+    fn stored_sim<F>(&self, key: u64, compute: F) -> SimResult
+    where
+        F: FnOnce() -> SimResult,
+    {
+        let Some(store) = self.store.get() else {
+            return compute();
+        };
+        if let Some(bytes) = store.get(key) {
+            match crate::codec::decode_sim_result(&bytes) {
+                Ok(res) => {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    return res;
+                }
+                Err(_) => store.quarantine_key(key),
+            }
+        }
+        let res = compute();
+        let _ = store.put(key, &crate::codec::encode_sim_result(&res));
+        res
     }
 
     /// The interval-model analysis of `trace` under `cfg`, cached by

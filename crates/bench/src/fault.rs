@@ -14,8 +14,8 @@
 //!
 //! ```text
 //! rule  := kind ':' target [':' 'times=' N]
-//! kind  := 'panic' | 'io' | 'budget'
-//! target:= 'exp=' NAME | 'cell=' LABEL | 'index=' N | 'file=' NAME
+//! kind  := 'panic' | 'io' | 'budget' | 'torn-write' | 'corrupt'
+//! target:= 'exp=' NAME | 'cell=' LABEL | 'index=' N | 'file=' NAME | 'store'
 //! ```
 //!
 //! Examples:
@@ -28,6 +28,20 @@
 //! * `budget:exp=tab2_penalty` — the experiment runs a sacrificial
 //!   simulation with a tiny cycle budget, so a *real*
 //!   `SimError::BudgetExceeded` travels the failure path.
+//!
+//! The `torn-write` and `corrupt` kinds target the persistent artifact
+//! store (`BMP_STORE`, see `docs/SERVING.md`): `torn-write` leaves a
+//! truncated record at the final path (a crash mid-write), `corrupt`
+//! flips one payload bit after checksumming (silent media corruption).
+//! Both are detected — never served — by the store's verification, so
+//! they exercise the quarantine-and-recompute path end to end:
+//!
+//! * `torn-write:store:times=1` — the first store write this process
+//!   performs is torn;
+//! * `corrupt:index=3:times=1` — the store's 4th write (its write
+//!   sequence number is the site index) is bit-flipped;
+//! * `torn-write:store` — every store write is torn (the store
+//!   degrades to a pure recompute cache, results stay correct).
 //!
 //! Every injected fault is deterministic: rules match by name/index and
 //! fire a bounded number of times (`times=N`; default: every time), so
@@ -45,6 +59,12 @@ pub enum FaultKind {
     Io,
     /// Trip the cycle-budget watchdog in the targeted experiment.
     Budget,
+    /// Leave a truncated record visible at the final path of a store
+    /// write — the on-disk state a crash mid-write produces.
+    TornWrite,
+    /// Flip one payload bit of a store write after checksumming —
+    /// silent corruption the next read must catch.
+    Corrupt,
 }
 
 impl FaultKind {
@@ -53,6 +73,8 @@ impl FaultKind {
             "panic" => Some(FaultKind::Panic),
             "io" => Some(FaultKind::Io),
             "budget" => Some(FaultKind::Budget),
+            "torn-write" => Some(FaultKind::TornWrite),
+            "corrupt" => Some(FaultKind::Corrupt),
             _ => None,
         }
     }
@@ -62,6 +84,8 @@ impl FaultKind {
             FaultKind::Panic => "panic",
             FaultKind::Io => "io",
             FaultKind::Budget => "budget",
+            FaultKind::TornWrite => "torn-write",
+            FaultKind::Corrupt => "corrupt",
         }
     }
 }
@@ -77,6 +101,8 @@ enum FaultTarget {
     Index(usize),
     /// An output file by table id (filename stem).
     File(String),
+    /// Any write of the persistent artifact store.
+    Store,
 }
 
 /// One parsed rule with its firing budget.
@@ -100,6 +126,7 @@ pub struct FaultSite<'a> {
     cell: Option<&'a str>,
     index: Option<usize>,
     file: Option<&'a str>,
+    store: bool,
 }
 
 impl<'a> FaultSite<'a> {
@@ -131,6 +158,17 @@ impl<'a> FaultSite<'a> {
     pub fn index(mut self, index: usize) -> Self {
         self.index = Some(index);
         self
+    }
+
+    /// A persistent-store write site; `seq` is the store's write
+    /// sequence number, so `index=N` rules can pick an arbitrary write
+    /// point (the crash-recovery proptest's lever).
+    pub fn store(seq: usize) -> Self {
+        Self {
+            store: true,
+            index: Some(seq),
+            ..Self::default()
+        }
     }
 }
 
@@ -197,9 +235,11 @@ impl FaultPlan {
                 )
             } else if let Some(stem) = target_full.strip_prefix("file=") {
                 FaultTarget::File(stem.to_string())
+            } else if target_full == "store" {
+                FaultTarget::Store
             } else {
                 return Err(format!(
-                    "bad target {target_full:?} in {raw:?} (exp=|cell=|index=|file=)"
+                    "bad target {target_full:?} in {raw:?} (exp=|cell=|index=|file=|store)"
                 ));
             };
             rules.push(FaultRule {
@@ -237,6 +277,7 @@ impl FaultPlan {
                 FaultTarget::Cell(l) => site.cell == Some(l.as_str()),
                 FaultTarget::Index(i) => site.index == Some(*i),
                 FaultTarget::File(f) => site.file == Some(f.as_str()),
+                FaultTarget::Store => site.store,
             };
             if !matched {
                 continue;
@@ -260,6 +301,26 @@ impl FaultPlan {
     pub fn io_error(context: &str) -> std::io::Error {
         std::io::Error::other(format!("injected io fault at {context}"))
     }
+
+    /// Builds the persistent store's write-fault hook from a shared
+    /// plan: `torn-write`/`corrupt` rules matching a store site (the
+    /// write sequence number is the site index) become the store's
+    /// injected faults. The hook owns its `Arc`, so it can outlive the
+    /// caller; firing budgets are shared with every other query of the
+    /// same plan.
+    pub fn store_hook(plan: std::sync::Arc<FaultPlan>) -> bmp_core::store::WriteFaultHook {
+        use bmp_core::store::InjectedWriteFault;
+        Box::new(move |_key, seq| {
+            let site = FaultSite::store(seq as usize);
+            if plan.fires(FaultKind::TornWrite, site) {
+                InjectedWriteFault::Torn
+            } else if plan.fires(FaultKind::Corrupt, site) {
+                InjectedWriteFault::BitFlip
+            } else {
+                InjectedWriteFault::None
+            }
+        })
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -273,6 +334,7 @@ impl fmt::Display for FaultPlan {
                 FaultTarget::Cell(l) => format!("cell={l}"),
                 FaultTarget::Index(i) => format!("index={i}"),
                 FaultTarget::File(s) => format!("file={s}"),
+                FaultTarget::Store => "store".to_string(),
             };
             write!(f, "{}:{}", r.kind.as_str(), target)?;
             if r.times != u32::MAX {
@@ -332,5 +394,39 @@ mod tests {
     fn empty_plan_never_fires() {
         let plan = FaultPlan::none();
         assert!(!plan.fires(FaultKind::Panic, FaultSite::exp("a").index(0)));
+    }
+
+    #[test]
+    fn store_rules_parse_and_fire() {
+        let plan = FaultPlan::parse("torn-write:store:times=1; corrupt:index=3:times=1").unwrap();
+        assert_eq!(
+            plan.to_string(),
+            "torn-write:store:times=1; corrupt:index=3:times=1"
+        );
+        assert!(plan.fires(FaultKind::TornWrite, FaultSite::store(0)));
+        assert!(
+            !plan.fires(FaultKind::TornWrite, FaultSite::store(1)),
+            "times=1 fires once"
+        );
+        assert!(!plan.fires(FaultKind::Corrupt, FaultSite::store(2)));
+        assert!(
+            plan.fires(FaultKind::Corrupt, FaultSite::store(3)),
+            "index rules pick the store's Nth write"
+        );
+        // Store rules never leak onto non-store sites of the same index.
+        let plan = FaultPlan::parse("torn-write:store").unwrap();
+        assert!(!plan.fires(FaultKind::TornWrite, FaultSite::cell("sim:gcc").index(0)));
+    }
+
+    #[test]
+    fn store_hook_maps_rules_to_injected_faults() {
+        use bmp_core::store::InjectedWriteFault;
+        let plan = std::sync::Arc::new(
+            FaultPlan::parse("torn-write:index=0:times=1; corrupt:index=1:times=1").unwrap(),
+        );
+        let hook = FaultPlan::store_hook(plan);
+        assert_eq!(hook(99, 0), InjectedWriteFault::Torn);
+        assert_eq!(hook(99, 1), InjectedWriteFault::BitFlip);
+        assert_eq!(hook(99, 2), InjectedWriteFault::None);
     }
 }

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub mod artifacts;
+pub mod codec;
 pub mod convert;
 pub mod engine;
 pub mod error;
@@ -35,6 +36,7 @@ pub mod metrics;
 pub mod pool;
 pub mod report;
 pub mod scale;
+pub mod serve;
 pub mod surrogate;
 pub mod table;
 
@@ -53,50 +55,10 @@ pub const EXIT_EXPERIMENT_FAILED: u8 = 1;
 /// did not — so callers can tell "your model broke" from "your disk did".
 pub const EXIT_WRITE_FAILED: u8 = 2;
 
-/// Writes `bytes` to `path` crash-safely: the data goes to a temporary
-/// file in the same directory, is fsynced, and is atomically renamed
-/// over `path`. A crash (or injected fault) at any point leaves either
-/// the old complete file or the new complete file — never a torn CSV.
-///
-/// # Errors
-///
-/// Returns the underlying I/O error from any step; the temporary file is
-/// cleaned up on failure.
-pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
-    use std::io::Write as _;
-    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| std::io::Error::other("write_atomic needs a file path"))?;
-    // Same-directory temp name, unique per process so concurrent writers
-    // of *different* tables never collide.
-    let tmp = path.with_file_name(format!(
-        ".{}.{}.tmp",
-        file_name.to_string_lossy(),
-        std::process::id()
-    ));
-    let result = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        // Flush file contents to stable storage before the rename makes
-        // them visible under the real name.
-        f.sync_all()?;
-        drop(f);
-        std::fs::rename(&tmp, path)
-    })();
-    if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-        return result;
-    }
-    // Best-effort directory fsync so the rename itself is durable; not
-    // all platforms/filesystems allow opening a directory for sync.
-    if let Some(dir) = dir {
-        if let Ok(d) = std::fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    Ok(())
-}
+// The crash-safe write primitive moved to `bmp_core::io` (the store and
+// journal share it); re-exported here so every existing call site —
+// and the doc references across the workspace — keep working.
+pub use bmp_core::io::write_atomic;
 
 /// Persists the table's CSV as `<dir>/<id>.csv`, creating `dir` first.
 /// The write is crash-safe (see [`write_atomic`]).

@@ -1,0 +1,284 @@
+//! Minimal HTTP/1.1 plumbing for `bmp-serve`.
+//!
+//! Hand-rolled on `std::net::TcpStream` — the workspace carries no
+//! registry dependencies, and the service needs exactly one shape of
+//! conversation: read one request (line + headers + optional
+//! `Content-Length` body), write one response, close. Every limit is
+//! explicit so a hostile or broken client cannot make the server
+//! allocate unboundedly or block forever (the caller sets socket
+//! timeouts; this module enforces the byte budgets).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line + headers block.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Upper bound on a request body (job submissions are small JSON).
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read, with the status the peer should see.
+#[derive(Debug)]
+pub struct BadRequest {
+    /// HTTP status to answer with (400, 408, 413 …).
+    pub status: u16,
+    /// Human-readable reason, sent in the body.
+    pub reason: String,
+}
+
+impl BadRequest {
+    fn new(status: u16, reason: impl Into<String>) -> Self {
+        Self {
+            status,
+            reason: reason.into(),
+        }
+    }
+}
+
+/// Reads one request from the stream, enforcing the byte budgets.
+/// Socket-level timeouts are the caller's job (`set_read_timeout`); a
+/// timeout surfaces as a 408.
+///
+/// # Errors
+///
+/// [`BadRequest`] carrying the status to respond with: 400 for
+/// malformed syntax, 408 for a read timeout, 413 for an oversized head
+/// or body.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, BadRequest> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut head_bytes = 0usize;
+
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+            {
+                BadRequest::new(408, "request read timed out")
+            } else {
+                BadRequest::new(400, format!("read error: {e}"))
+            }
+        })?;
+        if n == 0 {
+            return Err(BadRequest::new(400, "connection closed mid-request"));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(BadRequest::new(413, "request head too large"));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+        head.push_str(&line);
+    }
+
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| BadRequest::new(400, "empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| BadRequest::new(400, "missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| BadRequest::new(400, "missing request target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for h in lines {
+        let Some((name, value)) = h.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| BadRequest::new(400, "bad content-length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(BadRequest::new(413, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader.read_exact(&mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+            {
+                BadRequest::new(408, "body read timed out")
+            } else {
+                BadRequest::new(400, format!("short body: {e}"))
+            }
+        })?;
+    }
+    Ok(Request { method, path, body })
+}
+
+/// One response, ready to serialize.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A `text/csv` response.
+    pub fn csv(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/csv; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An `application/json` response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Serializes and writes the response; errors are returned so the
+    /// handler can count them, but a failed write needs no recovery —
+    /// the connection is closed either way.
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket write error.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason_phrase(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// The standard reason phrase for the status codes this server emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Round-trips one raw request through a real socket pair.
+    fn parse_raw(raw: &[u8]) -> Result<Request, BadRequest> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(raw).unwrap();
+        client.flush().unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        server_side
+            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+            .unwrap();
+        read_request(&mut server_side)
+    }
+
+    #[test]
+    fn parses_get_and_post() {
+        let r = parse_raw(b"GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert!(r.body.is_empty());
+
+        let r = parse_raw(
+            b"POST /jobs HTTP/1.1\r\nContent-Length: 7\r\nContent-Type: application/json\r\n\r\n{\"a\":1}",
+        )
+        .unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/jobs");
+        assert_eq!(r.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = parse_raw(raw.as_bytes()).unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_raw(b"\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse_raw(b"GET\r\n\r\n").unwrap_err().status,
+            400,
+            "a request line without a target is malformed"
+        );
+    }
+
+    #[test]
+    fn response_serializes_with_length() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        Response::text(429, "busy\n")
+            .write_to(&mut server_side)
+            .unwrap();
+        drop(server_side);
+        let mut got = String::new();
+        client.read_to_string(&mut got).unwrap();
+        assert!(
+            got.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{got}"
+        );
+        assert!(got.contains("Content-Length: 5\r\n"));
+        assert!(got.ends_with("busy\n"));
+    }
+}

@@ -1,0 +1,28 @@
+//! `bmp-serve`: the hardened characterization service.
+//!
+//! Accepts simulation jobs over HTTP/1.1 on a loopback (or any) TCP
+//! address and answers with the experiment's CSV table. The service
+//! layers the robustness properties the CLI cannot give a long-lived
+//! process:
+//!
+//! - **Admission control** — a bounded accept queue; when full, new
+//!   connections get an immediate `429` instead of unbounded buffering.
+//! - **Backpressure & coalescing** — identical job fingerprints share
+//!   one computation; duplicates attach to the in-flight slot.
+//! - **Deadlines** — every job carries a deadline (client-set or the
+//!   server default); expiry anywhere in the pipeline answers `504`.
+//! - **Bounded retry** — transient failures recompute with linear
+//!   backoff, never past the deadline.
+//! - **Panic isolation** — a panicking experiment downs one request,
+//!   answered `500`, never the process.
+//! - **Graceful drain** — `POST /drain` (or stdin EOF in the binary)
+//!   stops admission, completes queued and in-flight work, then exits.
+//!
+//! See `docs/SERVING.md` for the endpoint reference and operational
+//! notes; [`http`] holds the wire plumbing, [`server`] the service
+//! logic.
+
+pub mod http;
+pub mod server;
+
+pub use server::{ServeConfig, Server, ServerState};

@@ -1,0 +1,718 @@
+//! The `bmp-serve` server: admission control, job coalescing, deadlines,
+//! retries, panic isolation and graceful drain around the shared [`Ctx`].
+
+use std::collections::{HashMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::engine::{experiment_defs, experiment_fingerprint, Ctx, ExperimentDef};
+use crate::error::CellError;
+use crate::{report, Scale};
+use bmp_core::json::{self, ObjectExt};
+
+use super::http::{read_request, Request, Response};
+
+/// Tunables for one server instance. Every knob has a service-shaped
+/// default; tests shrink the queue and deadlines to force the edges.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Handler threads — the compute concurrency bound.
+    pub handlers: usize,
+    /// Accepted-connection queue depth; a full queue answers 429
+    /// immediately (admission control, never unbounded buffering).
+    pub queue_depth: usize,
+    /// Default per-job deadline when a submission names none.
+    pub default_deadline_ms: u64,
+    /// Attempts per job (1 = no retry) for transient failures.
+    pub attempts: u32,
+    /// Directory the run's CSVs/metrics live in (`/results/<name>` and
+    /// `/report` read it).
+    pub results_dir: PathBuf,
+    /// Per-socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            handlers: crate::engine::threads_from_env().max(2),
+            queue_depth: 64,
+            default_deadline_ms: 30_000,
+            attempts: crate::engine::attempts_from_env(),
+            results_dir: PathBuf::from("results"),
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Monotonic service counters, exported verbatim by `/metrics`.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    /// Requests fully read and dispatched.
+    pub requests: AtomicU64,
+    /// Jobs that returned a table (200).
+    pub jobs_completed: AtomicU64,
+    /// Jobs whose every attempt failed (500).
+    pub jobs_failed: AtomicU64,
+    /// Connections rejected by admission control (429).
+    pub rejected_busy: AtomicU64,
+    /// Connections rejected while draining (503).
+    pub rejected_draining: AtomicU64,
+    /// Jobs (or waits on a coalesced job) past their deadline (504).
+    pub deadline_expired: AtomicU64,
+    /// Job submissions that attached to an in-flight identical job.
+    pub coalesced: AtomicU64,
+    /// Retry attempts consumed beyond each job's first attempt.
+    pub retries: AtomicU64,
+    /// Requests answered 500 after a handler panic was isolated.
+    pub panics: AtomicU64,
+    /// Malformed requests (400/408/413).
+    pub bad_requests: AtomicU64,
+}
+
+/// What a finished job leaves for coalesced waiters: the CSV, or the
+/// rendered error of the final attempt.
+type JobResult = Result<Arc<String>, String>;
+
+/// Rendezvous for one in-flight job fingerprint.
+struct JobSlot {
+    done: Mutex<Option<JobResult>>,
+    cv: Condvar,
+}
+
+impl JobSlot {
+    fn new() -> Self {
+        Self {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: JobResult) {
+        *self.done.lock().expect("job slot poisoned") = Some(result);
+        self.cv.notify_all();
+    }
+
+    /// Waits until the job settles or `deadline` passes.
+    fn wait_until(&self, deadline: Instant) -> Option<JobResult> {
+        let mut done = self.done.lock().expect("job slot poisoned");
+        loop {
+            if let Some(r) = done.as_ref() {
+                return Some(r.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(done, deadline - now)
+                .expect("job slot poisoned");
+            done = guard;
+        }
+    }
+}
+
+/// An accepted connection waiting for a handler.
+struct Conn {
+    stream: TcpStream,
+    arrived: Instant,
+}
+
+/// Shared server state; the handle `/drain` and the stdin watcher use.
+pub struct ServerState {
+    cfg: ServeConfig,
+    ctx: Arc<Ctx>,
+    scale: Scale,
+    defs: Vec<ExperimentDef>,
+    draining: AtomicBool,
+    queue: Mutex<VecDeque<Conn>>,
+    queue_cv: Condvar,
+    jobs: Mutex<HashMap<u64, Arc<JobSlot>>>,
+    /// Counters for `/metrics`.
+    pub counters: ServeCounters,
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("cfg", &self.cfg)
+            .field("draining", &self.draining)
+            .finish()
+    }
+}
+
+impl ServerState {
+    /// Flips the server into draining mode: `/readyz` turns 503, new
+    /// connections are refused, queued and in-flight jobs complete, and
+    /// [`Server::run`] returns once the queue is empty. Idempotent.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue_cv.notify_all();
+    }
+
+    /// Whether a drain was requested.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// The `/metrics` text exposition: service counters plus the
+    /// artifact-cache and persistent-store accounting.
+    pub fn metrics_text(&self) -> String {
+        let c = &self.counters;
+        let cache = self.ctx.cache_stats();
+        let mut out = String::new();
+        for (name, v) in [
+            ("requests_total", c.requests.load(Ordering::Relaxed)),
+            (
+                "jobs_completed_total",
+                c.jobs_completed.load(Ordering::Relaxed),
+            ),
+            ("jobs_failed_total", c.jobs_failed.load(Ordering::Relaxed)),
+            (
+                "rejected_busy_total",
+                c.rejected_busy.load(Ordering::Relaxed),
+            ),
+            (
+                "rejected_draining_total",
+                c.rejected_draining.load(Ordering::Relaxed),
+            ),
+            (
+                "deadline_expired_total",
+                c.deadline_expired.load(Ordering::Relaxed),
+            ),
+            ("coalesced_total", c.coalesced.load(Ordering::Relaxed)),
+            ("retries_total", c.retries.load(Ordering::Relaxed)),
+            ("panics_total", c.panics.load(Ordering::Relaxed)),
+            ("bad_requests_total", c.bad_requests.load(Ordering::Relaxed)),
+            ("cache_sim_hits", cache.sim_hits),
+            ("cache_sim_misses", cache.sim_misses),
+            ("store_sim_hits", self.ctx.store_hits()),
+        ] {
+            out.push_str(&format!("bmp_serve_{name} {v}\n"));
+        }
+        if let Some(store) = self.ctx.store() {
+            let s = store.stats();
+            out.push_str(&format!("bmp_store_gets {}\n", s.gets()));
+            out.push_str(&format!("bmp_store_hits {}\n", s.hits()));
+            out.push_str(&format!("bmp_store_puts {}\n", s.puts()));
+            out.push_str(&format!("bmp_store_quarantined {}\n", s.quarantined()));
+            out.push_str(&format!("bmp_store_evicted {}\n", s.evicted()));
+            out.push_str(&format!("bmp_store_live_bytes {}\n", store.live_bytes()));
+        }
+        out
+    }
+}
+
+/// A parsed `POST /jobs` submission.
+struct JobSpec {
+    name: String,
+    scale: Scale,
+    deadline: Duration,
+}
+
+/// The `bmp-serve` server. Bind, then [`run`](Self::run); the returned
+/// [`ServerState`] handle drains it from another thread.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and assembles the shared state. The scale
+    /// (`ops`/`seed`) is the server-wide default for jobs that name
+    /// none — identical fingerprints coalesce regardless of origin.
+    ///
+    /// # Errors
+    ///
+    /// The bind error.
+    pub fn bind(cfg: ServeConfig, ctx: Arc<Ctx>, scale: Scale) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        // Non-blocking accept so the acceptor can observe a drain
+        // request promptly without a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState {
+            cfg,
+            ctx,
+            scale,
+            defs: experiment_defs(),
+            draining: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            counters: ServeCounters::default(),
+        });
+        Ok(Self { listener, state })
+    }
+
+    /// The bound address (the ephemeral port when `addr` ended in `:0`).
+    ///
+    /// # Errors
+    ///
+    /// The underlying socket error.
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state handle, for `begin_drain` from other threads.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until drained: accepts with admission control on the
+    /// calling thread, handles requests on `cfg.handlers` worker
+    /// threads, and returns once a drain was requested *and* every
+    /// queued and in-flight request has completed — the graceful-drain
+    /// guarantee.
+    pub fn run(self) {
+        let Server { listener, state } = self;
+        let mut workers = Vec::new();
+        for _ in 0..state.cfg.handlers.max(1) {
+            let st = Arc::clone(&state);
+            workers.push(std::thread::spawn(move || handler_loop(&st)));
+        }
+
+        loop {
+            if state.draining() {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let mut queue = state.queue.lock().expect("queue poisoned");
+                    if queue.len() >= state.cfg.queue_depth {
+                        drop(queue);
+                        state.counters.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        reject(stream, &Response::text(429, "queue full, retry later\n"));
+                    } else {
+                        queue.push_back(Conn {
+                            stream,
+                            arrived: Instant::now(),
+                        });
+                        drop(queue);
+                        state.queue_cv.notify_one();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => break,
+            }
+        }
+
+        // Drain: no new connections are being accepted; wake every
+        // handler so they observe the flag, finish the queue, and exit.
+        state.queue_cv.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Rejects a connection without reading its request: write the
+/// response, half-close, then drain whatever the client already sent.
+/// Closing with unread bytes in the receive buffer makes the kernel
+/// send RST, which would destroy the very response we just wrote — the
+/// bounded drain (100 ms) lets a well-behaved client read its 429/503.
+fn reject(mut stream: TcpStream, response: &Response) {
+    use std::io::Read as _;
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut sink = [0u8; 512];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// One handler thread: pop, serve, repeat; exit when draining and empty.
+fn handler_loop(state: &Arc<ServerState>) {
+    loop {
+        let conn = {
+            let mut queue = state.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(c) = queue.pop_front() {
+                    break Some(c);
+                }
+                if state.draining() {
+                    break None;
+                }
+                let (guard, _) = state
+                    .queue_cv
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                queue = guard;
+            }
+        };
+        let Some(mut conn) = conn else {
+            return; // drained dry
+        };
+        // Panic isolation per request: a handler bug (or an experiment
+        // panic escaping the retry loop) downs one connection, not the
+        // service.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(state, &mut conn);
+        }));
+        if result.is_err() {
+            state.counters.panics.fetch_add(1, Ordering::Relaxed);
+            let _ = Response::text(500, "internal error (isolated)\n").write_to(&mut conn.stream);
+        }
+    }
+}
+
+/// Reads one request off the connection and routes it.
+fn serve_connection(state: &Arc<ServerState>, conn: &mut Conn) {
+    let _ = conn.stream.set_read_timeout(Some(state.cfg.read_timeout));
+    let request = match read_request(&mut conn.stream) {
+        Ok(r) => r,
+        Err(bad) => {
+            state.counters.bad_requests.fetch_add(1, Ordering::Relaxed);
+            let _ =
+                Response::text(bad.status, format!("{}\n", bad.reason)).write_to(&mut conn.stream);
+            return;
+        }
+    };
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+    let response = route(state, &request, conn.arrived);
+    let _ = response.write_to(&mut conn.stream);
+}
+
+/// The endpoint table.
+fn route(state: &Arc<ServerState>, req: &Request, arrived: Instant) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if state.draining() {
+                state
+                    .counters
+                    .rejected_draining
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::text(503, "draining\n")
+            } else {
+                Response::text(200, "ready\n")
+            }
+        }
+        ("GET", "/metrics") => Response::text(200, state.metrics_text()),
+        ("GET", "/experiments") => {
+            let mut body = String::new();
+            for d in &state.defs {
+                body.push_str(d.name);
+                body.push('\n');
+            }
+            Response::text(200, body)
+        }
+        ("GET", "/report") => report_endpoint(state),
+        ("POST", "/drain") => {
+            state.begin_drain();
+            Response::text(202, "draining; in-flight jobs will complete\n")
+        }
+        ("POST", "/jobs") => jobs_endpoint(state, req, arrived),
+        ("GET", path) if path.starts_with("/results/") => results_endpoint(state, path),
+        ("GET", _) => Response::text(404, "unknown path\n"),
+        _ => Response::text(405, "method not allowed\n"),
+    }
+}
+
+/// `GET /results/<name>` — a CSV previously persisted under the run's
+/// results directory. The name is allowlisted against the experiment
+/// registry, so the path cannot traverse anywhere.
+fn results_endpoint(state: &Arc<ServerState>, path: &str) -> Response {
+    let name = path.trim_start_matches("/results/");
+    if !state.defs.iter().any(|d| d.name == name) {
+        return Response::text(404, "unknown experiment\n");
+    }
+    match std::fs::read_to_string(state.cfg.results_dir.join(format!("{name}.csv"))) {
+        Ok(csv) => Response::csv(200, csv),
+        Err(_) => Response::text(404, "no stored result; POST /jobs to compute it\n"),
+    }
+}
+
+/// `GET /report` — the `bmp-report` summary rendering of the metrics
+/// files under the results directory, when a metrics-on run produced
+/// them.
+fn report_endpoint(state: &Arc<ServerState>) -> Response {
+    let dir = state.cfg.results_dir.join("metrics");
+    if !dir.is_dir() {
+        return Response::text(
+            404,
+            "no metrics found; run with BMP_METRICS=1 to populate the report\n",
+        );
+    }
+    match report::load_dir(&dir) {
+        Ok(docs) if !docs.is_empty() => {
+            let mut body = String::new();
+            for t in report::summary_tables(&docs) {
+                body.push_str(&t.to_markdown());
+                body.push('\n');
+            }
+            Response::text(200, body)
+        }
+        Ok(_) => Response::text(
+            404,
+            "no metrics found; run with BMP_METRICS=1 to populate the report\n",
+        ),
+        Err(e) => Response::text(500, format!("metrics unreadable: {e}\n")),
+    }
+}
+
+/// `POST /jobs` — parse, admission-check the deadline, coalesce, run.
+fn jobs_endpoint(state: &Arc<ServerState>, req: &Request, arrived: Instant) -> Response {
+    let spec = match parse_job(state, &req.body) {
+        Ok(s) => s,
+        Err(resp) => return resp,
+    };
+    if !state.defs.iter().any(|d| d.name == spec.name) {
+        return Response::text(404, format!("unknown experiment {:?}\n", spec.name));
+    }
+    let deadline = arrived + spec.deadline;
+    if Instant::now() >= deadline {
+        state
+            .counters
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        return Response::text(504, "deadline expired while queued\n");
+    }
+
+    let key = experiment_fingerprint(&spec.name, spec.scale);
+    // Coalesce: one computation per fingerprint; identical submissions
+    // attach to the in-flight slot (the Memo underneath collapses the
+    // shared artifacts too — this layer dedups the *table* work).
+    let (slot, leader) = {
+        let mut jobs = state.jobs.lock().expect("jobs poisoned");
+        match jobs.get(&key) {
+            Some(slot) => (Arc::clone(slot), false),
+            None => {
+                let slot = Arc::new(JobSlot::new());
+                jobs.insert(key, Arc::clone(&slot));
+                (slot, true)
+            }
+        }
+    };
+
+    if !leader {
+        state.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+        return match slot.wait_until(deadline) {
+            Some(Ok(csv)) => {
+                state
+                    .counters
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::csv(200, csv.as_str())
+            }
+            Some(Err(e)) => {
+                state.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                Response::text(500, format!("job failed: {e}\n"))
+            }
+            None => {
+                state
+                    .counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::text(504, "deadline expired waiting on coalesced job\n")
+            }
+        };
+    }
+
+    let result = run_job(state, &spec, deadline);
+    slot.fill(result.clone());
+    state.jobs.lock().expect("jobs poisoned").remove(&key);
+    match result {
+        Ok(csv) => {
+            if Instant::now() >= deadline {
+                // The work finished late: the cache is warm for the
+                // next submission, but this request gets the honest
+                // answer.
+                state
+                    .counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::text(504, "deadline expired during compute (result cached)\n")
+            } else {
+                state
+                    .counters
+                    .jobs_completed
+                    .fetch_add(1, Ordering::Relaxed);
+                Response::csv(200, csv.as_str())
+            }
+        }
+        Err(e) => {
+            state.counters.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            Response::text(500, format!("job failed: {e}\n"))
+        }
+    }
+}
+
+/// Runs one job with panic isolation and bounded retry-with-backoff.
+/// Retries stop early when the deadline has passed — a doomed request
+/// should not hold a handler thread.
+fn run_job(state: &Arc<ServerState>, spec: &JobSpec, deadline: Instant) -> JobResult {
+    let def = state
+        .defs
+        .iter()
+        .find(|d| d.name == spec.name)
+        .expect("existence checked by caller");
+    let attempts = state.cfg.attempts.max(1);
+    let mut last_err = String::new();
+    for attempt in 1..=attempts {
+        if attempt > 1 {
+            state.counters.retries.fetch_add(1, Ordering::Relaxed);
+            // Deterministic linear backoff, capped well under typical
+            // deadlines; transient failures (a poisoned cache slot, an
+            // injected fault budget) clear on recompute.
+            let pause = Duration::from_millis(25 * u64::from(attempt - 1));
+            if Instant::now() + pause >= deadline {
+                break;
+            }
+            std::thread::sleep(pause);
+        }
+        match catch_unwind(AssertUnwindSafe(|| (def.run)(&state.ctx, spec.scale))) {
+            Ok(table) => return Ok(Arc::new(table.to_csv())),
+            Err(payload) => {
+                let err = CellError::from_panic_payload(def.name, payload);
+                last_err = err.to_string();
+            }
+        }
+    }
+    Err(last_err)
+}
+
+/// Parses the `POST /jobs` JSON body:
+/// `{"experiment": "...", "ops": N?, "seed": N?, "deadline_ms": N?}`.
+fn parse_job(state: &Arc<ServerState>, body: &[u8]) -> Result<JobSpec, Response> {
+    let text = std::str::from_utf8(body).map_err(|_| Response::text(400, "body is not UTF-8\n"))?;
+    let value = json::parse(text)
+        .map_err(|e| Response::text(400, format!("bad JSON: {}\n", e.message())))?;
+    let obj = value
+        .as_object("job")
+        .map_err(|_| Response::text(400, "job body must be a JSON object\n"))?;
+    let name = obj
+        .get_string("experiment")
+        .map_err(|_| Response::text(400, "missing \"experiment\"\n"))?
+        .to_string();
+    let mut scale = state.scale;
+    if let Some(v) = obj.get("ops") {
+        let ops = v
+            .as_u64("ops")
+            .map_err(|_| Response::text(400, "\"ops\" must be a positive integer\n"))?;
+        if ops == 0 {
+            return Err(Response::text(400, "\"ops\" must be positive\n"));
+        }
+        scale.ops = ops as usize;
+    }
+    if let Some(v) = obj.get("seed") {
+        scale.seed = v
+            .as_u64("seed")
+            .map_err(|_| Response::text(400, "\"seed\" must be an integer\n"))?;
+    }
+    let mut deadline = Duration::from_millis(state.cfg.default_deadline_ms);
+    if let Some(v) = obj.get("deadline_ms") {
+        let ms = v
+            .as_u64("deadline_ms")
+            .map_err(|_| Response::text(400, "\"deadline_ms\" must be an integer\n"))?;
+        deadline = Duration::from_millis(ms);
+    }
+    Ok(JobSpec {
+        name,
+        scale,
+        deadline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineChoice;
+    use std::io::{Read as _, Write as _};
+
+    fn tiny_server() -> (
+        std::net::SocketAddr,
+        Arc<ServerState>,
+        std::thread::JoinHandle<()>,
+    ) {
+        let cfg = ServeConfig {
+            handlers: 2,
+            queue_depth: 4,
+            default_deadline_ms: 10_000,
+            attempts: 1,
+            ..ServeConfig::default()
+        };
+        let ctx = Arc::new(Ctx::with_settings(EngineChoice::EventDriven, false));
+        let server = Server::bind(cfg, ctx, Scale { ops: 500, seed: 7 }).unwrap();
+        let addr = server.local_addr().unwrap();
+        let state = server.state();
+        let join = std::thread::spawn(move || server.run());
+        (addr, state, join)
+    }
+
+    fn talk(addr: std::net::SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        s.flush().unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn health_endpoints_and_drain_lifecycle() {
+        let (addr, state, join) = tiny_server();
+
+        let got = talk(addr, "GET /healthz HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 200"), "{got}");
+
+        let got = talk(addr, "GET /readyz HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 200"), "{got}");
+
+        let got = talk(addr, "GET /experiments HTTP/1.1\r\n\r\n");
+        assert!(got.contains("table1_config"), "{got}");
+        assert!(got.contains("fig5_contributor_breakdown"), "{got}");
+
+        let got = talk(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 404"), "{got}");
+
+        let got = talk(addr, "DELETE /healthz HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 405"), "{got}");
+
+        let got = talk(
+            addr,
+            "POST /jobs HTTP/1.1\r\nContent-Length: 9\r\n\r\nnot json!",
+        );
+        assert!(got.starts_with("HTTP/1.1 400"), "{got}");
+
+        let got = talk(
+            addr,
+            "POST /jobs HTTP/1.1\r\nContent-Length: 28\r\n\r\n{\"experiment\": \"no_such_e\"}\n",
+        );
+        assert!(got.starts_with("HTTP/1.1 404"), "{got}");
+
+        let got = talk(addr, "POST /drain HTTP/1.1\r\n\r\n");
+        assert!(got.starts_with("HTTP/1.1 202"), "{got}");
+        assert!(state.draining());
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn small_job_round_trips_as_csv() {
+        let (addr, state, join) = tiny_server();
+        let body = "{\"experiment\": \"table1_config\"}";
+        let got = talk(
+            addr,
+            &format!(
+                "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+        );
+        assert!(got.starts_with("HTTP/1.1 200"), "{got}");
+        assert!(got.contains("text/csv"), "{got}");
+
+        let got = talk(addr, "GET /metrics HTTP/1.1\r\n\r\n");
+        assert!(got.contains("bmp_serve_jobs_completed_total 1"), "{got}");
+
+        state.begin_drain();
+        join.join().unwrap();
+    }
+}

@@ -27,6 +27,17 @@ impl BranchStats {
         Self::default()
     }
 
+    /// Reconstructs statistics from raw counters — the deserialization
+    /// path for the bench crate's persisted-artifact codec. `mispredictions`
+    /// is clamped to `predictions` so a decoded value can never claim a
+    /// miss rate above 1.
+    pub fn from_raw(predictions: u64, mispredictions: u64) -> Self {
+        Self {
+            predictions,
+            mispredictions: mispredictions.min(predictions),
+        }
+    }
+
     /// Records one prediction with its actual outcome.
     pub fn record(&mut self, predicted: bool, actual: bool) {
         self.predictions += 1;

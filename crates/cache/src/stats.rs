@@ -15,6 +15,17 @@ impl CacheStats {
         Self::default()
     }
 
+    /// Reconstructs statistics from raw counters — the deserialization
+    /// path for the bench crate's persisted-artifact codec. `misses` is
+    /// clamped to `accesses` so [`hits`](Self::hits) cannot underflow on
+    /// decoded data.
+    pub fn from_raw(accesses: u64, misses: u64) -> Self {
+        Self {
+            accesses,
+            misses: misses.min(accesses),
+        }
+    }
+
     /// Records one access and whether it hit.
     pub fn record(&mut self, hit: bool) {
         self.accesses += 1;

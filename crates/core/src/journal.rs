@@ -84,6 +84,13 @@ pub struct ExperimentRecord {
     /// (e.g. `metrics/fig2_penalty_per_benchmark.json`). Present only
     /// for completed records of runs made with `BMP_METRICS=1`.
     pub metrics: Option<String>,
+    /// FNV-1a content hash of the experiment's CSV bytes as written,
+    /// in fixed-width hex (same string discipline as `fingerprint`).
+    /// `--resume` re-hashes the CSV on disk and recomputes on mismatch,
+    /// so a deleted *or silently corrupted* artifact never causes a
+    /// false skip. Absent in journals from before this field existed —
+    /// such records are resumed on existence alone, as before.
+    pub csv_fnv: Option<String>,
 }
 
 /// The whole journal: run-level configuration plus per-experiment records.
@@ -163,6 +170,12 @@ impl RunJournal {
                     json::escape_string(metrics)
                 ));
             }
+            if let Some(csv_fnv) = &r.csv_fnv {
+                out.push_str(&format!(
+                    ",\n      \"csv_fnv\": {}",
+                    json::escape_string(csv_fnv)
+                ));
+            }
             out.push_str("\n    }");
         }
         if !self.experiments.is_empty() {
@@ -206,6 +219,10 @@ impl RunJournal {
                 Some(v) => Some(v.as_string("metrics")?.to_string()),
                 None => None,
             };
+            let csv_fnv = match rec.get("csv_fnv") {
+                Some(v) => Some(v.as_string("csv_fnv")?.to_string()),
+                None => None,
+            };
             experiments.push(ExperimentRecord {
                 name,
                 status,
@@ -213,6 +230,7 @@ impl RunJournal {
                 attempts,
                 error,
                 metrics,
+                csv_fnv,
             });
         }
         Ok(Self {
@@ -269,6 +287,7 @@ mod tests {
                     attempts: 1,
                     error: None,
                     metrics: None,
+                    csv_fnv: None,
                 },
                 ExperimentRecord {
                     name: "fig9_cpi".into(),
@@ -277,6 +296,7 @@ mod tests {
                     attempts: 2,
                     error: Some("cell \"fig9:gcc\" panicked:\n\tboom".into()),
                     metrics: None,
+                    csv_fnv: None,
                 },
             ],
         }
@@ -308,6 +328,7 @@ mod tests {
             attempts: 1,
             error: None,
             metrics: Some("metrics/fig2_penalty.json".into()),
+            csv_fnv: None,
         });
         let text = j.to_json();
         let back = RunJournal::parse(&text).unwrap();
@@ -322,6 +343,30 @@ mod tests {
     }
 
     #[test]
+    fn csv_hash_round_trips_and_is_optional() {
+        let mut j = RunJournal::new(1_000, 7);
+        j.upsert(ExperimentRecord {
+            name: "fig8_ilp".into(),
+            status: RunStatus::Completed,
+            fingerprint: 42,
+            attempts: 1,
+            error: None,
+            metrics: None,
+            csv_fnv: Some("00f00ddeadbeef12".into()),
+        });
+        let back = RunJournal::parse(&j.to_json()).unwrap();
+        assert_eq!(back, j);
+        assert_eq!(
+            back.find("fig8_ilp").unwrap().csv_fnv.as_deref(),
+            Some("00f00ddeadbeef12")
+        );
+        // A journal written before the field existed parses fine and
+        // yields None.
+        assert!(!sample().to_json().contains("csv_fnv"));
+        assert_eq!(sample().experiments[0].csv_fnv, None);
+    }
+
+    #[test]
     fn upsert_replaces_by_name() {
         let mut j = sample();
         j.upsert(ExperimentRecord {
@@ -331,6 +376,7 @@ mod tests {
             attempts: 3,
             error: None,
             metrics: None,
+            csv_fnv: None,
         });
         assert_eq!(j.experiments.len(), 2);
         let r = j.find("fig9_cpi").unwrap();
@@ -364,6 +410,7 @@ mod tests {
             attempts: 1,
             error: None,
             metrics: None,
+            csv_fnv: None,
         });
         let back = RunJournal::parse(&j.to_json()).unwrap();
         assert_eq!(back.find("x").unwrap().fingerprint, u64::MAX - 1);

@@ -31,6 +31,8 @@
 //!   BMP2xx/BMP6xx lints (see `docs/STATIC_ANALYSIS.md`);
 //! * [`journal`] + [`json`] — the crash-safe run journal and the shared
 //!   hand-rolled JSON reader behind it;
+//! * [`io`] + [`store`] — the atomic-write primitive and the crash-safe
+//!   persistent artifact store built on it (see `docs/SERVING.md`);
 //! * [`report`] — markdown rendering of an analysis;
 //! * [`validate`] — error metrics for comparing the model against the
 //!   cycle-level simulator (experiment E-F10).
@@ -60,11 +62,13 @@ pub mod drain;
 pub mod functional;
 pub mod identities;
 pub mod intervals;
+pub mod io;
 pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod penalty;
 pub mod report;
+pub mod store;
 pub mod validate;
 
 pub use accounting::{CycleAccounting, IntervalAccountant, IntervalRecord};
@@ -72,5 +76,7 @@ pub use functional::{FunctionalOutcome, LoadClass};
 pub use intervals::{
     segment, Interval, IntervalEvent, IntervalEventKind, IntervalLengthHistogram, LENGTH_BUCKETS,
 };
+pub use io::write_atomic;
 pub use metrics::{ExperimentMetrics, ModelMetrics, WorkloadMetrics};
 pub use penalty::{PenaltyAnalysis, PenaltyBreakdown, PenaltyModel};
+pub use store::{DiskStore, RecoveryReport, StoreConfig, StoreError};

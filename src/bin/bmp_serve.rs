@@ -1,0 +1,184 @@
+//! `bmp-serve` — the hardened characterization service.
+//!
+//! Serves simulation jobs over HTTP/1.1 with admission control, request
+//! coalescing, per-job deadlines, bounded retry, panic isolation and
+//! graceful drain (see `docs/SERVING.md` and `bmp_bench::serve`).
+//!
+//! ```text
+//! bmp-serve [--addr HOST:PORT] [--results DIR] [--queue-depth N]
+//!           [--handlers N] [--deadline-ms N]
+//! ```
+//!
+//! Environment: `BMP_OPS` / `BMP_SEED` set the default job scale,
+//! `BMP_THREADS` the handler count, `BMP_ATTEMPTS` the retry budget,
+//! `BMP_STORE` attaches the crash-safe persistent artifact store
+//! (`BMP_STORE_MAX_BYTES` bounds it), and `BMP_FAULT` arms the fault
+//! schedule (`torn-write`/`corrupt` kinds target the store's writes).
+//!
+//! The service drains on `POST /drain` or when stdin reaches EOF —
+//! closing the pipe the supervisor holds is the portable shutdown
+//! signal in this `#![forbid(unsafe_code)]` workspace (no raw signal
+//! handlers). Draining stops admission (`/readyz` answers 503, new
+//! connections get 503), completes queued and in-flight jobs, then
+//! exits 0.
+
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use bmp_bench::engine::Ctx;
+use bmp_bench::serve::{ServeConfig, Server};
+use bmp_bench::{FaultPlan, Scale};
+use bmp_core::{DiskStore, StoreConfig};
+
+const USAGE: &str = "\
+bmp-serve — characterization-as-a-service for the mispredict workspace
+
+usage:
+  bmp-serve [--addr HOST:PORT] [--results DIR] [--queue-depth N]
+            [--handlers N] [--deadline-ms N]
+
+  --addr        bind address (default 127.0.0.1:7090; :0 = ephemeral)
+  --results     results directory for /results and /report (default results)
+  --queue-depth accepted-connection queue bound; beyond it: 429 (default 64)
+  --handlers    worker threads (default: BMP_THREADS or the CPU count)
+  --deadline-ms default per-job deadline (default 30000)
+
+endpoints:
+  GET  /healthz /readyz /metrics /experiments /results/<name> /report
+  POST /jobs    {\"experiment\": NAME, \"ops\"?, \"seed\"?, \"deadline_ms\"?}
+  POST /drain   stop admission, finish in-flight work, exit
+
+shutdown: POST /drain, or close the process's stdin.
+";
+
+fn main() -> ExitCode {
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:7090".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
+        let parsed: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--help" | "-h" => {
+                    print!("{USAGE}");
+                    std::process::exit(0);
+                }
+                "--addr" => cfg.addr = take("--addr")?,
+                "--results" => cfg.results_dir = PathBuf::from(take("--results")?),
+                "--queue-depth" => {
+                    cfg.queue_depth = parse_num(&take("--queue-depth")?, "--queue-depth")?;
+                }
+                "--handlers" => cfg.handlers = parse_num(&take("--handlers")?, "--handlers")?,
+                "--deadline-ms" => {
+                    cfg.default_deadline_ms = parse_num(&take("--deadline-ms")?, "--deadline-ms")?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprint!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let faults = match FaultPlan::from_env() {
+        Ok(plan) => Arc::new(plan),
+        Err(e) => {
+            eprintln!("error: bad BMP_FAULT spec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !faults.is_empty() {
+        eprintln!("fault injection active: {faults}");
+    }
+
+    let ctx = Arc::new(Ctx::new());
+    attach_store(&ctx, &faults);
+
+    let scale = Scale::from_env();
+    let server = match Server::bind(cfg, Arc::clone(&ctx), scale) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Machine-readable first line: tests and supervisors parse the
+    // actual address (the port is ephemeral under `--addr ...:0`).
+    println!("listening on http://{addr}");
+    eprintln!(
+        "scale: {} ops, seed {} (BMP_OPS / BMP_SEED)",
+        scale.ops, scale.seed
+    );
+
+    // Portable shutdown without signal handlers: when whoever spawned
+    // us closes our stdin (or exits), drain and leave.
+    let state = server.state();
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin().lock();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        eprintln!("stdin closed; draining");
+        state.begin_drain();
+    });
+
+    server.run();
+    eprintln!("drained; bye");
+    ExitCode::SUCCESS
+}
+
+/// Parses one numeric flag value.
+fn parse_num<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{what} needs a number, got {v:?}"))
+}
+
+/// `BMP_STORE=<dir>`: open the persistent artifact store (running its
+/// recovery scan), arm the fault hook, and attach it under the cache.
+/// Open failure degrades to in-memory-only service, never a dead start.
+fn attach_store(ctx: &Arc<Ctx>, faults: &Arc<FaultPlan>) {
+    let Ok(dir) = std::env::var("BMP_STORE") else {
+        return;
+    };
+    if dir.is_empty() {
+        return;
+    }
+    let config = StoreConfig {
+        max_bytes: std::env::var("BMP_STORE_MAX_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok()),
+    };
+    match DiskStore::open(Path::new(&dir), config) {
+        Ok((store, recovery)) => {
+            eprintln!(
+                "store {dir}: {} valid record(s), {} quarantined, \
+                 {} temp file(s) swept, {} live byte(s)",
+                recovery.valid, recovery.quarantined, recovery.temps_removed, recovery.live_bytes
+            );
+            store.set_fault_hook(FaultPlan::store_hook(Arc::clone(faults)));
+            ctx.set_store(Arc::new(store));
+        }
+        Err(e) => {
+            eprintln!("warning: cannot open store {dir}: {e}; running without persistence");
+        }
+    }
+}
