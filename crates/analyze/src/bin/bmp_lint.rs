@@ -44,6 +44,11 @@ OPTIONS:
                       misplaced records, quarantine backlog, stale
                       locks, foreign files; given alone, skips the
                       other passes too
+    --kernels         execute every bmp-isa RV32IM kernel and lint the
+                      recorded trace: well-formedness (BMP1xx),
+                      executed-trace provenance (BMP9xx), and model /
+                      simulator conservation on the baseline machine;
+                      given alone, skips the other passes too
     --ops N           trace length per workload profile (default 2000)
     --no-traces       lint machine presets only; skip workload traces
     --list            list preset and profile names, then exit
@@ -82,6 +87,7 @@ struct Options {
     metrics: Option<String>,
     statics: Option<String>,
     store: Option<String>,
+    kernels: bool,
     ops: usize,
     no_traces: bool,
     list: bool,
@@ -96,6 +102,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         metrics: None,
         statics: None,
         store: None,
+        kernels: false,
         ops: 2000,
         no_traces: false,
         list: false,
@@ -104,6 +111,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => opts.json = true,
+            "--kernels" => opts.kernels = true,
             "--no-traces" => opts.no_traces = true,
             "--list" => opts.list = true,
             "--preset" => {
@@ -323,15 +331,40 @@ fn main() -> ExitCode {
         report.merge(AnalysisReport::new(bmp_analyze::lint_store(p)));
     }
 
+    // Pass 0e: the executed-kernel suite (BMP1xx + BMP9xx + model and
+    // simulator conservation). Each kernel is functionally executed at
+    // the requested length and its recorded trace must carry the full
+    // provenance fingerprint — the rules synthetic traces cannot pass.
+    if opts.kernels {
+        let reference = presets::baseline_4wide();
+        let simulator = Simulator::new(reference.clone());
+        for name in bmp_isa::NAMES {
+            targets += 1;
+            let target = format!("kernel {name}");
+            let trace = bmp_isa::kernel_trace(name, opts.ops, 1).expect("registered kernel");
+            report.merge(scoped(&target, analyze(&reference, Some(&trace))));
+            report.merge(scoped(
+                &target,
+                AnalysisReport::new(bmp_analyze::lint_executed_trace(&trace)),
+            ));
+            let result = simulator.run(&trace);
+            report.merge(scoped(
+                &target,
+                AnalysisReport::new(lint_sim_result(&result, &reference)),
+            ));
+        }
+    }
+
     // Pass 1: every selected machine preset on its own. A bare
-    // `--profile` (or `--journal` / `--metrics`) request means "lint
-    // this target", so the preset sweep only runs when presets were not
-    // narrowed away.
+    // `--profile` (or `--journal` / `--metrics` / `--kernels`) request
+    // means "lint this target", so the preset sweep only runs when
+    // presets were not narrowed away.
     let narrowed = opts.profile.is_some()
         || opts.journal.is_some()
         || opts.metrics.is_some()
         || opts.statics.is_some()
-        || opts.store.is_some();
+        || opts.store.is_some()
+        || opts.kernels;
     if !narrowed || opts.preset.is_some() {
         for (name, cfg) in &machines {
             targets += 1;
@@ -346,7 +379,8 @@ fn main() -> ExitCode {
         && ((opts.journal.is_none()
             && opts.metrics.is_none()
             && opts.statics.is_none()
-            && opts.store.is_none())
+            && opts.store.is_none()
+            && !opts.kernels)
             || opts.profile.is_some())
     {
         let reference = presets::baseline_4wide();

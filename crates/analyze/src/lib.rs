@@ -53,6 +53,13 @@
 //!   records, pending quarantine entries, stale locks, foreign files —
 //!   so operators see damage the store would otherwise just silently
 //!   recompute around.
+//! * `BMP9xx` — executed-trace provenance ([`provenance`]): the
+//!   structural invariants a trace recorded from a real execution must
+//!   carry (4-aligned RV32 PCs, straight-line continuity inside
+//!   superblocks, architectural effective addresses, aligned branch
+//!   targets) — what the `bmp-isa` functional executor guarantees by
+//!   construction, checked so corruption anywhere between the executor
+//!   and the model is loud.
 //!
 //! [`analyze`] is the one-call entry point; the `bmp-lint` binary runs it
 //! over presets, workload profiles, or both (plus `--journal` for run
@@ -71,6 +78,7 @@ pub mod diag;
 pub mod journal;
 pub mod machine;
 pub mod metrics;
+pub mod provenance;
 pub mod staticpass;
 pub mod storelint;
 pub mod superblocklint;
@@ -82,6 +90,7 @@ pub use diag::{walk_inputs, AnalysisReport, Diagnostic, Severity, WalkedFile};
 pub use journal::{lint_journal, lint_journal_text};
 pub use machine::{lint_fu_coverage, lint_machine};
 pub use metrics::{lint_metrics, lint_metrics_text};
+pub use provenance::lint_executed_trace;
 pub use staticpass::{StaticAnalysis, StaticBounds};
 pub use storelint::lint_store;
 pub use superblocklint::lint_superblock;

@@ -1,0 +1,223 @@
+//! Executed-trace provenance lints (`BMP9xx`).
+//!
+//! The BMP1xx family checks properties *any* trace must have. This
+//! family checks the stronger invariants a trace claiming to be
+//! *recorded from a real execution* must additionally carry — exactly
+//! what the `bmp-isa` functional executor guarantees by construction
+//! (see `docs/ISA.md`): 4-aligned RV32 PCs, straight-line continuity
+//! inside superblocks, architectural effective addresses on every
+//! memory op, aligned branch targets. A clean report is a necessary
+//! condition for executed provenance, not a proof of it (the
+//! statistical generators deliberately maintain the same structural
+//! invariants); what the family buys is that any corruption in the
+//! executor, the trace emitter, or a serialization round-trip of an
+//! executed trace is loud rather than silently absorbed by the
+//! interval model.
+//!
+//! | code   | severity | meaning                                        |
+//! |--------|----------|------------------------------------------------|
+//! | BMP900 | error    | PC misaligned or outside the RV32 address space |
+//! | BMP901 | error    | straight-line break: a non-branch op not followed by `pc + 4` |
+//! | BMP902 | error    | memory op with a null or non-RV32 effective address |
+//! | BMP903 | error    | branch target null, misaligned, or outside RV32 |
+//!
+//! BMP901 is deliberately stricter than BMP105 (which compares against
+//! the op's own `next_pc`, a tautology for non-branches in some
+//! encodings): within a superblock — a branch-free run — the PCs of an
+//! executed RV32 trace advance by exactly one 4-byte instruction per
+//! op, monotonically. Only a recorded branch may move the PC anywhere
+//! else.
+
+use bmp_trace::Trace;
+
+use crate::diag::Diagnostic;
+use crate::tracelint::{push_capped, summarize_overflow};
+
+/// One past the top of the RV32 address space: executed PCs, branch
+/// targets and effective addresses all live strictly below it.
+const RV32_TOP: u64 = 1 << 32;
+
+/// Runs every provenance rule over `trace`. A clean report certifies
+/// the structural fingerprint of an executed trace; it does not (and
+/// cannot) re-run the program.
+pub fn lint_executed_trace(trace: &Trace) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let ops = trace.ops();
+    let (mut badpc, mut badline, mut badmem, mut badtgt) = (0usize, 0, 0, 0);
+    for (i, op) in ops.iter().enumerate() {
+        // BMP900: every fetched PC is a 4-aligned RV32 address.
+        let pc = op.pc();
+        if pc % 4 != 0 || pc >= RV32_TOP || pc == 0 {
+            badpc = push_capped(
+                &mut out,
+                badpc,
+                Diagnostic::error(
+                    "BMP900",
+                    format!("trace[{i}]"),
+                    format!("pc {pc:#x} is not a 4-aligned nonzero RV32 address"),
+                )
+                .with_suggestion("executed traces carry the PCs the CPU actually fetched"),
+            );
+        }
+
+        // BMP901: inside a superblock the PC advances by exactly 4.
+        if op.branch_info().is_none() && i + 1 < ops.len() {
+            let next = ops[i + 1].pc();
+            if next != pc + 4 {
+                badline = push_capped(
+                    &mut out,
+                    badline,
+                    Diagnostic::error(
+                        "BMP901",
+                        format!("trace[{i}]"),
+                        format!(
+                            "straight-line break: non-branch op at pc {pc:#x} is \
+                             followed by pc {next:#x}, not {:#x}",
+                            pc + 4
+                        ),
+                    )
+                    .with_suggestion(
+                        "only a recorded branch may end a superblock; re-record \
+                         the trace from the executor",
+                    ),
+                );
+            }
+        }
+
+        // BMP902: loads and stores carry the real effective address.
+        if let Some(addr) = op.mem_addr() {
+            if addr == 0 || addr >= RV32_TOP {
+                badmem = push_capped(
+                    &mut out,
+                    badmem,
+                    Diagnostic::error(
+                        "BMP902",
+                        format!("trace[{i}]"),
+                        format!("memory op effective address {addr:#x} is null or outside RV32"),
+                    )
+                    .with_suggestion(
+                        "executed traces record architectural effective addresses; \
+                         0 means the recorder never saw one",
+                    ),
+                );
+            }
+        }
+
+        // BMP903: branch targets are real 4-aligned code addresses.
+        if let Some(b) = op.branch_info() {
+            if b.target == 0 || b.target % 4 != 0 || b.target >= RV32_TOP {
+                badtgt = push_capped(
+                    &mut out,
+                    badtgt,
+                    Diagnostic::error(
+                        "BMP903",
+                        format!("trace[{i}]"),
+                        format!(
+                            "branch target {:#x} is null, misaligned, or outside RV32",
+                            b.target
+                        ),
+                    ),
+                );
+            }
+        }
+    }
+    summarize_overflow(&mut out, "BMP900", badpc);
+    summarize_overflow(&mut out, "BMP901", badline);
+    summarize_overflow(&mut out, "BMP902", badmem);
+    summarize_overflow(&mut out, "BMP903", badtgt);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracelint::MAX_PER_CODE;
+    use bmp_trace::{BranchKind, MicroOp, Trace};
+    use bmp_uarch::OpClass;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn executed_kernel_traces_are_clean() {
+        for name in bmp_isa::NAMES {
+            let trace = bmp_isa::kernel_trace(name, 2_000, 42).expect("known kernel");
+            let diags = lint_executed_trace(&trace);
+            assert!(diags.is_empty(), "{name}: {:?}", codes(&diags));
+        }
+    }
+
+    #[test]
+    fn structurally_faithful_synthetic_traces_also_pass() {
+        // The statistical generators lay out a synthetic code image and
+        // maintain the same structural invariants, so they pass too —
+        // the family certifies structure, not origin (module docs).
+        let profile = bmp_workloads::spec::by_name("gzip").expect("spec profile");
+        let trace = profile.generate(2_000, 42);
+        let diags = lint_executed_trace(&trace);
+        assert!(diags.is_empty(), "{:?}", codes(&diags));
+    }
+
+    #[test]
+    fn misaligned_pc_is_bmp900() {
+        let ops = vec![
+            MicroOp::alu(0x1002, OpClass::IntAlu, [None, None]),
+            MicroOp::alu(0x1006, OpClass::IntAlu, [None, None]),
+        ];
+        let diags = lint_executed_trace(&Trace::from_ops_unchecked(ops));
+        assert!(codes(&diags).contains(&"BMP900"), "{diags:?}");
+    }
+
+    #[test]
+    fn straight_line_break_is_bmp901() {
+        let ops = vec![
+            MicroOp::alu(0x1000, OpClass::IntAlu, [None, None]),
+            MicroOp::alu(0x2000, OpClass::IntAlu, [None, None]),
+        ];
+        let diags = lint_executed_trace(&Trace::from_ops_unchecked(ops));
+        assert!(codes(&diags).contains(&"BMP901"), "{diags:?}");
+    }
+
+    #[test]
+    fn null_memory_address_is_bmp902() {
+        let ops = vec![
+            MicroOp::load(0x1000, 0, [None, None]),
+            MicroOp::alu(0x1004, OpClass::IntAlu, [None, None]),
+        ];
+        let diags = lint_executed_trace(&Trace::from_ops_unchecked(ops));
+        assert_eq!(codes(&diags), vec!["BMP902"], "{diags:?}");
+    }
+
+    #[test]
+    fn bad_branch_target_is_bmp903() {
+        let ops = vec![
+            MicroOp::branch(0x1000, BranchKind::Jump, true, 0x2001, [None, None]),
+            MicroOp::alu(0x2001, OpClass::IntAlu, [None, None]),
+        ];
+        let diags = lint_executed_trace(&Trace::from_ops_unchecked(ops));
+        // The target is misaligned (BMP903) and so is the landing pc
+        // (BMP900).
+        assert!(codes(&diags).contains(&"BMP903"), "{diags:?}");
+        assert!(codes(&diags).contains(&"BMP900"), "{diags:?}");
+    }
+
+    #[test]
+    fn a_taken_branch_may_move_the_pc() {
+        let ops = vec![
+            MicroOp::branch(0x1000, BranchKind::Conditional, true, 0x2000, [None, None]),
+            MicroOp::alu(0x2000, OpClass::IntAlu, [None, None]),
+        ];
+        assert!(lint_executed_trace(&Trace::from_ops_unchecked(ops)).is_empty());
+    }
+
+    #[test]
+    fn repeated_findings_are_capped() {
+        let ops: Vec<MicroOp> = (0..40)
+            .map(|i| MicroOp::alu(0x1000 * (i + 1) as u64, OpClass::IntAlu, [None, None]))
+            .collect();
+        let diags = lint_executed_trace(&Trace::from_ops_unchecked(ops));
+        let n = diags.iter().filter(|d| d.code == "BMP901").count();
+        assert_eq!(n, MAX_PER_CODE + 1, "{diags:?}");
+    }
+}

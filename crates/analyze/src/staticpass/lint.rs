@@ -71,17 +71,20 @@ const EPS_SUM: f64 = 0.051;
 const EPS_GE: f64 = 0.006;
 
 /// Recomputes static bounds for one workload of a metrics document, if
-/// the workload is reproducible from the registry (same generator,
-/// `ops` and `seed` as the run that wrote the document; the metrics
-/// contract pins the machine to `cfg`).
+/// the workload is reproducible — a statistical profile from the
+/// registry or an executed RV32IM kernel from the `bmp-isa` suite (same
+/// generator/executor, `ops` and `seed` as the run that wrote the
+/// document; the metrics contract pins the machine to `cfg`).
 pub fn static_bounds_for(
     workload: &str,
     ops: u64,
     seed: u64,
     cfg: &MachineConfig,
 ) -> Option<StaticBounds> {
-    let profile = spec::by_name(workload)?;
-    let trace = profile.generate(ops as usize, seed);
+    let trace = match spec::by_name(workload) {
+        Some(profile) => profile.generate(ops as usize, seed),
+        None => bmp_isa::kernel_trace(workload, ops as usize, seed)?,
+    };
     Some(bounds::compute(cfg, &trace))
 }
 

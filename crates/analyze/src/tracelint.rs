@@ -16,11 +16,11 @@ use crate::diag::Diagnostic;
 
 /// Cap on repeated findings per rule; beyond it one summary line is
 /// emitted instead of drowning the report.
-const MAX_PER_CODE: usize = 8;
+pub(crate) const MAX_PER_CODE: usize = 8;
 
 /// Pushes `d` unless `count` already reached [`MAX_PER_CODE`];
 /// returns the new count.
-fn push_capped(out: &mut Vec<Diagnostic>, count: usize, d: Diagnostic) -> usize {
+pub(crate) fn push_capped(out: &mut Vec<Diagnostic>, count: usize, d: Diagnostic) -> usize {
     if count < MAX_PER_CODE {
         out.push(d);
     }
@@ -28,7 +28,7 @@ fn push_capped(out: &mut Vec<Diagnostic>, count: usize, d: Diagnostic) -> usize 
 }
 
 /// Appends the "... and N more" summary for a rule that overflowed.
-fn summarize_overflow(out: &mut Vec<Diagnostic>, code: &'static str, count: usize) {
+pub(crate) fn summarize_overflow(out: &mut Vec<Diagnostic>, code: &'static str, count: usize) {
     if count > MAX_PER_CODE {
         out.push(Diagnostic::info(
             code,

@@ -1,0 +1,7 @@
+//! Regenerates extension experiment "ex_isa_contributors" — see DESIGN.md.
+
+fn main() -> std::process::ExitCode {
+    let scale = bmp_bench::Scale::from_env();
+    let ctx = bmp_bench::Ctx::new();
+    bmp_bench::run_bin(|| bmp_bench::experiments::ex_isa_contributors(&ctx, scale))
+}

@@ -10,7 +10,7 @@
 //!    oracle / warmup simulations, interval-model analyses). The engine
 //!    deduplicates them by content key and computes each exactly once,
 //!    spread across the pool, into the shared [`Ctx`] cache.
-//! 2. **Experiments** — the 23 experiment functions run on the pool,
+//! 2. **Experiments** — the 25 experiment functions run on the pool,
 //!    hitting the warm cache for the shared work and computing only their
 //!    experiment-specific sweeps.
 //!
@@ -262,6 +262,49 @@ impl Ctx {
     /// than an opaque panic) if `name` is not one of [`spec::NAMES`].
     pub fn named_trace(&self, name: &str, scale: Scale) -> TraceHandle {
         self.try_named_trace(name, scale)
+            .unwrap_or_else(|e| std::panic::panic_any(e))
+    }
+
+    /// The *executed* trace of the RV32IM kernel `name` at `scale`
+    /// (see `bmp_isa`), cached by `(kernel name, ops, seed)`, or a
+    /// structured [`CellError`] when `name` is not in
+    /// [`bmp_isa::NAMES`].
+    ///
+    /// Generation goes through [`bmp_isa::kernel_trace`] — the exact
+    /// function the analyzers (`bmp-verify`, `bmp-lint --kernels`) use
+    /// to rebuild kernel traces from recorded `(name, ops, seed)`
+    /// journals — so a kernel cell's trace is bit-identical wherever it
+    /// is regenerated.
+    pub fn try_kernel_trace(&self, name: &str, scale: Scale) -> Result<TraceHandle, CellError> {
+        if !bmp_isa::NAMES.contains(&name) {
+            return Err(CellError::unknown_kernel(name));
+        }
+        let key = cache_key(
+            "isa-trace",
+            &[
+                bmp_uarch::fp::fnv1a(name.as_bytes()),
+                scale.ops as u64,
+                scale.seed,
+            ],
+        );
+        let trace = self.traces.get_or_compute(key, || {
+            let t0 = Instant::now();
+            let trace = bmp_isa::kernel_trace(name, scale.ops, scale.seed)
+                .expect("membership in bmp_isa::NAMES checked above");
+            PhaseNanos::add(&self.phases.trace, t0);
+            trace
+        });
+        Ok(TraceHandle { key, trace })
+    }
+
+    /// The executed trace of the RV32IM kernel `name` at `scale`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a structured [`CellError`] payload) if `name` is
+    /// not one of [`bmp_isa::NAMES`].
+    pub fn kernel_trace(&self, name: &str, scale: Scale) -> TraceHandle {
+        self.try_kernel_trace(name, scale)
             .unwrap_or_else(|e| std::panic::panic_any(e))
     }
 
@@ -584,6 +627,35 @@ impl Cell {
         }
     }
 
+    /// Baseline-machine simulation of an executed RV32IM kernel
+    /// (implies executing the kernel and recording its trace); `kernel`
+    /// must be a name from [`bmp_isa::NAMES`].
+    pub fn kernel_sim(kernel: &'static str) -> Self {
+        Self {
+            label: format!("{kernel}/kernel-sim"),
+            work: Box::new(move |ctx, scale| {
+                let th = ctx.kernel_trace(kernel, scale);
+                ctx.sim(&Simulator::new(presets::baseline_4wide()), &th);
+            }),
+        }
+    }
+
+    /// Baseline interval-model analysis of an executed RV32IM kernel,
+    /// plus the static-bounds and compiled-trace artifacts `bmp-verify`
+    /// and the per-class attribution read back for executed cells.
+    pub fn kernel_analysis(kernel: &'static str) -> Self {
+        Self {
+            label: format!("{kernel}/kernel-analysis"),
+            work: Box::new(move |ctx, scale| {
+                let cfg = presets::baseline_4wide();
+                let th = ctx.kernel_trace(kernel, scale);
+                ctx.analyze(&cfg, &th);
+                ctx.static_bounds(&cfg, &th);
+                ctx.compiled(&th);
+            }),
+        }
+    }
+
     /// Runs the cell's work against the shared context.
     pub fn run(&self, ctx: &Ctx, scale: Scale) {
         (self.work)(ctx, scale);
@@ -602,7 +674,7 @@ pub struct ExperimentDef {
 }
 
 /// Every experiment of the reconstructed evaluation, in the canonical
-/// order `run_all` reports them (E-T1 … E-F11, E-X1 … E-X8).
+/// order `run_all` reports them (E-T1 … E-F11, E-X1 … E-X11).
 pub fn experiment_defs() -> Vec<ExperimentDef> {
     use experiments as ex;
     fn none() -> Vec<Cell> {
@@ -769,6 +841,34 @@ pub fn experiment_defs() -> Vec<ExperimentDef> {
                 for w in ex::GENERATION_WORKLOADS {
                     cells.push(Cell::analysis(w));
                     cells.push(Cell::class_analysis(w));
+                }
+                cells
+            },
+        },
+        ExperimentDef {
+            name: "ex_isa_contributors",
+            run: ex::ex_isa_contributors,
+            cells: || {
+                let mut cells = Vec::new();
+                for k in bmp_isa::NAMES {
+                    cells.push(Cell::kernel_sim(k));
+                    cells.push(Cell::kernel_analysis(k));
+                }
+                cells
+            },
+        },
+        ExperimentDef {
+            name: "ex_isa_vs_synthetic",
+            run: ex::ex_isa_vs_synthetic,
+            cells: || {
+                let mut cells = Vec::new();
+                for k in bmp_isa::NAMES {
+                    cells.push(Cell::kernel_sim(k));
+                    cells.push(Cell::kernel_analysis(k));
+                }
+                for w in ex::ISA_COMPARISON_WORKLOADS {
+                    cells.push(Cell::baseline_sim(w));
+                    cells.push(Cell::analysis(w));
                 }
                 cells
             },
@@ -1494,11 +1594,11 @@ mod tests {
     #[test]
     fn registry_covers_all_experiments_once() {
         let defs = experiment_defs();
-        assert_eq!(defs.len(), 23);
+        assert_eq!(defs.len(), 25);
         let mut names: Vec<&str> = defs.iter().map(|d| d.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 23, "registry names must be unique");
+        assert_eq!(names.len(), 25, "registry names must be unique");
     }
 
     #[test]

@@ -73,6 +73,18 @@ impl CellError {
         }
     }
 
+    /// An executed-kernel lookup failed. Shares the
+    /// [`CellErrorKind::UnknownProfile`] journal tag — both mean "the
+    /// cell named a workload source that does not exist" — while the
+    /// message distinguishes the kernel suite from the profile registry.
+    pub fn unknown_kernel(name: &str) -> Self {
+        Self {
+            kind: CellErrorKind::UnknownProfile,
+            context: name.to_string(),
+            message: format!("no RV32IM kernel named {name:?} in the bmp-isa suite"),
+        }
+    }
+
     /// A machine configuration failed validation.
     pub fn invalid_config(context: impl Into<String>, message: impl Into<String>) -> Self {
         Self {

@@ -1,10 +1,11 @@
 //! The experiment implementations, one function per table/figure of the
 //! reconstructed evaluation and its extensions (DESIGN.md, E-T1 … E-F11,
-//! E-X1 … E-X10).
+//! E-X1 … E-X11).
 
 mod characterize;
 mod extensions;
 mod generations;
+mod isa;
 mod sensitivity;
 mod tables;
 mod validation;
@@ -21,6 +22,7 @@ pub use generations::{
     ex_h2p_contributors, ex_predictor_generations, generation_machine, generation_predictor,
     GENERATIONS, GENERATION_WORKLOADS,
 };
+pub use isa::{ex_isa_contributors, ex_isa_vs_synthetic, ISA_COMPARISON_WORKLOADS};
 pub use sensitivity::{fig6_pipeline_depth, fig7_fu_latency, fig8_ilp, fig9_l1d_misses};
 pub use tables::{table1_config, table2_benchmarks};
 pub use validation::fig10_model_validation;
@@ -44,7 +46,7 @@ mod tests {
             ops: 5_000,
             seed: 3,
         });
-        assert_eq!(tables.len(), 23);
+        assert_eq!(tables.len(), 25);
         for t in &tables {
             assert!(!t.rows.is_empty(), "table {} is empty", t.id);
             assert!(!t.headers.is_empty());

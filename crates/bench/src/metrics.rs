@@ -165,12 +165,14 @@ fn class_penalties(ctx: &Ctx, cfg: &MachineConfig, trace: &TraceHandle) -> Vec<C
 /// did — the same `(simulator fingerprint, trace key)` addresses — so
 /// collection adds no simulation time. Workloads are recognized from
 /// the cell labels (`{workload}/sim-baseline`, `{workload}/sim-warmup`,
-/// `{workload}/analysis-baseline`, and the predictor-generation family
+/// `{workload}/analysis-baseline`, the predictor-generation family
 /// `{workload}/sim-pred-{p}` / `{workload}/analysis-pred-{p}` /
-/// `{workload}/classes-baseline`); trace-only and oracle cells carry
-/// no accounting and are skipped, as are experiments whose sweeps use
-/// no shared cells at all (their metrics file has an empty `workloads`
-/// array).
+/// `{workload}/classes-baseline`, and the executed-kernel family
+/// `{kernel}/kernel-sim` / `{kernel}/kernel-analysis`, whose traces
+/// come from the `bmp-isa` executor instead of the profile registry);
+/// trace-only and oracle cells carry no accounting and are skipped, as
+/// are experiments whose sweeps use no shared cells at all (their
+/// metrics file has an empty `workloads` array).
 pub fn collect_experiment(ctx: &Ctx, def: &ExperimentDef, scale: Scale) -> ExperimentMetrics {
     let mut recorder = MetricsRecorder::new(def.name, scale);
     // Group the experiment's cell kinds by workload, preserving the
@@ -187,12 +189,22 @@ pub fn collect_experiment(ctx: &Ctx, def: &ExperimentDef, scale: Scale) -> Exper
     let baseline = presets::baseline_4wide();
     let baseline_pred = baseline.predictor.name();
     for (workload, kinds) in &per_workload {
-        let Ok(trace) = ctx.try_named_trace(workload, scale) else {
-            continue;
+        // Statistical profiles and executed kernels share the label
+        // namespace (disjoint name sets); resolve through whichever
+        // source knows the name.
+        let trace = match ctx.try_named_trace(workload, scale) {
+            Ok(t) => t,
+            Err(_) => match ctx.try_kernel_trace(workload, scale) {
+                Ok(t) => t,
+                Err(_) => continue,
+            },
         };
         // Prefer the plain baseline simulation; ex8 pairs it with a
         // warmup run and the baseline is the comparable epoch.
-        let sim = if kinds.iter().any(|k| k == "sim-baseline") {
+        let sim = if kinds
+            .iter()
+            .any(|k| k == "sim-baseline" || k == "kernel-sim")
+        {
             Some(Simulator::new(baseline.clone()))
         } else if kinds.iter().any(|k| k == "sim-warmup") {
             Some(Simulator::with_options(
@@ -206,7 +218,10 @@ pub fn collect_experiment(ctx: &Ctx, def: &ExperimentDef, scale: Scale) -> Exper
             let result = ctx.sim(&sim, &trace);
             recorder.record_sim(workload, baseline_pred, &result);
         }
-        if kinds.iter().any(|k| k == "analysis-baseline") {
+        if kinds
+            .iter()
+            .any(|k| k == "analysis-baseline" || k == "kernel-analysis")
+        {
             let analysis = ctx.analyze(&baseline, &trace);
             let stack = cpi::predict(&trace, &baseline);
             recorder.record_model(workload, baseline_pred, &analysis, stack);
@@ -324,6 +339,22 @@ mod tests {
         for w in &doc.workloads {
             assert_eq!(w.cycles, 0, "{}: model-only marker", w.workload);
             assert!(w.model.is_some());
+            assert!(w.intervals.total() > 0);
+        }
+    }
+
+    #[test]
+    fn kernel_cells_collect_sim_and_model() {
+        let ctx = Ctx::with_settings(EngineChoice::EventDriven, true);
+        let doc = collect_experiment(&ctx, &def("ex_isa_contributors"), scale());
+        assert_eq!(doc.workloads.len(), bmp_isa::NAMES.len());
+        for w in &doc.workloads {
+            assert!(w.cycles > 0, "{}: kernel-sim epoch present", w.workload);
+            assert!(
+                w.model.is_some(),
+                "{}: kernel-analysis model section present",
+                w.workload
+            );
             assert!(w.intervals.total() > 0);
         }
     }

@@ -3,8 +3,9 @@
 //! The static pass (`bmp_analyze::staticpass`) predicts each workload's
 //! mean branch misprediction penalty from the trace alone — no
 //! simulation. This module runs that surrogate over every SPEC-like
-//! workload through the shared [`Ctx`] cache (so repeated collection is
-//! free after the first run) and compares it against the simulator's
+//! workload *and* every executed RV32IM kernel ([`bmp_isa::NAMES`])
+//! through the shared [`Ctx`] cache (so repeated collection is free
+//! after the first run) and compares it against the simulator's
 //! recorded mean penalty, producing the per-cell sim-vs-static error
 //! table that `run_all` appends to the run summary and to
 //! `results/bench_timings.json`.
@@ -24,7 +25,8 @@ use crate::Scale;
 /// One workload's sim-vs-static comparison at the baseline machine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SurrogateRow {
-    /// SPEC-like workload name (from [`spec::NAMES`]).
+    /// Workload name — a statistical profile from [`spec::NAMES`] or an
+    /// executed kernel from [`bmp_isa::NAMES`] (the sets are disjoint).
     pub workload: &'static str,
     /// Mispredicted branches the simulator recorded.
     pub mispredicts: u64,
@@ -39,17 +41,23 @@ pub struct SurrogateRow {
 }
 
 /// Collects the sim-vs-static error table for every workload in
-/// [`spec::NAMES`] at the baseline 4-wide machine, drawing traces,
+/// [`spec::NAMES`] followed by every executed kernel in
+/// [`bmp_isa::NAMES`], at the baseline 4-wide machine, drawing traces,
 /// simulations and static bounds from the shared cache. Workloads whose
 /// trace produced no mispredictions (no penalty to compare) are
 /// omitted.
 pub fn collect(ctx: &Ctx, scale: Scale) -> Vec<SurrogateRow> {
     let cfg = presets::baseline_4wide();
     let sim = Simulator::new(cfg.clone());
-    spec::NAMES
+    let profiles = spec::NAMES
         .iter()
-        .filter_map(|&name| {
-            let trace = ctx.named_trace(name, scale);
+        .map(|&name| (name, ctx.named_trace(name, scale)));
+    let kernels = bmp_isa::NAMES
+        .iter()
+        .map(|&name| (name, ctx.kernel_trace(name, scale)));
+    profiles
+        .chain(kernels)
+        .filter_map(|(name, trace)| {
             let res = ctx.sim(&sim, &trace);
             let bounds = ctx.static_bounds(&cfg, &trace);
             let n = res.mispredicts.len() as u64;
@@ -98,9 +106,11 @@ mod tests {
     fn covers_every_workload_within_bounds() {
         let ctx = Ctx::new();
         let rows = collect(&ctx, SCALE);
-        // Every registry workload mispredicts at least once at this
-        // scale, so no row is dropped.
-        assert_eq!(rows.len(), spec::NAMES.len());
+        // Every registry workload and every executed kernel mispredicts
+        // at least once at this scale, so no row is dropped. The bounds
+        // check on the kernel rows is the "bmp-verify reports 0 bound
+        // violations over executed traces" acceptance gate.
+        assert_eq!(rows.len(), spec::NAMES.len() + bmp_isa::NAMES.len());
         for row in &rows {
             assert!(row.mispredicts > 0, "{}: no mispredicts", row.workload);
             assert!(

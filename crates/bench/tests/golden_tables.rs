@@ -1,4 +1,4 @@
-//! Golden-table regression tests: five experiments' CSVs at a small,
+//! Golden-table regression tests: seven experiments' CSVs at a small,
 //! fixed scale (`BMP_OPS=2000`, `BMP_SEED=42`) are committed under
 //! `tests/golden/` and must reproduce exactly. Any change to trace
 //! synthesis, the simulator, the interval model or the experiment
@@ -77,5 +77,25 @@ fn h2p_contributors_match_golden() {
     check(
         "ex_h2p_contributors",
         bmp_bench::experiments::ex_h2p_contributors,
+    );
+}
+
+// The two E-X11 executed-kernel tables additionally pin the bmp-isa
+// executor: any change to kernel codegen, the decoder, or the trace
+// emitter shifts these CSVs.
+
+#[test]
+fn isa_contributors_match_golden() {
+    check(
+        "ex_isa_contributors",
+        bmp_bench::experiments::ex_isa_contributors,
+    );
+}
+
+#[test]
+fn isa_vs_synthetic_matches_golden() {
+    check(
+        "ex_isa_vs_synthetic",
+        bmp_bench::experiments::ex_isa_vs_synthetic,
     );
 }

@@ -1,0 +1,557 @@
+//! A small RV32IM assembler: instruction encoders plus a program
+//! builder with labels and fixups.
+//!
+//! The kernel suite ([`crate::kernels`]) is written against this
+//! builder rather than shipped as opaque machine-code blobs, so every
+//! kernel is reviewable instruction by instruction and the encodings
+//! are exercised against the decoder round-trip tests. The builder
+//! deliberately supports only what the kernels need: the RV32I base
+//! integer set, the M multiply/divide extension, labels with
+//! forward references, and nothing else — no pseudo-instruction
+//! expansion beyond the handful defined here, no relocation, no
+//! sections.
+//!
+//! # Examples
+//!
+//! ```
+//! use bmp_isa::asm::{Asm, reg};
+//!
+//! let mut a = Asm::new(0x1_0000);
+//! a.addi(reg::A0, reg::ZERO, 3);
+//! a.label("loop");
+//! a.addi(reg::A0, reg::A0, -1);
+//! a.bne(reg::A0, reg::ZERO, "loop");
+//! a.ret();
+//! let words = a.finish();
+//! assert_eq!(words.len(), 4);
+//! ```
+
+use std::collections::HashMap;
+
+/// Architectural register number (`x0` … `x31`).
+pub type Reg = u32;
+
+/// The RISC-V ABI register names the kernels use.
+pub mod reg {
+    use super::Reg;
+
+    /// Hard-wired zero.
+    pub const ZERO: Reg = 0;
+    /// Return address (the executor seeds it with the halt address).
+    pub const RA: Reg = 1;
+    /// Stack pointer.
+    pub const SP: Reg = 2;
+    /// Argument/return registers.
+    pub const A0: Reg = 10;
+    /// Second argument register.
+    pub const A1: Reg = 11;
+    /// Third argument register.
+    pub const A2: Reg = 12;
+    /// Fourth argument register.
+    pub const A3: Reg = 13;
+    /// Fifth argument register.
+    pub const A4: Reg = 14;
+    /// Sixth argument register.
+    pub const A5: Reg = 15;
+    /// Temporaries.
+    pub const T0: Reg = 5;
+    /// Second temporary.
+    pub const T1: Reg = 6;
+    /// Third temporary.
+    pub const T2: Reg = 7;
+    /// Fourth temporary (x28).
+    pub const T3: Reg = 28;
+    /// Fifth temporary (x29).
+    pub const T4: Reg = 29;
+    /// Sixth temporary (x30).
+    pub const T5: Reg = 30;
+    /// Seventh temporary (x31).
+    pub const T6: Reg = 31;
+    /// Callee-saved registers.
+    pub const S0: Reg = 8;
+    /// Second callee-saved register.
+    pub const S1: Reg = 9;
+    /// Third callee-saved register (x18).
+    pub const S2: Reg = 18;
+    /// Fourth callee-saved register (x19).
+    pub const S3: Reg = 19;
+}
+
+fn check_reg(r: Reg) {
+    assert!(r < 32, "register x{r} out of range");
+}
+
+fn imm12(imm: i32) -> u32 {
+    assert!(
+        (-2048..2048).contains(&imm),
+        "immediate {imm} exceeds 12 bits"
+    );
+    (imm as u32) & 0xfff
+}
+
+/// R-type: funct7 | rs2 | rs1 | funct3 | rd | opcode.
+fn enc_r(funct7: u32, rs2: Reg, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    check_reg(rd);
+    check_reg(rs1);
+    check_reg(rs2);
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+/// I-type: imm[11:0] | rs1 | funct3 | rd | opcode.
+fn enc_i(imm: i32, rs1: Reg, funct3: u32, rd: Reg, opcode: u32) -> u32 {
+    check_reg(rd);
+    check_reg(rs1);
+    (imm12(imm) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+/// S-type: imm[11:5] | rs2 | rs1 | funct3 | imm[4:0] | opcode.
+fn enc_s(imm: i32, rs2: Reg, rs1: Reg, funct3: u32, opcode: u32) -> u32 {
+    check_reg(rs1);
+    check_reg(rs2);
+    let imm = imm12(imm);
+    ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1f) << 7) | opcode
+}
+
+/// B-type: the 13-bit branch offset scrambled across the word.
+fn enc_b(offset: i32, rs2: Reg, rs1: Reg, funct3: u32) -> u32 {
+    check_reg(rs1);
+    check_reg(rs2);
+    assert!(offset % 2 == 0, "branch offset {offset} must be even");
+    assert!(
+        (-4096..4096).contains(&offset),
+        "branch offset {offset} exceeds 13 bits"
+    );
+    let imm = offset as u32;
+    ((imm >> 12) & 1) << 31
+        | ((imm >> 5) & 0x3f) << 25
+        | rs2 << 20
+        | rs1 << 15
+        | funct3 << 12
+        | ((imm >> 1) & 0xf) << 8
+        | ((imm >> 11) & 1) << 7
+        | 0x63
+}
+
+/// J-type: the 21-bit jump offset scrambled across the word.
+fn enc_j(offset: i32, rd: Reg) -> u32 {
+    check_reg(rd);
+    assert!(offset % 2 == 0, "jump offset {offset} must be even");
+    assert!(
+        (-(1 << 20)..(1 << 20)).contains(&offset),
+        "jump offset {offset} exceeds 21 bits"
+    );
+    let imm = offset as u32;
+    ((imm >> 20) & 1) << 31
+        | ((imm >> 1) & 0x3ff) << 21
+        | ((imm >> 11) & 1) << 20
+        | ((imm >> 12) & 0xff) << 12
+        | rd << 7
+        | 0x6f
+}
+
+/// U-type: imm[31:12] | rd | opcode.
+fn enc_u(imm20: u32, rd: Reg, opcode: u32) -> u32 {
+    check_reg(rd);
+    assert!(
+        imm20 < (1 << 20),
+        "U-type immediate {imm20} exceeds 20 bits"
+    );
+    (imm20 << 12) | (rd << 7) | opcode
+}
+
+/// A pending label reference, patched at [`Asm::finish`].
+#[derive(Debug, Clone, Copy)]
+enum Fixup {
+    /// B-type conditional branch to the label.
+    Branch,
+    /// J-type jump to the label.
+    Jal,
+}
+
+/// The program builder: emits instruction words at consecutive
+/// addresses from a base, with named labels and forward references.
+#[derive(Debug)]
+pub struct Asm {
+    base: u32,
+    words: Vec<u32>,
+    labels: HashMap<&'static str, u32>,
+    fixups: Vec<(usize, &'static str, Fixup)>,
+}
+
+impl Asm {
+    /// A builder placing its first instruction at `base` (4-aligned).
+    pub fn new(base: u32) -> Self {
+        assert!(
+            base.is_multiple_of(4),
+            "code base {base:#x} must be 4-aligned"
+        );
+        Self {
+            base,
+            words: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// The address the next emitted instruction will occupy.
+    pub fn here(&self) -> u32 {
+        self.base + 4 * self.words.len() as u32
+    }
+
+    /// Defines `name` at the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined.
+    pub fn label(&mut self, name: &'static str) {
+        let addr = self.here();
+        let prev = self.labels.insert(name, addr);
+        assert!(prev.is_none(), "label {name:?} defined twice");
+    }
+
+    fn push(&mut self, word: u32) {
+        self.words.push(word);
+    }
+
+    /// Resolves fixups and returns the finished instruction words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a reference to an undefined label.
+    pub fn finish(mut self) -> Vec<u32> {
+        for (idx, name, kind) in std::mem::take(&mut self.fixups) {
+            let target = *self
+                .labels
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined label {name:?}"));
+            let pc = self.base + 4 * idx as u32;
+            let offset = target.wrapping_sub(pc) as i32;
+            let old = self.words[idx];
+            self.words[idx] = match kind {
+                // Re-encode keeping the register/funct fields of the
+                // placeholder word.
+                Fixup::Branch => {
+                    let rs1 = (old >> 15) & 0x1f;
+                    let rs2 = (old >> 20) & 0x1f;
+                    let funct3 = (old >> 12) & 0x7;
+                    enc_b(offset, rs2, rs1, funct3)
+                }
+                Fixup::Jal => {
+                    let rd = (old >> 7) & 0x1f;
+                    enc_j(offset, rd)
+                }
+            };
+        }
+        self.words
+    }
+
+    // ---- RV32I register-register ----
+
+    /// `add rd, rs1, rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x00, rs2, rs1, 0x0, rd, 0x33));
+    }
+    /// `sub rd, rs1, rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x20, rs2, rs1, 0x0, rd, 0x33));
+    }
+    /// `sll rd, rs1, rs2`
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x00, rs2, rs1, 0x1, rd, 0x33));
+    }
+    /// `slt rd, rs1, rs2`
+    pub fn slt(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x00, rs2, rs1, 0x2, rd, 0x33));
+    }
+    /// `sltu rd, rs1, rs2`
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x00, rs2, rs1, 0x3, rd, 0x33));
+    }
+    /// `xor rd, rs1, rs2`
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x00, rs2, rs1, 0x4, rd, 0x33));
+    }
+    /// `srl rd, rs1, rs2`
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x00, rs2, rs1, 0x5, rd, 0x33));
+    }
+    /// `sra rd, rs1, rs2`
+    pub fn sra(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x20, rs2, rs1, 0x5, rd, 0x33));
+    }
+    /// `or rd, rs1, rs2`
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x00, rs2, rs1, 0x6, rd, 0x33));
+    }
+    /// `and rd, rs1, rs2`
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x00, rs2, rs1, 0x7, rd, 0x33));
+    }
+
+    // ---- M extension ----
+
+    /// `mul rd, rs1, rs2`
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x01, rs2, rs1, 0x0, rd, 0x33));
+    }
+    /// `mulh rd, rs1, rs2`
+    pub fn mulh(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x01, rs2, rs1, 0x1, rd, 0x33));
+    }
+    /// `mulhsu rd, rs1, rs2`
+    pub fn mulhsu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x01, rs2, rs1, 0x2, rd, 0x33));
+    }
+    /// `mulhu rd, rs1, rs2`
+    pub fn mulhu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x01, rs2, rs1, 0x3, rd, 0x33));
+    }
+    /// `div rd, rs1, rs2`
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x01, rs2, rs1, 0x4, rd, 0x33));
+    }
+    /// `divu rd, rs1, rs2`
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x01, rs2, rs1, 0x5, rd, 0x33));
+    }
+    /// `rem rd, rs1, rs2`
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x01, rs2, rs1, 0x6, rd, 0x33));
+    }
+    /// `remu rd, rs1, rs2`
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.push(enc_r(0x01, rs2, rs1, 0x7, rd, 0x33));
+    }
+
+    // ---- RV32I register-immediate ----
+
+    /// `addi rd, rs1, imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(enc_i(imm, rs1, 0x0, rd, 0x13));
+    }
+    /// `slti rd, rs1, imm`
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(enc_i(imm, rs1, 0x2, rd, 0x13));
+    }
+    /// `sltiu rd, rs1, imm`
+    pub fn sltiu(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(enc_i(imm, rs1, 0x3, rd, 0x13));
+    }
+    /// `xori rd, rs1, imm`
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(enc_i(imm, rs1, 0x4, rd, 0x13));
+    }
+    /// `ori rd, rs1, imm`
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(enc_i(imm, rs1, 0x6, rd, 0x13));
+    }
+    /// `andi rd, rs1, imm`
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) {
+        self.push(enc_i(imm, rs1, 0x7, rd, 0x13));
+    }
+    /// `slli rd, rs1, shamt`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, shamt: u32) {
+        assert!(shamt < 32, "shift amount {shamt} out of range");
+        self.push(enc_i(shamt as i32, rs1, 0x1, rd, 0x13));
+    }
+    /// `srli rd, rs1, shamt`
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, shamt: u32) {
+        assert!(shamt < 32, "shift amount {shamt} out of range");
+        self.push(enc_i(shamt as i32, rs1, 0x5, rd, 0x13));
+    }
+    /// `srai rd, rs1, shamt`
+    pub fn srai(&mut self, rd: Reg, rs1: Reg, shamt: u32) {
+        assert!(shamt < 32, "shift amount {shamt} out of range");
+        self.push(enc_i((shamt | 0x400) as i32, rs1, 0x5, rd, 0x13));
+    }
+
+    // ---- loads/stores ----
+
+    /// `lb rd, imm(rs1)`
+    pub fn lb(&mut self, rd: Reg, imm: i32, rs1: Reg) {
+        self.push(enc_i(imm, rs1, 0x0, rd, 0x03));
+    }
+    /// `lh rd, imm(rs1)`
+    pub fn lh(&mut self, rd: Reg, imm: i32, rs1: Reg) {
+        self.push(enc_i(imm, rs1, 0x1, rd, 0x03));
+    }
+    /// `lw rd, imm(rs1)`
+    pub fn lw(&mut self, rd: Reg, imm: i32, rs1: Reg) {
+        self.push(enc_i(imm, rs1, 0x2, rd, 0x03));
+    }
+    /// `lbu rd, imm(rs1)`
+    pub fn lbu(&mut self, rd: Reg, imm: i32, rs1: Reg) {
+        self.push(enc_i(imm, rs1, 0x4, rd, 0x03));
+    }
+    /// `lhu rd, imm(rs1)`
+    pub fn lhu(&mut self, rd: Reg, imm: i32, rs1: Reg) {
+        self.push(enc_i(imm, rs1, 0x5, rd, 0x03));
+    }
+    /// `sb rs2, imm(rs1)`
+    pub fn sb(&mut self, rs2: Reg, imm: i32, rs1: Reg) {
+        self.push(enc_s(imm, rs2, rs1, 0x0, 0x23));
+    }
+    /// `sh rs2, imm(rs1)`
+    pub fn sh(&mut self, rs2: Reg, imm: i32, rs1: Reg) {
+        self.push(enc_s(imm, rs2, rs1, 0x1, 0x23));
+    }
+    /// `sw rs2, imm(rs1)`
+    pub fn sw(&mut self, rs2: Reg, imm: i32, rs1: Reg) {
+        self.push(enc_s(imm, rs2, rs1, 0x2, 0x23));
+    }
+
+    // ---- control transfer ----
+
+    fn branch_to(&mut self, rs1: Reg, rs2: Reg, funct3: u32, target: &'static str) {
+        let idx = self.words.len();
+        // Placeholder offset 0; the register/funct fields survive the
+        // re-encode in `finish`.
+        self.push(enc_b(0, rs2, rs1, funct3));
+        self.fixups.push((idx, target, Fixup::Branch));
+    }
+
+    /// `beq rs1, rs2, label`
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: &'static str) {
+        self.branch_to(rs1, rs2, 0x0, target);
+    }
+    /// `bne rs1, rs2, label`
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: &'static str) {
+        self.branch_to(rs1, rs2, 0x1, target);
+    }
+    /// `blt rs1, rs2, label`
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: &'static str) {
+        self.branch_to(rs1, rs2, 0x4, target);
+    }
+    /// `bge rs1, rs2, label`
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, target: &'static str) {
+        self.branch_to(rs1, rs2, 0x5, target);
+    }
+    /// `bltu rs1, rs2, label`
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, target: &'static str) {
+        self.branch_to(rs1, rs2, 0x6, target);
+    }
+    /// `bgeu rs1, rs2, label`
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, target: &'static str) {
+        self.branch_to(rs1, rs2, 0x7, target);
+    }
+
+    /// `jal rd, label`
+    pub fn jal(&mut self, rd: Reg, target: &'static str) {
+        let idx = self.words.len();
+        self.push(enc_j(0, rd));
+        self.fixups.push((idx, target, Fixup::Jal));
+    }
+    /// `j label` (pseudo: `jal x0, label`)
+    pub fn j(&mut self, target: &'static str) {
+        self.jal(reg::ZERO, target);
+    }
+    /// `jalr rd, imm(rs1)`
+    pub fn jalr(&mut self, rd: Reg, imm: i32, rs1: Reg) {
+        self.push(enc_i(imm, rs1, 0x0, rd, 0x67));
+    }
+    /// `ret` (pseudo: `jalr x0, 0(ra)`)
+    pub fn ret(&mut self) {
+        self.jalr(reg::ZERO, 0, reg::RA);
+    }
+
+    // ---- upper immediates and pseudo-ops ----
+
+    /// `lui rd, imm20`
+    pub fn lui(&mut self, rd: Reg, imm20: u32) {
+        self.push(enc_u(imm20, rd, 0x37));
+    }
+    /// `auipc rd, imm20`
+    pub fn auipc(&mut self, rd: Reg, imm20: u32) {
+        self.push(enc_u(imm20, rd, 0x17));
+    }
+
+    /// `li rd, value` (pseudo: `lui` + `addi` as needed; 1–2 words).
+    pub fn li(&mut self, rd: Reg, value: i32) {
+        let v = value as u32;
+        let lo = (v & 0xfff) as i32;
+        let lo = if lo >= 0x800 { lo - 0x1000 } else { lo };
+        let hi = v.wrapping_sub(lo as u32) >> 12;
+        if hi == 0 {
+            self.addi(rd, reg::ZERO, lo);
+        } else {
+            self.lui(rd, hi & 0xfffff);
+            if lo != 0 {
+                self.addi(rd, rd, lo);
+            }
+        }
+    }
+
+    /// `mv rd, rs` (pseudo: `addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) {
+        self.addi(rd, rs, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_encodings() {
+        // Cross-checked against the RISC-V spec examples:
+        // add x3, x1, x2 = 0x002081b3; addi x1, x0, 5 = 0x00500093.
+        let mut a = Asm::new(0);
+        a.add(3, 1, 2);
+        a.addi(1, 0, 5);
+        a.lw(5, 8, 2);
+        a.sw(5, 12, 2);
+        let w = a.finish();
+        assert_eq!(w[0], 0x002081b3);
+        assert_eq!(w[1], 0x00500093);
+        assert_eq!(w[2], 0x00812283);
+        assert_eq!(w[3], 0x00512623);
+    }
+
+    #[test]
+    fn branch_fixups_resolve_backward_and_forward() {
+        let mut a = Asm::new(0x100);
+        a.label("top");
+        a.addi(5, 5, 1);
+        a.beq(5, 6, "done"); // forward +8
+        a.j("top"); // backward -8
+        a.label("done");
+        a.ret();
+        let w = a.finish();
+        // beq x5, x6, +8
+        assert_eq!(w[1], enc_b(8, 6, 5, 0x0));
+        // jal x0, -8
+        assert_eq!(w[2], enc_j(-8, 0));
+    }
+
+    #[test]
+    fn li_splits_large_constants() {
+        let mut a = Asm::new(0);
+        a.li(7, 0x12345);
+        a.li(8, -1);
+        a.li(9, 0x0010_0000);
+        let w = a.finish();
+        // 0x12345: lui 0x12 + addi 0x345.
+        assert_eq!(w[0], enc_u(0x12, 7, 0x37));
+        assert_eq!(w[1], enc_i(0x345, 7, 0x0, 7, 0x13));
+        // -1 fits in 12 bits.
+        assert_eq!(w[2], enc_i(-1, 0, 0x0, 8, 0x13));
+        // 0x100000: pure lui.
+        assert_eq!(w[3], enc_u(0x100, 9, 0x37));
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut a = Asm::new(0);
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut a = Asm::new(0);
+        a.j("nowhere");
+        a.finish();
+    }
+}

@@ -1,0 +1,324 @@
+//! The RV32IM functional executor.
+//!
+//! A sequential, syscall-free interpreter: fetch a word from
+//! [`Memory`], decode it, apply the architectural semantics, repeat.
+//! There is no privilege, no CSRs, no traps — an instruction outside
+//! the supported subset is a hard [`ExecError`], because the only
+//! programs this executor runs are the crate's own assembled kernels
+//! and any decode failure is a bug, not a workload property.
+//!
+//! Halting uses a sentinel return address: the harness seeds `ra` with
+//! [`HALT_ADDR`] before entry, the kernel finishes with `ret`, and the
+//! run loop stops when the next fetch would land on the sentinel. This
+//! keeps the ISA free of an artificial "halt" instruction and makes the
+//! final trace op an ordinary `Return` branch.
+
+use crate::decode::{decode, Inst, Op};
+use crate::mem::Memory;
+
+/// Sentinel "caller" address; fetching from it terminates execution.
+/// Kernels must never place code or data on its page.
+pub const HALT_ADDR: u32 = 0xdead_0000;
+
+/// Execution fault. The executor is total over the assembled kernel
+/// suite, so observing one of these means the program or loader is
+/// corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// The fetched word at `pc` is not a supported RV32IM instruction.
+    IllegalInstruction {
+        /// Faulting program counter.
+        pc: u32,
+        /// The unrecognised instruction word.
+        word: u32,
+    },
+    /// The program counter lost 4-byte alignment (a `jalr` to an odd
+    /// target, modulo the spec's bit-0 clearing, or a corrupt jump).
+    MisalignedPc {
+        /// The misaligned program counter.
+        pc: u32,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at pc {pc:#010x}")
+            }
+            ExecError::MisalignedPc { pc } => write!(f, "misaligned pc {pc:#010x}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The observable effects of executing one instruction — everything
+/// the trace recorder needs, without re-deriving semantics.
+#[derive(Debug, Clone, Copy)]
+pub struct Step {
+    /// Program counter of the executed instruction.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Architectural next program counter.
+    pub next_pc: u32,
+    /// For conditional branches, whether the branch was taken.
+    pub taken: bool,
+    /// For loads and stores, the effective byte address.
+    pub mem_addr: Option<u32>,
+}
+
+/// Architectural state: 32 integer registers, a program counter, and
+/// sparse memory.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// The integer register file (`x0` is kept at zero by the write
+    /// path).
+    pub regs: [u32; 32],
+    /// The program counter.
+    pub pc: u32,
+    /// Memory, holding both code and data.
+    pub mem: Memory,
+}
+
+impl Cpu {
+    /// A CPU with zeroed registers, `pc` at `entry`, and `ra` seeded
+    /// with [`HALT_ADDR`] so a top-level `ret` terminates the run.
+    pub fn new(entry: u32, mem: Memory) -> Self {
+        let mut regs = [0u32; 32];
+        regs[1] = HALT_ADDR;
+        Self {
+            regs,
+            pc: entry,
+            mem,
+        }
+    }
+
+    #[inline]
+    fn read(&self, r: u32) -> u32 {
+        self.regs[r as usize]
+    }
+
+    #[inline]
+    fn write(&mut self, r: u32, v: u32) {
+        if r != 0 {
+            self.regs[r as usize] = v;
+        }
+    }
+
+    /// Returns `true` once the next fetch would hit [`HALT_ADDR`].
+    pub fn halted(&self) -> bool {
+        self.pc == HALT_ADDR
+    }
+
+    /// Executes one instruction and reports its effects.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::IllegalInstruction`] on an undecodable fetch,
+    /// [`ExecError::MisalignedPc`] if `pc` is not 4-aligned.
+    pub fn step(&mut self) -> Result<Step, ExecError> {
+        let pc = self.pc;
+        if !pc.is_multiple_of(4) {
+            return Err(ExecError::MisalignedPc { pc });
+        }
+        let word = self.mem.load_u32(pc);
+        let inst = decode(word).ok_or(ExecError::IllegalInstruction { pc, word })?;
+
+        let a = self.read(inst.rs1);
+        let b = self.read(inst.rs2);
+        let imm = inst.imm;
+        let mut next_pc = pc.wrapping_add(4);
+        let mut taken = false;
+        let mut mem_addr = None;
+
+        use Op::*;
+        match inst.op {
+            Lui => self.write(inst.rd, imm as u32),
+            Auipc => self.write(inst.rd, pc.wrapping_add(imm as u32)),
+            Jal => {
+                self.write(inst.rd, pc.wrapping_add(4));
+                next_pc = pc.wrapping_add(imm as u32);
+                taken = true;
+            }
+            Jalr => {
+                let target = a.wrapping_add(imm as u32) & !1;
+                self.write(inst.rd, pc.wrapping_add(4));
+                next_pc = target;
+                taken = true;
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                taken = match inst.op {
+                    Beq => a == b,
+                    Bne => a != b,
+                    Blt => (a as i32) < (b as i32),
+                    Bge => (a as i32) >= (b as i32),
+                    Bltu => a < b,
+                    _ => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(imm as u32);
+                }
+            }
+            Lb | Lh | Lw | Lbu | Lhu => {
+                let addr = a.wrapping_add(imm as u32);
+                mem_addr = Some(addr);
+                let v = match inst.op {
+                    Lb => self.mem.load_u8(addr) as i8 as i32 as u32,
+                    Lbu => self.mem.load_u8(addr) as u32,
+                    Lh => self.mem.load_u16(addr) as i16 as i32 as u32,
+                    Lhu => self.mem.load_u16(addr) as u32,
+                    _ => self.mem.load_u32(addr),
+                };
+                self.write(inst.rd, v);
+            }
+            Sb | Sh | Sw => {
+                let addr = a.wrapping_add(imm as u32);
+                mem_addr = Some(addr);
+                match inst.op {
+                    Sb => self.mem.store_u8(addr, b as u8),
+                    Sh => self.mem.store_u16(addr, b as u16),
+                    _ => self.mem.store_u32(addr, b),
+                }
+            }
+            Addi => self.write(inst.rd, a.wrapping_add(imm as u32)),
+            Slti => self.write(inst.rd, ((a as i32) < imm) as u32),
+            Sltiu => self.write(inst.rd, (a < imm as u32) as u32),
+            Xori => self.write(inst.rd, a ^ imm as u32),
+            Ori => self.write(inst.rd, a | imm as u32),
+            Andi => self.write(inst.rd, a & imm as u32),
+            Slli => self.write(inst.rd, a << (imm as u32 & 0x1f)),
+            Srli => self.write(inst.rd, a >> (imm as u32 & 0x1f)),
+            Srai => self.write(inst.rd, ((a as i32) >> (imm as u32 & 0x1f)) as u32),
+            Add => self.write(inst.rd, a.wrapping_add(b)),
+            Sub => self.write(inst.rd, a.wrapping_sub(b)),
+            Sll => self.write(inst.rd, a << (b & 0x1f)),
+            Slt => self.write(inst.rd, ((a as i32) < (b as i32)) as u32),
+            Sltu => self.write(inst.rd, (a < b) as u32),
+            Xor => self.write(inst.rd, a ^ b),
+            Srl => self.write(inst.rd, a >> (b & 0x1f)),
+            Sra => self.write(inst.rd, ((a as i32) >> (b & 0x1f)) as u32),
+            Or => self.write(inst.rd, a | b),
+            And => self.write(inst.rd, a & b),
+            Mul => self.write(inst.rd, a.wrapping_mul(b)),
+            Mulh => self.write(
+                inst.rd,
+                ((a as i32 as i64).wrapping_mul(b as i32 as i64) >> 32) as u32,
+            ),
+            Mulhsu => self.write(
+                inst.rd,
+                ((a as i32 as i64).wrapping_mul(b as i64) >> 32) as u32,
+            ),
+            Mulhu => self.write(inst.rd, ((a as u64 * b as u64) >> 32) as u32),
+            // RISC-V division never traps: x/0 = -1 (all ones), x%0 = x,
+            // and INT_MIN / -1 wraps to INT_MIN with remainder 0.
+            Div => {
+                let v = if b == 0 {
+                    u32::MAX
+                } else {
+                    (a as i32).wrapping_div(b as i32) as u32
+                };
+                self.write(inst.rd, v);
+            }
+            Divu => self.write(inst.rd, a.checked_div(b).unwrap_or(u32::MAX)),
+            Rem => {
+                let v = if b == 0 {
+                    a
+                } else {
+                    (a as i32).wrapping_rem(b as i32) as u32
+                };
+                self.write(inst.rd, v);
+            }
+            Remu => self.write(inst.rd, if b == 0 { a } else { a % b }),
+        }
+
+        self.pc = next_pc;
+        Ok(Step {
+            pc,
+            inst,
+            next_pc,
+            taken,
+            mem_addr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::{reg, Asm};
+
+    fn run_words(words: &[u32], steps: usize) -> Cpu {
+        let mut mem = Memory::new();
+        mem.write_words(0x1000, words);
+        let mut cpu = Cpu::new(0x1000, mem);
+        for _ in 0..steps {
+            if cpu.halted() {
+                break;
+            }
+            cpu.step().expect("kernel step");
+        }
+        cpu
+    }
+
+    #[test]
+    fn halts_via_seeded_return_address() {
+        let mut a = Asm::new(0x1000);
+        a.addi(reg::A0, reg::ZERO, 7);
+        a.ret();
+        let cpu = run_words(&a.finish(), 10);
+        assert!(cpu.halted());
+        assert_eq!(cpu.regs[reg::A0 as usize], 7);
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let mut a = Asm::new(0x1000);
+        a.addi(reg::ZERO, reg::ZERO, 123);
+        a.ret();
+        let cpu = run_words(&a.finish(), 10);
+        assert_eq!(cpu.regs[0], 0);
+    }
+
+    #[test]
+    fn division_edge_cases_match_spec() {
+        let mut a = Asm::new(0x1000);
+        a.li(reg::T0, 7);
+        a.li(reg::T1, 0);
+        a.div(reg::A0, reg::T0, reg::T1); // 7 / 0 = -1
+        a.rem(reg::A1, reg::T0, reg::T1); // 7 % 0 = 7
+        a.li(reg::T2, i32::MIN);
+        a.li(reg::T3, -1);
+        a.div(reg::A2, reg::T2, reg::T3); // overflow -> INT_MIN
+        a.rem(reg::A3, reg::T2, reg::T3); // overflow -> 0
+        a.ret();
+        let cpu = run_words(&a.finish(), 32);
+        assert!(cpu.halted());
+        assert_eq!(cpu.regs[reg::A0 as usize], u32::MAX);
+        assert_eq!(cpu.regs[reg::A1 as usize], 7);
+        assert_eq!(cpu.regs[reg::A2 as usize], i32::MIN as u32);
+        assert_eq!(cpu.regs[reg::A3 as usize], 0);
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        let cpu_err = {
+            let mut mem = Memory::new();
+            mem.write_words(0x1000, &[0xffff_ffff]);
+            Cpu::new(0x1000, mem).step()
+        };
+        assert!(matches!(
+            cpu_err,
+            Err(ExecError::IllegalInstruction { pc: 0x1000, .. })
+        ));
+    }
+
+    #[test]
+    fn error_display_formats() {
+        let e = ExecError::IllegalInstruction { pc: 0x10, word: 0 };
+        assert!(e.to_string().contains("0x00000010"));
+        let m = ExecError::MisalignedPc { pc: 0x11 };
+        assert!(m.to_string().contains("misaligned"));
+    }
+}

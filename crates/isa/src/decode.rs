@@ -1,0 +1,377 @@
+//! RV32IM instruction decoder.
+//!
+//! Decodes a 32-bit instruction word into a flat [`Inst`] record: an
+//! operation tag plus the three register fields and the sign-extended
+//! immediate. A flat record (rather than one enum variant per format)
+//! keeps the executor's dispatch a single `match` on [`Op`] and makes
+//! the per-op source-register query ([`Inst::src_regs`]) and
+//! op-class mapping ([`Inst::op_class`]) table-like and auditable.
+
+use bmp_uarch::OpClass;
+
+/// The decoded operation. Covers exactly the RV32IM subset the
+/// assembler ([`crate::asm`]) can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // the variants are the RISC-V mnemonics
+pub enum Op {
+    Lui,
+    Auipc,
+    Jal,
+    Jalr,
+    Beq,
+    Bne,
+    Blt,
+    Bge,
+    Bltu,
+    Bgeu,
+    Lb,
+    Lh,
+    Lw,
+    Lbu,
+    Lhu,
+    Sb,
+    Sh,
+    Sw,
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+/// A decoded instruction: operation plus raw register/immediate fields.
+///
+/// Fields that a given operation does not use are present but
+/// meaningless (e.g. `rs2` of an I-type op); [`Inst::src_regs`] is the
+/// authoritative statement of which registers an operation reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// Destination register field.
+    pub rd: u32,
+    /// First source register field.
+    pub rs1: u32,
+    /// Second source register field (shift amount for `slli`/`srli`/`srai`).
+    pub rs2: u32,
+    /// Sign-extended immediate (U-type immediates are pre-shifted into
+    /// bits 31:12).
+    pub imm: i32,
+}
+
+impl Inst {
+    /// The architectural registers this instruction *reads*, in
+    /// `(rs1, rs2)` order; `None` for slots the operation does not use.
+    ///
+    /// This is the source of truth for producer-distance tracking in
+    /// [`crate::emit`]: a register the hardware would not read must not
+    /// induce a dependence edge in the emitted trace.
+    pub fn src_regs(&self) -> [Option<u32>; 2] {
+        use Op::*;
+        match self.op {
+            // No register sources.
+            Lui | Auipc | Jal => [None, None],
+            // rs1 only: immediates, loads, jalr, shifts-by-immediate.
+            Jalr | Lb | Lh | Lw | Lbu | Lhu | Addi | Slti | Sltiu | Xori | Ori | Andi | Slli
+            | Srli | Srai => [Some(self.rs1), None],
+            // rs1 + rs2: register-register ALU, branches, stores
+            // (base + data).
+            Beq | Bne | Blt | Bge | Bltu | Bgeu | Sb | Sh | Sw | Add | Sub | Sll | Slt | Sltu
+            | Xor | Srl | Sra | Or | And | Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem
+            | Remu => [Some(self.rs1), Some(self.rs2)],
+        }
+    }
+
+    /// The register this instruction *writes*, or `None` (stores,
+    /// branches, and any op with `rd = x0`).
+    pub fn dst_reg(&self) -> Option<u32> {
+        use Op::*;
+        match self.op {
+            Beq | Bne | Blt | Bge | Bltu | Bgeu | Sb | Sh | Sw => None,
+            _ if self.rd == 0 => None,
+            _ => Some(self.rd),
+        }
+    }
+
+    /// Maps the operation onto the simulator's functional-unit class.
+    ///
+    /// RV32IM has no floating-point, so the `Fp*` classes never occur in
+    /// executed traces; multiplies and divides exercise the long-latency
+    /// integer units.
+    pub fn op_class(&self) -> OpClass {
+        use Op::*;
+        match self.op {
+            Mul | Mulh | Mulhsu | Mulhu => OpClass::IntMul,
+            Div | Divu | Rem | Remu => OpClass::IntDiv,
+            Lb | Lh | Lw | Lbu | Lhu => OpClass::Load,
+            Sb | Sh | Sw => OpClass::Store,
+            Jal | Jalr | Beq | Bne | Blt | Bge | Bltu | Bgeu => OpClass::Branch,
+            _ => OpClass::IntAlu,
+        }
+    }
+
+    /// Returns `true` for any control-transfer operation.
+    pub fn is_control(&self) -> bool {
+        matches!(self.op_class(), OpClass::Branch)
+    }
+}
+
+/// I-type immediate: bits 31:20, sign-extended.
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+/// S-type immediate: bits 31:25 ++ 11:7, sign-extended.
+fn imm_s(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | ((w >> 7) & 0x1f) as i32
+}
+
+/// B-type immediate: the scrambled 13-bit branch offset, sign-extended.
+fn imm_b(w: u32) -> i32 {
+    let imm = (((w >> 31) & 1) << 12)
+        | (((w >> 7) & 1) << 11)
+        | (((w >> 25) & 0x3f) << 5)
+        | (((w >> 8) & 0xf) << 1);
+    ((imm as i32) << 19) >> 19
+}
+
+/// J-type immediate: the scrambled 21-bit jump offset, sign-extended.
+fn imm_j(w: u32) -> i32 {
+    let imm = (((w >> 31) & 1) << 20)
+        | (((w >> 12) & 0xff) << 12)
+        | (((w >> 20) & 1) << 11)
+        | (((w >> 21) & 0x3ff) << 1);
+    ((imm as i32) << 11) >> 11
+}
+
+/// Decodes one instruction word; `None` if it is not in the supported
+/// RV32IM subset.
+pub fn decode(word: u32) -> Option<Inst> {
+    let opcode = word & 0x7f;
+    let rd = (word >> 7) & 0x1f;
+    let funct3 = (word >> 12) & 0x7;
+    let rs1 = (word >> 15) & 0x1f;
+    let rs2 = (word >> 20) & 0x1f;
+    let funct7 = word >> 25;
+
+    let mk = |op: Op, imm: i32| Inst {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    };
+
+    Some(match opcode {
+        0x37 => mk(Op::Lui, (word & 0xffff_f000) as i32),
+        0x17 => mk(Op::Auipc, (word & 0xffff_f000) as i32),
+        0x6f => mk(Op::Jal, imm_j(word)),
+        0x67 if funct3 == 0 => mk(Op::Jalr, imm_i(word)),
+        0x63 => {
+            let op = match funct3 {
+                0x0 => Op::Beq,
+                0x1 => Op::Bne,
+                0x4 => Op::Blt,
+                0x5 => Op::Bge,
+                0x6 => Op::Bltu,
+                0x7 => Op::Bgeu,
+                _ => return None,
+            };
+            mk(op, imm_b(word))
+        }
+        0x03 => {
+            let op = match funct3 {
+                0x0 => Op::Lb,
+                0x1 => Op::Lh,
+                0x2 => Op::Lw,
+                0x4 => Op::Lbu,
+                0x5 => Op::Lhu,
+                _ => return None,
+            };
+            mk(op, imm_i(word))
+        }
+        0x23 => {
+            let op = match funct3 {
+                0x0 => Op::Sb,
+                0x1 => Op::Sh,
+                0x2 => Op::Sw,
+                _ => return None,
+            };
+            mk(op, imm_s(word))
+        }
+        0x13 => match funct3 {
+            0x0 => mk(Op::Addi, imm_i(word)),
+            0x2 => mk(Op::Slti, imm_i(word)),
+            0x3 => mk(Op::Sltiu, imm_i(word)),
+            0x4 => mk(Op::Xori, imm_i(word)),
+            0x6 => mk(Op::Ori, imm_i(word)),
+            0x7 => mk(Op::Andi, imm_i(word)),
+            0x1 if funct7 == 0x00 => mk(Op::Slli, rs2 as i32),
+            0x5 if funct7 == 0x00 => mk(Op::Srli, rs2 as i32),
+            0x5 if funct7 == 0x20 => mk(Op::Srai, rs2 as i32),
+            _ => return None,
+        },
+        0x33 => {
+            let op = match (funct7, funct3) {
+                (0x00, 0x0) => Op::Add,
+                (0x20, 0x0) => Op::Sub,
+                (0x00, 0x1) => Op::Sll,
+                (0x00, 0x2) => Op::Slt,
+                (0x00, 0x3) => Op::Sltu,
+                (0x00, 0x4) => Op::Xor,
+                (0x00, 0x5) => Op::Srl,
+                (0x20, 0x5) => Op::Sra,
+                (0x00, 0x6) => Op::Or,
+                (0x00, 0x7) => Op::And,
+                (0x01, 0x0) => Op::Mul,
+                (0x01, 0x1) => Op::Mulh,
+                (0x01, 0x2) => Op::Mulhsu,
+                (0x01, 0x3) => Op::Mulhu,
+                (0x01, 0x4) => Op::Div,
+                (0x01, 0x5) => Op::Divu,
+                (0x01, 0x6) => Op::Rem,
+                (0x01, 0x7) => Op::Remu,
+                _ => return None,
+            };
+            mk(op, 0)
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    #[test]
+    fn roundtrip_through_assembler() {
+        let mut a = Asm::new(0);
+        a.add(3, 1, 2);
+        a.sub(4, 3, 1);
+        a.mul(5, 3, 4);
+        a.div(6, 5, 3);
+        a.addi(7, 6, -12);
+        a.slli(8, 7, 3);
+        a.srai(9, 8, 2);
+        a.lw(10, 16, 2);
+        a.sb(10, -4, 2);
+        a.lui(11, 0xabcde);
+        a.auipc(12, 1);
+        a.jalr(1, 0, 5);
+        for (word, (op, imm)) in a.finish().into_iter().zip([
+            (Op::Add, 0),
+            (Op::Sub, 0),
+            (Op::Mul, 0),
+            (Op::Div, 0),
+            (Op::Addi, -12),
+            (Op::Slli, 3),
+            (Op::Srai, 2),
+            (Op::Lw, 16),
+            (Op::Sb, -4),
+            (Op::Lui, 0xabcd_e000_u32 as i32),
+            (Op::Auipc, 0x1000),
+            (Op::Jalr, 0),
+        ]) {
+            let inst = decode(word).expect("assembled word must decode");
+            assert_eq!(inst.op, op, "word {word:#010x}");
+            assert_eq!(inst.imm, imm, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn branch_and_jump_offsets_sign_extend() {
+        let mut a = Asm::new(0x1000);
+        a.label("top");
+        a.addi(5, 5, 1);
+        a.bne(5, 6, "top"); // offset -4
+        a.j("top"); // offset -8
+        let w = a.finish();
+        assert_eq!(decode(w[1]).unwrap().imm, -4);
+        assert_eq!(decode(w[2]).unwrap().imm, -8);
+    }
+
+    #[test]
+    fn unsupported_words_decode_to_none() {
+        assert!(decode(0).is_none()); // all-zero is reserved
+        assert!(decode(0x0000_0073).is_none()); // ecall: deliberately outside the subset
+        assert!(decode(0xffff_ffff).is_none());
+    }
+
+    #[test]
+    fn src_and_dst_registers_follow_format() {
+        let mut a = Asm::new(0);
+        a.add(3, 1, 2);
+        a.lw(4, 0, 3);
+        a.sw(4, 0, 3);
+        a.beq(4, 3, "end");
+        a.jal(1, "end");
+        a.label("end");
+        a.lui(5, 1);
+        let w = a.finish();
+        let d = |i: usize| decode(w[i]).unwrap();
+        assert_eq!(d(0).src_regs(), [Some(1), Some(2)]);
+        assert_eq!(d(0).dst_reg(), Some(3));
+        assert_eq!(d(1).src_regs(), [Some(3), None]);
+        assert_eq!(d(2).src_regs(), [Some(3), Some(4)]);
+        assert_eq!(d(2).dst_reg(), None);
+        assert_eq!(d(3).src_regs(), [Some(4), Some(3)]);
+        assert_eq!(d(3).dst_reg(), None);
+        assert_eq!(d(4).src_regs(), [None, None]);
+        assert_eq!(d(4).dst_reg(), Some(1));
+        assert_eq!(d(5).src_regs(), [None, None]);
+    }
+
+    #[test]
+    fn op_class_mapping() {
+        use bmp_uarch::OpClass;
+        let mut a = Asm::new(0);
+        a.add(1, 2, 3);
+        a.mul(1, 2, 3);
+        a.rem(1, 2, 3);
+        a.lw(1, 0, 2);
+        a.sw(1, 0, 2);
+        a.beq(1, 2, "e");
+        a.label("e");
+        a.ret();
+        let w = a.finish();
+        let classes: Vec<_> = w
+            .iter()
+            .map(|&word| decode(word).unwrap().op_class())
+            .collect();
+        assert_eq!(
+            classes,
+            vec![
+                OpClass::IntAlu,
+                OpClass::IntMul,
+                OpClass::IntDiv,
+                OpClass::Load,
+                OpClass::Store,
+                OpClass::Branch,
+                OpClass::Branch,
+            ]
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Sparse byte-addressed memory.
+//!
+//! The executor's address space is a flat 32-bit space backed by
+//! 4 KiB pages allocated on first touch, so kernels can place code and
+//! data at widely separated bases (mirroring the synthetic workloads'
+//! address-map convention) without the host paying for the gap. Reads
+//! from never-written locations return zero — the same contract as
+//! zero-initialised memory — which keeps kernel startup free of
+//! clearing loops.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const OFFSET_MASK: u32 = (PAGE_SIZE as u32) - 1;
+
+/// Sparse little-endian memory over the full 32-bit address space.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct pages touched so far (writes only; reads of
+    /// untouched pages do not allocate).
+    pub fn pages_touched(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte; untouched memory reads as zero.
+    #[inline]
+    pub fn load_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & OFFSET_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page on first touch.
+    #[inline]
+    pub fn store_u8(&mut self, addr: u32, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]));
+        page[(addr & OFFSET_MASK) as usize] = value;
+    }
+
+    /// Reads a little-endian halfword (no alignment requirement).
+    #[inline]
+    pub fn load_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.load_u8(addr), self.load_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian halfword.
+    #[inline]
+    pub fn store_u16(&mut self, addr: u32, value: u16) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads a little-endian word (no alignment requirement).
+    #[inline]
+    pub fn load_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.load_u8(addr),
+            self.load_u8(addr.wrapping_add(1)),
+            self.load_u8(addr.wrapping_add(2)),
+            self.load_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian word.
+    #[inline]
+    pub fn store_u32(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.store_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Copies `bytes` into memory starting at `base`.
+    pub fn write_bytes(&mut self, base: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.store_u8(base.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Writes a slice of words at consecutive word addresses from `base`.
+    pub fn write_words(&mut self, base: u32, words: &[u32]) {
+        for (i, &w) in words.iter().enumerate() {
+            self.store_u32(base.wrapping_add(4 * i as u32), w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let m = Memory::new();
+        assert_eq!(m.load_u8(0), 0);
+        assert_eq!(m.load_u32(0xffff_fffc), 0);
+        assert_eq!(m.pages_touched(), 0);
+    }
+
+    #[test]
+    fn little_endian_roundtrip() {
+        let mut m = Memory::new();
+        m.store_u32(0x1000, 0xdead_beef);
+        assert_eq!(m.load_u32(0x1000), 0xdead_beef);
+        assert_eq!(m.load_u8(0x1000), 0xef);
+        assert_eq!(m.load_u8(0x1003), 0xde);
+        assert_eq!(m.load_u16(0x1002), 0xdead);
+        m.store_u16(0x1000, 0x1234);
+        assert_eq!(m.load_u32(0x1000), 0xdead_1234);
+    }
+
+    #[test]
+    fn writes_spanning_page_boundary() {
+        let mut m = Memory::new();
+        m.store_u32(0x1ffe, 0x0102_0304);
+        assert_eq!(m.load_u32(0x1ffe), 0x0102_0304);
+        assert_eq!(m.pages_touched(), 2);
+    }
+
+    #[test]
+    fn bulk_writers() {
+        let mut m = Memory::new();
+        m.write_words(0x100, &[1, 2, 3]);
+        assert_eq!(m.load_u32(0x108), 3);
+        m.write_bytes(0x200, b"hi");
+        assert_eq!(m.load_u8(0x201), b'i');
+    }
+}

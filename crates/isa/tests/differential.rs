@@ -1,0 +1,228 @@
+//! Differential tests: the executor vs hand-computed architectural
+//! state, one block per instruction class (ISSUE 10 satellite).
+//!
+//! Each test assembles a short program, runs it to the halt sentinel,
+//! and compares the final register file against values computed by
+//! hand (written as literals, not re-derived with Rust operators that
+//! mirror the implementation — except where the RISC-V semantics *is*
+//! the Rust wrapping semantics, which is then stated).
+
+use bmp_isa::asm::{reg, Asm};
+use bmp_isa::{Cpu, Memory};
+
+/// Runs `words` from a fixed base until halt; asserts halt was reached.
+fn run(words: &[u32]) -> Cpu {
+    let mut mem = Memory::new();
+    mem.write_words(0x0010_0000, words);
+    let mut cpu = Cpu::new(0x0010_0000, mem);
+    for _ in 0..100_000 {
+        if cpu.halted() {
+            return cpu;
+        }
+        cpu.step().expect("differential programs must not fault");
+    }
+    panic!("program did not halt");
+}
+
+fn x(cpu: &Cpu, r: u32) -> u32 {
+    cpu.regs[r as usize]
+}
+
+#[test]
+fn arithmetic_and_logic() {
+    use reg::*;
+    let mut a = Asm::new(0x0010_0000);
+    a.li(T0, 100);
+    a.li(T1, -7);
+    a.add(A0, T0, T1); // 100 + (-7) = 93
+    a.sub(A1, T0, T1); // 100 - (-7) = 107
+    a.xor(A2, T0, T1); // 0x64 ^ 0xfffffff9 = 0xffffff9d
+    a.or(A3, T0, T1); // 0x64 | 0xfffffff9 = 0xfffffffd
+    a.and(A4, T0, T1); // 0x64 & 0xfffffff9 = 0x60
+    a.addi(A5, T0, 2047); // 100 + 2047 = 2147
+    a.ret();
+    let c = run(&a.finish());
+    assert_eq!(x(&c, A0), 93);
+    assert_eq!(x(&c, A1), 107);
+    assert_eq!(x(&c, A2), 0xffff_ff9d);
+    assert_eq!(x(&c, A3), 0xffff_fffd);
+    assert_eq!(x(&c, A4), 0x60);
+    assert_eq!(x(&c, A5), 2147);
+}
+
+#[test]
+fn comparisons_and_shifts() {
+    use reg::*;
+    let mut a = Asm::new(0x0010_0000);
+    a.li(T0, -5);
+    a.li(T1, 3);
+    a.slt(A0, T0, T1); // -5 < 3 signed -> 1
+    a.sltu(A1, T0, T1); // 0xfffffffb < 3 unsigned -> 0
+    a.slti(A2, T0, -4); // -5 < -4 -> 1
+    a.sltiu(A3, T1, 4); // 3 < 4 -> 1
+    a.slli(A4, T1, 4); // 3 << 4 = 48
+    a.srli(A5, T0, 28); // 0xfffffffb >> 28 = 0xf
+    a.srai(T2, T0, 1); // -5 >> 1 arithmetic = -3 (0xfffffffd)
+    a.sll(T3, T1, T1); // 3 << 3 = 24
+    a.sra(T4, T0, T1); // -5 >> 3 arithmetic = -1
+    a.ret();
+    let c = run(&a.finish());
+    assert_eq!(x(&c, A0), 1);
+    assert_eq!(x(&c, A1), 0);
+    assert_eq!(x(&c, A2), 1);
+    assert_eq!(x(&c, A3), 1);
+    assert_eq!(x(&c, A4), 48);
+    assert_eq!(x(&c, A5), 0xf);
+    assert_eq!(x(&c, T2), 0xffff_fffd);
+    assert_eq!(x(&c, T3), 24);
+    assert_eq!(x(&c, T4), 0xffff_ffff);
+}
+
+#[test]
+fn multiply_family() {
+    use reg::*;
+    let mut a = Asm::new(0x0010_0000);
+    a.li(T0, -3);
+    a.li(T1, 100_000);
+    a.mul(A0, T0, T1); // low word of -300000
+    a.mulh(A1, T0, T1); // high word of -300000 (sign-extended): -1
+    a.mulhu(A2, T0, T1); // high word of 0xfffffffd * 100000 unsigned
+    a.mulhsu(A3, T0, T1); // signed * unsigned high word: -1 (small product)
+    a.ret();
+    let c = run(&a.finish());
+    assert_eq!(x(&c, A0), (-300_000_i32) as u32);
+    assert_eq!(x(&c, A1), 0xffff_ffff);
+    // 0xfffffffd * 100000 = 0x1869f_fffb_5ee0 -> high word 0x1869f.
+    assert_eq!(x(&c, A2), 0x1_869f);
+    assert_eq!(x(&c, A3), 0xffff_ffff);
+}
+
+#[test]
+fn divide_family() {
+    use reg::*;
+    let mut a = Asm::new(0x0010_0000);
+    a.li(T0, -7);
+    a.li(T1, 2);
+    a.div(A0, T0, T1); // -7 / 2 = -3 (trunc toward zero)
+    a.rem(A1, T0, T1); // -7 % 2 = -1
+    a.divu(A2, T0, T1); // 0xfffffff9 / 2 = 0x7ffffffc
+    a.remu(A3, T0, T1); // 0xfffffff9 % 2 = 1
+    a.ret();
+    let c = run(&a.finish());
+    assert_eq!(x(&c, A0), (-3_i32) as u32);
+    assert_eq!(x(&c, A1), (-1_i32) as u32);
+    assert_eq!(x(&c, A2), 0x7fff_fffc);
+    assert_eq!(x(&c, A3), 1);
+}
+
+#[test]
+fn loads_and_stores_all_widths() {
+    use reg::*;
+    let mut a = Asm::new(0x0010_0000);
+    a.li(S0, 0x5000_0000_u32 as i32);
+    a.li(T0, 0x8182_8384_u32 as i32);
+    a.sw(T0, 0, S0);
+    a.lb(A0, 0, S0); // 0x84 sign-extended = 0xffffff84
+    a.lbu(A1, 0, S0); // 0x84
+    a.lh(A2, 0, S0); // 0x8384 sign-extended
+    a.lhu(A3, 2, S0); // 0x8182
+    a.lw(A4, 0, S0); // full word back
+    a.sb(T0, 4, S0); // byte 0x84
+    a.lbu(A5, 4, S0);
+    a.sh(T0, 8, S0); // halfword 0x8384
+    a.lhu(T1, 8, S0);
+    a.lw(T2, 12, S0); // never written -> 0
+    a.ret();
+    let c = run(&a.finish());
+    assert_eq!(x(&c, A0), 0xffff_ff84);
+    assert_eq!(x(&c, A1), 0x84);
+    assert_eq!(x(&c, A2), 0xffff_8384);
+    assert_eq!(x(&c, A3), 0x8182);
+    assert_eq!(x(&c, A4), 0x8182_8384);
+    assert_eq!(x(&c, A5), 0x84);
+    assert_eq!(x(&c, T1), 0x8384);
+    assert_eq!(x(&c, T2), 0);
+}
+
+#[test]
+fn upper_immediates() {
+    use reg::*;
+    let mut a = Asm::new(0x0010_0000);
+    a.lui(A0, 0xabcde); // 0xabcde000
+    a.auipc(A1, 1); // pc (0x100004) + 0x1000
+    a.ret();
+    let c = run(&a.finish());
+    assert_eq!(x(&c, A0), 0xabcd_e000);
+    assert_eq!(x(&c, A1), 0x0010_1004);
+}
+
+#[test]
+fn branches_all_conditions() {
+    use reg::*;
+    // Walk a chain of branches; every *taken* branch skips an
+    // instruction that would set the corresponding poison bit.
+    let mut a = Asm::new(0x0010_0000);
+    a.li(T0, -1);
+    a.li(T1, 1);
+    a.beq(T0, T0, "l1");
+    a.li(S0, 1); // skipped
+    a.label("l1");
+    a.bne(T0, T1, "l2");
+    a.li(S0, 2); // skipped
+    a.label("l2");
+    a.blt(T0, T1, "l3"); // -1 < 1 signed: taken
+    a.li(S0, 3); // skipped
+    a.label("l3");
+    a.bge(T1, T0, "l4"); // 1 >= -1 signed: taken
+    a.li(S0, 4); // skipped
+    a.label("l4");
+    a.bltu(T1, T0, "l5"); // 1 < 0xffffffff unsigned: taken
+    a.li(S0, 5); // skipped
+    a.label("l5");
+    a.bgeu(T0, T1, "l6"); // 0xffffffff >= 1 unsigned: taken
+    a.li(S0, 6); // skipped
+    a.label("l6");
+    // Inverted cases must fall through.
+    a.beq(T0, T1, "bad");
+    a.blt(T1, T0, "bad");
+    a.bltu(T0, T1, "bad");
+    a.li(S1, 42);
+    a.ret();
+    a.label("bad");
+    a.li(S1, 99);
+    a.ret();
+    let c = run(&a.finish());
+    assert_eq!(x(&c, reg::S0), 0, "a not-taken branch executed its shadow");
+    assert_eq!(x(&c, reg::S1), 42);
+}
+
+#[test]
+fn jumps_calls_and_returns() {
+    use reg::*;
+    let mut a = Asm::new(0x0010_0000);
+    a.mv(S2, RA); // save the halt sentinel: jal clobbers ra
+    a.jal(RA, "callee"); // call: ra = pc + 4
+    a.mv(S1, A0); // runs after the callee returns
+    a.mv(RA, S2);
+    a.ret(); // halt
+    a.label("callee");
+    a.li(A0, 77);
+    a.jalr(ZERO, 0, RA); // return to call site + 4
+    let c = run(&a.finish());
+    assert_eq!(x(&c, S1), 77);
+}
+
+#[test]
+fn x0_writes_are_discarded_in_every_class() {
+    use reg::*;
+    let mut a = Asm::new(0x0010_0000);
+    a.li(T0, 5);
+    a.addi(ZERO, T0, 1);
+    a.mul(ZERO, T0, T0);
+    a.li(S0, 0x5000_0000_u32 as i32);
+    a.lw(ZERO, 0, S0);
+    a.lui(ZERO, 0xfffff);
+    a.ret();
+    let c = run(&a.finish());
+    assert_eq!(c.regs[0], 0);
+}
